@@ -1,0 +1,142 @@
+// Package-level benchmarks regenerating the paper's artifacts under
+// `go test -bench`. One benchmark per table/figure (DESIGN.md experiment
+// index E1-E8), at a reduced scale so the full suite stays minutes-fast:
+//
+//	BenchmarkTable1_*      one Table 1 row per benchmark program (E1, E8)
+//	BenchmarkFig6_*        per-input speedup distribution (E2)
+//	BenchmarkFig7Model     theoretical-model curves (E3, E4)
+//	BenchmarkFig8_*        speedup vs #landmarks sweep (E5)
+//	BenchmarkAblation_*    K-means vs random landmark selection (E7)
+//
+// The measured op/ns numbers are secondary; the point is that each bench
+// reproduces its artifact end to end and reports headline metrics via
+// b.ReportMetric (speedup_x, satisfaction_pct).
+package inputtune_test
+
+import (
+	"testing"
+
+	"inputtune/internal/autotuner"
+	"inputtune/internal/benchmarks/sortbench"
+	"inputtune/internal/choice"
+	"inputtune/internal/cost"
+	"inputtune/internal/exp"
+	"inputtune/internal/model"
+)
+
+// benchScale is smaller than exp.DefaultScale so -bench=. completes
+// quickly; use cmd/experiments for full-scale artifacts.
+func benchScale() exp.Scale {
+	return exp.Scale{
+		TrainInputs: 96, TestInputs: 96, K1: 8,
+		TunerPop: 10, TunerGens: 8, Seed: 42, Parallel: true,
+	}
+}
+
+func benchTable1(b *testing.B, name string) {
+	b.Helper()
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		row := exp.RunCase(exp.BuildCase(name, sc), sc, nil)
+		b.ReportMetric(row.TwoLevelFX, "two_level_speedup_x")
+		b.ReportMetric(row.DynamicOracle, "dynamic_oracle_x")
+		b.ReportMetric(row.OneLevelFX, "one_level_speedup_x")
+		b.ReportMetric(100*row.TwoLevelAccuracy, "two_level_satisfaction_pct")
+	}
+}
+
+func BenchmarkTable1_Sort1(b *testing.B)       { benchTable1(b, "sort1") }
+func BenchmarkTable1_Sort2(b *testing.B)       { benchTable1(b, "sort2") }
+func BenchmarkTable1_Clustering1(b *testing.B) { benchTable1(b, "clustering1") }
+func BenchmarkTable1_Clustering2(b *testing.B) { benchTable1(b, "clustering2") }
+func BenchmarkTable1_Binpacking(b *testing.B)  { benchTable1(b, "binpacking") }
+func BenchmarkTable1_SVD(b *testing.B)         { benchTable1(b, "svd") }
+func BenchmarkTable1_Poisson2D(b *testing.B)   { benchTable1(b, "poisson2d") }
+func BenchmarkTable1_Helmholtz3D(b *testing.B) { benchTable1(b, "helmholtz3d") }
+
+func benchFig6(b *testing.B, name string) {
+	b.Helper()
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		row := exp.RunCase(exp.BuildCase(name, sc), sc, nil)
+		series := exp.Fig6Series(row)
+		b.ReportMetric(series[len(series)-1], "max_per_input_speedup_x")
+		b.ReportMetric(series[len(series)/2], "median_per_input_speedup_x")
+	}
+}
+
+func BenchmarkFig6_Sort2(b *testing.B)      { benchFig6(b, "sort2") }
+func BenchmarkFig6_Binpacking(b *testing.B) { benchFig6(b, "binpacking") }
+
+func BenchmarkFig7Model(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, k := range []int{2, 3, 4, 5, 6, 7, 8, 9} {
+			model.Fig7aCurve(k, 99)
+		}
+		_, fr := model.Fig7bCurve(100)
+		b.ReportMetric(fr[9], "fraction_at_10_landmarks")
+		b.ReportMetric(fr[99], "fraction_at_100_landmarks")
+	}
+}
+
+func benchFig8(b *testing.B, name string) {
+	b.Helper()
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		row := exp.RunCase(exp.BuildCase(name, sc), sc, nil)
+		pts := exp.Fig8Sweep(row.Model.Program, row.TestData, row.StaticPerInput,
+			exp.DefaultFig8Sizes(sc.K1), 10, sc.Seed+5)
+		b.ReportMetric(pts[0].Median, "median_speedup_1_landmark_x")
+		b.ReportMetric(pts[len(pts)-1].Median, "median_speedup_all_landmarks_x")
+	}
+}
+
+func BenchmarkFig8_Sort2(b *testing.B)       { benchFig8(b, "sort2") }
+func BenchmarkFig8_Clustering2(b *testing.B) { benchFig8(b, "clustering2") }
+
+func benchAblation(b *testing.B, name string) {
+	b.Helper()
+	sc := benchScale()
+	sc.K1 = 5 // the paper quantifies the gap at 5 landmarks
+	for i := 0; i < b.N; i++ {
+		res := exp.AblationLandmarks(exp.BuildCase(name, sc), sc, nil)
+		b.ReportMetric(res.KmeansSpeedup, "kmeans_dynamic_oracle_x")
+		b.ReportMetric(res.RandomSpeedup, "random_dynamic_oracle_x")
+	}
+}
+
+func BenchmarkAblation_Sort2(b *testing.B)      { benchAblation(b, "sort2") }
+func BenchmarkAblation_Binpacking(b *testing.B) { benchAblation(b, "binpacking") }
+
+func BenchmarkAblationTuneSamples_Binpacking(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		res := exp.AblationTuneSamples(exp.BuildCase("binpacking", sc), sc, []int{1, 3}, nil)
+		b.ReportMetric(100*res[0].Satisfaction, "satisfaction_1_sample_pct")
+		b.ReportMetric(100*res[1].Satisfaction, "satisfaction_3_samples_pct")
+	}
+}
+
+// BenchmarkTunerStrategies compares the evolutionary autotuner against
+// random search and hill climbing at an equal evaluation budget on one
+// landmark-tuning problem — the ablation behind the paper's reliance on
+// structured search.
+func BenchmarkTunerStrategies(b *testing.B) {
+	prog := sortbench.New()
+	in := sortbench.GenerateMix(sortbench.MixOptions{Count: 1, Seed: 9, MaxSize: 1024})[0]
+	eval := func(cfg *choice.Config) autotuner.Result {
+		m := cost.NewMeter()
+		prog.Run(cfg, in, m)
+		return autotuner.Result{Time: m.Elapsed(), Accuracy: 1}
+	}
+	opts := autotuner.Options{Space: prog.Space(), Eval: eval, Seed: 11, Population: 16, Generations: 14}
+	const budget = 16 * 15
+	for i := 0; i < b.N; i++ {
+		evo, _ := autotuner.Tune(opts)
+		rnd, _ := autotuner.RandomSearch(opts, budget)
+		hill, _ := autotuner.HillClimb(opts, budget, 20)
+		b.ReportMetric(eval(evo).Time, "evolution_time_units")
+		b.ReportMetric(eval(rnd).Time, "random_time_units")
+		b.ReportMetric(eval(hill).Time, "hillclimb_time_units")
+	}
+}

@@ -1,0 +1,172 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section:
+//
+//	experiments table1               Table 1 (all 8 tests)
+//	experiments table1 -case sort2   Table 1 (one test)
+//	experiments fig6                 Figure 6 per-input speedup distributions
+//	experiments fig7                 Figure 7 theoretical model curves
+//	experiments fig8                 Figure 8 speedup vs #landmarks
+//	experiments ablation             §3.1 K-means vs random landmark ablation
+//	experiments all                  everything above
+//
+// Use -scale quick|default to trade fidelity for runtime, -out DIR to also
+// write CSV files, and -v for training progress.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"inputtune/internal/exp"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	scaleName := fs.String("scale", "default", "workload scale: quick or default")
+	caseName := fs.String("case", "", "run a single test (e.g. sort2); empty = all")
+	outDir := fs.String("out", "", "directory for CSV output (optional)")
+	seed := fs.Uint64("seed", 0, "override RNG seed (0 = scale default)")
+	verbose := fs.Bool("v", false, "log training progress")
+	fs.Parse(os.Args[2:])
+
+	sc := exp.DefaultScale()
+	if *scaleName == "quick" {
+		sc = exp.QuickScale()
+	}
+	if *seed != 0 {
+		sc.Seed = *seed
+	}
+	logf := func(string, ...any) {}
+	if *verbose {
+		logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+
+	names := exp.CaseNames
+	if *caseName != "" {
+		names = []string{*caseName}
+	}
+
+	switch cmd {
+	case "table1":
+		runTable1(names, sc, logf, *outDir, false)
+	case "fig6":
+		runTable1(names, sc, logf, *outDir, true)
+	case "fig7":
+		fmt.Println(exp.RenderFig7())
+		writeFile(*outDir, "fig7.csv", exp.Fig7CSV())
+	case "fig8":
+		runFig8(names, sc, logf, *outDir)
+	case "ablation":
+		runAblation(names, sc, logf)
+	case "all":
+		rows := runTable1(names, sc, logf, *outDir, true)
+		fmt.Println(exp.RenderFig7())
+		writeFile(*outDir, "fig7.csv", exp.Fig7CSV())
+		for _, row := range rows {
+			pts := exp.Fig8Sweep(row.Model.Program, row.TestData, row.StaticPerInput,
+				exp.DefaultFig8Sizes(sc.K1), 20, sc.Seed+5)
+			fmt.Println(exp.RenderFig8(row.Name, pts))
+			writeFile(*outDir, "fig8_"+row.Name+".csv", exp.Fig8CSV(row.Name, pts))
+		}
+		runAblation([]string{"sort2", "binpacking"}, sc, logf)
+	default:
+		usage()
+		os.Exit(2)
+	}
+}
+
+func runTable1(names []string, sc exp.Scale, logf func(string, ...any), outDir string, fig6 bool) []*exp.Table1Row {
+	var rows []*exp.Table1Row
+	for _, name := range names {
+		fmt.Fprintf(os.Stderr, "running %s...\n", name)
+		row := exp.RunCase(exp.BuildCase(name, sc), sc, logf)
+		rows = append(rows, row)
+		fmt.Fprintf(os.Stderr, "  production classifier: %s (features %s)\n",
+			row.Report.Production, strings.Join(row.Report.SelectedFeatures, ", "))
+		fmt.Fprintf(os.Stderr, "  level-2 relabelled %.1f%% of inputs; two-level satisfaction %.1f%%\n",
+			100*row.Report.RelabelFraction, 100*row.TwoLevelAccuracy)
+	}
+	fmt.Println(exp.RenderTable1(rows))
+	writeFile(outDir, "table1.csv", exp.Table1CSV(rows))
+	if fig6 {
+		for _, row := range rows {
+			fmt.Println(exp.RenderFig6(row))
+			var b strings.Builder
+			b.WriteString("rank,speedup\n")
+			for i, s := range exp.Fig6Series(row) {
+				fmt.Fprintf(&b, "%d,%.4f\n", i, s)
+			}
+			writeFile(outDir, "fig6_"+row.Name+".csv", b.String())
+		}
+	}
+	return rows
+}
+
+func runFig8(names []string, sc exp.Scale, logf func(string, ...any), outDir string) {
+	for _, name := range names {
+		fmt.Fprintf(os.Stderr, "running %s...\n", name)
+		row := exp.RunCase(exp.BuildCase(name, sc), sc, logf)
+		pts := exp.Fig8Sweep(row.Model.Program, row.TestData, row.StaticPerInput,
+			exp.DefaultFig8Sizes(sc.K1), 20, sc.Seed+5)
+		fmt.Println(exp.RenderFig8(name, pts))
+		writeFile(outDir, "fig8_"+name+".csv", exp.Fig8CSV(name, pts))
+	}
+}
+
+func runAblation(names []string, sc exp.Scale, logf func(string, ...any)) {
+	// The paper's comparison is at few landmarks (5); keep K1 small here.
+	abSc := sc
+	abSc.K1 = 5
+	var results []exp.AblationResult
+	for _, name := range names {
+		fmt.Fprintf(os.Stderr, "ablation %s...\n", name)
+		results = append(results, exp.AblationLandmarks(exp.BuildCase(name, abSc), abSc, logf))
+	}
+	fmt.Println(exp.RenderAblation(results))
+
+	// Second ablation: single-centroid vs sample-based landmark tuning.
+	var tsResults []exp.TuneSamplesResult
+	for _, name := range names {
+		fmt.Fprintf(os.Stderr, "tune-samples ablation %s...\n", name)
+		tsResults = append(tsResults,
+			exp.AblationTuneSamples(exp.BuildCase(name, sc), sc, []int{1, 3}, logf)...)
+	}
+	fmt.Println(exp.RenderTuneSamples(tsResults))
+}
+
+func writeFile(dir, name, content string) {
+	if dir == "" {
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fmt.Fprintf(os.Stderr, "cannot create %s: %v\n", dir, err)
+		return
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "cannot write %s: %v\n", path, err)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: experiments <table1|fig6|fig7|fig8|ablation|all> [flags]
+flags:
+  -scale quick|default   workload scale (default "default")
+  -case NAME             single test: sort1 sort2 clustering1 clustering2
+                         binpacking svd poisson2d helmholtz3d
+  -out DIR               also write CSVs to DIR
+  -seed N                override the RNG seed
+  -v                     verbose training progress`)
+}

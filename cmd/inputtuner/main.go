@@ -1,0 +1,100 @@
+// Command inputtuner trains the two-level input-adaptive model for one
+// benchmark and reports the trained artifacts: the landmark configurations,
+// the production classifier, the selected features, and deployment
+// performance against the baselines.
+//
+//	inputtuner -bench sort2
+//	inputtuner -bench binpacking -k1 24 -train 400 -test 400 -v
+//	inputtuner -bench svd -json             # dump landmark configs as JSON
+//	inputtuner -bench sort2 -save model.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"inputtune/internal/core"
+	"inputtune/internal/exp"
+)
+
+func main() {
+	bench := flag.String("bench", "sort2", "benchmark: sort1 sort2 clustering1 clustering2 binpacking svd poisson2d helmholtz3d")
+	k1 := flag.Int("k1", 16, "number of input clusters / landmark configurations")
+	train := flag.Int("train", 240, "training inputs")
+	test := flag.Int("test", 240, "test inputs")
+	pop := flag.Int("pop", 16, "autotuner population")
+	gens := flag.Int("gens", 14, "autotuner generations")
+	seed := flag.Uint64("seed", 42, "RNG seed")
+	verbose := flag.Bool("v", false, "log training progress")
+	asJSON := flag.Bool("json", false, "dump landmark configurations as JSON")
+	savePath := flag.String("save", "", "write the trained model to this file")
+	flag.Parse()
+
+	sc := exp.Scale{
+		TrainInputs: *train, TestInputs: *test, K1: *k1,
+		TunerPop: *pop, TunerGens: *gens, Seed: *seed, Parallel: true,
+	}
+	logf := func(string, ...any) {}
+	if *verbose {
+		logf = func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) }
+	}
+
+	c := exp.BuildCase(*bench, sc)
+	row := exp.RunCase(c, sc, logf)
+	rep := row.Report
+
+	fmt.Printf("benchmark        %s\n", rep.Benchmark)
+	fmt.Printf("search space     %s\n", rep.SpaceSize)
+	fmt.Printf("training inputs  %d (K1 = %d clusters)\n", rep.NumInputs, rep.K1)
+	fmt.Printf("tuner evals      %d configurations\n", rep.TunerEvaluations)
+	fmt.Printf("level-2 relabel  %.1f%% of inputs changed cluster\n", 100*rep.RelabelFraction)
+	fmt.Printf("classifier zoo   %d candidates\n", rep.NumCandidates)
+	fmt.Printf("production       %s\n", rep.Production)
+	if len(rep.SelectedFeatures) > 0 {
+		fmt.Printf("features used    %s\n", strings.Join(rep.SelectedFeatures, ", "))
+	} else {
+		fmt.Printf("features used    (none)\n")
+	}
+	fmt.Println()
+	fmt.Println("landmark configurations (Figure 2 form):")
+	space := c.Prog.Space()
+	for k, lm := range row.Model.Landmarks {
+		fmt.Printf("  %2d: %s\n", k, space.DescribeConfig(lm))
+	}
+	fmt.Println()
+	fmt.Printf("deployment on %d held-out inputs (speedup over static oracle):\n", len(c.Test))
+	fmt.Printf("  dynamic oracle    %6.2fx\n", row.DynamicOracle)
+	fmt.Printf("  two-level (w/o fx)%6.2fx\n", row.TwoLevelNoFX)
+	fmt.Printf("  two-level (w/ fx) %6.2fx   satisfaction %.1f%%\n", row.TwoLevelFX, 100*row.TwoLevelAccuracy)
+	fmt.Printf("  one-level (w/o fx)%6.2fx\n", row.OneLevelNoFX)
+	fmt.Printf("  one-level (w/ fx) %6.2fx   satisfaction %.1f%%\n", row.OneLevelFX, 100*row.OneLevelAccuracy)
+
+	if *asJSON {
+		fmt.Println("\nlandmark configurations:")
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(row.Model.Landmarks); err != nil {
+			fmt.Fprintf(os.Stderr, "encode: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *savePath != "" {
+		f, err := os.Create(*savePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "create %s: %v\n", *savePath, err)
+			os.Exit(1)
+		}
+		if err := core.SaveModel(row.Model, f); err != nil {
+			fmt.Fprintf(os.Stderr, "save model: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "close %s: %v\n", *savePath, err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nmodel written to %s\n", *savePath)
+	}
+}

@@ -1,0 +1,64 @@
+// Model persistence: train once, save the model, reload it in a fresh
+// process, and verify the reloaded model makes identical decisions. At the
+// paper's scale training takes hours (autotuning 100 landmarks), so the
+// trained artifact — landmark configurations plus the production
+// classifier — is the thing a deployment actually ships.
+//
+//	go run ./examples/persistence
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"inputtune"
+	"inputtune/internal/benchmarks/binpack"
+)
+
+func main() {
+	prog := binpack.New()
+	var train []inputtune.Input
+	for _, it := range binpack.GenerateMix(binpack.MixOptions{Count: 160, Seed: 17}) {
+		train = append(train, it)
+	}
+
+	fmt.Println("training...")
+	model := inputtune.Train(prog, train, inputtune.Options{K1: 10, Seed: 29, Parallel: true})
+	fmt.Printf("  production classifier: %s\n", model.Report.Production)
+
+	// Save to an in-memory buffer (a file works the same way; see
+	// `inputtuner -save model.json`).
+	var buf bytes.Buffer
+	if err := inputtune.SaveModel(model, &buf); err != nil {
+		log.Fatalf("save: %v", err)
+	}
+	fmt.Printf("  serialised model: %d bytes of JSON\n\n", buf.Len())
+
+	// A "fresh process" constructs its own Program and loads the artifact.
+	freshProg := binpack.New()
+	loaded, err := inputtune.LoadModel(freshProg, &buf)
+	if err != nil {
+		log.Fatalf("load: %v", err)
+	}
+
+	// Identical decisions on fresh inputs.
+	test := binpack.GenerateMix(binpack.MixOptions{Count: 30, Seed: 99})
+	agree := 0
+	for _, it := range test {
+		a := model.Classify(it, nil)
+		b := loaded.Classify(it, nil)
+		if a == b {
+			agree++
+		}
+	}
+	fmt.Printf("reloaded model agrees with the original on %d/%d fresh inputs\n", agree, len(test))
+	if agree != len(test) {
+		log.Fatal("persistence round trip changed decisions")
+	}
+
+	meter := inputtune.NewMeter()
+	landmark, acc := loaded.Run(test[0], meter)
+	fmt.Printf("deployment via the loaded model: landmark %d, occupancy %.3f, %0.f units\n",
+		landmark, acc, meter.Elapsed())
+}

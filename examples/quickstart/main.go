@@ -1,0 +1,55 @@
+// Quickstart: train an input-adaptive sorting routine in ~40 lines.
+//
+// The Sort benchmark offers five algorithms behind one either…or choice
+// site. We train the two-level learner on a mixed input battery, then
+// deploy it on fresh inputs and show which algorithm the model picks for
+// differently shaped lists.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"inputtune"
+	"inputtune/internal/benchmarks/sortbench"
+	"inputtune/internal/rng"
+)
+
+func main() {
+	prog := sortbench.New()
+
+	// Training battery: 160 lists spanning sorted/random/duplicated shapes.
+	var train []inputtune.Input
+	for _, l := range sortbench.GenerateMix(sortbench.MixOptions{Count: 160, Seed: 1}) {
+		train = append(train, l)
+	}
+
+	fmt.Println("training the two-level input-adaptive model...")
+	model := inputtune.Train(prog, train, inputtune.Options{
+		K1: 12, Seed: 7, Parallel: true,
+	})
+	rep := model.Report
+	fmt.Printf("  %d landmark configurations, production classifier: %s\n",
+		rep.K1, rep.Production)
+	fmt.Printf("  features it may extract: %v\n\n", rep.SelectedFeatures)
+
+	// Deploy on fresh inputs of very different character.
+	fresh := []struct {
+		name string
+		list *sortbench.List
+	}{
+		{"sorted list", sortbench.GenSorted(1500, rng.New(100))},
+		{"random list", sortbench.GenRandom(1500, rng.New(101))},
+		{"few distinct", sortbench.GenFewDistinct(1500, rng.New(102))},
+		{"registry extract", sortbench.GenRegistry(1500, rng.New(103))},
+	}
+	for _, f := range fresh {
+		meter := inputtune.NewMeter()
+		landmark, _ := model.Run(f.list, meter)
+		cfg := model.Landmarks[landmark]
+		alg := sortbench.AltNames[cfg.Decide(0, f.list.Size())]
+		fmt.Printf("%-17s -> landmark %2d (top-level %s), %8.0f virtual time units\n",
+			f.name, landmark, alg, meter.Elapsed())
+	}
+}

@@ -1,0 +1,104 @@
+// Package inputtune is a from-scratch Go reproduction of "Autotuning
+// Algorithmic Choice for Input Sensitivity" (Ding, Ansel, Veeramachaneni,
+// Shen, O'Reilly, Amarasinghe — PLDI 2015).
+//
+// It provides a PetaBricks-style algorithmic-choice runtime (either…or
+// choice sites decided by size-threshold selectors, scalar tunables, and
+// input_feature extractors with sampling levels), an evolutionary
+// autotuner, and the paper's contribution: a two-level input-learning
+// framework that clusters training inputs, autotunes one landmark
+// configuration per cluster, relabels inputs by their best landmark, and
+// selects a production classifier that balances execution time, accuracy
+// and feature-extraction cost.
+//
+// # Quick start
+//
+// Implement inputtune.Program for your computation (see
+// internal/benchmarks for six complete examples), generate training
+// inputs, and train:
+//
+//	model := inputtune.Train(prog, inputs, inputtune.Options{K1: 16, Seed: 1})
+//	meter := inputtune.NewMeter()
+//	landmark, accuracy := model.Run(newInput, meter)
+//
+// The examples/ directory contains runnable end-to-end programs and
+// cmd/experiments regenerates every table and figure of the paper.
+package inputtune
+
+import (
+	"io"
+
+	"inputtune/internal/choice"
+	"inputtune/internal/core"
+	"inputtune/internal/cost"
+	"inputtune/internal/feature"
+)
+
+// Program is the contract a tunable computation implements; see
+// core.Program for the full documentation of each method.
+type Program = core.Program
+
+// Input is an opaque program input exposing its problem size.
+type Input = feature.Input
+
+// Options configures two-level training.
+type Options = core.Options
+
+// Model is a trained, deployable input-adaptive program.
+type Model = core.Model
+
+// Report carries training diagnostics.
+type Report = core.Report
+
+// Space describes a program's configuration search space.
+type Space = choice.Space
+
+// Config is one point in a configuration space.
+type Config = choice.Config
+
+// Selector is a PetaBricks-style size-threshold decision list.
+type Selector = choice.Selector
+
+// FeatureSet is a battery of input_feature extractors.
+type FeatureSet = feature.Set
+
+// Extractor is one input property with its ladder of sampling levels.
+type Extractor = feature.Extractor
+
+// LevelFunc computes one feature at one sampling level.
+type LevelFunc = feature.LevelFunc
+
+// Meter accumulates virtual execution time.
+type Meter = cost.Meter
+
+// NewSpace returns an empty configuration space with default limits.
+func NewSpace() *Space { return choice.NewSpace() }
+
+// NewMeter returns a fresh virtual-time meter with default op weights.
+func NewMeter() *Meter { return cost.NewMeter() }
+
+// NewFeatureSet assembles extractors into a feature set, enforcing a
+// uniform number of sampling levels.
+func NewFeatureSet(extractors ...Extractor) (*FeatureSet, error) {
+	return feature.NewSet(extractors...)
+}
+
+// Train runs the full two-level learning pipeline of the paper on the
+// given training inputs and returns a deployable model.
+func Train(prog Program, inputs []Input, opts Options) *Model {
+	return core.TrainModel(prog, inputs, opts)
+}
+
+// Measure runs prog once under cfg and returns (virtual time, accuracy).
+func Measure(prog Program, cfg *Config, in Input) (float64, float64) {
+	return core.Measure(prog, cfg, in)
+}
+
+// SaveModel serialises a trained model's deployable parts (landmarks and
+// production classifier) as JSON.
+func SaveModel(m *Model, w io.Writer) error { return core.SaveModel(m, w) }
+
+// LoadModel restores a model saved with SaveModel, binding it to prog
+// (which must be the same benchmark with an identical configuration
+// space).
+func LoadModel(prog Program, r io.Reader) (*Model, error) { return core.LoadModel(prog, r) }

@@ -1,0 +1,59 @@
+// Facade-level test: the public API trains and deploys end to end on a
+// real benchmark, exactly as the README shows.
+package inputtune_test
+
+import (
+	"testing"
+
+	"inputtune"
+	"inputtune/internal/benchmarks/sortbench"
+)
+
+func TestFacadeEndToEnd(t *testing.T) {
+	prog := sortbench.New()
+	var train []inputtune.Input
+	for _, l := range sortbench.GenerateMix(sortbench.MixOptions{Count: 60, Seed: 1, MaxSize: 512}) {
+		train = append(train, l)
+	}
+	model := inputtune.Train(prog, train, inputtune.Options{
+		K1: 6, Seed: 2, TunerPopulation: 8, TunerGenerations: 6, Parallel: true,
+	})
+	if model.Report.Benchmark != "sort" {
+		t.Fatalf("report benchmark %q", model.Report.Benchmark)
+	}
+	fresh := sortbench.GenerateMix(sortbench.MixOptions{Count: 10, Seed: 99, MaxSize: 512})
+	for _, l := range fresh {
+		meter := inputtune.NewMeter()
+		landmark, acc := model.Run(l, meter)
+		if landmark < 0 || landmark >= len(model.Landmarks) {
+			t.Fatalf("landmark %d out of range", landmark)
+		}
+		if acc != 1 {
+			t.Fatalf("sort accuracy %v", acc)
+		}
+		if meter.Elapsed() <= 0 {
+			t.Fatal("no work charged")
+		}
+	}
+}
+
+func TestFacadeMeasure(t *testing.T) {
+	prog := sortbench.New()
+	l := sortbench.GenerateMix(sortbench.MixOptions{Count: 1, Seed: 5, MaxSize: 256})[0]
+	cfg := prog.Space().DefaultConfig()
+	tm, acc := inputtune.Measure(prog, cfg, l)
+	if tm <= 0 || acc != 1 {
+		t.Fatalf("Measure = (%v, %v)", tm, acc)
+	}
+}
+
+func TestFacadeSpaceAndFeatureSet(t *testing.T) {
+	sp := inputtune.NewSpace()
+	sp.AddSite("s", "a", "b")
+	if sp.SiteIndex("s") != 0 {
+		t.Fatal("facade space broken")
+	}
+	if _, err := inputtune.NewFeatureSet(); err == nil {
+		t.Fatal("empty feature set accepted")
+	}
+}

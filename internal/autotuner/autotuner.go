@@ -1,0 +1,222 @@
+// Package autotuner implements the evolutionary configuration search the
+// two-level learner invokes once per input cluster (Level 1, Step 3 of the
+// paper). It is a steady-state genetic algorithm over choice.Config
+// genomes: tournament selection, structural mutation and crossover from the
+// choice package, elitism, and a lexicographic fitness that puts accuracy
+// feasibility ahead of execution time — the paper's variable-accuracy dual
+// objective.
+package autotuner
+
+import (
+	"runtime"
+	"sync"
+
+	"inputtune/internal/choice"
+	"inputtune/internal/rng"
+)
+
+// Result is one evaluation of a configuration on the training input: the
+// virtual execution time and (for variable-accuracy programs) the achieved
+// accuracy.
+type Result struct {
+	Time     float64
+	Accuracy float64
+}
+
+// EvalFunc evaluates a configuration. It must be deterministic: the tuner
+// may evaluate candidates concurrently and caches nothing across calls.
+type EvalFunc func(cfg *choice.Config) Result
+
+// Options configures a tuning run. Zero values select the documented
+// defaults.
+type Options struct {
+	Space *choice.Space
+	Eval  EvalFunc
+
+	// RequireAccuracy enables the dual objective: candidates whose accuracy
+	// is below AccuracyTarget are dominated by any candidate meeting it.
+	RequireAccuracy bool
+	AccuracyTarget  float64
+
+	Population  int    // default 24
+	Generations int    // default 24
+	Elites      int    // default 4
+	Tournament  int    // default 3
+	Immigrants  int    // random configs injected per generation, default 2
+	Seed        uint64 // RNG seed; runs are deterministic per seed
+	Parallel    bool   // evaluate each generation's offspring concurrently
+}
+
+func (o *Options) setDefaults() {
+	if o.Population <= 0 {
+		o.Population = 24
+	}
+	if o.Generations <= 0 {
+		o.Generations = 24
+	}
+	if o.Elites <= 0 {
+		o.Elites = 4
+	}
+	if o.Elites >= o.Population {
+		o.Elites = o.Population - 1
+	}
+	if o.Tournament <= 0 {
+		o.Tournament = 3
+	}
+	if o.Immigrants < 0 {
+		o.Immigrants = 0
+	}
+	if o.Immigrants == 0 {
+		o.Immigrants = 2
+	}
+	if o.Immigrants > o.Population-o.Elites {
+		o.Immigrants = o.Population - o.Elites
+	}
+}
+
+// Stats summarises a tuning run.
+type Stats struct {
+	Evaluations int
+	Generations int
+	BestTime    float64
+	BestAcc     float64
+	// Feasible reports whether the returned best met the accuracy target
+	// (always true when RequireAccuracy is false).
+	Feasible bool
+}
+
+type individual struct {
+	cfg *choice.Config
+	res Result
+}
+
+// better reports whether a beats b under the lexicographic dual objective.
+func better(a, b individual, requireAcc bool, target float64) bool {
+	if requireAcc {
+		af, bf := a.res.Accuracy >= target, b.res.Accuracy >= target
+		if af != bf {
+			return af
+		}
+		if !af {
+			// Both infeasible: higher accuracy wins, time breaks ties.
+			if a.res.Accuracy != b.res.Accuracy {
+				return a.res.Accuracy > b.res.Accuracy
+			}
+			return a.res.Time < b.res.Time
+		}
+	}
+	return a.res.Time < b.res.Time
+}
+
+// Tune runs the evolutionary search and returns the best configuration
+// found plus run statistics.
+func Tune(opts Options) (*choice.Config, Stats) {
+	opts.setDefaults()
+	if opts.Space == nil || opts.Eval == nil {
+		panic("autotuner: Space and Eval are required")
+	}
+	r := rng.New(opts.Seed)
+	var st Stats
+
+	evalAll := func(cfgs []*choice.Config) []individual {
+		out := make([]individual, len(cfgs))
+		st.Evaluations += len(cfgs)
+		if opts.Parallel && len(cfgs) > 1 {
+			workers := runtime.GOMAXPROCS(0)
+			if workers > len(cfgs) {
+				workers = len(cfgs)
+			}
+			var wg sync.WaitGroup
+			ch := make(chan int)
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := range ch {
+						out[i] = individual{cfg: cfgs[i], res: opts.Eval(cfgs[i])}
+					}
+				}()
+			}
+			for i := range cfgs {
+				ch <- i
+			}
+			close(ch)
+			wg.Wait()
+		} else {
+			for i, c := range cfgs {
+				out[i] = individual{cfg: c, res: opts.Eval(c)}
+			}
+		}
+		return out
+	}
+
+	// Initial population: the default config plus random draws, so the
+	// search always starts from a sane polyalgorithm-free baseline.
+	seedCfgs := make([]*choice.Config, opts.Population)
+	seedCfgs[0] = opts.Space.DefaultConfig()
+	for i := 1; i < opts.Population; i++ {
+		seedCfgs[i] = opts.Space.RandomConfig(r)
+	}
+	pop := evalAll(seedCfgs)
+	sortPop(pop, opts)
+
+	for gen := 0; gen < opts.Generations; gen++ {
+		st.Generations++
+		// Build the offspring pool.
+		nOff := opts.Population - opts.Elites
+		offspring := make([]*choice.Config, 0, nOff)
+		for i := 0; i < opts.Immigrants; i++ {
+			offspring = append(offspring, opts.Space.RandomConfig(r))
+		}
+		for len(offspring) < nOff {
+			a := tournament(pop, opts, r)
+			if r.Coin(0.4) {
+				b := tournament(pop, opts, r)
+				child := opts.Space.Crossover(pop[a].cfg, pop[b].cfg, r)
+				offspring = append(offspring, opts.Space.Mutate(child, r))
+			} else {
+				offspring = append(offspring, opts.Space.Mutate(pop[a].cfg, r))
+			}
+		}
+		evaluated := evalAll(offspring)
+		// Elitism: keep the best Elites from the previous generation.
+		next := make([]individual, 0, opts.Population)
+		next = append(next, pop[:opts.Elites]...)
+		next = append(next, evaluated...)
+		pop = next
+		sortPop(pop, opts)
+		pop = pop[:opts.Population]
+	}
+
+	best := pop[0]
+	st.BestTime = best.res.Time
+	st.BestAcc = best.res.Accuracy
+	st.Feasible = !opts.RequireAccuracy || best.res.Accuracy >= opts.AccuracyTarget
+	return best.cfg, st
+}
+
+// sortPop orders the population best-first (insertion sort: populations are
+// tiny and this avoids an import).
+func sortPop(pop []individual, opts Options) {
+	for i := 1; i < len(pop); i++ {
+		x := pop[i]
+		j := i - 1
+		for j >= 0 && better(x, pop[j], opts.RequireAccuracy, opts.AccuracyTarget) {
+			pop[j+1] = pop[j]
+			j--
+		}
+		pop[j+1] = x
+	}
+}
+
+// tournament returns the index of the winner of a k-way tournament.
+func tournament(pop []individual, opts Options, r *rng.RNG) int {
+	best := r.Intn(len(pop))
+	for i := 1; i < opts.Tournament; i++ {
+		c := r.Intn(len(pop))
+		if better(pop[c], pop[best], opts.RequireAccuracy, opts.AccuracyTarget) {
+			best = c
+		}
+	}
+	return best
+}

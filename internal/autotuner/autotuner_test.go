@@ -1,0 +1,165 @@
+package autotuner
+
+import (
+	"math"
+	"testing"
+
+	"inputtune/internal/choice"
+)
+
+// toySpace builds a space with one 3-way site and two tunables whose
+// optimum is known analytically.
+func toySpace() *choice.Space {
+	s := choice.NewSpace()
+	s.AddSite("algo", "slow", "medium", "fast")
+	s.AddInt("cutoff", 1, 1000, 500)
+	s.AddFloat("knob", 0, 1, 0)
+	return s
+}
+
+// toyEval: time is minimised by choosing alternative 2 for size 100 inputs,
+// cutoff near 128, knob near 0.75.
+func toyEval(cfg *choice.Config) Result {
+	alt := cfg.Decide(0, 100)
+	base := float64(3-alt) * 100 // fast=100, medium=200, slow=300
+	cutPenalty := math.Abs(float64(cfg.Int(0)) - 128)
+	knobPenalty := 50 * math.Abs(cfg.Float(1)-0.75)
+	return Result{Time: base + cutPenalty + knobPenalty}
+}
+
+func TestTuneFindsGoodConfig(t *testing.T) {
+	sp := toySpace()
+	cfg, st := Tune(Options{
+		Space: sp, Eval: toyEval, Seed: 1,
+		Population: 32, Generations: 40,
+	})
+	res := toyEval(cfg)
+	// Optimum is 100; accept anything clearly in the right basin.
+	if res.Time > 160 {
+		t.Fatalf("tuned time %v too far from optimum 100 (config %s)", res.Time, cfg)
+	}
+	if cfg.Decide(0, 100) != 2 {
+		t.Fatalf("tuner picked alternative %d, want 2", cfg.Decide(0, 100))
+	}
+	if st.Evaluations == 0 || st.Generations != 40 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if err := sp.Validate(cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTuneDeterministicPerSeed(t *testing.T) {
+	sp := toySpace()
+	a, _ := Tune(Options{Space: sp, Eval: toyEval, Seed: 9, Generations: 10})
+	b, _ := Tune(Options{Space: sp, Eval: toyEval, Seed: 9, Generations: 10})
+	if a.String() != b.String() {
+		t.Fatalf("same seed diverged:\n%s\n%s", a, b)
+	}
+	c, _ := Tune(Options{Space: sp, Eval: toyEval, Seed: 10, Generations: 10})
+	_ = c // different seed may or may not differ; only determinism is required
+}
+
+func TestTuneParallelMatchesSerial(t *testing.T) {
+	sp := toySpace()
+	serial, _ := Tune(Options{Space: sp, Eval: toyEval, Seed: 4, Generations: 12})
+	parallel, _ := Tune(Options{Space: sp, Eval: toyEval, Seed: 4, Generations: 12, Parallel: true})
+	if serial.String() != parallel.String() {
+		t.Fatalf("parallel evaluation changed the result:\n%s\n%s", serial, parallel)
+	}
+}
+
+func TestAccuracyFeasibilityDominates(t *testing.T) {
+	sp := choice.NewSpace()
+	sp.AddFloat("iters", 0, 10, 0)
+	// More iterations: slower but more accurate. Accuracy target 0.9 needs
+	// iters >= 9; the time-optimal feasible point is iters = 9.
+	eval := func(cfg *choice.Config) Result {
+		it := cfg.Float(0)
+		return Result{Time: 10 + it, Accuracy: it / 10}
+	}
+	cfg, st := Tune(Options{
+		Space: sp, Eval: eval, Seed: 2,
+		RequireAccuracy: true, AccuracyTarget: 0.9,
+		Population: 32, Generations: 40,
+	})
+	if !st.Feasible {
+		t.Fatalf("tuner failed to find a feasible config: %+v", st)
+	}
+	got := cfg.Float(0)
+	if got < 9 || got > 9.6 {
+		t.Fatalf("iters = %v, want just above 9 (time-optimal feasible)", got)
+	}
+}
+
+func TestInfeasibleTargetMaximisesAccuracy(t *testing.T) {
+	sp := choice.NewSpace()
+	sp.AddFloat("iters", 0, 10, 0)
+	eval := func(cfg *choice.Config) Result {
+		it := cfg.Float(0)
+		return Result{Time: 10 + it, Accuracy: it / 20} // max accuracy 0.5 < target
+	}
+	cfg, st := Tune(Options{
+		Space: sp, Eval: eval, Seed: 3,
+		RequireAccuracy: true, AccuracyTarget: 0.9,
+		Population: 24, Generations: 30,
+	})
+	if st.Feasible {
+		t.Fatal("target is unreachable; Feasible must be false")
+	}
+	if got := cfg.Float(0); got < 9.5 {
+		t.Fatalf("iters = %v; infeasible search should push accuracy to its max", got)
+	}
+}
+
+func TestBetterOrdering(t *testing.T) {
+	fast := individual{res: Result{Time: 1, Accuracy: 0.5}}
+	slow := individual{res: Result{Time: 2, Accuracy: 0.99}}
+	// Time-only: fast wins.
+	if !better(fast, slow, false, 0) {
+		t.Fatal("time-only: fast should win")
+	}
+	// Accuracy-required: only slow is feasible.
+	if better(fast, slow, true, 0.9) {
+		t.Fatal("accuracy: infeasible fast must lose")
+	}
+	// Both infeasible: higher accuracy wins.
+	a := individual{res: Result{Time: 9, Accuracy: 0.4}}
+	b := individual{res: Result{Time: 1, Accuracy: 0.3}}
+	if !better(a, b, true, 0.9) {
+		t.Fatal("both infeasible: higher accuracy should win")
+	}
+	// Equal accuracy, both infeasible: lower time wins.
+	c := individual{res: Result{Time: 1, Accuracy: 0.4}}
+	if !better(c, a, true, 0.9) {
+		t.Fatal("tie on accuracy: faster should win")
+	}
+}
+
+func TestDefaultsClampElites(t *testing.T) {
+	o := Options{Population: 4, Elites: 10}
+	o.setDefaults()
+	if o.Elites >= o.Population {
+		t.Fatalf("elites %d not clamped below population %d", o.Elites, o.Population)
+	}
+	if o.Immigrants > o.Population-o.Elites {
+		t.Fatalf("immigrants %d exceed offspring slots", o.Immigrants)
+	}
+}
+
+func TestEvaluationBudget(t *testing.T) {
+	sp := toySpace()
+	calls := 0
+	eval := func(cfg *choice.Config) Result {
+		calls++
+		return toyEval(cfg)
+	}
+	_, st := Tune(Options{Space: sp, Eval: eval, Seed: 5, Population: 10, Generations: 5})
+	wantMax := 10 + 5*10 // initial pop + per-generation offspring
+	if calls != st.Evaluations {
+		t.Fatalf("stats evaluations %d != actual %d", st.Evaluations, calls)
+	}
+	if calls > wantMax {
+		t.Fatalf("evaluations %d exceed budget %d", calls, wantMax)
+	}
+}

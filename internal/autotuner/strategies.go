@@ -1,0 +1,88 @@
+package autotuner
+
+import (
+	"inputtune/internal/choice"
+	"inputtune/internal/rng"
+)
+
+// Alternative search strategies under the same evaluation budget as Tune.
+// The paper relies on PetaBricks' evolutionary search and argues that
+// search beats modelling in these spaces; RandomSearch and HillClimb are
+// the standard baselines that claim is measured against (see
+// BenchmarkTunerStrategies).
+
+// RandomSearch draws budget random configurations and keeps the best under
+// the same lexicographic objective as Tune.
+func RandomSearch(opts Options, budget int) (*choice.Config, Stats) {
+	opts.setDefaults()
+	if opts.Space == nil || opts.Eval == nil {
+		panic("autotuner: Space and Eval are required")
+	}
+	if budget <= 0 {
+		budget = opts.Population * (opts.Generations + 1)
+	}
+	r := rng.New(opts.Seed)
+	var st Stats
+	best := individual{cfg: opts.Space.DefaultConfig()}
+	best.res = opts.Eval(best.cfg)
+	st.Evaluations++
+	for i := 1; i < budget; i++ {
+		cand := individual{cfg: opts.Space.RandomConfig(r)}
+		cand.res = opts.Eval(cand.cfg)
+		st.Evaluations++
+		if better(cand, best, opts.RequireAccuracy, opts.AccuracyTarget) {
+			best = cand
+		}
+	}
+	st.BestTime = best.res.Time
+	st.BestAcc = best.res.Accuracy
+	st.Feasible = !opts.RequireAccuracy || best.res.Accuracy >= opts.AccuracyTarget
+	return best.cfg, st
+}
+
+// HillClimb runs a (1+1) evolution strategy: repeatedly mutate the
+// incumbent and keep the mutant when it is better, restarting from a
+// random configuration after `patience` consecutive rejections.
+func HillClimb(opts Options, budget, patience int) (*choice.Config, Stats) {
+	opts.setDefaults()
+	if opts.Space == nil || opts.Eval == nil {
+		panic("autotuner: Space and Eval are required")
+	}
+	if budget <= 0 {
+		budget = opts.Population * (opts.Generations + 1)
+	}
+	if patience <= 0 {
+		patience = 20
+	}
+	r := rng.New(opts.Seed)
+	var st Stats
+	cur := individual{cfg: opts.Space.DefaultConfig()}
+	cur.res = opts.Eval(cur.cfg)
+	st.Evaluations++
+	best := cur
+	rejected := 0
+	for st.Evaluations < budget {
+		var cand individual
+		if rejected >= patience {
+			cand = individual{cfg: opts.Space.RandomConfig(r)}
+			rejected = 0
+		} else {
+			cand = individual{cfg: opts.Space.Mutate(cur.cfg, r)}
+		}
+		cand.res = opts.Eval(cand.cfg)
+		st.Evaluations++
+		if better(cand, cur, opts.RequireAccuracy, opts.AccuracyTarget) {
+			cur = cand
+			rejected = 0
+			if better(cur, best, opts.RequireAccuracy, opts.AccuracyTarget) {
+				best = cur
+			}
+		} else {
+			rejected++
+		}
+	}
+	st.BestTime = best.res.Time
+	st.BestAcc = best.res.Accuracy
+	st.Feasible = !opts.RequireAccuracy || best.res.Accuracy >= opts.AccuracyTarget
+	return best.cfg, st
+}

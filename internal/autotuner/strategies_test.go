@@ -1,0 +1,94 @@
+package autotuner
+
+import (
+	"testing"
+
+	"inputtune/internal/choice"
+)
+
+func TestRandomSearchFindsReasonableConfig(t *testing.T) {
+	sp := toySpace()
+	cfg, st := RandomSearch(Options{Space: sp, Eval: toyEval, Seed: 1}, 400)
+	if st.Evaluations != 400 {
+		t.Fatalf("evaluations = %d", st.Evaluations)
+	}
+	if res := toyEval(cfg); res.Time > 250 {
+		t.Fatalf("random search time %v too far from optimum 100", res.Time)
+	}
+	if err := sp.Validate(cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHillClimbImprovesOnDefault(t *testing.T) {
+	sp := toySpace()
+	defaultRes := toyEval(sp.DefaultConfig())
+	cfg, st := HillClimb(Options{Space: sp, Eval: toyEval, Seed: 2}, 400, 15)
+	if st.Evaluations > 401 {
+		t.Fatalf("budget exceeded: %d", st.Evaluations)
+	}
+	got := toyEval(cfg)
+	if got.Time >= defaultRes.Time {
+		t.Fatalf("hill climb (%v) no better than default (%v)", got.Time, defaultRes.Time)
+	}
+	if err := sp.Validate(cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStrategiesDeterministic(t *testing.T) {
+	sp := toySpace()
+	a, _ := RandomSearch(Options{Space: sp, Eval: toyEval, Seed: 5}, 100)
+	b, _ := RandomSearch(Options{Space: sp, Eval: toyEval, Seed: 5}, 100)
+	if a.String() != b.String() {
+		t.Fatal("random search nondeterministic")
+	}
+	c, _ := HillClimb(Options{Space: sp, Eval: toyEval, Seed: 5}, 100, 10)
+	d, _ := HillClimb(Options{Space: sp, Eval: toyEval, Seed: 5}, 100, 10)
+	if c.String() != d.String() {
+		t.Fatal("hill climb nondeterministic")
+	}
+}
+
+func TestStrategiesRespectAccuracy(t *testing.T) {
+	sp := choice.NewSpace()
+	sp.AddFloat("iters", 0, 10, 0)
+	eval := func(cfg *choice.Config) Result {
+		it := cfg.Float(0)
+		return Result{Time: 10 + it, Accuracy: it / 10}
+	}
+	opts := Options{Space: sp, Eval: eval, Seed: 3, RequireAccuracy: true, AccuracyTarget: 0.9}
+	for name, run := range map[string]func() (*choice.Config, Stats){
+		"random": func() (*choice.Config, Stats) { return RandomSearch(opts, 300) },
+		"hill":   func() (*choice.Config, Stats) { return HillClimb(opts, 300, 15) },
+	} {
+		cfg, st := run()
+		if !st.Feasible {
+			t.Fatalf("%s: no feasible config found", name)
+		}
+		if got := cfg.Float(0); got < 9 {
+			t.Fatalf("%s: iters %v below feasibility", name, got)
+		}
+	}
+}
+
+// On the multimodal toy problem, the evolutionary tuner should match or
+// beat random search at equal budgets (the paper's premise that structured
+// search pays off).
+func TestEvolutionCompetitiveWithRandom(t *testing.T) {
+	sp := toySpace()
+	budget := 0
+	evalCounted := func(cfg *choice.Config) Result {
+		budget++
+		return toyEval(cfg)
+	}
+	tuned, _ := Tune(Options{Space: sp, Eval: evalCounted, Seed: 7, Population: 20, Generations: 14})
+	usedBudget := budget
+	randomCfg, _ := RandomSearch(Options{Space: sp, Eval: toyEval, Seed: 7}, usedBudget)
+	tt, rt := toyEval(tuned).Time, toyEval(randomCfg).Time
+	// Allow slack: on this small space random can get lucky, but evolution
+	// must not be drastically worse.
+	if tt > rt*1.5 {
+		t.Fatalf("evolution (%v) much worse than random search (%v) at budget %d", tt, rt, usedBudget)
+	}
+}

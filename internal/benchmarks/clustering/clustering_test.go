@@ -1,0 +1,196 @@
+package clustering
+
+import (
+	"testing"
+
+	"inputtune/internal/choice"
+	"inputtune/internal/cost"
+	"inputtune/internal/rng"
+)
+
+func cfgWith(p *Program, init, k, iters int) *choice.Config {
+	c := p.Space().DefaultConfig()
+	c.Selectors[0].Else = init
+	c.Values[p.kIdx] = float64(k)
+	c.Values[p.itersIdx] = float64(iters)
+	return c
+}
+
+func TestCanonicalConfigScoresPerfect(t *testing.T) {
+	p := New()
+	r := rng.New(1)
+	pts := GenBlobs(500, r)
+	// Matching the canonical algorithm exactly must give accuracy ~1+.
+	cfg := cfgWith(p, InitCenterPlus, canonicalK, canonicalIters)
+	acc := p.Run(cfg, pts, cost.NewMeter())
+	if acc < 0.999 {
+		t.Fatalf("canonical-matching config accuracy = %v", acc)
+	}
+}
+
+func TestFewerIterationsCheaperAndNoBetter(t *testing.T) {
+	p := New()
+	r := rng.New(2)
+	pts := GenOverlapping(800, r)
+	mCheap, mFull := cost.NewMeter(), cost.NewMeter()
+	accCheap := p.Run(cfgWith(p, InitPrefix, 8, 1), pts, mCheap)
+	accFull := p.Run(cfgWith(p, InitCenterPlus, 8, 20), pts, mFull)
+	if mCheap.Elapsed() >= mFull.Elapsed() {
+		t.Fatalf("1-iteration run cost %v not below 20-iteration %v", mCheap.Elapsed(), mFull.Elapsed())
+	}
+	if accCheap > accFull+1e-9 {
+		t.Fatalf("cheap config more accurate (%v) than full (%v)?", accCheap, accFull)
+	}
+}
+
+func TestSmallKIsFastButInaccurateOnBlobs(t *testing.T) {
+	p := New()
+	r := rng.New(3)
+	// Force many distinct blobs so k=2 is starved.
+	pts := GenBlobs(1000, r)
+	m2, m8 := cost.NewMeter(), cost.NewMeter()
+	acc2 := p.Run(cfgWith(p, InitCenterPlus, 2, 10), pts, m2)
+	acc8 := p.Run(cfgWith(p, InitCenterPlus, 8, 10), pts, m8)
+	if m2.Elapsed() >= m8.Elapsed() {
+		t.Fatalf("k=2 cost %v not below k=8 cost %v", m2.Elapsed(), m8.Elapsed())
+	}
+	if acc2 >= acc8 {
+		t.Fatalf("k=2 accuracy %v not below k=8 accuracy %v", acc2, acc8)
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	p := New()
+	r := rng.New(4)
+	pts := GenOutliers(600, r)
+	cfg := cfgWith(p, InitRandom, 6, 5)
+	m1, m2 := cost.NewMeter(), cost.NewMeter()
+	a1 := p.Run(cfg, pts, m1)
+	a2 := p.Run(cfg, pts, m2)
+	if a1 != a2 || m1.Elapsed() != m2.Elapsed() {
+		t.Fatalf("Run not deterministic: acc %v/%v cost %v/%v", a1, a2, m1.Elapsed(), m2.Elapsed())
+	}
+}
+
+func TestAllInitsReasonableOnEasyData(t *testing.T) {
+	p := New()
+	r := rng.New(5)
+	pts := GenBlobs(500, r)
+	for init := 0; init < numInits; init++ {
+		acc := p.Run(cfgWith(p, init, 8, 15), pts, cost.NewMeter())
+		if acc < 0.5 {
+			t.Fatalf("%s init accuracy %v on easy blobs", InitNames[init], acc)
+		}
+	}
+}
+
+func TestAccuracyClamped(t *testing.T) {
+	p := New()
+	r := rng.New(6)
+	pts := GenBlobs(300, r)
+	// A very generous configuration can beat the canonical reference, but
+	// accuracy must be clamped at 1.25.
+	acc := p.Run(cfgWith(p, InitCenterPlus, 16, 20), pts, cost.NewMeter())
+	if acc > 1.25 {
+		t.Fatalf("accuracy %v above clamp", acc)
+	}
+}
+
+func TestCentersFeatureTracksClusterCount(t *testing.T) {
+	p := New()
+	set := p.Features()
+	r := rng.New(7)
+	est := func(pts *Points) float64 {
+		vals, _ := set.ExtractAll(pts)
+		return vals[set.Index(1, 2)] // centers at the most accurate level
+	}
+	// Uniform data should show more leaders than 2 tight blobs.
+	two := newPoints(600, "two", r)
+	for i := 0; i < 600; i++ {
+		c := i % 2
+		two.X[i] = float64(c)*200 + r.Norm(0, 1)
+		two.Y[i] = float64(c)*200 + r.Norm(0, 1)
+	}
+	uniform := GenUniform(600, r)
+	if a, b := est(two), est(uniform); a >= b {
+		t.Fatalf("centers estimate: 2 blobs %v should be below uniform %v", a, b)
+	}
+}
+
+func TestCentersFeatureIsExpensive(t *testing.T) {
+	p := New()
+	set := p.Features()
+	r := rng.New(8)
+	pts := GenUniform(2000, r)
+	_, costs := set.ExtractAll(pts)
+	// centers@2 must dominate range@2 in extraction cost.
+	if costs[set.Index(1, 2)] <= costs[set.Index(3, 2)] {
+		t.Fatalf("centers cost %v not above range cost %v",
+			costs[set.Index(1, 2)], costs[set.Index(3, 2)])
+	}
+}
+
+func TestDensityDiscriminates(t *testing.T) {
+	p := New()
+	set := p.Features()
+	r := rng.New(9)
+	top := func(pts *Points) float64 {
+		vals, _ := set.ExtractAll(pts)
+		return vals[set.Index(2, 2)]
+	}
+	blobs := GenBlobs(800, r)
+	uniform := GenUniform(800, r)
+	if a, b := top(blobs), top(uniform); a >= b {
+		t.Fatalf("density: blobs %v should be below uniform %v", a, b)
+	}
+}
+
+func TestLatticeGeneratorShape(t *testing.T) {
+	r := rng.New(10)
+	pts := GenLattice(1000, r)
+	// Integer coordinates with heavy duplication.
+	distinct := map[[2]float64]int{}
+	for i := range pts.X {
+		if pts.X[i] != float64(int(pts.X[i])) || pts.Y[i] != float64(int(pts.Y[i])) {
+			t.Fatal("lattice coordinates not integral")
+		}
+		distinct[[2]float64{pts.X[i], pts.Y[i]}]++
+	}
+	if len(distinct) > 60 {
+		t.Fatalf("lattice has %d distinct sites; expected heavy duplication", len(distinct))
+	}
+}
+
+func TestGenerateMix(t *testing.T) {
+	pts := GenerateMix(MixOptions{Count: 12, Seed: 1})
+	if len(pts) != 12 {
+		t.Fatalf("count %d", len(pts))
+	}
+	kinds := map[string]bool{}
+	for _, p := range pts {
+		kinds[p.Gen] = true
+	}
+	if len(kinds) < 4 {
+		t.Fatalf("only %d generator kinds in mix", len(kinds))
+	}
+	real := GenerateMix(MixOptions{Count: 4, Seed: 2, RealLike: true})
+	for _, p := range real {
+		if p.Gen != "lattice" {
+			t.Fatalf("real-like mix produced %q", p.Gen)
+		}
+	}
+}
+
+func TestEmptyAndTinyInputs(t *testing.T) {
+	p := New()
+	cfg := p.Space().DefaultConfig()
+	empty := &Points{Gen: "empty"}
+	if acc := p.Run(cfg, empty, cost.NewMeter()); acc != 1 {
+		t.Fatalf("empty input accuracy %v", acc)
+	}
+	r := rng.New(11)
+	one := GenBlobs(1, r)
+	if acc := p.Run(cfg, one, cost.NewMeter()); acc <= 0 {
+		t.Fatalf("singleton accuracy %v", acc)
+	}
+}

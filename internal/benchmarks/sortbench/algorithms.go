@@ -1,0 +1,290 @@
+// Package sortbench reproduces the paper's Sort benchmark: a PetaBricks-
+// style polyalgorithm over InsertionSort, QuickSort, MergeSort (variable
+// ways), RadixSort and BitonicSort, with recursive algorithm selection
+// through the configuration's selector at every sub-call — exactly the
+// either…or structure of Figure 1.
+package sortbench
+
+import (
+	"math"
+
+	"inputtune/internal/choice"
+	"inputtune/internal/cost"
+)
+
+// Alternative indices for the "sort" choice site.
+const (
+	AltInsertion = iota
+	AltQuick
+	AltMerge
+	AltRadix
+	AltBitonic
+	numAlts
+)
+
+// AltNames lists the algorithm names in site order.
+var AltNames = []string{"InsertionSort", "QuickSort", "MergeSort", "RadixSort", "BitonicSort"}
+
+// sorter carries the active configuration through the recursion.
+type sorter struct {
+	cfg   *choice.Config
+	site  int
+	ways  int // merge fan-in from the mergeWays tunable
+	meter *cost.Meter
+}
+
+// dispatch sorts data in place using the algorithm the selector picks for
+// the current (sub-)problem size. Recursive algorithms re-enter dispatch,
+// so one configuration realises a polyalgorithm (e.g. merge sort down to
+// 1420 elements, quicksort to 600, insertion sort below).
+func (s *sorter) dispatch(data []float64) {
+	n := len(data)
+	if n <= 1 {
+		return
+	}
+	s.meter.Charge1(cost.Branch)
+	switch s.cfg.Decide(s.site, n) {
+	case AltInsertion:
+		s.insertion(data)
+	case AltQuick:
+		s.quick(data)
+	case AltMerge:
+		s.merge(data)
+	case AltRadix:
+		s.radix(data)
+	case AltBitonic:
+		s.bitonic(data)
+	default:
+		s.insertion(data)
+	}
+}
+
+// insertion is the terminal algorithm: O(n + inversions), unbeatable on
+// tiny or nearly sorted ranges.
+func (s *sorter) insertion(data []float64) {
+	for i := 1; i < len(data); i++ {
+		v := data[i]
+		j := i - 1
+		for j >= 0 {
+			s.meter.Charge1(cost.Compare)
+			if data[j] <= v {
+				break
+			}
+			data[j+1] = data[j]
+			s.meter.Charge1(cost.Move)
+			j--
+		}
+		data[j+1] = v
+		s.meter.Charge1(cost.Move)
+	}
+}
+
+// quick uses Lomuto partitioning with a last-element pivot — deliberately
+// the classic textbook variant with pathological O(n²) behaviour on sorted,
+// reversed and heavily duplicated inputs. That pathology is precisely the
+// input sensitivity the paper's Sort benchmark exhibits.
+func (s *sorter) quick(data []float64) {
+	n := len(data)
+	if n <= 16 {
+		s.insertion(data)
+		return
+	}
+	pivot := data[n-1]
+	i := 0
+	for j := 0; j < n-1; j++ {
+		s.meter.Charge1(cost.Compare)
+		if data[j] < pivot {
+			data[i], data[j] = data[j], data[i]
+			s.meter.Charge(cost.Move, 2)
+			i++
+		}
+	}
+	data[i], data[n-1] = data[n-1], data[i]
+	s.meter.Charge(cost.Move, 2)
+	// Recurse through the dispatcher so the polyalgorithm can switch
+	// strategies at smaller sizes.
+	s.dispatch(data[:i])
+	s.dispatch(data[i+1:])
+}
+
+// merge is a k-way merge sort; k comes from the mergeWays tunable.
+func (s *sorter) merge(data []float64) {
+	n := len(data)
+	ways := s.ways
+	if ways < 2 {
+		ways = 2
+	}
+	if ways > n {
+		ways = n
+	}
+	if n <= 16 {
+		s.insertion(data)
+		return
+	}
+	// Split into `ways` chunks and sort each via the dispatcher.
+	bounds := make([]int, ways+1)
+	for i := 0; i <= ways; i++ {
+		bounds[i] = i * n / ways
+	}
+	for i := 0; i < ways; i++ {
+		s.dispatch(data[bounds[i]:bounds[i+1]])
+	}
+	// k-way merge by linear scan of the chunk heads (k is small).
+	heads := make([]int, ways)
+	out := make([]float64, 0, n)
+	s.meter.Charge(cost.Alloc, n)
+	for len(out) < n {
+		best := -1
+		for c := 0; c < ways; c++ {
+			if heads[c] >= bounds[c+1]-bounds[c] {
+				continue
+			}
+			if best >= 0 {
+				s.meter.Charge1(cost.Compare)
+			}
+			if best < 0 || data[bounds[c]+heads[c]] < data[bounds[best]+heads[best]] {
+				best = c
+			}
+		}
+		out = append(out, data[bounds[best]+heads[best]])
+		s.meter.Charge1(cost.Move)
+		heads[best]++
+	}
+	copy(data, out)
+	s.meter.Charge(cost.Move, n)
+}
+
+// radix is a true MSD byte-radix sort on the IEEE-754 bit representation
+// (sign-flipped so unsigned byte order matches float order), with
+// common-prefix skipping: each level buckets on the most significant byte
+// where the min and max keys differ, then recurses through the dispatcher.
+// Narrow-range inputs share long key prefixes and need several passes,
+// while duplicated inputs collapse immediately — radix's input sensitivity
+// comes straight from the bit patterns, as on real machines.
+func (s *sorter) radix(data []float64) {
+	n := len(data)
+	if n <= 32 {
+		s.insertion(data)
+		return
+	}
+	loK, hiK := sortKey(data[0]), sortKey(data[0])
+	for _, v := range data[1:] {
+		k := sortKey(v)
+		if k < loK {
+			loK = k
+		}
+		if k > hiK {
+			hiK = k
+		}
+	}
+	s.meter.Charge(cost.Scan, n)
+	if hiK == loK {
+		return // all equal: already sorted
+	}
+	// First byte (from the MSB) where min and max keys differ.
+	shift := 56
+	for shift > 0 && (loK>>shift)&0xFF == (hiK>>shift)&0xFF {
+		shift -= 8
+	}
+	const buckets = 256
+	counts := [buckets]int{}
+	bucketOf := func(v float64) int {
+		return int((sortKey(v) >> shift) & 0xFF)
+	}
+	// Cost model: the count pass scans each element and computes its
+	// bucket (scale + clamp); the scatter pass recomputes the bucket and
+	// writes to an effectively random target — on hardware those writes
+	// are cache-hostile, so they are charged at 4 moves each. The bucket
+	// bookkeeping costs a branch-heavy 256-entry loop and fresh buffers.
+	// These constants are what keep comparison sorts competitive at small
+	// and mid sizes, as they are on real machines.
+	for _, v := range data {
+		counts[bucketOf(v)]++
+	}
+	s.meter.Charge(cost.Scan, n)
+	s.meter.Charge(cost.Flop, 2*n)
+	starts := [buckets]int{}
+	sum := 0
+	for b := 0; b < buckets; b++ {
+		starts[b] = sum
+		sum += counts[b]
+	}
+	s.meter.Charge(cost.Branch, 2*buckets)
+	out := make([]float64, n)
+	s.meter.Charge(cost.Alloc, n+buckets)
+	next := starts
+	for _, v := range data {
+		b := bucketOf(v)
+		out[next[b]] = v
+		next[b]++
+	}
+	s.meter.Charge(cost.Move, 4*n)
+	copy(data, out)
+	s.meter.Charge(cost.Move, n)
+	// Recurse per bucket through the dispatcher.
+	for b := 0; b < buckets; b++ {
+		if counts[b] > 1 {
+			s.dispatch(data[starts[b] : starts[b]+counts[b]])
+		}
+	}
+}
+
+// sortKey maps a float64 to a uint64 whose unsigned order matches the
+// float order (standard sign-flip trick; NaNs do not occur in our inputs).
+func sortKey(v float64) uint64 {
+	k := math.Float64bits(v)
+	if k&(1<<63) != 0 {
+		return ^k
+	}
+	return k | 1<<63
+}
+
+// bitonic runs the bitonic sorting network on a power-of-two padded copy.
+// Sequentially it performs Θ(n log² n) compare-exchanges regardless of
+// input — in PetaBricks it exists for its parallel depth; here it is the
+// (usually dominated) fifth alternative.
+func (s *sorter) bitonic(data []float64) {
+	n := len(data)
+	if n <= 8 {
+		s.insertion(data)
+		return
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	buf := make([]float64, p)
+	s.meter.Charge(cost.Alloc, p)
+	copy(buf, data)
+	for i := n; i < p; i++ {
+		buf[i] = math.Inf(1)
+	}
+	s.meter.Charge(cost.Move, n)
+	// Iterative bitonic network.
+	for k := 2; k <= p; k <<= 1 {
+		for j := k >> 1; j > 0; j >>= 1 {
+			for i := 0; i < p; i++ {
+				l := i ^ j
+				if l <= i {
+					continue
+				}
+				s.meter.Charge1(cost.Compare)
+				ascending := i&k == 0
+				if (ascending && buf[i] > buf[l]) || (!ascending && buf[i] < buf[l]) {
+					buf[i], buf[l] = buf[l], buf[i]
+					s.meter.Charge(cost.Move, 2)
+				}
+			}
+		}
+	}
+	copy(data, buf[:n])
+	s.meter.Charge(cost.Move, n)
+}
+
+// SortWith sorts data in place under the given configuration, charging all
+// work to meter. site is the index of the "sort" choice site; ways the
+// merge fan-in.
+func SortWith(data []float64, cfg *choice.Config, site, ways int, meter *cost.Meter) {
+	s := &sorter{cfg: cfg, site: site, ways: ways, meter: meter}
+	s.dispatch(data)
+}

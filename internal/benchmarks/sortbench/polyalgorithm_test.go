@@ -1,0 +1,120 @@
+package sortbench
+
+import (
+	"sort"
+	"testing"
+
+	"inputtune/internal/choice"
+	"inputtune/internal/cost"
+	"inputtune/internal/rng"
+)
+
+// TestRecursiveDispatchComposesAlgorithms verifies the defining PetaBricks
+// property: a single configuration realises a polyalgorithm, with the
+// selector consulted again at every recursive sub-problem.
+func TestRecursiveDispatchComposesAlgorithms(t *testing.T) {
+	p := New()
+	// Merge above 256, insertion below: a 1024-element sort must cost far
+	// less than pure merge all the way down on a nearly sorted input,
+	// because the sorted sub-blocks hit insertion's O(n) path.
+	hybrid := p.Space().DefaultConfig()
+	hybrid.Selectors[0] = choice.Selector{
+		Levels: []choice.Level{{Cutoff: 256, Choice: AltInsertion}},
+		Else:   AltMerge,
+	}
+	pureMerge := p.Space().DefaultConfig()
+	pureMerge.Selectors[0].Else = AltMerge
+
+	r := rng.New(1)
+	l := GenNearlySorted(1024, r)
+	timeOf := func(cfg *choice.Config) float64 {
+		m := cost.NewMeter()
+		work := append([]float64(nil), l.Data...)
+		SortWith(work, cfg, 0, 2, m)
+		if !sort.Float64sAreSorted(work) {
+			t.Fatal("hybrid failed to sort")
+		}
+		return m.Elapsed()
+	}
+	th, tm := timeOf(hybrid), timeOf(pureMerge)
+	if th >= tm {
+		t.Fatalf("insertion-below-256 hybrid (%v) not cheaper than pure merge (%v) on nearly sorted input", th, tm)
+	}
+}
+
+// TestQuickRecursionRespectsSelector: quicksort's partitions re-enter the
+// dispatcher, so a quick-then-insertion cutoff must change the cost
+// profile relative to quick-only.
+func TestQuickRecursionRespectsSelector(t *testing.T) {
+	p := New()
+	r := rng.New(2)
+	l := GenRandom(2048, r)
+	quickOnly := p.Space().DefaultConfig()
+	quickOnly.Selectors[0].Else = AltQuick
+	quickInsertion := p.Space().DefaultConfig()
+	quickInsertion.Selectors[0] = choice.Selector{
+		Levels: []choice.Level{{Cutoff: 64, Choice: AltInsertion}},
+		Else:   AltQuick,
+	}
+	mA, mB := cost.NewMeter(), cost.NewMeter()
+	wa := append([]float64(nil), l.Data...)
+	wb := append([]float64(nil), l.Data...)
+	SortWith(wa, quickOnly, 0, 2, mA)
+	SortWith(wb, quickInsertion, 0, 2, mB)
+	if !sort.Float64sAreSorted(wa) || !sort.Float64sAreSorted(wb) {
+		t.Fatal("sort failure")
+	}
+	if mA.Elapsed() == mB.Elapsed() {
+		t.Fatal("insertion cutoff had no effect — recursion is not consulting the selector")
+	}
+}
+
+// TestRadixEqualKeysTerminates guards the early-out for constant buckets.
+func TestRadixEqualKeysTerminates(t *testing.T) {
+	p := New()
+	cfg := p.Space().DefaultConfig()
+	cfg.Selectors[0].Else = AltRadix
+	data := make([]float64, 500)
+	for i := range data {
+		data[i] = 42.0
+	}
+	m := cost.NewMeter()
+	SortWith(data, cfg, 0, 2, m)
+	if !sort.Float64sAreSorted(data) {
+		t.Fatal("constant array not sorted")
+	}
+	// One min/max scan, no distribution passes.
+	if m.Count(cost.Move) != 0 {
+		t.Fatalf("constant array triggered %d moves", m.Count(cost.Move))
+	}
+}
+
+// TestSortKeyOrderPreserving: the IEEE-754 sort key must be monotone.
+func TestSortKeyOrderPreserving(t *testing.T) {
+	vals := []float64{-1e300, -5, -0.1, -1e-300, 0, 1e-300, 0.1, 5, 1e300}
+	for i := 1; i < len(vals); i++ {
+		if sortKey(vals[i-1]) >= sortKey(vals[i]) {
+			t.Fatalf("sortKey not monotone between %v and %v", vals[i-1], vals[i])
+		}
+	}
+}
+
+// TestBitonicCostContentInsensitive: bitonic performs the same comparisons
+// regardless of input content (its defining property).
+func TestBitonicCostContentInsensitive(t *testing.T) {
+	p := New()
+	cfg := p.Space().DefaultConfig()
+	cfg.Selectors[0].Else = AltBitonic
+	r := rng.New(3)
+	mRand, mSort := cost.NewMeter(), cost.NewMeter()
+	a := GenRandom(512, r)
+	b := GenSorted(512, r)
+	wa := append([]float64(nil), a.Data...)
+	wb := append([]float64(nil), b.Data...)
+	SortWith(wa, cfg, 0, 2, mRand)
+	SortWith(wb, cfg, 0, 2, mSort)
+	if mRand.Count(cost.Compare) != mSort.Count(cost.Compare) {
+		t.Fatalf("bitonic comparisons differ: %d vs %d",
+			mRand.Count(cost.Compare), mSort.Count(cost.Compare))
+	}
+}

@@ -1,0 +1,222 @@
+package sortbench
+
+import (
+	"math"
+	"sort"
+
+	"inputtune/internal/choice"
+	"inputtune/internal/cost"
+	"inputtune/internal/feature"
+)
+
+// List is a sort input.
+type List struct {
+	Data []float64
+	// Gen names the generator that produced the list (diagnostics only).
+	Gen string
+}
+
+// Size implements feature.Input.
+func (l *List) Size() int { return len(l.Data) }
+
+// Program is the Sort benchmark: time-only (the paper's sole non-variable-
+// accuracy benchmark), with four input properties at three sampling levels.
+type Program struct {
+	space *choice.Space
+	set   *feature.Set
+	// tunable indices
+	waysIdx int
+}
+
+// New constructs the Sort program.
+func New() *Program {
+	p := &Program{}
+	p.space = choice.NewSpace()
+	p.space.AddSite("sort", AltNames...)
+	p.waysIdx = p.space.AddInt("mergeWays", 2, 8, 2)
+	p.set = feature.MustNewSet(
+		feature.Extractor{Name: "sortedness", Levels: []feature.LevelFunc{
+			sortednessLevel(32), sortednessLevel(256), sortednessLevel(0),
+		}},
+		feature.Extractor{Name: "duplication", Levels: []feature.LevelFunc{
+			duplicationLevel(32), duplicationLevel(256), duplicationLevel(0),
+		}},
+		feature.Extractor{Name: "deviation", Levels: []feature.LevelFunc{
+			deviationLevel(32), deviationLevel(256), deviationLevel(0),
+		}},
+		feature.Extractor{Name: "testsort", Levels: []feature.LevelFunc{
+			testsortLevel(16), testsortLevel(64), testsortLevel(256),
+		}},
+	)
+	return p
+}
+
+// Name implements core.Program.
+func (p *Program) Name() string { return "sort" }
+
+// Space implements core.Program.
+func (p *Program) Space() *choice.Space { return p.space }
+
+// Features implements core.Program.
+func (p *Program) Features() *feature.Set { return p.set }
+
+// HasAccuracy implements core.Program: sorting is exact.
+func (p *Program) HasAccuracy() bool { return false }
+
+// AccuracyThreshold implements core.Program.
+func (p *Program) AccuracyThreshold() float64 { return 0 }
+
+// Run sorts a copy of the list under cfg, charging work to meter.
+func (p *Program) Run(cfg *choice.Config, in feature.Input, meter *cost.Meter) float64 {
+	l := in.(*List)
+	work := append([]float64(nil), l.Data...)
+	SortWith(work, cfg, 0, cfg.Int(p.waysIdx), meter)
+	return 1
+}
+
+// SortedCheck reports whether Run's algorithm family sorts correctly; used
+// by tests (Run itself discards the sorted copy: the learner only needs
+// timing and the algorithms are verified separately).
+func (p *Program) SortedCheck(cfg *choice.Config, l *List) bool {
+	work := append([]float64(nil), l.Data...)
+	SortWith(work, cfg, 0, cfg.Int(p.waysIdx), cost.NewMeter())
+	return sort.Float64sAreSorted(work)
+}
+
+// --- feature extractors -------------------------------------------------
+
+// sampleCount resolves a level budget: 0 means "the whole input".
+func sampleCount(budget, n int) int {
+	if budget <= 0 || budget > n {
+		return n
+	}
+	return budget
+}
+
+// sortednessLevel measures the fraction of correctly ordered element pairs
+// at a stride chosen so that about `budget` pairs are probed (the paper's
+// step = level*n sampling).
+func sortednessLevel(budget int) feature.LevelFunc {
+	return func(in feature.Input, m *cost.Meter) float64 {
+		data := in.(*List).Data
+		n := len(data)
+		if n < 2 {
+			return 1
+		}
+		pairs := sampleCount(budget, n-1)
+		step := (n - 1) / pairs
+		if step < 1 {
+			step = 1
+		}
+		sorted, count := 0, 0
+		for i := 0; i+step < n; i += step {
+			m.Charge(cost.Scan, 2)
+			if data[i] <= data[i+step] {
+				sorted++
+			}
+			count++
+		}
+		if count == 0 {
+			return 1
+		}
+		return float64(sorted) / float64(count)
+	}
+}
+
+// duplicationLevel estimates the duplicate fraction from a sample.
+func duplicationLevel(budget int) feature.LevelFunc {
+	return func(in feature.Input, m *cost.Meter) float64 {
+		data := in.(*List).Data
+		n := len(data)
+		if n == 0 {
+			return 0
+		}
+		s := sampleCount(budget, n)
+		stride := n / s
+		if stride < 1 {
+			stride = 1
+		}
+		seen := make(map[float64]struct{}, s)
+		count := 0
+		for i := 0; i < n; i += stride {
+			m.Charge1(cost.Scan)
+			seen[data[i]] = struct{}{}
+			count++
+		}
+		if count == 0 {
+			return 0
+		}
+		return 1 - float64(len(seen))/float64(count)
+	}
+}
+
+// deviationLevel estimates the standard deviation from a sample,
+// normalised by the sample mean magnitude so the feature is scale-free.
+func deviationLevel(budget int) feature.LevelFunc {
+	return func(in feature.Input, m *cost.Meter) float64 {
+		data := in.(*List).Data
+		n := len(data)
+		if n == 0 {
+			return 0
+		}
+		s := sampleCount(budget, n)
+		stride := n / s
+		if stride < 1 {
+			stride = 1
+		}
+		var sum, sumsq, cnt float64
+		for i := 0; i < n; i += stride {
+			m.Charge1(cost.Scan)
+			sum += data[i]
+			sumsq += data[i] * data[i]
+			cnt++
+		}
+		mean := sum / cnt
+		variance := sumsq/cnt - mean*mean
+		if variance < 0 {
+			variance = 0
+		}
+		scale := math.Abs(mean) + 1
+		return math.Sqrt(variance) / scale
+	}
+}
+
+// testsortLevel insertion-sorts a strided sample and reports the work per
+// element against the n·log n ideal — a direct probe of how hard the list
+// is to sort (the paper's "performance of a test sort on a subsequence").
+func testsortLevel(budget int) feature.LevelFunc {
+	return func(in feature.Input, m *cost.Meter) float64 {
+		data := in.(*List).Data
+		n := len(data)
+		if n < 2 {
+			return 0
+		}
+		s := sampleCount(budget, n)
+		stride := n / s
+		if stride < 1 {
+			stride = 1
+		}
+		sample := make([]float64, 0, s)
+		for i := 0; i < n && len(sample) < s; i += stride {
+			m.Charge1(cost.Scan)
+			sample = append(sample, data[i])
+		}
+		comparisons := 0
+		for i := 1; i < len(sample); i++ {
+			v := sample[i]
+			j := i - 1
+			for j >= 0 {
+				comparisons++
+				m.Charge1(cost.Scan)
+				if sample[j] <= v {
+					break
+				}
+				sample[j+1] = sample[j]
+				j--
+			}
+			sample[j+1] = v
+		}
+		denom := float64(len(sample)) * math.Log2(float64(len(sample))+1)
+		return float64(comparisons) / denom
+	}
+}

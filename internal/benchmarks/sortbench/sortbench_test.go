@@ -1,0 +1,287 @@
+package sortbench
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"inputtune/internal/choice"
+	"inputtune/internal/cost"
+	"inputtune/internal/rng"
+)
+
+// cfgFor builds a config that always dispatches to the given alternative.
+func cfgFor(p *Program, alt int) *choice.Config {
+	c := p.Space().DefaultConfig()
+	c.Selectors[0].Else = alt
+	return c
+}
+
+func sortedCopy(d []float64) []float64 {
+	out := append([]float64(nil), d...)
+	sort.Float64s(out)
+	return out
+}
+
+func equal(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestEveryAlgorithmSortsEveryGenerator(t *testing.T) {
+	p := New()
+	r := rng.New(1)
+	for alt := 0; alt < numAlts; alt++ {
+		cfg := cfgFor(p, alt)
+		for _, g := range Generators() {
+			for _, n := range []int{0, 1, 2, 17, 100, 513} {
+				l := g.Gen(n, r)
+				work := append([]float64(nil), l.Data...)
+				SortWith(work, cfg, 0, 4, cost.NewMeter())
+				if !equal(work, sortedCopy(l.Data)) {
+					t.Fatalf("%s failed on %s (n=%d)", AltNames[alt], g.Name, n)
+				}
+			}
+		}
+	}
+}
+
+func TestRegistryGeneratorSorts(t *testing.T) {
+	p := New()
+	r := rng.New(2)
+	l := GenRegistry(500, r)
+	for alt := 0; alt < numAlts; alt++ {
+		work := append([]float64(nil), l.Data...)
+		SortWith(work, cfgFor(p, alt), 0, 2, cost.NewMeter())
+		if !sort.Float64sAreSorted(work) {
+			t.Fatalf("%s failed on registry input", AltNames[alt])
+		}
+	}
+}
+
+func TestPolyalgorithmSelector(t *testing.T) {
+	// Figure 2's selector: merge above 1420, quick above 600, insertion
+	// below. Must sort correctly and dispatch as configured.
+	p := New()
+	cfg := p.Space().DefaultConfig()
+	cfg.Selectors[0] = choice.Selector{
+		Levels: []choice.Level{
+			{Cutoff: 600, Choice: AltInsertion},
+			{Cutoff: 1420, Choice: AltQuick},
+		},
+		Else: AltMerge,
+	}
+	r := rng.New(3)
+	l := GenRandom(5000, r)
+	work := append([]float64(nil), l.Data...)
+	SortWith(work, cfg, 0, 2, cost.NewMeter())
+	if !sort.Float64sAreSorted(work) {
+		t.Fatal("polyalgorithm failed to sort")
+	}
+}
+
+func TestSortPropertyAllConfigs(t *testing.T) {
+	p := New()
+	r := rng.New(4)
+	check := func(seed uint16) bool {
+		rr := rng.New(uint64(seed) ^ r.Uint64())
+		cfg := p.Space().RandomConfig(rr)
+		gens := Generators()
+		l := gens[rr.Intn(len(gens))].Gen(rr.IntRange(0, 600), rr)
+		work := append([]float64(nil), l.Data...)
+		SortWith(work, cfg, 0, cfg.Int(0), cost.NewMeter())
+		return equal(work, sortedCopy(l.Data))
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInputSensitivityExists(t *testing.T) {
+	// The paper's premise: quicksort pathological on sorted inputs where
+	// insertion is linear; on random inputs the ranking flips.
+	p := New()
+	r := rng.New(5)
+	timeOf := func(alt int, l *List) float64 {
+		m := cost.NewMeter()
+		work := append([]float64(nil), l.Data...)
+		SortWith(work, cfgFor(p, alt), 0, 4, m)
+		return m.Elapsed()
+	}
+	sorted := GenSorted(2000, r)
+	if ti, tq := timeOf(AltInsertion, sorted), timeOf(AltQuick, sorted); ti*10 > tq {
+		t.Fatalf("sorted input: insertion %v should crush quicksort %v", ti, tq)
+	}
+	random := GenRandom(2000, r)
+	if ti, tq := timeOf(AltInsertion, random), timeOf(AltQuick, random); tq > ti {
+		t.Fatalf("random input: quicksort %v should beat insertion %v", tq, ti)
+	}
+	fewDistinct := GenFewDistinct(2000, r)
+	if tr, tq := timeOf(AltRadix, fewDistinct), timeOf(AltQuick, fewDistinct); tr*5 > tq {
+		t.Fatalf("few-distinct input: radix %v should crush quicksort %v", tr, tq)
+	}
+}
+
+func TestMergeWaysAffectsCost(t *testing.T) {
+	p := New()
+	r := rng.New(6)
+	l := GenRandom(4096, r)
+	timeOf := func(ways int) float64 {
+		m := cost.NewMeter()
+		work := append([]float64(nil), l.Data...)
+		SortWith(work, cfgFor(p, AltMerge), 0, ways, m)
+		return m.Elapsed()
+	}
+	if timeOf(2) == timeOf(8) {
+		t.Fatal("merge ways tunable has no effect on cost")
+	}
+}
+
+func TestFeatureExtractorsDiscriminate(t *testing.T) {
+	p := New()
+	r := rng.New(7)
+	set := p.Features()
+	full := func(l *List, prop int) float64 {
+		vals, _ := set.ExtractAll(l)
+		return vals[set.Index(prop, 2)] // most accurate level
+	}
+	sorted := GenSorted(1000, r)
+	random := GenRandom(1000, r)
+	fewDistinct := GenFewDistinct(1000, r)
+	// sortedness (property 0): sorted ~1, random ~0.5.
+	if s := full(sorted, 0); s < 0.99 {
+		t.Fatalf("sortedness of sorted input = %v", s)
+	}
+	if s := full(random, 0); s < 0.3 || s > 0.7 {
+		t.Fatalf("sortedness of random input = %v", s)
+	}
+	// duplication (property 1): few-distinct close to 1, random ~0.
+	if d := full(fewDistinct, 1); d < 0.9 {
+		t.Fatalf("duplication of few-distinct = %v", d)
+	}
+	if d := full(random, 1); d > 0.1 {
+		t.Fatalf("duplication of random = %v", d)
+	}
+	// testsort (property 3): sorted input needs fewer comparisons.
+	if ts, tr := full(sorted, 3), full(random, 3); ts >= tr {
+		t.Fatalf("testsort: sorted %v should cost less than random %v", ts, tr)
+	}
+}
+
+func TestFeatureCostsIncreaseWithLevel(t *testing.T) {
+	p := New()
+	r := rng.New(8)
+	l := GenRandom(4096, r)
+	_, costs := p.Features().ExtractAll(l)
+	set := p.Features()
+	for prop := 0; prop < set.NumProperties(); prop++ {
+		for lev := 1; lev < set.LevelsPerProperty(); lev++ {
+			lo := costs[set.Index(prop, lev-1)]
+			hi := costs[set.Index(prop, lev)]
+			if hi < lo {
+				t.Fatalf("property %d: level %d cost %v below level %d cost %v",
+					prop, lev, hi, lev-1, lo)
+			}
+		}
+	}
+}
+
+func TestRunIsPure(t *testing.T) {
+	p := New()
+	r := rng.New(9)
+	l := GenRandom(500, r)
+	before := append([]float64(nil), l.Data...)
+	cfg := p.Space().DefaultConfig()
+	p.Run(cfg, l, cost.NewMeter())
+	if !equal(l.Data, before) {
+		t.Fatal("Run mutated its input")
+	}
+	// Determinism: same config, same input, same cost.
+	m1, m2 := cost.NewMeter(), cost.NewMeter()
+	p.Run(cfg, l, m1)
+	p.Run(cfg, l, m2)
+	if m1.Elapsed() != m2.Elapsed() {
+		t.Fatal("Run is nondeterministic")
+	}
+}
+
+func TestSortedCheck(t *testing.T) {
+	p := New()
+	r := rng.New(10)
+	cfg := p.Space().RandomConfig(r)
+	if !p.SortedCheck(cfg, GenRandom(300, r)) {
+		t.Fatal("SortedCheck failed for a valid config")
+	}
+}
+
+func TestGenerateMix(t *testing.T) {
+	lists := GenerateMix(MixOptions{Count: 20, MinSize: 50, MaxSize: 100, Seed: 1})
+	if len(lists) != 20 {
+		t.Fatalf("got %d lists", len(lists))
+	}
+	seen := map[string]bool{}
+	for _, l := range lists {
+		if len(l.Data) < 50 || len(l.Data) > 100 {
+			t.Fatalf("size %d out of range", len(l.Data))
+		}
+		seen[l.Gen] = true
+	}
+	if len(seen) < 5 {
+		t.Fatalf("mix covers only %d generators", len(seen))
+	}
+	real := GenerateMix(MixOptions{Count: 5, Seed: 2, RealLike: true})
+	for _, l := range real {
+		if l.Gen != "registry" {
+			t.Fatalf("real-like mix produced %q", l.Gen)
+		}
+	}
+	// Determinism.
+	a := GenerateMix(MixOptions{Count: 3, Seed: 7})
+	b := GenerateMix(MixOptions{Count: 3, Seed: 7})
+	for i := range a {
+		if !equal(a[i].Data, b[i].Data) {
+			t.Fatal("GenerateMix not deterministic")
+		}
+	}
+}
+
+func TestRegistryShape(t *testing.T) {
+	r := rng.New(11)
+	// Registry slices vary, but on average they are far more sorted and
+	// duplicated than random data.
+	var ascFrac, dupFrac float64
+	const trials = 20
+	for trial := 0; trial < trials; trial++ {
+		l := GenRegistry(1000, r)
+		if len(l.Data) != 1000 {
+			t.Fatalf("size %d", len(l.Data))
+		}
+		asc := 0
+		for i := 0; i+1 < len(l.Data); i++ {
+			if l.Data[i] <= l.Data[i+1] {
+				asc++
+			}
+		}
+		ascFrac += float64(asc) / 999
+		seen := map[float64]int{}
+		for _, v := range l.Data {
+			seen[v]++
+		}
+		dupFrac += 1 - float64(len(seen))/1000
+	}
+	ascFrac /= trials
+	dupFrac /= trials
+	if ascFrac < 0.65 {
+		t.Fatalf("registry inputs only %.2f sorted on average", ascFrac)
+	}
+	if dupFrac < 0.1 {
+		t.Fatalf("registry inputs only %.2f duplicated on average", dupFrac)
+	}
+}

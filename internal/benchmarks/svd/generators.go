@@ -1,0 +1,178 @@
+package svd
+
+import (
+	"inputtune/internal/linalg"
+	"inputtune/internal/rng"
+)
+
+// Generator produces a matrix input of roughly the requested element count.
+type Generator struct {
+	Name string
+	Gen  func(elems int, r *rng.RNG) *MatrixInput
+}
+
+// Generators spans spectra from rank-1 to flat — the drivers of how many
+// singular values the approximation needs.
+func Generators() []Generator {
+	return []Generator{
+		{"low-rank", GenLowRank},
+		{"decaying", GenDecaying},
+		{"full-rank", GenFullRank},
+		{"sparse", GenSparse},
+		{"diagonal-heavy", GenDiagonalHeavy},
+		{"block", GenBlock},
+	}
+}
+
+// dims derives (m, n) with m >= n from a target element count.
+func dims(elems int, r *rng.RNG) (int, int) {
+	n := 8 + r.Intn(17) // 8..24 columns
+	m := elems / n
+	if m < n {
+		m = n
+	}
+	if m > 48 {
+		m = 48
+	}
+	return m, n
+}
+
+// GenLowRank sums r outer products (r ≤ 3) plus faint noise: a tiny rank
+// fraction reaches the accuracy target.
+func GenLowRank(elems int, r *rng.RNG) *MatrixInput {
+	m, n := dims(elems, r)
+	rank := r.IntRange(1, 3)
+	a := linalg.NewMatrix(m, n)
+	for k := 0; k < rank; k++ {
+		scale := r.Range(1, 5)
+		u := make([]float64, m)
+		v := make([]float64, n)
+		for i := range u {
+			u[i] = r.Norm(0, 1)
+		}
+		for j := range v {
+			v[j] = r.Norm(0, 1)
+		}
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				a.Set(i, j, a.At(i, j)+scale*u[i]*v[j])
+			}
+		}
+	}
+	for i := range a.Data {
+		a.Data[i] += r.Norm(0, 0.01)
+	}
+	return &MatrixInput{A: a, Gen: "low-rank"}
+}
+
+// GenDecaying has geometrically decaying singular values. The decay band
+// is kept narrow so the family needs a consistent rank fraction — the
+// cheap surface features (deviation, range) identify the family but not an
+// individual matrix's spectrum, exactly the paper's svd situation where
+// zeros stands in for the unaffordable eigenvalue count.
+func GenDecaying(elems int, r *rng.RNG) *MatrixInput {
+	m, n := dims(elems, r)
+	a := linalg.NewMatrix(m, n)
+	decay := r.Range(0.5, 0.62)
+	sigma := 5.0
+	for k := 0; k < n; k++ {
+		u := make([]float64, m)
+		v := make([]float64, n)
+		for i := range u {
+			u[i] = r.Norm(0, 1)
+		}
+		for j := range v {
+			v[j] = r.Norm(0, 1)
+		}
+		linalg.Normalize(u)
+		linalg.Normalize(v)
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				a.Set(i, j, a.At(i, j)+sigma*u[i]*v[j])
+			}
+		}
+		sigma *= decay
+	}
+	return &MatrixInput{A: a, Gen: "decaying"}
+}
+
+// GenFullRank is dense i.i.d. noise — a flat spectrum needing nearly all
+// singular values.
+func GenFullRank(elems int, r *rng.RNG) *MatrixInput {
+	m, n := dims(elems, r)
+	a := linalg.Random(m, n, r)
+	return &MatrixInput{A: a, Gen: "full-rank"}
+}
+
+// GenSparse zeroes ~90% of entries — few effective directions.
+func GenSparse(elems int, r *rng.RNG) *MatrixInput {
+	m, n := dims(elems, r)
+	a := linalg.NewMatrix(m, n)
+	for i := range a.Data {
+		if r.Coin(0.1) {
+			a.Data[i] = r.Norm(0, 2)
+		}
+	}
+	return &MatrixInput{A: a, Gen: "sparse"}
+}
+
+// GenDiagonalHeavy concentrates mass on the diagonal.
+func GenDiagonalHeavy(elems int, r *rng.RNG) *MatrixInput {
+	m, n := dims(elems, r)
+	a := linalg.NewMatrix(m, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				a.Set(i, j, r.Range(2, 6))
+			} else {
+				a.Set(i, j, r.Norm(0, 0.05))
+			}
+		}
+	}
+	return &MatrixInput{A: a, Gen: "diagonal-heavy"}
+}
+
+// GenBlock embeds a few dense blocks in a zero matrix.
+func GenBlock(elems int, r *rng.RNG) *MatrixInput {
+	m, n := dims(elems, r)
+	a := linalg.NewMatrix(m, n)
+	blocks := r.IntRange(1, 3)
+	for b := 0; b < blocks; b++ {
+		bi, bj := r.Intn(m), r.Intn(n)
+		bh := r.IntRange(2, 6)
+		bw := r.IntRange(2, 6)
+		val := r.Range(1, 4)
+		for i := bi; i < bi+bh && i < m; i++ {
+			for j := bj; j < bj+bw && j < n; j++ {
+				a.Set(i, j, val+r.Norm(0, 0.1))
+			}
+		}
+	}
+	return &MatrixInput{A: a, Gen: "block"}
+}
+
+// MixOptions controls the input battery.
+type MixOptions struct {
+	Count    int
+	MinElems int // default 200
+	MaxElems int // default 800
+	Seed     uint64
+}
+
+// GenerateMix produces a deterministic battery of matrices.
+func GenerateMix(opts MixOptions) []*MatrixInput {
+	if opts.MinElems <= 0 {
+		opts.MinElems = 200
+	}
+	if opts.MaxElems < opts.MinElems {
+		opts.MaxElems = 800
+	}
+	r := rng.New(opts.Seed)
+	gens := Generators()
+	out := make([]*MatrixInput, opts.Count)
+	for i := range out {
+		elems := r.IntRange(opts.MinElems, opts.MaxElems)
+		out[i] = gens[i%len(gens)].Gen(elems, r)
+	}
+	return out
+}

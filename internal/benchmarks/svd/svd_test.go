@@ -1,0 +1,158 @@
+package svd
+
+import (
+	"testing"
+
+	"inputtune/internal/choice"
+	"inputtune/internal/cost"
+	"inputtune/internal/rng"
+)
+
+func cfgWith(p *Program, tech int, rankFrac float64, iters int) *choice.Config {
+	c := p.Space().DefaultConfig()
+	c.Selectors[0].Else = tech
+	c.Values[p.rankIdx] = rankFrac
+	c.Values[p.itersIdx] = float64(iters)
+	return c
+}
+
+func TestFullRankJacobiIsExact(t *testing.T) {
+	p := New()
+	r := rng.New(1)
+	in := GenFullRank(400, r)
+	acc := p.Run(cfgWith(p, TechJacobi, 1.0, 60), in, cost.NewMeter())
+	if acc < 10 {
+		t.Fatalf("full-rank Jacobi accuracy = %v decades, want ~machine precision", acc)
+	}
+}
+
+func TestLowRankNeedsFewValues(t *testing.T) {
+	p := New()
+	r := rng.New(2)
+	in := GenLowRank(600, r)
+	// Rank fraction 0.25 on a rank-≤3 matrix with ≥8 columns keeps ≥2
+	// values: should easily clear 0.7 decades.
+	acc := p.Run(cfgWith(p, TechJacobi, 0.25, 40), in, cost.NewMeter())
+	if acc < p.AccuracyThreshold() {
+		t.Fatalf("low-rank input accuracy %v below threshold", acc)
+	}
+}
+
+func TestFullRankSmallFractionFails(t *testing.T) {
+	p := New()
+	r := rng.New(3)
+	in := GenFullRank(600, r)
+	acc := p.Run(cfgWith(p, TechJacobi, 0.1, 40), in, cost.NewMeter())
+	if acc >= p.AccuracyThreshold() {
+		t.Fatalf("flat spectrum with 10%% of values reached %v decades; sensitivity premise broken", acc)
+	}
+}
+
+func TestMoreRankCostsMore(t *testing.T) {
+	p := New()
+	r := rng.New(4)
+	in := GenDecaying(600, r)
+	mLo, mHi := cost.NewMeter(), cost.NewMeter()
+	p.Run(cfgWith(p, TechPower, 0.1, 30), in, mLo)
+	p.Run(cfgWith(p, TechPower, 0.9, 30), in, mHi)
+	if mLo.Elapsed() >= mHi.Elapsed() {
+		t.Fatalf("rank 0.1 cost %v not below rank 0.9 cost %v", mLo.Elapsed(), mHi.Elapsed())
+	}
+}
+
+func TestAllTechniquesReasonableOnDecaying(t *testing.T) {
+	p := New()
+	r := rng.New(5)
+	in := GenDecaying(500, r)
+	for tech := 0; tech < numTechs; tech++ {
+		acc := p.Run(cfgWith(p, tech, 0.8, 50), in, cost.NewMeter())
+		if acc < 0.5 {
+			t.Fatalf("%s accuracy %v on decaying spectrum", TechNames[tech], acc)
+		}
+	}
+}
+
+func TestAccuracyMonotoneInRank(t *testing.T) {
+	p := New()
+	r := rng.New(6)
+	in := GenDecaying(500, r)
+	prev := -1.0
+	for _, frac := range []float64{0.1, 0.3, 0.6, 1.0} {
+		acc := p.Run(cfgWith(p, TechJacobi, frac, 60), in, cost.NewMeter())
+		if acc < prev-0.2 { // allow slack for numerics
+			t.Fatalf("accuracy dropped from %v to %v as rank grew", prev, acc)
+		}
+		prev = acc
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	p := New()
+	r := rng.New(7)
+	in := GenBlock(400, r)
+	cfg := cfgWith(p, TechGram, 0.5, 20)
+	m1, m2 := cost.NewMeter(), cost.NewMeter()
+	a1 := p.Run(cfg, in, m1)
+	a2 := p.Run(cfg, in, m2)
+	if a1 != a2 || m1.Elapsed() != m2.Elapsed() {
+		t.Fatal("Run not deterministic")
+	}
+}
+
+func TestZerosFeatureDiscriminates(t *testing.T) {
+	p := New()
+	set := p.Features()
+	r := rng.New(8)
+	top := func(in *MatrixInput) float64 {
+		vals, _ := set.ExtractAll(in)
+		return vals[set.Index(2, 2)]
+	}
+	sparse := GenSparse(600, r)
+	dense := GenFullRank(600, r)
+	if zs, zd := top(sparse), top(dense); zs < 0.7 || zd > 0.1 {
+		t.Fatalf("zeros: sparse %v dense %v", zs, zd)
+	}
+}
+
+func TestFeatureCostsScaleWithLevel(t *testing.T) {
+	p := New()
+	r := rng.New(9)
+	in := GenFullRank(1200, r)
+	set := p.Features()
+	_, costs := set.ExtractAll(in)
+	for prop := 0; prop < set.NumProperties(); prop++ {
+		if costs[set.Index(prop, 0)] > costs[set.Index(prop, 2)] {
+			t.Fatalf("property %d level-0 cost above level-2 cost", prop)
+		}
+	}
+}
+
+func TestGenerateMixDeterministic(t *testing.T) {
+	a := GenerateMix(MixOptions{Count: 6, Seed: 3})
+	b := GenerateMix(MixOptions{Count: 6, Seed: 3})
+	if len(a) != 6 {
+		t.Fatalf("count %d", len(a))
+	}
+	for i := range a {
+		if !a[i].A.EqualTol(b[i].A, 0) {
+			t.Fatal("GenerateMix not deterministic")
+		}
+	}
+	kinds := map[string]bool{}
+	for _, in := range a {
+		kinds[in.Gen] = true
+	}
+	if len(kinds) < 4 {
+		t.Fatalf("mix kinds %d", len(kinds))
+	}
+}
+
+func TestDimsBounds(t *testing.T) {
+	r := rng.New(10)
+	for i := 0; i < 100; i++ {
+		m, n := dims(r.IntRange(100, 1000), r)
+		if m < n || n < 8 || m > 48 {
+			t.Fatalf("dims out of contract: %dx%d", m, n)
+		}
+	}
+}

@@ -1,0 +1,291 @@
+package choice
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"inputtune/internal/rng"
+)
+
+func sortSpace() *Space {
+	s := NewSpace()
+	s.AddSite("sort", "insertion", "quick", "merge", "radix", "bitonic")
+	s.AddInt("mergeWays", 2, 16, 2)
+	s.AddFloat("samplingLevel", 0, 1, 0.5)
+	return s
+}
+
+func TestAddAndLookup(t *testing.T) {
+	s := sortSpace()
+	if i := s.SiteIndex("sort"); i != 0 {
+		t.Fatalf("SiteIndex = %d", i)
+	}
+	if i := s.SiteIndex("nope"); i != -1 {
+		t.Fatalf("missing site index = %d", i)
+	}
+	if i := s.TunableIndex("mergeWays"); i != 0 {
+		t.Fatalf("TunableIndex = %d", i)
+	}
+	if i := s.TunableIndex("nope"); i != -1 {
+		t.Fatalf("missing tunable index = %d", i)
+	}
+}
+
+func TestDefaultConfigValid(t *testing.T) {
+	s := sortSpace()
+	c := s.DefaultConfig()
+	if err := s.Validate(c); err != nil {
+		t.Fatal(err)
+	}
+	if c.Int(0) != 2 {
+		t.Fatalf("default int = %d", c.Int(0))
+	}
+	if c.Float(1) != 0.5 {
+		t.Fatalf("default float = %v", c.Float(1))
+	}
+	// Default selector always picks alternative 0.
+	for _, n := range []int{1, 100, 1 << 19} {
+		if got := c.Decide(0, n); got != 0 {
+			t.Fatalf("default Decide(%d) = %d", n, got)
+		}
+	}
+}
+
+func TestSelectorDecide(t *testing.T) {
+	sel := Selector{
+		Levels: []Level{{Cutoff: 600, Choice: 0}, {Cutoff: 1420, Choice: 1}},
+		Else:   2,
+	}
+	// Mirrors Figure 2: insertion < 600, quick < 1420, else merge.
+	cases := map[int]int{10: 0, 599: 0, 600: 1, 1419: 1, 1420: 2, 100000: 2}
+	for n, want := range cases {
+		if got := sel.Decide(n); got != want {
+			t.Fatalf("Decide(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestRandomConfigAlwaysValid(t *testing.T) {
+	s := sortSpace()
+	r := rng.New(42)
+	for i := 0; i < 500; i++ {
+		c := s.RandomConfig(r)
+		if err := s.Validate(c); err != nil {
+			t.Fatalf("random config %d invalid: %v\n%s", i, err, c)
+		}
+	}
+}
+
+func TestMutatePreservesValidity(t *testing.T) {
+	s := sortSpace()
+	r := rng.New(7)
+	c := s.RandomConfig(r)
+	for i := 0; i < 2000; i++ {
+		c = s.Mutate(c, r)
+		if err := s.Validate(c); err != nil {
+			t.Fatalf("mutation %d produced invalid config: %v\n%s", i, err, c)
+		}
+	}
+}
+
+func TestMutateDoesNotAliasParent(t *testing.T) {
+	s := sortSpace()
+	r := rng.New(11)
+	parent := s.RandomConfig(r)
+	snapshot := parent.String()
+	for i := 0; i < 100; i++ {
+		_ = s.Mutate(parent, r)
+	}
+	if parent.String() != snapshot {
+		t.Fatal("Mutate modified its input")
+	}
+}
+
+func TestCrossoverPreservesValidity(t *testing.T) {
+	s := sortSpace()
+	r := rng.New(13)
+	for i := 0; i < 500; i++ {
+		a, b := s.RandomConfig(r), s.RandomConfig(r)
+		child := s.Crossover(a, b, r)
+		if err := s.Validate(child); err != nil {
+			t.Fatalf("crossover %d invalid: %v", i, err)
+		}
+	}
+}
+
+func TestMutationEventuallyChangesEverything(t *testing.T) {
+	s := sortSpace()
+	r := rng.New(17)
+	c := s.DefaultConfig()
+	changedValue, changedSelector := false, false
+	base := c.String()
+	for i := 0; i < 500 && !(changedValue && changedSelector); i++ {
+		c = s.Mutate(c, r)
+		if c.Values[0] != 2 || c.Values[1] != 0.5 {
+			changedValue = true
+		}
+		if len(c.Selectors[0].Levels) > 0 || c.Selectors[0].Else != 0 {
+			changedSelector = true
+		}
+	}
+	if !changedValue || !changedSelector {
+		t.Fatalf("mutation failed to explore: value=%v selector=%v (start %s)", changedValue, changedSelector, base)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	s := sortSpace()
+	r := rng.New(19)
+	orig := s.RandomConfig(r)
+	data, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Config
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.String() != orig.String() {
+		t.Fatalf("round trip mismatch:\n%s\n%s", orig, &back)
+	}
+	if err := s.Validate(&back); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	s := sortSpace()
+	r := rng.New(23)
+	cases := []func(c *Config){
+		func(c *Config) { c.Values[0] = 99999 },
+		func(c *Config) { c.Selectors[0].Else = 17 },
+		func(c *Config) {
+			c.Selectors[0].Levels = []Level{{Cutoff: 100, Choice: 0}, {Cutoff: 100, Choice: 1}}
+		},
+		func(c *Config) { c.Selectors[0].Levels = []Level{{Cutoff: 1, Choice: 0}} },
+		func(c *Config) { c.Selectors = c.Selectors[:0] },
+		func(c *Config) { c.Values = append(c.Values, 1) },
+		func(c *Config) {
+			c.Selectors[0].Levels = []Level{{Cutoff: 10, Choice: -1}}
+		},
+	}
+	for i, corrupt := range cases {
+		c := s.RandomConfig(r)
+		corrupt(c)
+		if err := s.Validate(c); err == nil {
+			t.Fatalf("corruption %d not caught", i)
+		}
+	}
+}
+
+func TestSelectorNormalize(t *testing.T) {
+	sel := Selector{
+		Levels: []Level{{Cutoff: 5000, Choice: 1}, {Cutoff: 10, Choice: 9}, {Cutoff: 10, Choice: 2}, {Cutoff: 0, Choice: 0}},
+		Else:   -3,
+	}
+	sel.normalize(3, 1<<20, 3)
+	if len(sel.Levels) > 3 {
+		t.Fatalf("normalize kept %d levels", len(sel.Levels))
+	}
+	prev := -1
+	for _, l := range sel.Levels {
+		if l.Cutoff <= prev {
+			t.Fatalf("normalize left unsorted cutoffs: %+v", sel.Levels)
+		}
+		prev = l.Cutoff
+		if l.Choice < 0 || l.Choice > 2 {
+			t.Fatalf("normalize left bad choice: %+v", l)
+		}
+	}
+	if sel.Else != 0 {
+		t.Fatalf("normalize else = %d", sel.Else)
+	}
+}
+
+func TestSizeDescription(t *testing.T) {
+	s := sortSpace()
+	desc := s.SizeDescription()
+	if !strings.HasPrefix(desc, "~10^") {
+		t.Fatalf("SizeDescription = %q", desc)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	s := sortSpace()
+	r := rng.New(29)
+	a := s.RandomConfig(r)
+	b := a.Clone()
+	if len(a.Selectors[0].Levels) > 0 {
+		b.Selectors[0].Levels[0].Cutoff++
+		if a.Selectors[0].Levels[0].Cutoff == b.Selectors[0].Levels[0].Cutoff {
+			t.Fatal("clone shares level storage")
+		}
+	}
+	b.Values[0]++
+	if a.Values[0] == b.Values[0] {
+		t.Fatal("clone shares value storage")
+	}
+}
+
+func TestRandomCutoffRangeProperty(t *testing.T) {
+	s := sortSpace()
+	r := rng.New(31)
+	check := func(_ uint8) bool {
+		c := s.randomCutoff(r)
+		return c >= 2 && c <= s.MaxCutoff
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDegenerateSpaces(t *testing.T) {
+	s := NewSpace()
+	s.AddSite("only", "sole")
+	r := rng.New(37)
+	c := s.RandomConfig(r)
+	for i := 0; i < 50; i++ {
+		c = s.Mutate(c, r)
+		if err := s.Validate(c); err != nil {
+			t.Fatal(err)
+		}
+		if c.Decide(0, 100) != 0 {
+			t.Fatal("single-alternative site must always pick 0")
+		}
+	}
+	empty := NewSpace()
+	ec := empty.DefaultConfig()
+	ec2 := empty.Mutate(ec, r) // no-op but must not panic
+	if err := empty.Validate(ec2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSelectorDescribe(t *testing.T) {
+	sel := Selector{
+		Levels: []Level{{Cutoff: 600, Choice: 0}, {Cutoff: 1420, Choice: 1}},
+		Else:   2,
+	}
+	got := sel.Describe([]string{"InsertionSort", "QuickSort", "MergeSort"})
+	want := "n<600: InsertionSort; n<1420: QuickSort; else: MergeSort"
+	if got != want {
+		t.Fatalf("Describe = %q, want %q", got, want)
+	}
+	// Out-of-range alternative indices degrade gracefully.
+	if got := (&Selector{Else: 9}).Describe(nil); got != "else: alt9" {
+		t.Fatalf("degraded Describe = %q", got)
+	}
+}
+
+func TestDescribeConfig(t *testing.T) {
+	s := sortSpace()
+	c := s.DefaultConfig()
+	got := s.DescribeConfig(c)
+	for _, want := range []string{"sort{", "else: insertion", "mergeWays=2", "samplingLevel=0.5"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("DescribeConfig = %q missing %q", got, want)
+		}
+	}
+}

@@ -1,0 +1,165 @@
+package core
+
+import "inputtune/internal/stats"
+
+// This file implements the paper's three comparison baselines (Section 4):
+// the static oracle, the one-level method, and the dynamic oracle.
+
+// StaticOracleIndex returns the single landmark a static (input-oblivious)
+// autotuner would deploy: the one with the lowest mean relative execution
+// time (normalised by each input's best time δ_i, consistent with the
+// Score objective) over the given rows among landmarks meeting the
+// satisfaction threshold h2; if none qualifies, the landmark with the
+// highest satisfaction rate.
+func StaticOracleIndex(prog Program, d *Dataset, idx []int, h2 float64) int {
+	k1 := d.NumLandmarks()
+	h1 := prog.AccuracyThreshold()
+	hasAcc := prog.HasAccuracy()
+	meanTime := make([]float64, k1)
+	sat := make([]float64, k1)
+	for k := 0; k < k1; k++ {
+		for _, i := range idx {
+			delta := 1.0
+			if len(d.BestTime) > 0 && d.BestTime[i] > 0 {
+				delta = d.BestTime[i]
+			}
+			meanTime[k] += d.T[i][k] / delta
+			if !hasAcc || d.A[i][k] >= h1 {
+				sat[k]++
+			}
+		}
+		meanTime[k] /= float64(len(idx))
+		sat[k] /= float64(len(idx))
+	}
+	best := -1
+	threshold := h2 + SatisfactionBuffer(h2, len(idx))
+	for k := 0; k < k1; k++ {
+		if hasAcc && sat[k] < threshold {
+			continue
+		}
+		if best == -1 || meanTime[k] < meanTime[best] {
+			best = k
+		}
+	}
+	if best == -1 {
+		best = stats.ArgMax(sat)
+	}
+	return best
+}
+
+// OneLevel is the traditional one-level learning baseline: inputs are
+// dispatched to the landmark of their nearest Level-1 cluster centroid.
+// It is oblivious to the mapping disparity between feature space and
+// performance space, oblivious to accuracy during dispatch, and — as the
+// paper stresses — must extract every feature at every sampling level to
+// compute the centroid distance.
+type OneLevel struct {
+	model *Model
+}
+
+// NewOneLevel derives the one-level baseline from a trained model (sharing
+// its Level-1 clusters and landmarks, exactly as the paper's comparison
+// does).
+func NewOneLevel(m *Model) *OneLevel { return &OneLevel{model: m} }
+
+// ClassifyRow returns the landmark for a raw feature row (all features
+// extracted) and the full extraction cost the dispatch incurs on that row.
+func (o *OneLevel) ClassifyRow(rawF, extractionCosts []float64) (landmark int, featCost float64) {
+	norm := o.model.Scaler.Transform(rawF)
+	landmark = o.model.Clusters.Nearest(norm)
+	for _, c := range extractionCosts {
+		featCost += c
+	}
+	return landmark, featCost
+}
+
+// EvalResult aggregates one dispatch method's behaviour over a row set.
+type EvalResult struct {
+	// MeanExec is the mean execution time of the chosen landmarks.
+	MeanExec float64
+	// MeanFeat is the mean feature-extraction overhead.
+	MeanFeat float64
+	// Satisfaction is the fraction of rows meeting the accuracy threshold.
+	Satisfaction float64
+	// PerInputExec holds the per-row execution times (for Figure 6).
+	PerInputExec []float64
+	// PerInputTotal holds execution + feature time per row.
+	PerInputTotal []float64
+}
+
+// MeanTotal is MeanExec + MeanFeat.
+func (e *EvalResult) MeanTotal() float64 { return e.MeanExec + e.MeanFeat }
+
+// evalDispatch scores an arbitrary dispatch function over rows idx of d.
+func evalDispatch(prog Program, d *Dataset, idx []int, dispatch func(i int) (landmark int, featCost float64)) *EvalResult {
+	res := &EvalResult{
+		PerInputExec:  make([]float64, len(idx)),
+		PerInputTotal: make([]float64, len(idx)),
+	}
+	h1 := prog.AccuracyThreshold()
+	hasAcc := prog.HasAccuracy()
+	satisfied := 0.0
+	for j, i := range idx {
+		k, featCost := dispatch(i)
+		exec := d.T[i][k]
+		res.MeanExec += exec
+		res.MeanFeat += featCost
+		res.PerInputExec[j] = exec
+		res.PerInputTotal[j] = exec + featCost
+		if !hasAcc || d.A[i][k] >= h1 {
+			satisfied++
+		}
+	}
+	n := float64(len(idx))
+	res.MeanExec /= n
+	res.MeanFeat /= n
+	res.Satisfaction = satisfied / n
+	return res
+}
+
+// EvalStatic scores the fixed landmark so over rows idx.
+func EvalStatic(prog Program, d *Dataset, idx []int, so int) *EvalResult {
+	return evalDispatch(prog, d, idx, func(i int) (int, float64) { return so, 0 })
+}
+
+// EvalDynamicOracle scores the per-input best landmark (zero feature cost).
+func EvalDynamicOracle(prog Program, d *Dataset, idx []int) *EvalResult {
+	return evalDispatch(prog, d, idx, func(i int) (int, float64) { return d.Labels[i], 0 })
+}
+
+// EvalTwoLevel scores the trained production classifier over rows idx.
+func EvalTwoLevel(m *Model, d *Dataset, idx []int) *EvalResult {
+	return evalDispatch(m.Program, d, idx, func(i int) (int, float64) {
+		label, used := m.Production.PredictRow(d.F[i])
+		featCost := 0.0
+		for _, f := range used {
+			featCost += d.E[i][f]
+		}
+		return label, featCost
+	})
+}
+
+// EvalOneLevel scores the one-level baseline over rows idx.
+func EvalOneLevel(o *OneLevel, d *Dataset, idx []int) *EvalResult {
+	return evalDispatch(o.model.Program, d, idx, func(i int) (int, float64) {
+		return o.ClassifyRow(d.F[i], d.E[i])
+	})
+}
+
+// BuildDataset assembles a Dataset for fresh (test) inputs against an
+// existing landmark set: extract features, measure every landmark, relabel.
+func BuildDataset(prog Program, inputs []Input, m *Model, parallel bool) *Dataset {
+	F, E := ExtractFeatures(prog, inputs, parallel)
+	T, A := MeasureLandmarks(prog, inputs, m.Landmarks, parallel)
+	labels, bestTime := Relabel(prog, T, A)
+	return &Dataset{F: F, E: E, T: T, A: A, Labels: labels, BestTime: bestTime}
+}
+
+// AllRows returns [0, n) for convenience when evaluating a whole dataset.
+func AllRows(d *Dataset) []int {
+	idx := make([]int, d.NumInputs())
+	for i := range idx {
+		idx[i] = i
+	}
+	return idx
+}

@@ -1,0 +1,208 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"inputtune/internal/cost"
+	"inputtune/internal/feature"
+)
+
+func TestKindString(t *testing.T) {
+	if MaxAPriori.String() != "max-a-priori" || SubsetTree.String() != "subset-tree" ||
+		Incremental.String() != "incremental" {
+		t.Fatal("kind names wrong")
+	}
+	if !strings.HasPrefix(Kind(9).String(), "kind(") {
+		t.Fatal("unknown kind string")
+	}
+}
+
+func TestNewFixedAlwaysPredicts(t *testing.T) {
+	c := NewFixed("static-oracle[3]", 3)
+	for _, row := range [][]float64{{0}, {1e9}, {-5}} {
+		label, used := c.PredictRow(row)
+		if label != 3 || used != nil {
+			t.Fatalf("fixed classifier = (%d, %v)", label, used)
+		}
+	}
+}
+
+func TestSubsetTreePredictsAndNarrowsFeatures(t *testing.T) {
+	// Feature 0 decides the label; feature 1 is constant. The tree is
+	// offered both but must only retain feature 0.
+	var X [][]float64
+	var y []int
+	for i := 0; i < 100; i++ {
+		v := float64(i % 2)
+		X = append(X, []float64{v * 10, 7})
+		y = append(y, i%2)
+	}
+	c := NewSubsetTree("t", X, y, []int{0, 1}, 2, nil, 6)
+	if len(c.Static) != 1 || c.Static[0] != 0 {
+		t.Fatalf("Static = %v, want [0]", c.Static)
+	}
+	if label, _ := c.PredictRow([]float64{10, 7}); label != 1 {
+		t.Fatalf("predicted %d", label)
+	}
+}
+
+// fakeInput lets us verify lazy extraction in ClassifyInput.
+type fakeInput struct{ vals []float64 }
+
+func (f *fakeInput) Size() int { return len(f.vals) }
+
+func fakeSet(n int) *feature.Set {
+	var ex []feature.Extractor
+	for p := 0; p < n; p++ {
+		p := p
+		mk := func(chargeN int) feature.LevelFunc {
+			return func(in feature.Input, m *cost.Meter) float64 {
+				m.Charge(cost.Scan, chargeN)
+				return in.(*fakeInput).vals[p]
+			}
+		}
+		ex = append(ex, feature.Extractor{
+			Name:   string(rune('a' + p)),
+			Levels: []feature.LevelFunc{mk(1), mk(10), mk(100)},
+		})
+	}
+	return feature.MustNewSet(ex...)
+}
+
+func TestClassifyInputChargesOnlyUsedFeatures(t *testing.T) {
+	set := fakeSet(2)
+	// Build a tree over flat feature index 0 (property a, level 0).
+	var X [][]float64
+	var y []int
+	for i := 0; i < 60; i++ {
+		row := make([]float64, set.NumFeatures())
+		row[0] = float64(i % 2)
+		X = append(X, row)
+		y = append(y, i%2)
+	}
+	c := NewSubsetTree("t", X, y, []int{0}, 2, nil, 4)
+	m := cost.NewMeter()
+	label := c.ClassifyInput(set, &fakeInput{vals: []float64{1, 99}}, m)
+	if label != 1 {
+		t.Fatalf("label = %d", label)
+	}
+	// Only feature 0 (level 0, cost 1 scan) may be charged.
+	if m.Count(cost.Scan) != 1 {
+		t.Fatalf("charged %d scans, want 1", m.Count(cost.Scan))
+	}
+	// Max-a-priori charges nothing.
+	m2 := cost.NewMeter()
+	NewFixed("fixed", 0).ClassifyInput(set, &fakeInput{vals: []float64{0, 0}}, m2)
+	if m2.Elapsed() != 0 {
+		t.Fatal("fixed classifier extracted features")
+	}
+}
+
+func TestScoreCandidateNormalisesByDelta(t *testing.T) {
+	prog := newSynthProgram()
+	d := &Dataset{
+		F:        [][]float64{{0}, {0}},
+		E:        [][]float64{{5}, {50}},
+		T:        [][]float64{{10, 20}, {100, 200}},
+		A:        [][]float64{{1, 1}, {1, 1}},
+		Labels:   []int{0, 0},
+		BestTime: []float64{10, 100},
+	}
+	c := NewFixed("f", 0)
+	s := ScoreCandidate(prog, d, []int{0, 1}, c, 0.95)
+	// Both rows: exec/δ = 1; no features extracted.
+	if s.MeanExec != 1 || s.MeanFeat != 0 || s.MeanCost != 1 {
+		t.Fatalf("score = %+v", s)
+	}
+	// The slower landmark costs 2 relative on both rows.
+	s2 := ScoreCandidate(prog, d, []int{0, 1}, NewFixed("g", 1), 0.95)
+	if s2.MeanExec != 2 {
+		t.Fatalf("relative exec = %v, want 2", s2.MeanExec)
+	}
+}
+
+func TestSelectProductionRejectsOnAllRows(t *testing.T) {
+	prog := &accProgram{*newSynthProgram()}
+	// Landmark 0: fast but infeasible on rows 2..9 (outside validation).
+	// Landmark 1: always feasible, slower.
+	n := 10
+	d := &Dataset{BestTime: make([]float64, n)}
+	for i := 0; i < n; i++ {
+		d.F = append(d.F, []float64{0})
+		d.E = append(d.E, []float64{0})
+		d.T = append(d.T, []float64{1, 2})
+		acc0 := 0.9
+		if i >= 2 {
+			acc0 = 0.1 // below the 0.8 threshold
+		}
+		d.A = append(d.A, []float64{acc0, 0.9})
+		d.Labels = append(d.Labels, 1)
+		d.BestTime[i] = 2
+	}
+	fast := NewFixed("fast", 0)
+	safe := NewFixed("safe", 1)
+	// Validation rows are exactly the two where `fast` looks feasible.
+	best, scores := SelectProduction(prog, d, []int{0, 1}, []*Candidate{fast, safe}, 0.95)
+	if scores[0].Valid {
+		t.Fatalf("fast candidate should be invalidated by all-rows check: %+v", scores[0])
+	}
+	if cands := []*Candidate{fast, safe}; cands[best] != safe {
+		t.Fatalf("selected %q, want safe", cands[best].Name)
+	}
+}
+
+func TestSelectProductionFallbackMaxSatisfaction(t *testing.T) {
+	prog := &accProgram{*newSynthProgram()}
+	d := &Dataset{
+		F:        [][]float64{{0}, {0}},
+		E:        [][]float64{{0}, {0}},
+		T:        [][]float64{{1, 2}, {1, 2}},
+		A:        [][]float64{{0.1, 0.9}, {0.1, 0.1}},
+		Labels:   []int{1, 0},
+		BestTime: []float64{2, 1},
+	}
+	// Neither candidate reaches 95%; the one satisfying half the rows wins
+	// over the one satisfying none.
+	best, _ := SelectProduction(prog, d, []int{0, 1},
+		[]*Candidate{NewFixed("never", 0), NewFixed("half", 1)}, 0.95)
+	if best != 1 {
+		t.Fatalf("fallback picked %d, want 1", best)
+	}
+}
+
+func TestRelabelCoalescesNearTies(t *testing.T) {
+	prog := newSynthProgram()
+	// Three inputs; landmark 1 is within 10% of best everywhere, landmarks
+	// 0 and 2 each win one input by a hair. Coalescing should label all
+	// inputs with the robust landmark 1.
+	T := [][]float64{
+		{100, 101, 200},
+		{200, 101, 100},
+		{105, 100, 200},
+	}
+	A := [][]float64{{1, 1, 1}, {1, 1, 1}, {1, 1, 1}}
+	labels, best := Relabel(prog, T, A)
+	for i, l := range labels {
+		if l != 1 {
+			t.Fatalf("input %d labelled %d, want coalesced 1 (labels %v)", i, l, labels)
+		}
+	}
+	// BestTime keeps the exact optimum.
+	if best[0] != 100 || best[1] != 100 || best[2] != 100 {
+		t.Fatalf("bestTime = %v", best)
+	}
+}
+
+func TestRelabelDoesNotCoalesceAcrossBigGaps(t *testing.T) {
+	prog := newSynthProgram()
+	T := [][]float64{
+		{100, 150}, // landmark 1 is 50% slower: not a near-tie
+		{150, 100},
+	}
+	A := [][]float64{{1, 1}, {1, 1}}
+	labels, _ := Relabel(prog, T, A)
+	if labels[0] != 0 || labels[1] != 1 {
+		t.Fatalf("labels = %v, want [0 1]", labels)
+	}
+}

@@ -1,0 +1,313 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"inputtune/internal/choice"
+	"inputtune/internal/cost"
+	"inputtune/internal/feature"
+	"inputtune/internal/rng"
+)
+
+// synthInput is a list whose hidden "kind" determines which algorithm wins.
+type synthInput struct {
+	data []float64
+	kind int
+}
+
+func (s *synthInput) Size() int { return len(s.data) }
+
+// synthProgram: two algorithms; algorithm 0 is 3x faster on kind-0 inputs
+// and 3x slower on kind-1 inputs. The "kindness" feature reveals the kind
+// (cheap at level 0, more exact at level 2); "noise" is a useless but
+// expensive feature.
+type synthProgram struct {
+	space *choice.Space
+	set   *feature.Set
+}
+
+func newSynthProgram() *synthProgram {
+	sp := choice.NewSpace()
+	sp.AddSite("algo", "A", "B")
+	kindLevel := func(frac float64) feature.LevelFunc {
+		return func(in feature.Input, m *cost.Meter) float64 {
+			si := in.(*synthInput)
+			n := int(frac * float64(len(si.data)))
+			if n < 1 {
+				n = 1
+			}
+			m.Charge(cost.Scan, n)
+			// Estimate of kind from a prefix mean: kind-1 inputs hold large
+			// values.
+			sum := 0.0
+			for _, v := range si.data[:n] {
+				sum += v
+			}
+			return sum / float64(n)
+		}
+	}
+	noiseLevel := func(frac float64) feature.LevelFunc {
+		return func(in feature.Input, m *cost.Meter) float64 {
+			si := in.(*synthInput)
+			n := int(frac * float64(len(si.data)))
+			if n < 1 {
+				n = 1
+			}
+			m.Charge(cost.Scan, 10*n) // deliberately expensive
+			return float64(len(si.data) % 7)
+		}
+	}
+	set := feature.MustNewSet(
+		feature.Extractor{Name: "kindness", Levels: []feature.LevelFunc{
+			kindLevel(0.05), kindLevel(0.25), kindLevel(1.0),
+		}},
+		feature.Extractor{Name: "noise", Levels: []feature.LevelFunc{
+			noiseLevel(0.05), noiseLevel(0.25), noiseLevel(1.0),
+		}},
+	)
+	return &synthProgram{space: sp, set: set}
+}
+
+func (p *synthProgram) Name() string               { return "synth" }
+func (p *synthProgram) Space() *choice.Space       { return p.space }
+func (p *synthProgram) Features() *feature.Set     { return p.set }
+func (p *synthProgram) HasAccuracy() bool          { return false }
+func (p *synthProgram) AccuracyThreshold() float64 { return 0 }
+
+func (p *synthProgram) Run(cfg *choice.Config, in Input, m *cost.Meter) float64 {
+	si := in.(*synthInput)
+	n := len(si.data)
+	alt := cfg.Decide(0, n)
+	// Matched algorithm costs n; mismatched costs 3n.
+	work := n
+	if alt != si.kind {
+		work = 3 * n
+	}
+	m.Charge(cost.Compare, work)
+	return 1
+}
+
+func synthInputs(n int, seed uint64) []Input {
+	r := rng.New(seed)
+	out := make([]Input, n)
+	for i := range out {
+		kind := r.Intn(2)
+		size := r.IntRange(100, 400)
+		data := make([]float64, size)
+		for j := range data {
+			if kind == 0 {
+				data[j] = r.Range(0, 1)
+			} else {
+				data[j] = r.Range(10, 11)
+			}
+		}
+		out[i] = &synthInput{data: data, kind: kind}
+	}
+	return out
+}
+
+func trainSynth(t *testing.T) (*synthProgram, *Model) {
+	t.Helper()
+	prog := newSynthProgram()
+	inputs := synthInputs(120, 1)
+	model := TrainModel(prog, inputs, Options{
+		K1: 6, Seed: 2, TunerPopulation: 12, TunerGenerations: 10, Parallel: true,
+	})
+	return prog, model
+}
+
+func TestTrainModelEndToEnd(t *testing.T) {
+	prog, model := trainSynth(t)
+	if len(model.Landmarks) != 6 {
+		t.Fatalf("got %d landmarks", len(model.Landmarks))
+	}
+	// Deploy on fresh inputs: the model should pick the matched algorithm
+	// nearly always, so mean cost should be close to n (not 3n).
+	test := synthInputs(80, 99)
+	matched := 0
+	for _, in := range test {
+		si := in.(*synthInput)
+		m := cost.NewMeter()
+		lm, _ := model.Run(in, m)
+		alt := model.Landmarks[lm].Decide(0, si.Size())
+		if alt == si.kind {
+			matched++
+		}
+	}
+	if matched < 70 {
+		t.Fatalf("model matched algorithm on only %d/80 fresh inputs", matched)
+	}
+	_ = prog
+}
+
+func TestTwoLevelBeatsStaticOracle(t *testing.T) {
+	prog, model := trainSynth(t)
+	test := synthInputs(100, 123)
+	d := BuildDataset(prog, test, model, true)
+	idx := AllRows(d)
+	so := StaticOracleIndex(prog, model.Train, AllRows(model.Train), 0.95)
+	static := EvalStatic(prog, d, idx, so)
+	two := EvalTwoLevel(model, d, idx)
+	dyn := EvalDynamicOracle(prog, d, idx)
+	if two.MeanTotal() >= static.MeanTotal() {
+		t.Fatalf("two-level (%v) not faster than static oracle (%v)", two.MeanTotal(), static.MeanTotal())
+	}
+	if dyn.MeanExec > two.MeanExec+1e-9 {
+		t.Fatalf("dynamic oracle (%v) slower than two-level (%v)?", dyn.MeanExec, two.MeanExec)
+	}
+	// On this synthetic problem the speedup should be substantial: the
+	// static oracle runs mismatched on ~half the inputs (2x mean cost).
+	speedup := static.MeanTotal() / two.MeanTotal()
+	if speedup < 1.3 {
+		t.Fatalf("two-level speedup only %.2fx", speedup)
+	}
+}
+
+func TestProductionAvoidsExpensiveNoiseFeature(t *testing.T) {
+	_, model := trainSynth(t)
+	for _, f := range model.Production.Static {
+		name := model.Program.Features().FeatureName(f)
+		if name == "noise@2" {
+			t.Fatalf("production classifier selected the expensive useless feature: %v", model.Report.SelectedFeatures)
+		}
+	}
+}
+
+func TestRelabelTimeOnly(t *testing.T) {
+	prog := newSynthProgram()
+	T := [][]float64{{3, 1, 2}, {1, 5, 0.5}}
+	A := [][]float64{{1, 1, 1}, {1, 1, 1}}
+	labels, best := Relabel(prog, T, A)
+	if labels[0] != 1 || labels[1] != 2 {
+		t.Fatalf("labels = %v", labels)
+	}
+	if best[0] != 1 || best[1] != 0.5 {
+		t.Fatalf("bestTime = %v", best)
+	}
+}
+
+// accProgram is a variable-accuracy program for Relabel/cost-matrix tests.
+type accProgram struct{ synthProgram }
+
+func (p *accProgram) HasAccuracy() bool          { return true }
+func (p *accProgram) AccuracyThreshold() float64 { return 0.8 }
+
+func TestRelabelWithAccuracy(t *testing.T) {
+	prog := &accProgram{*newSynthProgram()}
+	// Input 0: config 0 fast but inaccurate; config 1 meets threshold.
+	// Input 1: nothing meets threshold; pick max accuracy (config 0).
+	T := [][]float64{{1, 2}, {1, 2}}
+	A := [][]float64{{0.5, 0.9}, {0.7, 0.6}}
+	labels, best := Relabel(prog, T, A)
+	if labels[0] != 1 {
+		t.Fatalf("input 0 label = %d, want 1 (accuracy-feasible)", labels[0])
+	}
+	if labels[1] != 0 {
+		t.Fatalf("input 1 label = %d, want 0 (max accuracy)", labels[1])
+	}
+	if best[0] != 2 || best[1] != 1 {
+		t.Fatalf("bestTime = %v", best)
+	}
+}
+
+func TestCostMatrixProperties(t *testing.T) {
+	prog := newSynthProgram()
+	d := &Dataset{
+		T:      [][]float64{{1, 2}, {1, 4}, {3, 1}},
+		A:      [][]float64{{1, 1}, {1, 1}, {1, 1}},
+		Labels: []int{0, 0, 1},
+	}
+	c := CostMatrix(prog, d, 0.5)
+	// Diagonal must be zero (predicting the true best costs nothing).
+	for i := range c {
+		if c[i][i] != 0 {
+			t.Fatalf("C[%d][%d] = %v, want 0", i, i, c[i][i])
+		}
+	}
+	// C[0][1]: inputs 0 and 1 labelled 0; penalties (2-1)/1=1 and (4-1)/1=3
+	// -> mean 2.
+	if math.Abs(c[0][1]-2) > 1e-9 {
+		t.Fatalf("C[0][1] = %v, want 2", c[0][1])
+	}
+	// C[1][0]: input 2 labelled 1; penalty (3-1)/1 = 2.
+	if math.Abs(c[1][0]-2) > 1e-9 {
+		t.Fatalf("C[1][0] = %v, want 2", c[1][0])
+	}
+}
+
+func TestCostMatrixAccuracyPenalty(t *testing.T) {
+	prog := &accProgram{*newSynthProgram()}
+	// Single label class 0; landmark 1 is slightly slower AND misses
+	// accuracy on every input -> its cost must exceed the pure time
+	// penalty.
+	d := &Dataset{
+		T:      [][]float64{{1, 1.1}, {1, 1.1}},
+		A:      [][]float64{{0.9, 0.5}, {0.9, 0.5}},
+		Labels: []int{0, 0},
+	}
+	noAcc := CostMatrix(&prog.synthProgram, d, 0.5) // time-only view
+	withAcc := CostMatrix(prog, d, 0.5)
+	if withAcc[0][1] <= noAcc[0][1] {
+		t.Fatalf("accuracy penalty missing: with=%v, without=%v", withAcc[0][1], noAcc[0][1])
+	}
+}
+
+func TestStaticOracleRespectsSatisfaction(t *testing.T) {
+	prog := &accProgram{*newSynthProgram()}
+	// Landmark 0: fastest but only 50% satisfaction. Landmark 1: slower,
+	// always satisfies. H2 = 0.95 must force landmark 1.
+	d := &Dataset{
+		T: [][]float64{{1, 2}, {1, 2}},
+		A: [][]float64{{0.9, 0.9}, {0.5, 0.9}},
+	}
+	idx := []int{0, 1}
+	if so := StaticOracleIndex(prog, d, idx, 0.95); so != 1 {
+		t.Fatalf("static oracle picked %d, want 1", so)
+	}
+	// With an H2 of 0.4, the faster landmark qualifies.
+	if so := StaticOracleIndex(prog, d, idx, 0.4); so != 0 {
+		t.Fatalf("static oracle picked %d, want 0", so)
+	}
+}
+
+func TestMaxAPrioriPredictsMode(t *testing.T) {
+	c := NewMaxAPriori([]int{2, 2, 1, 2, 0}, 3)
+	label, used := c.PredictRow([]float64{1, 2, 3})
+	if label != 2 || used != nil {
+		t.Fatalf("apriori = (%d, %v)", label, used)
+	}
+}
+
+func TestDeterministicTraining(t *testing.T) {
+	prog := newSynthProgram()
+	inputs := synthInputs(60, 5)
+	opts := Options{K1: 4, Seed: 7, TunerPopulation: 8, TunerGenerations: 6}
+	a := TrainModel(prog, inputs, opts)
+	b := TrainModel(prog, inputs, opts)
+	if a.Report.Production != b.Report.Production {
+		t.Fatalf("nondeterministic production classifier: %q vs %q", a.Report.Production, b.Report.Production)
+	}
+	for k := range a.Landmarks {
+		if a.Landmarks[k].String() != b.Landmarks[k].String() {
+			t.Fatalf("landmark %d differs between identical runs", k)
+		}
+	}
+}
+
+func TestReportFields(t *testing.T) {
+	_, model := trainSynth(t)
+	r := model.Report
+	if r.Benchmark != "synth" || r.NumInputs != 120 || r.K1 != 6 {
+		t.Fatalf("report basics wrong: %+v", r)
+	}
+	if r.TunerEvaluations == 0 {
+		t.Fatal("tuner evaluations not recorded")
+	}
+	if r.NumCandidates < 16 { // 1 apriori + 15 subsets (+ maybe incremental)
+		t.Fatalf("only %d candidates", r.NumCandidates)
+	}
+	if r.Production == "" {
+		t.Fatal("no production classifier name")
+	}
+}

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"testing"
+
+	"inputtune/internal/choice"
+	"inputtune/internal/cost"
+)
+
+func TestExtractFeaturesParallelMatchesSerial(t *testing.T) {
+	prog := newSynthProgram()
+	inputs := synthInputs(40, 3)
+	fs, es := ExtractFeatures(prog, inputs, false)
+	fp, ep := ExtractFeatures(prog, inputs, true)
+	for i := range fs {
+		for j := range fs[i] {
+			if fs[i][j] != fp[i][j] || es[i][j] != ep[i][j] {
+				t.Fatalf("parallel extraction diverged at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestMeasureLandmarksShapeAndDeterminism(t *testing.T) {
+	prog := newSynthProgram()
+	inputs := synthInputs(20, 5)
+	sp := prog.Space()
+	cfgA := sp.DefaultConfig()
+	cfgB := sp.DefaultConfig()
+	cfgB.Selectors[0].Else = 1
+	T, A := MeasureLandmarks(prog, inputs, []*choice.Config{cfgA, cfgB}, true)
+	if len(T) != 20 || len(T[0]) != 2 || len(A) != 20 {
+		t.Fatalf("shape (%d, %d)", len(T), len(T[0]))
+	}
+	T2, _ := MeasureLandmarks(prog, inputs, []*choice.Config{cfgA, cfgB}, false)
+	for i := range T {
+		for k := range T[i] {
+			if T[i][k] != T2[i][k] {
+				t.Fatal("parallel measurement diverged")
+			}
+			if T[i][k] <= 0 {
+				t.Fatal("non-positive time")
+			}
+		}
+	}
+}
+
+func TestBuildDatasetConsistentWithTraining(t *testing.T) {
+	prog, model := trainSynth(t)
+	d := BuildDataset(prog, synthInputs(30, 77), model, true)
+	if d.NumInputs() != 30 || d.NumLandmarks() != len(model.Landmarks) {
+		t.Fatalf("dataset shape (%d, %d)", d.NumInputs(), d.NumLandmarks())
+	}
+	for i := range d.Labels {
+		if d.BestTime[i] != d.T[i][d.Labels[i]] {
+			t.Fatalf("BestTime[%d] inconsistent with label", i)
+		}
+	}
+	if len(AllRows(d)) != 30 {
+		t.Fatal("AllRows wrong")
+	}
+}
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, parallel := range []bool{false, true} {
+		hits := make([]int32, 100)
+		forEach(100, parallel, func(i int) { hits[i]++ })
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("parallel=%v index %d hit %d times", parallel, i, h)
+			}
+		}
+	}
+	// n=0 and n=1 edge cases.
+	forEach(0, true, func(int) { t.Fatal("called for n=0") })
+	called := 0
+	forEach(1, true, func(int) { called++ })
+	if called != 1 {
+		t.Fatal("n=1 not called once")
+	}
+}
+
+func TestMeasureHelper(t *testing.T) {
+	prog := newSynthProgram()
+	in := synthInputs(1, 9)[0]
+	cfg := prog.Space().DefaultConfig()
+	tm, acc := Measure(prog, cfg, in)
+	if tm <= 0 || acc != 1 {
+		t.Fatalf("Measure = (%v, %v)", tm, acc)
+	}
+	m := cost.NewMeter()
+	prog.Run(cfg, in, m)
+	if m.Elapsed() != tm {
+		t.Fatal("Measure disagrees with direct Run")
+	}
+}
+
+func TestSafetyLandmarkAppendedForAccuracyPrograms(t *testing.T) {
+	prog := &accProgram{*newSynthProgram()}
+	inputs := synthInputs(40, 11)
+	model := TrainModel(prog, inputs, Options{K1: 4, Seed: 3, TunerPopulation: 8, TunerGenerations: 5})
+	if len(model.Landmarks) != 5 { // 4 clusters + safety
+		t.Fatalf("landmarks = %d, want K1+1", len(model.Landmarks))
+	}
+	// Time-only programs get exactly K1.
+	prog2 := newSynthProgram()
+	model2 := TrainModel(prog2, inputs, Options{K1: 4, Seed: 3, TunerPopulation: 8, TunerGenerations: 5})
+	if len(model2.Landmarks) != 4 {
+		t.Fatalf("time-only landmarks = %d, want K1", len(model2.Landmarks))
+	}
+}

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"inputtune/internal/cost"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	prog, model := trainSynth(t)
+	var buf bytes.Buffer
+	if err := SaveModel(model, &buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadModel(prog, bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Landmarks identical.
+	if len(loaded.Landmarks) != len(model.Landmarks) {
+		t.Fatalf("landmark count %d vs %d", len(loaded.Landmarks), len(model.Landmarks))
+	}
+	for k := range model.Landmarks {
+		if loaded.Landmarks[k].String() != model.Landmarks[k].String() {
+			t.Fatalf("landmark %d changed in round trip", k)
+		}
+	}
+	// Deployment decisions identical on fresh inputs.
+	for _, in := range synthInputs(40, 555) {
+		mOrig, mLoad := cost.NewMeter(), cost.NewMeter()
+		lOrig := model.Classify(in, mOrig)
+		lLoad := loaded.Classify(in, mLoad)
+		if lOrig != lLoad {
+			t.Fatalf("classification diverged: %d vs %d", lOrig, lLoad)
+		}
+		if mOrig.Elapsed() != mLoad.Elapsed() {
+			t.Fatalf("feature cost diverged: %v vs %v", mOrig.Elapsed(), mLoad.Elapsed())
+		}
+	}
+	// Report survives.
+	if loaded.Report.Production != model.Report.Production {
+		t.Fatal("report lost in round trip")
+	}
+}
+
+func TestLoadModelRejectsWrongProgram(t *testing.T) {
+	prog, model := trainSynth(t)
+	var buf bytes.Buffer
+	if err := SaveModel(model, &buf); err != nil {
+		t.Fatal(err)
+	}
+	other := &accProgram{*newSynthProgram()} // same space, but HasAccuracy differs; rename it
+	_ = other
+	// A program with a different name must be rejected.
+	renamed := &renamedProgram{prog}
+	if _, err := LoadModel(renamed, bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("wrong-name program accepted")
+	}
+}
+
+type renamedProgram struct{ *synthProgram }
+
+func (r *renamedProgram) Name() string { return "something-else" }
+
+func TestLoadModelRejectsCorruptPayloads(t *testing.T) {
+	prog, model := trainSynth(t)
+	var buf bytes.Buffer
+	if err := SaveModel(model, &buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.String()
+	cases := map[string]string{
+		"garbage":       "{not json",
+		"wrong version": strings.Replace(good, `"version": 1`, `"version": 99`, 1),
+		"bad kind":      strings.Replace(good, `"kind":`, `"kind": "alien", "x":`, 1),
+	}
+	for name, payload := range cases {
+		if _, err := LoadModel(prog, strings.NewReader(payload)); err == nil {
+			t.Fatalf("%s: corrupt payload accepted", name)
+		}
+	}
+}
+
+func TestLoadModelValidatesLandmarks(t *testing.T) {
+	prog, model := trainSynth(t)
+	var buf bytes.Buffer
+	if err := SaveModel(model, &buf); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt a landmark's selector choice beyond the space's range.
+	bad := strings.Replace(buf.String(), `"else":`, `"else": 99, "x":`, 1)
+	if _, err := LoadModel(prog, strings.NewReader(bad)); err == nil {
+		t.Fatal("invalid landmark accepted")
+	}
+}
+
+func TestSaveLoadAccuracyProgramWithTreeOrIncremental(t *testing.T) {
+	// Train an accuracy-bearing synthetic program to exercise tree and
+	// incremental serialisation paths (whichever wins selection).
+	prog := &accProgram{*newSynthProgram()}
+	inputs := synthInputs(80, 13)
+	model := TrainModel(prog, inputs, Options{
+		K1: 4, Seed: 5, TunerPopulation: 10, TunerGenerations: 8, Parallel: true,
+	})
+	var buf bytes.Buffer
+	if err := SaveModel(model, &buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadModel(prog, bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, in := range synthInputs(20, 777) {
+		if model.Classify(in, nil) != loaded.Classify(in, nil) {
+			t.Fatal("accuracy-program classification diverged after round trip")
+		}
+	}
+}

@@ -1,0 +1,52 @@
+// Package core implements the paper's contribution: the two-level input
+// learning framework for input-sensitive algorithmic autotuning.
+//
+// Level 1 (Section 3.1) clusters the training inputs in feature space,
+// autotunes one "landmark" configuration per cluster centroid, and measures
+// every landmark on every training input. Level 2 (Section 3.2) regroups
+// inputs by their best landmark, builds a cost matrix blending performance
+// and accuracy penalties, trains a zoo of candidate classifiers (max-a-
+// priori, exhaustive feature-subset decision trees, all-features, and the
+// incremental feature-examination classifier), and selects the production
+// classifier by an objective that charges each classifier for the features
+// it extracts.
+package core
+
+import (
+	"inputtune/internal/choice"
+	"inputtune/internal/cost"
+	"inputtune/internal/feature"
+)
+
+// Input is the opaque program input; see feature.Input.
+type Input = feature.Input
+
+// Program is what a benchmark exposes to the learning framework — the Go
+// analogue of a PetaBricks program with either…or choices, input_feature
+// extractors and an accuracy metric.
+type Program interface {
+	// Name identifies the benchmark in reports.
+	Name() string
+	// Space returns the configuration search space. The returned value must
+	// be stable across calls.
+	Space() *choice.Space
+	// Features returns the input_feature battery. Must be stable across
+	// calls.
+	Features() *feature.Set
+	// Run executes the program under cfg on in, charging all execution work
+	// to meter, and returns the achieved accuracy. Time-only programs
+	// return 1. Run must be deterministic in (cfg, in).
+	Run(cfg *choice.Config, in Input, meter *cost.Meter) float64
+	// HasAccuracy reports whether the program trades accuracy for speed.
+	HasAccuracy() bool
+	// AccuracyThreshold is H1: the minimum accuracy for an output to count
+	// as correct. Ignored when HasAccuracy is false.
+	AccuracyThreshold() float64
+}
+
+// Measure runs prog once and returns (virtual time, accuracy).
+func Measure(prog Program, cfg *choice.Config, in Input) (float64, float64) {
+	m := cost.NewMeter()
+	acc := prog.Run(cfg, in, m)
+	return m.Elapsed(), acc
+}

@@ -1,0 +1,138 @@
+package cost
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestChargeAccumulates(t *testing.T) {
+	m := NewMeter()
+	m.Charge(Compare, 10)
+	m.Charge(Move, 4)
+	want := 10*1.0 + 4*1.0
+	if got := m.Elapsed(); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("elapsed = %v, want %v", got, want)
+	}
+	if m.Count(Compare) != 10 || m.Count(Move) != 4 {
+		t.Fatalf("counts wrong: %v %v", m.Count(Compare), m.Count(Move))
+	}
+}
+
+func TestCharge1MatchesChargeN(t *testing.T) {
+	a, b := NewMeter(), NewMeter()
+	for i := 0; i < 7; i++ {
+		a.Charge1(Flop)
+	}
+	b.Charge(Flop, 7)
+	if a.Elapsed() != b.Elapsed() {
+		t.Fatalf("Charge1 x7 (%v) != Charge(7) (%v)", a.Elapsed(), b.Elapsed())
+	}
+}
+
+func TestWeightsApplied(t *testing.T) {
+	var w Weights
+	w[Compare] = 3
+	m := NewMeterWeights(w)
+	m.Charge(Compare, 2)
+	m.Charge(Move, 100) // zero weight
+	if got := m.Elapsed(); got != 6 {
+		t.Fatalf("elapsed = %v, want 6", got)
+	}
+}
+
+func TestSnapshotSince(t *testing.T) {
+	m := NewMeter()
+	m.Charge(Scan, 10)
+	s := m.Snapshot()
+	m.Charge(Scan, 6)
+	if d := m.Since(s); math.Abs(d-3.0) > 1e-12 { // 6 scans at weight 0.5
+		t.Fatalf("Since = %v, want 3", d)
+	}
+}
+
+func TestReset(t *testing.T) {
+	m := NewMeter()
+	m.Charge(Branch, 5)
+	m.Reset()
+	if m.Elapsed() != 0 || m.Count(Branch) != 0 {
+		t.Fatal("reset did not clear meter")
+	}
+	m.Charge(Branch, 1)
+	if m.Elapsed() == 0 {
+		t.Fatal("weights lost after reset")
+	}
+}
+
+func TestNegativeChargePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewMeter().Charge(Compare, -1)
+}
+
+func TestChargeUnits(t *testing.T) {
+	m := NewMeter()
+	m.ChargeUnits(12.5)
+	if m.Elapsed() != 12.5 {
+		t.Fatalf("elapsed = %v", m.Elapsed())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for negative units")
+		}
+	}()
+	m.ChargeUnits(-1)
+}
+
+func TestOpString(t *testing.T) {
+	names := map[Op]string{Compare: "compare", Move: "move", Flop: "flop",
+		Scan: "scan", Branch: "branch", Alloc: "alloc"}
+	for op, want := range names {
+		if op.String() != want {
+			t.Fatalf("Op(%d).String() = %q, want %q", op, op.String(), want)
+		}
+	}
+	if !strings.HasPrefix(Op(99).String(), "op(") {
+		t.Fatal("unknown op string")
+	}
+}
+
+func TestMeterStringMentionsUnits(t *testing.T) {
+	m := NewMeter()
+	m.Charge(Compare, 3)
+	if s := m.String(); !strings.Contains(s, "cmp=3") {
+		t.Fatalf("String() = %q", s)
+	}
+}
+
+// Virtual time must be additive: charging in two meters and summing equals
+// charging everything in one meter.
+func TestAdditivityProperty(t *testing.T) {
+	check := func(a, b uint8) bool {
+		m1, m2, m3 := NewMeter(), NewMeter(), NewMeter()
+		m1.Charge(Compare, int(a))
+		m2.Charge(Compare, int(b))
+		m3.Charge(Compare, int(a)+int(b))
+		return math.Abs((m1.Elapsed()+m2.Elapsed())-m3.Elapsed()) < 1e-9
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWallClockMeasuresSomething(t *testing.T) {
+	d := WallClock(func() {
+		s := 0
+		for i := 0; i < 1000; i++ {
+			s += i
+		}
+		_ = s
+	})
+	if d < 0 {
+		t.Fatalf("negative duration %v", d)
+	}
+}

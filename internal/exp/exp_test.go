@@ -1,0 +1,185 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+// tinyScale keeps CI runtimes low; shape checks stay loose accordingly.
+func tinyScale() Scale {
+	return Scale{TrainInputs: 64, TestInputs: 64, K1: 6, TunerPop: 8, TunerGens: 6, Seed: 7, Parallel: true}
+}
+
+func TestBuildAllCases(t *testing.T) {
+	sc := tinyScale()
+	for _, c := range AllCases(sc) {
+		if c.Prog == nil || len(c.Train) == 0 || len(c.Test) == 0 {
+			t.Fatalf("case %s incomplete", c.Name)
+		}
+		// Train and test must not alias the same inputs (different seeds).
+		if &c.Train[0] == &c.Test[0] {
+			t.Fatalf("case %s shares train/test storage", c.Name)
+		}
+	}
+}
+
+func TestBuildCaseUnknownPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	BuildCase("nope", tinyScale())
+}
+
+func TestRunCaseSort2Shape(t *testing.T) {
+	sc := tinyScale()
+	row := RunCase(BuildCase("sort2", sc), sc, nil)
+	// Ordering invariants that must hold regardless of scale:
+	// dynamic oracle >= two-level (no fx) and two-level fx <= two-level no fx.
+	if row.DynamicOracle < row.TwoLevelNoFX-1e-9 {
+		t.Fatalf("two-level (%.2fx) beats the dynamic oracle (%.2fx)?", row.TwoLevelNoFX, row.DynamicOracle)
+	}
+	if row.TwoLevelFX > row.TwoLevelNoFX+1e-9 {
+		t.Fatalf("feature extraction made two-level faster: %v vs %v", row.TwoLevelFX, row.TwoLevelNoFX)
+	}
+	if row.OneLevelFX > row.OneLevelNoFX+1e-9 {
+		t.Fatalf("feature extraction made one-level faster: %v vs %v", row.OneLevelFX, row.OneLevelNoFX)
+	}
+	// The synthetic sort battery is the paper's headline: the two-level
+	// method must beat the static oracle.
+	if row.TwoLevelFX <= 1.0 {
+		t.Fatalf("two-level speedup %.2fx does not beat static oracle", row.TwoLevelFX)
+	}
+	// One-level pays for every feature at every level: its fx gap must be
+	// no smaller than two-level's.
+	oneGap := row.OneLevelNoFX - row.OneLevelFX
+	twoGap := row.TwoLevelNoFX - row.TwoLevelFX
+	if oneGap < twoGap-1e-9 {
+		t.Fatalf("one-level fx overhead (%v) below two-level (%v)?", oneGap, twoGap)
+	}
+	if len(row.PerInputSpeedups) != len(BuildCase("sort2", sc).Test) {
+		t.Fatalf("per-input speedups %d", len(row.PerInputSpeedups))
+	}
+}
+
+func TestRenderersProduceOutput(t *testing.T) {
+	sc := tinyScale()
+	row := RunCase(BuildCase("binpacking", sc), sc, nil)
+	table := RenderTable1([]*Table1Row{row})
+	if !strings.Contains(table, "binpacking") || !strings.Contains(table, "Dynamic") {
+		t.Fatalf("table render:\n%s", table)
+	}
+	csv := Table1CSV([]*Table1Row{row})
+	if !strings.HasPrefix(csv, "benchmark,") || !strings.Contains(csv, "binpacking,") {
+		t.Fatalf("csv render:\n%s", csv)
+	}
+	fig6 := RenderFig6(row)
+	if !strings.Contains(fig6, "median") {
+		t.Fatalf("fig6 render:\n%s", fig6)
+	}
+	series := Fig6Series(row)
+	for i := 1; i < len(series); i++ {
+		if series[i] < series[i-1] {
+			t.Fatal("Fig6Series not sorted")
+		}
+	}
+}
+
+func TestFig8SweepMonotoneish(t *testing.T) {
+	sc := tinyScale()
+	row := RunCase(BuildCase("sort2", sc), sc, nil)
+	sizes := DefaultFig8Sizes(sc.K1)
+	pts := Fig8Sweep(row.Model.Program, row.TestData, row.StaticPerInput, sizes, 12, 3)
+	if len(pts) != len(sizes) {
+		t.Fatalf("points %d, sizes %d", len(pts), len(sizes))
+	}
+	// Median speedup with all landmarks must be >= median with one.
+	if pts[len(pts)-1].Median < pts[0].Median-1e-9 {
+		t.Fatalf("more landmarks reduced median speedup: %v -> %v", pts[0].Median, pts[len(pts)-1].Median)
+	}
+	// Boxes are ordered.
+	for _, p := range pts {
+		if !(p.Min <= p.Q1 && p.Q1 <= p.Median && p.Median <= p.Q3 && p.Q3 <= p.Max) {
+			t.Fatalf("box out of order: %+v", p)
+		}
+	}
+	out := RenderFig8("sort2", pts)
+	if !strings.Contains(out, "k=") {
+		t.Fatalf("fig8 render:\n%s", out)
+	}
+	if !strings.Contains(Fig8CSV("sort2", pts), "sort2,1,") {
+		t.Fatal("fig8 csv missing rows")
+	}
+}
+
+func TestDefaultFig8Sizes(t *testing.T) {
+	sizes := DefaultFig8Sizes(16)
+	want := []int{1, 2, 4, 8, 16}
+	if len(sizes) != len(want) {
+		t.Fatalf("sizes = %v", sizes)
+	}
+	for i := range want {
+		if sizes[i] != want[i] {
+			t.Fatalf("sizes = %v", sizes)
+		}
+	}
+}
+
+func TestRenderFig7(t *testing.T) {
+	out := RenderFig7()
+	if !strings.Contains(out, "figure 7a") || !strings.Contains(out, "figure 7b") {
+		t.Fatalf("fig7 render:\n%s", out)
+	}
+	csv := Fig7CSV()
+	if !strings.Contains(csv, "fig7a,2,") || !strings.Contains(csv, "fig7b,100,") {
+		t.Fatal("fig7 csv incomplete")
+	}
+}
+
+func TestAblationLandmarks(t *testing.T) {
+	sc := tinyScale()
+	sc.K1 = 4 // the gap is widest at few landmarks (paper: 5)
+	res := AblationLandmarks(BuildCase("sort2", sc), sc, nil)
+	if res.KmeansSpeedup <= 0 || res.RandomSpeedup <= 0 {
+		t.Fatalf("bad ablation result %+v", res)
+	}
+	out := RenderAblation([]AblationResult{res})
+	if !strings.Contains(out, "sort2") {
+		t.Fatalf("ablation render:\n%s", out)
+	}
+}
+
+func TestScalesSane(t *testing.T) {
+	for _, sc := range []Scale{QuickScale(), DefaultScale()} {
+		if sc.TrainInputs < 50 || sc.K1 < 4 || sc.TunerPop < 8 {
+			t.Fatalf("scale too small to be meaningful: %+v", sc)
+		}
+	}
+}
+
+func TestAblationTuneSamples(t *testing.T) {
+	sc := tinyScale()
+	res := AblationTuneSamples(BuildCase("binpacking", sc), sc, []int{1, 3}, nil)
+	if len(res) != 2 || res[0].Samples != 1 || res[1].Samples != 3 {
+		t.Fatalf("results = %+v", res)
+	}
+	for _, r := range res {
+		if r.TwoLevelSpeedup <= 0 || r.Satisfaction < 0 || r.Satisfaction > 1 {
+			t.Fatalf("bad result %+v", r)
+		}
+	}
+	out := RenderTuneSamples(res)
+	if !strings.Contains(out, "binpacking") || !strings.Contains(out, "samples") {
+		t.Fatalf("render:\n%s", out)
+	}
+}
+
+func TestRenderAblationOutput(t *testing.T) {
+	out := RenderAblation([]AblationResult{{
+		Name: "x", K1: 5, KmeansSpeedup: 2, RandomSpeedup: 1.5, DegradationPct: 25,
+	}})
+	if !strings.Contains(out, "25.0%") {
+		t.Fatalf("render:\n%s", out)
+	}
+}

@@ -1,0 +1,68 @@
+package exp
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestAllCasesDefaultScale runs the full Table 1 pipeline — all eight
+// tests at the default reproduction scale (~2 minutes) — and asserts the
+// paper's qualitative results. Skipped under -short.
+func TestAllCasesDefaultScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale integration run; use -short to skip")
+	}
+	sc := DefaultScale()
+	var rows []*Table1Row
+	for _, name := range CaseNames {
+		row := RunCase(BuildCase(name, sc), sc, nil)
+		rows = append(rows, row)
+		fmt.Printf("%-12s prod=%-42s relabel=%.0f%% twoSat=%.1f%% statSat=%.1f%%\n",
+			name, row.Report.Production, 100*row.Report.RelabelFraction,
+			100*row.TwoLevelAccuracy, 100*row.StaticAccuracy)
+	}
+	fmt.Println(RenderTable1(rows))
+
+	adaptiveWins := 0
+	oneLevelAccMisses := 0
+	for _, r := range rows {
+		// The dynamic oracle bounds the two-level method (tolerance for
+		// satisfaction-constrained programs, where the oracle is held to
+		// the accuracy bar but a classifier may skirt it on a few inputs).
+		if r.TwoLevelNoFX > r.DynamicOracle*1.10 {
+			t.Errorf("%s: two-level %.2fx above dynamic oracle %.2fx", r.Name, r.TwoLevelNoFX, r.DynamicOracle)
+		}
+		// Two-level never loses meaningfully to the static oracle (the
+		// paper's minimum is 1.04x; ours has a static-oracle fallback
+		// candidate, so only feature cost can pull it below 1.0).
+		if r.TwoLevelFX < 0.95 {
+			t.Errorf("%s: two-level w/ features %.2fx lost to the static oracle", r.Name, r.TwoLevelFX)
+		}
+		// Feature extraction must cost the one-level method (all features,
+		// all levels) at least as much as the two-level method.
+		oneGap := r.OneLevelNoFX - r.OneLevelFX
+		twoGap := r.TwoLevelNoFX - r.TwoLevelFX
+		if oneGap < twoGap-0.02 {
+			t.Errorf("%s: one-level fx overhead (%.3f) below two-level (%.3f)", r.Name, oneGap, twoGap)
+		}
+		// Two-level satisfaction stays near the H2 bar.
+		if r.TwoLevelAccuracy < 0.90 {
+			t.Errorf("%s: two-level satisfaction %.1f%% collapsed", r.Name, 100*r.TwoLevelAccuracy)
+		}
+		if r.TwoLevelFX > 1.15 {
+			adaptiveWins++
+		}
+		if r.OneLevelAccuracy < 0.90 {
+			oneLevelAccMisses++
+		}
+	}
+	// The headline: input adaptation wins clearly on several benchmarks...
+	if adaptiveWins < 3 {
+		t.Errorf("only %d benchmarks show a clear two-level win; expected at least 3", adaptiveWins)
+	}
+	// ...and the one-level method misses the accuracy bar on several
+	// (the paper's rightmost Table 1 column).
+	if oneLevelAccMisses < 2 {
+		t.Errorf("one-level method missed accuracy on only %d benchmarks; expected at least 2", oneLevelAccMisses)
+	}
+}

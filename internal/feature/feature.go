@@ -1,0 +1,202 @@
+// Package feature reproduces the paper's input_feature language extension:
+// programmer-defined feature extractors, each available at z sampling
+// levels of increasing cost and fidelity (the paper's `level` tunable with
+// z = 3 in the evaluation). Extraction work is charged to a cost.Meter so
+// the learner can weigh a feature's usefulness against the runtime overhead
+// of computing it — one of the paper's three core challenges ("Costly
+// Features").
+package feature
+
+import (
+	"fmt"
+
+	"inputtune/internal/cost"
+)
+
+// Input is the minimal view of a program input the framework needs; the
+// concrete type is benchmark-specific.
+type Input interface {
+	// Size returns the problem size (list length, matrix elements, grid
+	// points); selectors and extraction-cost accounting key off it.
+	Size() int
+}
+
+// LevelFunc computes one feature at one sampling level, charging its
+// analysis work (typically cost.Scan per element touched) to m. It must be
+// deterministic and side-effect free, mirroring the paper's requirement
+// that feature extractors have no side effects.
+type LevelFunc func(in Input, m *cost.Meter) float64
+
+// Extractor is one input property with its ladder of sampling levels,
+// cheapest first.
+type Extractor struct {
+	Name   string
+	Levels []LevelFunc
+}
+
+// Set is the full feature battery of a program: u properties, each at z
+// levels, for M = u*z features total. All extractors must share the same z.
+type Set struct {
+	Extractors []Extractor
+	z          int
+}
+
+// NewSet validates that all extractors have the same number of levels and
+// returns the assembled set.
+func NewSet(extractors ...Extractor) (*Set, error) {
+	if len(extractors) == 0 {
+		return nil, fmt.Errorf("feature: empty extractor set")
+	}
+	z := len(extractors[0].Levels)
+	if z == 0 {
+		return nil, fmt.Errorf("feature: extractor %q has no levels", extractors[0].Name)
+	}
+	for _, e := range extractors[1:] {
+		if len(e.Levels) != z {
+			return nil, fmt.Errorf("feature: extractor %q has %d levels, want %d", e.Name, len(e.Levels), z)
+		}
+	}
+	return &Set{Extractors: extractors, z: z}, nil
+}
+
+// MustNewSet is NewSet that panics on error; for package-level benchmark
+// definitions whose shape is static.
+func MustNewSet(extractors ...Extractor) *Set {
+	s, err := NewSet(extractors...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// NumProperties returns u.
+func (s *Set) NumProperties() int { return len(s.Extractors) }
+
+// LevelsPerProperty returns z.
+func (s *Set) LevelsPerProperty() int { return s.z }
+
+// NumFeatures returns M = u*z.
+func (s *Set) NumFeatures() int { return len(s.Extractors) * s.z }
+
+// FeatureName returns a stable name for flat feature index f, e.g.
+// "sortedness@1" for property "sortedness" at level 1.
+func (s *Set) FeatureName(f int) string {
+	p, l := f/s.z, f%s.z
+	return fmt.Sprintf("%s@%d", s.Extractors[p].Name, l)
+}
+
+// Index returns the flat feature index of (property, level).
+func (s *Set) Index(property, level int) int { return property*s.z + level }
+
+// ExtractAll computes every feature of in, returning the M-vector of values
+// and the M-vector of per-feature extraction costs in virtual time units.
+func (s *Set) ExtractAll(in Input) (vals, costs []float64) {
+	M := s.NumFeatures()
+	vals = make([]float64, M)
+	costs = make([]float64, M)
+	for p, e := range s.Extractors {
+		for l, fn := range e.Levels {
+			m := cost.NewMeter()
+			f := s.Index(p, l)
+			vals[f] = fn(in, m)
+			costs[f] = m.Elapsed()
+		}
+	}
+	return vals, costs
+}
+
+// ExtractSubset computes only the features listed in indices, charging
+// their combined cost to meter (which may be nil). Unlisted entries of the
+// returned vector are zero; callers use the same indices to slice it.
+func (s *Set) ExtractSubset(in Input, indices []int, meter *cost.Meter) []float64 {
+	vals := make([]float64, s.NumFeatures())
+	m := meter
+	if m == nil {
+		m = cost.NewMeter()
+	}
+	for _, f := range indices {
+		p, l := f/s.z, f%s.z
+		vals[f] = s.Extractors[p].Levels[l](in, m)
+	}
+	return vals
+}
+
+// Subset encodes a per-property level selection: entry p is the chosen
+// sampling level for property p, or -1 if the property is not used. This is
+// the unit the exhaustive feature-subset classifiers enumerate: for u
+// properties at z levels there are (z+1)^u subsets.
+type Subset []int
+
+// EnumerateSubsets returns all (z+1)^u subsets for u properties at z
+// levels, in lexicographic order starting from the empty subset.
+func EnumerateSubsets(u, z int) []Subset {
+	total := 1
+	for i := 0; i < u; i++ {
+		total *= z + 1
+	}
+	out := make([]Subset, 0, total)
+	cur := make(Subset, u)
+	for i := range cur {
+		cur[i] = -1
+	}
+	for {
+		out = append(out, append(Subset(nil), cur...))
+		// Increment mixed-radix counter with digits in {-1, 0, .., z-1}.
+		i := u - 1
+		for i >= 0 {
+			cur[i]++
+			if cur[i] < z {
+				break
+			}
+			cur[i] = -1
+			i--
+		}
+		if i < 0 {
+			break
+		}
+	}
+	return out
+}
+
+// Indices converts the subset to flat feature indices.
+func (ss Subset) Indices(z int) []int {
+	var out []int
+	for p, l := range ss {
+		if l >= 0 {
+			out = append(out, p*z+l)
+		}
+	}
+	return out
+}
+
+// Empty reports whether no property is selected.
+func (ss Subset) Empty() bool {
+	for _, l := range ss {
+		if l >= 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the subset like "{sortedness@1, deviation@0}".
+func (ss Subset) String() string {
+	return fmt.Sprintf("%v", []int(ss))
+}
+
+// Describe renders the subset with property names from the set.
+func (s *Set) Describe(ss Subset) string {
+	out := "{"
+	first := true
+	for p, l := range ss {
+		if l < 0 {
+			continue
+		}
+		if !first {
+			out += ", "
+		}
+		first = false
+		out += fmt.Sprintf("%s@%d", s.Extractors[p].Name, l)
+	}
+	return out + "}"
+}

@@ -1,0 +1,166 @@
+package linalg
+
+import (
+	"math"
+	"sort"
+)
+
+// EigenStats reports the work performed by an iterative eigensolver so that
+// callers can charge a cost.Meter without the solver depending on the cost
+// package.
+type EigenStats struct {
+	Sweeps    int // full Jacobi sweeps or power-iteration restarts
+	Rotations int // individual Jacobi rotations applied
+	MatVecs   int // matrix-vector products (power iteration)
+}
+
+// SymmetricEigen computes the eigendecomposition of a symmetric matrix
+// using the cyclic Jacobi method. It returns eigenvalues in descending
+// order, the matching eigenvectors as the columns of V, and work stats.
+func SymmetricEigen(a *Matrix, maxSweeps int, tol float64) (vals []float64, vecs *Matrix, st EigenStats) {
+	if a.Rows != a.Cols {
+		panic("linalg: SymmetricEigen of non-square matrix")
+	}
+	n := a.Rows
+	w := a.Clone()
+	v := Identity(n)
+	if maxSweeps <= 0 {
+		maxSweeps = 30
+	}
+	if tol <= 0 {
+		tol = 1e-12
+	}
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := 0.0
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off += w.At(i, j) * w.At(i, j)
+			}
+		}
+		if math.Sqrt(2*off) <= tol*w.FrobeniusNorm() {
+			break
+		}
+		st.Sweeps++
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := w.At(p, q)
+				if math.Abs(apq) < 1e-300 {
+					continue
+				}
+				app, aqq := w.At(p, p), w.At(q, q)
+				theta := (aqq - app) / (2 * apq)
+				t := math.Copysign(1, theta) / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+				st.Rotations++
+				// Update rows/columns p and q of W.
+				for k := 0; k < n; k++ {
+					wkp, wkq := w.At(k, p), w.At(k, q)
+					w.Set(k, p, c*wkp-s*wkq)
+					w.Set(k, q, s*wkp+c*wkq)
+				}
+				for k := 0; k < n; k++ {
+					wpk, wqk := w.At(p, k), w.At(q, k)
+					w.Set(p, k, c*wpk-s*wqk)
+					w.Set(q, k, s*wpk+c*wqk)
+				}
+				// Accumulate eigenvectors.
+				for k := 0; k < n; k++ {
+					vkp, vkq := v.At(k, p), v.At(k, q)
+					v.Set(k, p, c*vkp-s*vkq)
+					v.Set(k, q, s*vkp+c*vkq)
+				}
+			}
+		}
+	}
+	vals = make([]float64, n)
+	for i := range vals {
+		vals[i] = w.At(i, i)
+	}
+	// Sort eigenpairs by descending eigenvalue.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(x, y int) bool { return vals[idx[x]] > vals[idx[y]] })
+	sortedVals := make([]float64, n)
+	sortedVecs := NewMatrix(n, n)
+	for newCol, oldCol := range idx {
+		sortedVals[newCol] = vals[oldCol]
+		for r := 0; r < n; r++ {
+			sortedVecs.Set(r, newCol, v.At(r, oldCol))
+		}
+	}
+	return sortedVals, sortedVecs, st
+}
+
+// PowerIteration approximates the k dominant eigenpairs of the symmetric
+// matrix a via power iteration with Hotelling deflation. Each eigenpair is
+// refined for at most iters iterations or until the eigenvector rotates by
+// less than tol between iterations. Returned eigenvalues are in order of
+// extraction (descending |λ| in exact arithmetic).
+func PowerIteration(a *Matrix, k, iters int, tol float64, seedVec []float64) (vals []float64, vecs *Matrix, st EigenStats) {
+	if a.Rows != a.Cols {
+		panic("linalg: PowerIteration of non-square matrix")
+	}
+	n := a.Rows
+	if k > n {
+		k = n
+	}
+	if iters <= 0 {
+		iters = 100
+	}
+	if tol <= 0 {
+		tol = 1e-10
+	}
+	work := a.Clone()
+	vals = make([]float64, 0, k)
+	vecs = NewMatrix(n, k)
+	x := make([]float64, n)
+	prev := make([]float64, n)
+	for e := 0; e < k; e++ {
+		// Deterministic start vector, perturbed per eigenpair; callers may
+		// pass a seed vector to decorrelate from special structure.
+		for i := range x {
+			x[i] = 1 + 0.01*float64((i+e)%7)
+			if seedVec != nil {
+				x[i] += seedVec[i%len(seedVec)]
+			}
+		}
+		Normalize(x)
+		st.Sweeps++
+		var lambda float64
+		for it := 0; it < iters; it++ {
+			copy(prev, x)
+			y := work.MulVec(x)
+			st.MatVecs++
+			nrm := Normalize(y)
+			if nrm == 0 {
+				break
+			}
+			copy(x, y)
+			lambda = Dot(x, work.MulVec(x))
+			st.MatVecs++
+			// Convergence: direction change below tol (sign-insensitive).
+			diff := 0.0
+			for i := range x {
+				d := math.Abs(x[i]) - math.Abs(prev[i])
+				diff += d * d
+			}
+			if math.Sqrt(diff) < tol {
+				break
+			}
+		}
+		vals = append(vals, lambda)
+		for i := 0; i < n; i++ {
+			vecs.Set(i, e, x[i])
+		}
+		// Deflate: work -= λ x x^T.
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				work.Set(i, j, work.At(i, j)-lambda*x[i]*x[j])
+			}
+		}
+	}
+	return vals, vecs, st
+}

@@ -1,0 +1,147 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrSingular is returned when a factorisation encounters a (numerically)
+// singular matrix.
+var ErrSingular = errors.New("linalg: matrix is singular")
+
+// LU holds an LU factorisation with partial pivoting: P*A = L*U, with L
+// unit-lower-triangular and U upper-triangular packed into a single matrix.
+type LU struct {
+	lu    *Matrix
+	pivot []int
+	sign  float64
+}
+
+// FactorLU computes the LU factorisation of the square matrix a.
+func FactorLU(a *Matrix) (*LU, error) {
+	if a.Rows != a.Cols {
+		panic("linalg: LU of non-square matrix")
+	}
+	n := a.Rows
+	lu := a.Clone()
+	pivot := make([]int, n)
+	sign := 1.0
+	for k := 0; k < n; k++ {
+		// Partial pivot: largest |entry| in column k at or below the diagonal.
+		p := k
+		max := math.Abs(lu.At(k, k))
+		for i := k + 1; i < n; i++ {
+			if v := math.Abs(lu.At(i, k)); v > max {
+				max, p = v, i
+			}
+		}
+		if max < 1e-14 {
+			return nil, ErrSingular
+		}
+		pivot[k] = p
+		if p != k {
+			rk, rp := lu.Row(k), lu.Row(p)
+			for j := 0; j < n; j++ {
+				rk[j], rp[j] = rp[j], rk[j]
+			}
+			sign = -sign
+		}
+		pivKk := lu.At(k, k)
+		for i := k + 1; i < n; i++ {
+			m := lu.At(i, k) / pivKk
+			lu.Set(i, k, m)
+			ri, rk := lu.Row(i), lu.Row(k)
+			for j := k + 1; j < n; j++ {
+				ri[j] -= m * rk[j]
+			}
+		}
+	}
+	return &LU{lu: lu, pivot: pivot, sign: sign}, nil
+}
+
+// Solve returns x such that A*x = b for the factored A.
+func (f *LU) Solve(b []float64) []float64 {
+	n := f.lu.Rows
+	if len(b) != n {
+		panic("linalg: LU solve dimension mismatch")
+	}
+	x := append([]float64(nil), b...)
+	// Apply the recorded row interchanges.
+	for k := 0; k < n; k++ {
+		if p := f.pivot[k]; p != k {
+			x[k], x[p] = x[p], x[k]
+		}
+	}
+	// Forward substitution with unit-lower L.
+	for i := 1; i < n; i++ {
+		row := f.lu.Row(i)
+		sum := x[i]
+		for j := 0; j < i; j++ {
+			sum -= row[j] * x[j]
+		}
+		x[i] = sum
+	}
+	// Back substitution with U.
+	for i := n - 1; i >= 0; i-- {
+		row := f.lu.Row(i)
+		sum := x[i]
+		for j := i + 1; j < n; j++ {
+			sum -= row[j] * x[j]
+		}
+		x[i] = sum / row[i]
+	}
+	return x
+}
+
+// Det returns the determinant of the factored matrix.
+func (f *LU) Det() float64 {
+	d := f.sign
+	for i := 0; i < f.lu.Rows; i++ {
+		d *= f.lu.At(i, i)
+	}
+	return d
+}
+
+// SolveLinear factors a and solves a single system in one call.
+func SolveLinear(a *Matrix, b []float64) ([]float64, error) {
+	f, err := FactorLU(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(b), nil
+}
+
+// Tridiagonal solves a tridiagonal system via the Thomas algorithm. sub,
+// diag and sup are the sub-, main and super-diagonals; len(diag) == n,
+// len(sub) == len(sup) == n-1. The inputs are not modified.
+func Tridiagonal(sub, diag, sup, b []float64) ([]float64, error) {
+	n := len(diag)
+	if len(b) != n || len(sub) != n-1 || len(sup) != n-1 {
+		panic("linalg: Tridiagonal dimension mismatch")
+	}
+	c := append([]float64(nil), sup...)
+	d := append([]float64(nil), b...)
+	beta := diag[0]
+	if math.Abs(beta) < 1e-14 {
+		return nil, ErrSingular
+	}
+	x := make([]float64, n)
+	c = append(c, 0) // pad so indexing is uniform
+	c[0] = sup[0] / beta
+	d[0] = b[0] / beta
+	for i := 1; i < n; i++ {
+		beta = diag[i] - sub[i-1]*c[i-1]
+		if math.Abs(beta) < 1e-14 {
+			return nil, ErrSingular
+		}
+		if i < n-1 {
+			c[i] = sup[i] / beta
+		}
+		d[i] = (b[i] - sub[i-1]*d[i-1]) / beta
+	}
+	x[n-1] = d[n-1]
+	for i := n - 2; i >= 0; i-- {
+		x[i] = d[i] - c[i]*x[i+1]
+	}
+	return x, nil
+}

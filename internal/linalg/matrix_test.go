@@ -1,0 +1,207 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"inputtune/internal/rng"
+)
+
+func TestBasicOps(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{5, 6}, {7, 8}})
+	sum := a.Add(b)
+	if sum.At(0, 0) != 6 || sum.At(1, 1) != 12 {
+		t.Fatalf("Add wrong: %+v", sum)
+	}
+	diff := b.Sub(a)
+	if diff.At(0, 0) != 4 || diff.At(1, 1) != 4 {
+		t.Fatalf("Sub wrong: %+v", diff)
+	}
+	sc := a.Scale(2)
+	if sc.At(1, 0) != 6 {
+		t.Fatalf("Scale wrong: %+v", sc)
+	}
+}
+
+func TestMul(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{5, 6}, {7, 8}})
+	c := a.Mul(b)
+	want := FromRows([][]float64{{19, 22}, {43, 50}})
+	if !c.EqualTol(want, 1e-12) {
+		t.Fatalf("Mul = %+v", c)
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	a := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	y := a.MulVec([]float64{1, 1, 1})
+	if y[0] != 6 || y[1] != 15 {
+		t.Fatalf("MulVec = %v", y)
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	a := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	at := a.T()
+	if at.Rows != 3 || at.Cols != 2 || at.At(2, 1) != 6 {
+		t.Fatalf("T wrong: %+v", at)
+	}
+	if !at.T().EqualTol(a, 0) {
+		t.Fatal("double transpose not identity")
+	}
+}
+
+func TestIdentityMulProperty(t *testing.T) {
+	r := rng.New(5)
+	check := func(seed uint16) bool {
+		rr := rng.New(uint64(seed) ^ r.Uint64())
+		n := rr.IntRange(1, 8)
+		a := Random(n, n, rr)
+		return a.Mul(Identity(n)).EqualTol(a, 1e-12) &&
+			Identity(n).Mul(a).EqualTol(a, 1e-12)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNorms(t *testing.T) {
+	a := FromRows([][]float64{{3, 0}, {0, 4}})
+	if n := a.FrobeniusNorm(); math.Abs(n-5) > 1e-12 {
+		t.Fatalf("frobenius = %v", n)
+	}
+	if n := a.MaxAbs(); n != 4 {
+		t.Fatalf("maxabs = %v", n)
+	}
+	if n := a.RMS(); math.Abs(n-2.5) > 1e-12 {
+		t.Fatalf("rms = %v", n)
+	}
+}
+
+func TestVectorHelpers(t *testing.T) {
+	if d := Dot([]float64{1, 2, 3}, []float64{4, 5, 6}); d != 32 {
+		t.Fatalf("Dot = %v", d)
+	}
+	if n := Norm2([]float64{3, 4}); math.Abs(n-5) > 1e-12 {
+		t.Fatalf("Norm2 = %v", n)
+	}
+	y := []float64{1, 1}
+	AXPY(2, []float64{10, 20}, y)
+	if y[0] != 21 || y[1] != 41 {
+		t.Fatalf("AXPY = %v", y)
+	}
+	x := []float64{0, 3, 4}
+	if n := Normalize(x); math.Abs(n-5) > 1e-12 || math.Abs(Norm2(x)-1) > 1e-12 {
+		t.Fatalf("Normalize: norm=%v x=%v", n, x)
+	}
+	z := []float64{0, 0}
+	if n := Normalize(z); n != 0 {
+		t.Fatalf("Normalize zero vector = %v", n)
+	}
+}
+
+func TestLUSolve(t *testing.T) {
+	a := FromRows([][]float64{{4, 3}, {6, 3}})
+	f, err := FactorLU(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := f.Solve([]float64{10, 12})
+	// 4x+3y=10, 6x+3y=12 -> x=1, y=2
+	if math.Abs(x[0]-1) > 1e-9 || math.Abs(x[1]-2) > 1e-9 {
+		t.Fatalf("solve = %v", x)
+	}
+	if d := f.Det(); math.Abs(d-(-6)) > 1e-9 {
+		t.Fatalf("det = %v, want -6", d)
+	}
+}
+
+func TestLUSingular(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {2, 4}})
+	if _, err := FactorLU(a); err != ErrSingular {
+		t.Fatalf("err = %v, want ErrSingular", err)
+	}
+}
+
+func TestLUSolveRandomProperty(t *testing.T) {
+	r := rng.New(77)
+	check := func(seed uint16) bool {
+		rr := rng.New(uint64(seed)*31 + r.Uint64()%7)
+		n := rr.IntRange(2, 12)
+		a := Random(n, n, rr)
+		// Diagonal boost to avoid near-singular draws.
+		for i := 0; i < n; i++ {
+			a.Set(i, i, a.At(i, i)+float64(n))
+		}
+		want := make([]float64, n)
+		for i := range want {
+			want[i] = rr.Range(-5, 5)
+		}
+		b := a.MulVec(want)
+		got, err := SolveLinear(a, b)
+		if err != nil {
+			return false
+		}
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTridiagonal(t *testing.T) {
+	// System: [2 -1 0; -1 2 -1; 0 -1 2] x = [1 0 1] -> x = [1 1 1]
+	x, err := Tridiagonal([]float64{-1, -1}, []float64{2, 2, 2}, []float64{-1, -1}, []float64{1, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range x {
+		if math.Abs(v-1) > 1e-9 {
+			t.Fatalf("x[%d] = %v", i, v)
+		}
+	}
+}
+
+func TestQRDecomposition(t *testing.T) {
+	r := rng.New(123)
+	a := Random(6, 4, r)
+	f := FactorQR(a)
+	// Q orthogonal.
+	qtq := f.Q.T().Mul(f.Q)
+	if !qtq.EqualTol(Identity(6), 1e-9) {
+		t.Fatal("Q not orthogonal")
+	}
+	// A = Q R.
+	if !f.Q.Mul(f.R).EqualTol(a, 1e-9) {
+		t.Fatal("QR does not reconstruct A")
+	}
+	// R upper-trapezoidal.
+	for i := 1; i < f.R.Rows; i++ {
+		for j := 0; j < f.R.Cols && j < i; j++ {
+			if f.R.At(i, j) != 0 {
+				t.Fatalf("R(%d,%d) = %v below diagonal", i, j, f.R.At(i, j))
+			}
+		}
+	}
+}
+
+func TestQRLeastSquares(t *testing.T) {
+	// Fit y = 2x + 1 exactly.
+	a := FromRows([][]float64{{0, 1}, {1, 1}, {2, 1}, {3, 1}})
+	f := FactorQR(a)
+	x, err := f.SolveLeastSquares([]float64{1, 3, 5, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-2) > 1e-9 || math.Abs(x[1]-1) > 1e-9 {
+		t.Fatalf("least squares = %v", x)
+	}
+}

@@ -1,0 +1,111 @@
+package linalg
+
+import "math"
+
+// QR holds a Householder QR factorisation A = Q*R for an m-by-n matrix with
+// m >= n.
+type QR struct {
+	Q *Matrix // m-by-m orthogonal
+	R *Matrix // m-by-n upper trapezoidal
+}
+
+// FactorQR computes a Householder QR factorisation. It requires
+// a.Rows >= a.Cols.
+func FactorQR(a *Matrix) *QR {
+	if a.Rows < a.Cols {
+		panic("linalg: QR requires rows >= cols")
+	}
+	m, n := a.Rows, a.Cols
+	r := a.Clone()
+	q := Identity(m)
+	v := make([]float64, m)
+	for k := 0; k < n; k++ {
+		// Build the Householder vector for column k.
+		alpha := 0.0
+		for i := k; i < m; i++ {
+			alpha += r.At(i, k) * r.At(i, k)
+		}
+		alpha = math.Sqrt(alpha)
+		if alpha == 0 {
+			continue
+		}
+		if r.At(k, k) > 0 {
+			alpha = -alpha
+		}
+		for i := 0; i < k; i++ {
+			v[i] = 0
+		}
+		v[k] = r.At(k, k) - alpha
+		for i := k + 1; i < m; i++ {
+			v[i] = r.At(i, k)
+		}
+		vnorm2 := 0.0
+		for i := k; i < m; i++ {
+			vnorm2 += v[i] * v[i]
+		}
+		if vnorm2 == 0 {
+			continue
+		}
+		// Apply H = I - 2 v v^T / (v^T v) to R (from the left)...
+		for j := k; j < n; j++ {
+			dot := 0.0
+			for i := k; i < m; i++ {
+				dot += v[i] * r.At(i, j)
+			}
+			f := 2 * dot / vnorm2
+			for i := k; i < m; i++ {
+				r.Set(i, j, r.At(i, j)-f*v[i])
+			}
+		}
+		// ...and accumulate Q = Q * H.
+		for i := 0; i < m; i++ {
+			dot := 0.0
+			for j := k; j < m; j++ {
+				dot += q.At(i, j) * v[j]
+			}
+			f := 2 * dot / vnorm2
+			for j := k; j < m; j++ {
+				q.Set(i, j, q.At(i, j)-f*v[j])
+			}
+		}
+	}
+	// Zero the strictly-lower part of R that should be exactly zero.
+	for i := 1; i < m; i++ {
+		for j := 0; j < n && j < i; j++ {
+			r.Set(i, j, 0)
+		}
+	}
+	return &QR{Q: q, R: r}
+}
+
+// SolveLeastSquares returns the minimum-norm-residual solution of A*x ≈ b
+// using the factorisation (A must have full column rank).
+func (f *QR) SolveLeastSquares(b []float64) ([]float64, error) {
+	m, n := f.Q.Rows, f.R.Cols
+	if len(b) != m {
+		panic("linalg: least-squares dimension mismatch")
+	}
+	// y = Q^T b
+	y := make([]float64, m)
+	for j := 0; j < m; j++ {
+		sum := 0.0
+		for i := 0; i < m; i++ {
+			sum += f.Q.At(i, j) * b[i]
+		}
+		y[j] = sum
+	}
+	// Back-substitute R x = y (top n rows).
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		sum := y[i]
+		for j := i + 1; j < n; j++ {
+			sum -= f.R.At(i, j) * x[j]
+		}
+		d := f.R.At(i, i)
+		if math.Abs(d) < 1e-14 {
+			return nil, ErrSingular
+		}
+		x[i] = sum / d
+	}
+	return x, nil
+}

@@ -1,0 +1,198 @@
+package linalg
+
+import (
+	"math"
+	"sort"
+)
+
+// SVDResult holds a (possibly truncated) singular value decomposition
+// A ≈ U * diag(S) * V^T with singular values in descending order.
+type SVDResult struct {
+	U *Matrix   // m-by-r
+	S []float64 // length r, descending, non-negative
+	V *Matrix   // n-by-r
+	// Stats reports the iterative work performed so that callers can charge
+	// a cost meter.
+	Stats EigenStats
+}
+
+// JacobiSVD computes the full SVD of an m-by-n matrix (m >= n) using the
+// one-sided Jacobi (Hestenes) method: columns of a working copy of A are
+// orthogonalised by plane rotations accumulated into V.
+func JacobiSVD(a *Matrix, maxSweeps int, tol float64) *SVDResult {
+	if a.Rows < a.Cols {
+		// Decompose the transpose and swap U/V.
+		r := JacobiSVD(a.T(), maxSweeps, tol)
+		return &SVDResult{U: r.V, S: r.S, V: r.U, Stats: r.Stats}
+	}
+	m, n := a.Rows, a.Cols
+	w := a.Clone()
+	v := Identity(n)
+	if maxSweeps <= 0 {
+		maxSweeps = 30
+	}
+	if tol <= 0 {
+		tol = 1e-12
+	}
+	var st EigenStats
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		converged := true
+		st.Sweeps++
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				// Compute the 2x2 Gram submatrix for columns p, q.
+				var app, aqq, apq float64
+				for i := 0; i < m; i++ {
+					wip, wiq := w.At(i, p), w.At(i, q)
+					app += wip * wip
+					aqq += wiq * wiq
+					apq += wip * wiq
+				}
+				if math.Abs(apq) <= tol*math.Sqrt(app*aqq)+1e-300 {
+					continue
+				}
+				converged = false
+				st.Rotations++
+				theta := (aqq - app) / (2 * apq)
+				t := math.Copysign(1, theta) / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+				for i := 0; i < m; i++ {
+					wip, wiq := w.At(i, p), w.At(i, q)
+					w.Set(i, p, c*wip-s*wiq)
+					w.Set(i, q, s*wip+c*wiq)
+				}
+				for i := 0; i < n; i++ {
+					vip, viq := v.At(i, p), v.At(i, q)
+					v.Set(i, p, c*vip-s*viq)
+					v.Set(i, q, s*vip+c*viq)
+				}
+			}
+		}
+		if converged {
+			break
+		}
+	}
+	// Column norms of W are the singular values; normalised columns are U.
+	s := make([]float64, n)
+	u := NewMatrix(m, n)
+	for j := 0; j < n; j++ {
+		nrm := 0.0
+		for i := 0; i < m; i++ {
+			nrm += w.At(i, j) * w.At(i, j)
+		}
+		nrm = math.Sqrt(nrm)
+		s[j] = nrm
+		if nrm > 0 {
+			for i := 0; i < m; i++ {
+				u.Set(i, j, w.At(i, j)/nrm)
+			}
+		}
+	}
+	// Sort by descending singular value.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(x, y int) bool { return s[idx[x]] > s[idx[y]] })
+	ss := make([]float64, n)
+	us := NewMatrix(m, n)
+	vs := NewMatrix(n, n)
+	for newCol, oldCol := range idx {
+		ss[newCol] = s[oldCol]
+		for i := 0; i < m; i++ {
+			us.Set(i, newCol, u.At(i, oldCol))
+		}
+		for i := 0; i < n; i++ {
+			vs.Set(i, newCol, v.At(i, oldCol))
+		}
+	}
+	return &SVDResult{U: us, S: ss, V: vs, Stats: st}
+}
+
+// Truncate returns a copy of the decomposition keeping only the k leading
+// singular triplets (k is clamped to the available rank).
+func (r *SVDResult) Truncate(k int) *SVDResult {
+	if k >= len(r.S) {
+		return r
+	}
+	if k < 1 {
+		k = 1
+	}
+	u := NewMatrix(r.U.Rows, k)
+	v := NewMatrix(r.V.Rows, k)
+	for j := 0; j < k; j++ {
+		for i := 0; i < r.U.Rows; i++ {
+			u.Set(i, j, r.U.At(i, j))
+		}
+		for i := 0; i < r.V.Rows; i++ {
+			v.Set(i, j, r.V.At(i, j))
+		}
+	}
+	return &SVDResult{U: u, S: append([]float64(nil), r.S[:k]...), V: v, Stats: r.Stats}
+}
+
+// Reconstruct returns U * diag(S) * V^T.
+func (r *SVDResult) Reconstruct() *Matrix {
+	m, n, k := r.U.Rows, r.V.Rows, len(r.S)
+	out := NewMatrix(m, n)
+	for j := 0; j < k; j++ {
+		sj := r.S[j]
+		if sj == 0 {
+			continue
+		}
+		for i := 0; i < m; i++ {
+			uij := r.U.At(i, j) * sj
+			if uij == 0 {
+				continue
+			}
+			oi := out.Row(i)
+			for c := 0; c < n; c++ {
+				oi[c] += uij * r.V.At(c, j)
+			}
+		}
+	}
+	return out
+}
+
+// EigenSVD computes a rank-k SVD of an m-by-n matrix via the symmetric
+// eigendecomposition of A^T A (suitable when n is modest), using the
+// provided eigensolver function. It exists so the SVD benchmark can swap
+// eigen techniques (full Jacobi vs. power iteration) as algorithmic choices.
+func EigenSVD(a *Matrix, k int, eigen func(gram *Matrix) ([]float64, *Matrix, EigenStats)) *SVDResult {
+	n := a.Cols
+	if k > n {
+		k = n
+	}
+	gram := a.T().Mul(a)
+	vals, vecs, st := eigen(gram)
+	if len(vals) > k {
+		vals = vals[:k]
+	}
+	kk := len(vals)
+	s := make([]float64, kk)
+	v := NewMatrix(n, kk)
+	for j := 0; j < kk; j++ {
+		if vals[j] > 0 {
+			s[j] = math.Sqrt(vals[j])
+		}
+		for i := 0; i < n; i++ {
+			v.Set(i, j, vecs.At(i, j))
+		}
+	}
+	// U = A V S^{-1}
+	u := NewMatrix(a.Rows, kk)
+	for j := 0; j < kk; j++ {
+		col := make([]float64, n)
+		for i := 0; i < n; i++ {
+			col[i] = v.At(i, j)
+		}
+		av := a.MulVec(col)
+		if s[j] > 1e-300 {
+			for i := range av {
+				u.Set(i, j, av[i]/s[j])
+			}
+		}
+	}
+	return &SVDResult{U: u, S: s, V: v, Stats: st}
+}

@@ -1,0 +1,203 @@
+package bayes
+
+import (
+	"math"
+	"testing"
+
+	"inputtune/internal/rng"
+)
+
+// separableData: feature 0 perfectly separates the classes; feature 1 is
+// pure noise.
+func separableData(n int, seed uint64) ([][]float64, []int) {
+	r := rng.New(seed)
+	X := make([][]float64, n)
+	y := make([]int, n)
+	for i := range X {
+		if r.Bool() {
+			X[i] = []float64{r.Range(0, 1), r.Range(0, 10)}
+			y[i] = 0
+		} else {
+			X[i] = []float64{r.Range(2, 3), r.Range(0, 10)}
+			y[i] = 1
+		}
+	}
+	return X, y
+}
+
+func TestPredictFullAccuracy(t *testing.T) {
+	X, y := separableData(400, 1)
+	c := Train(X[:300], y[:300], Options{NumClasses: 2})
+	errs := 0
+	for i := 300; i < 400; i++ {
+		if c.PredictFull(X[i]) != y[i] {
+			errs++
+		}
+	}
+	if errs > 5 {
+		t.Fatalf("%d/100 errors on separable data", errs)
+	}
+}
+
+func TestIncrementalStopsEarlyOnStrongFeature(t *testing.T) {
+	X, y := separableData(500, 2)
+	// Eight regions keep the class boundary out of the region containing
+	// X[0], so the first feature alone is decisive.
+	c := Train(X, y, Options{NumClasses: 2, Threshold: 0.9, Regions: 8})
+	// Feature 0 is decisive: classification should stop after acquiring it.
+	pred, used := c.Classify(func(f int) float64 { return X[0][f] })
+	if pred != y[0] {
+		t.Fatalf("predicted %d, want %d", pred, y[0])
+	}
+	if len(used) != 1 || used[0] != 0 {
+		t.Fatalf("acquired features %v, want just [0]", used)
+	}
+}
+
+func TestIncrementalAcquiresMoreWhenUncertain(t *testing.T) {
+	// Feature 0 is useless; feature 1 decides. The classifier must keep
+	// acquiring past feature 0.
+	r := rng.New(3)
+	var X [][]float64
+	var y []int
+	for i := 0; i < 500; i++ {
+		cls := 0
+		if r.Bool() {
+			cls = 1
+		}
+		X = append(X, []float64{r.Range(0, 1), float64(cls*10) + r.Range(0, 1)})
+		y = append(y, cls)
+	}
+	c := Train(X, y, Options{NumClasses: 2, Threshold: 0.9})
+	correct := 0
+	sawMultiFeature := false
+	for i := 0; i < 100; i++ {
+		pred, used := c.Classify(func(f int) float64 { return X[i][f] })
+		if pred == y[i] {
+			correct++
+		}
+		if len(used) > 1 {
+			sawMultiFeature = true
+		}
+	}
+	if correct < 90 {
+		t.Fatalf("only %d/100 correct", correct)
+	}
+	if !sawMultiFeature {
+		t.Fatal("never acquired the decisive second feature")
+	}
+}
+
+func TestCustomOrderRespected(t *testing.T) {
+	X, y := separableData(300, 5)
+	c := Train(X, y, Options{NumClasses: 2, Order: []int{1, 0}, Threshold: 0.99})
+	_, used := c.Classify(func(f int) float64 { return X[0][f] })
+	if used[0] != 1 {
+		t.Fatalf("first acquired feature %d, want 1 (per custom order)", used[0])
+	}
+}
+
+func TestPriorsDominateWithUselessFeatures(t *testing.T) {
+	// 90/10 class imbalance, feature carries no signal: prediction should
+	// be the majority class.
+	r := rng.New(7)
+	var X [][]float64
+	var y []int
+	for i := 0; i < 500; i++ {
+		X = append(X, []float64{r.Range(0, 1)})
+		if i%10 == 0 {
+			y = append(y, 1)
+		} else {
+			y = append(y, 0)
+		}
+	}
+	c := Train(X, y, Options{NumClasses: 2})
+	wrong := 0
+	for i := 0; i < 50; i++ {
+		if c.PredictFull([]float64{r.Range(0, 1)}) != 0 {
+			wrong++
+		}
+	}
+	if wrong > 5 {
+		t.Fatalf("majority prior ignored on %d/50 draws", wrong)
+	}
+}
+
+func TestRegionsBounded(t *testing.T) {
+	// Two distinct values but many requested regions: cuts must deduplicate.
+	X := [][]float64{{0}, {0}, {1}, {1}}
+	y := []int{0, 0, 1, 1}
+	c := Train(X, y, Options{NumClasses: 2, Regions: 32})
+	if len(c.cuts[0]) > 2 {
+		t.Fatalf("%d cuts for 2 distinct values", len(c.cuts[0]))
+	}
+	if c.PredictFull([]float64{0}) != 0 || c.PredictFull([]float64{1}) != 1 {
+		t.Fatal("two-value problem misclassified")
+	}
+}
+
+func TestMulticlass(t *testing.T) {
+	r := rng.New(9)
+	var X [][]float64
+	var y []int
+	for k := 0; k < 5; k++ {
+		for i := 0; i < 60; i++ {
+			X = append(X, []float64{float64(k) + r.Range(0, 0.5)})
+			y = append(y, k)
+		}
+	}
+	c := Train(X, y, Options{NumClasses: 5, Regions: 10})
+	errs := 0
+	for i := range X {
+		if c.PredictFull(X[i]) != y[i] {
+			errs++
+		}
+	}
+	if errs > 15 {
+		t.Fatalf("5-class training error %d/300", errs)
+	}
+}
+
+func TestFitSearchPicksLowScore(t *testing.T) {
+	X, y := separableData(200, 11)
+	calls := 0
+	// Score function that prefers high thresholds.
+	c, score := FitSearch(X, y, Options{NumClasses: 2}, []int{4, 8}, []float64{0.6, 0.9}, func(cl *Classifier) float64 {
+		calls++
+		return 1 - cl.Threshold()
+	})
+	if calls != 4 {
+		t.Fatalf("FitSearch tried %d combos, want 4", calls)
+	}
+	if c.Threshold() != 0.9 {
+		t.Fatalf("picked threshold %v, want 0.9", c.Threshold())
+	}
+	if math.Abs(score-0.1) > 1e-9 {
+		t.Fatalf("score = %v", score)
+	}
+}
+
+func TestFitSearchDefaults(t *testing.T) {
+	X, y := separableData(100, 13)
+	c, _ := FitSearch(X, y, Options{NumClasses: 2}, nil, nil, func(cl *Classifier) float64 { return 0 })
+	if c == nil {
+		t.Fatal("FitSearch returned nil with default grids")
+	}
+}
+
+func TestPanicsOnBadInput(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"empty":      func() { Train(nil, nil, Options{NumClasses: 2}) },
+		"mismatched": func() { Train([][]float64{{1}}, []int{0, 1}, Options{NumClasses: 2}) },
+		"noClasses":  func() { Train([][]float64{{1}}, []int{0}, Options{}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

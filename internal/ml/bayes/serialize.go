@@ -1,0 +1,42 @@
+package bayes
+
+import "encoding/json"
+
+// classifierJSON is the serialised form of a Classifier.
+type classifierJSON struct {
+	NumClasses int           `json:"num_classes"`
+	Threshold  float64       `json:"threshold"`
+	Order      []int         `json:"order"`
+	Cuts       [][]float64   `json:"cuts"`
+	LogCond    [][][]float64 `json:"log_cond"`
+	LogPrior   []float64     `json:"log_prior"`
+}
+
+// MarshalJSON serialises the fitted classifier.
+func (c *Classifier) MarshalJSON() ([]byte, error) {
+	return json.Marshal(classifierJSON{
+		NumClasses: c.opts.NumClasses,
+		Threshold:  c.opts.Threshold,
+		Order:      c.opts.Order,
+		Cuts:       c.cuts,
+		LogCond:    c.logCond,
+		LogPrior:   c.logPrior,
+	})
+}
+
+// UnmarshalJSON restores a classifier serialised by MarshalJSON.
+func (c *Classifier) UnmarshalJSON(data []byte) error {
+	var j classifierJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	c.opts = Options{
+		NumClasses: j.NumClasses,
+		Threshold:  j.Threshold,
+		Order:      j.Order,
+	}
+	c.cuts = j.Cuts
+	c.logCond = j.LogCond
+	c.logPrior = j.LogPrior
+	return nil
+}

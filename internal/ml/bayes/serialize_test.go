@@ -1,0 +1,40 @@
+package bayes
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestClassifierJSONRoundTrip(t *testing.T) {
+	X, y := separableData(300, 42)
+	orig := Train(X, y, Options{NumClasses: 2, Regions: 8, Threshold: 0.9})
+	data, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Classifier
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	for i := range X {
+		if orig.PredictFull(X[i]) != back.PredictFull(X[i]) {
+			t.Fatalf("full prediction diverged on row %d", i)
+		}
+		// Incremental acquisition must behave identically too.
+		lo, uo := orig.Classify(func(f int) float64 { return X[i][f] })
+		lb, ub := back.Classify(func(f int) float64 { return X[i][f] })
+		if lo != lb || len(uo) != len(ub) {
+			t.Fatalf("incremental path diverged on row %d", i)
+		}
+	}
+	if orig.Threshold() != back.Threshold() {
+		t.Fatal("threshold lost")
+	}
+}
+
+func TestClassifierUnmarshalGarbage(t *testing.T) {
+	var c Classifier
+	if err := json.Unmarshal([]byte("nope"), &c); err == nil {
+		t.Fatal("non-JSON accepted")
+	}
+}

@@ -1,0 +1,218 @@
+package dtree
+
+import (
+	"strings"
+	"testing"
+
+	"inputtune/internal/rng"
+)
+
+// axisData: class = 0 if x0 < 5, else 1. Perfectly separable on feature 0.
+func axisData(n int, seed uint64) ([][]float64, []int) {
+	r := rng.New(seed)
+	X := make([][]float64, n)
+	y := make([]int, n)
+	for i := range X {
+		x0 := r.Range(0, 10)
+		X[i] = []float64{x0, r.Range(0, 10)} // feature 1 is noise
+		if x0 < 5 {
+			y[i] = 0
+		} else {
+			y[i] = 1
+		}
+	}
+	return X, y
+}
+
+func TestPerfectSeparation(t *testing.T) {
+	X, y := axisData(200, 1)
+	tree := Train(X, y, Options{NumClasses: 2})
+	for i := range X {
+		if tree.Predict(X[i]) != y[i] {
+			t.Fatalf("misclassified training point %v (label %d)", X[i], y[i])
+		}
+	}
+	used := tree.FeaturesUsed()
+	if len(used) != 1 || used[0] != 0 {
+		t.Fatalf("tree used features %v, want [0]", used)
+	}
+}
+
+func TestGeneralisation(t *testing.T) {
+	X, y := axisData(300, 2)
+	tree := Train(X[:200], y[:200], Options{NumClasses: 2})
+	errs := 0
+	for i := 200; i < 300; i++ {
+		if tree.Predict(X[i]) != y[i] {
+			errs++
+		}
+	}
+	if errs > 5 {
+		t.Fatalf("%d/100 held-out errors on a trivially separable problem", errs)
+	}
+}
+
+func TestXorNeedsDepth(t *testing.T) {
+	// XOR pattern requires at least two levels of splits.
+	var X [][]float64
+	var y []int
+	r := rng.New(3)
+	for i := 0; i < 400; i++ {
+		a, b := r.Range(0, 1), r.Range(0, 1)
+		X = append(X, []float64{a, b})
+		if (a < 0.5) != (b < 0.5) {
+			y = append(y, 1)
+		} else {
+			y = append(y, 0)
+		}
+	}
+	tree := Train(X, y, Options{NumClasses: 2, MaxDepth: 6})
+	errs := 0
+	for i := range X {
+		if tree.Predict(X[i]) != y[i] {
+			errs++
+		}
+	}
+	if errs > 20 {
+		t.Fatalf("XOR training error %d/400", errs)
+	}
+	if tree.Depth() < 2 {
+		t.Fatalf("XOR solved at depth %d?", tree.Depth())
+	}
+}
+
+func TestMaxDepthRespected(t *testing.T) {
+	X, y := axisData(200, 5)
+	tree := Train(X, y, Options{NumClasses: 2, MaxDepth: 1})
+	if d := tree.Depth(); d > 1 {
+		t.Fatalf("depth %d exceeds max 1", d)
+	}
+}
+
+func TestFeatureRestriction(t *testing.T) {
+	X, y := axisData(200, 7)
+	// Restrict to the noise feature: the tree may split on it but must
+	// never touch feature 0.
+	tree := Train(X, y, Options{NumClasses: 2, Features: []int{1}})
+	for _, f := range tree.FeaturesUsed() {
+		if f != 1 {
+			t.Fatalf("restricted tree used feature %d", f)
+		}
+	}
+}
+
+func TestCostMatrixShiftsPrediction(t *testing.T) {
+	// One feature, classes overlap 50/50 at every x. With symmetric costs
+	// the majority (class 0, 60%) wins; with a heavy penalty for
+	// misclassifying true class 1 as 0, the tree should flip to class 1.
+	var X [][]float64
+	var y []int
+	for i := 0; i < 60; i++ {
+		X = append(X, []float64{1})
+		y = append(y, 0)
+	}
+	for i := 0; i < 40; i++ {
+		X = append(X, []float64{1})
+		y = append(y, 1)
+	}
+	plain := Train(X, y, Options{NumClasses: 2})
+	if got := plain.Predict([]float64{1}); got != 0 {
+		t.Fatalf("0/1 loss predicted %d, want majority 0", got)
+	}
+	costly := Train(X, y, Options{NumClasses: 2, CostMatrix: [][]float64{
+		{0, 1},
+		{10, 0}, // predicting 0 when truth is 1 costs 10x
+	}})
+	if got := costly.Predict([]float64{1}); got != 1 {
+		t.Fatalf("cost-sensitive tree predicted %d, want 1", got)
+	}
+}
+
+func TestMultiClass(t *testing.T) {
+	r := rng.New(11)
+	var X [][]float64
+	var y []int
+	for c := 0; c < 4; c++ {
+		for i := 0; i < 50; i++ {
+			X = append(X, []float64{float64(c) + r.Range(0, 0.8)})
+			y = append(y, c)
+		}
+	}
+	tree := Train(X, y, Options{NumClasses: 4})
+	errs := 0
+	for i := range X {
+		if tree.Predict(X[i]) != y[i] {
+			errs++
+		}
+	}
+	if errs > 4 {
+		t.Fatalf("4-class training error %d/200", errs)
+	}
+}
+
+func TestConstantFeaturesYieldLeaf(t *testing.T) {
+	X := [][]float64{{1}, {1}, {1}, {1}}
+	y := []int{0, 1, 0, 0}
+	tree := Train(X, y, Options{NumClasses: 2})
+	if tree.NumNodes() != 1 {
+		t.Fatalf("unsplittable data produced %d nodes", tree.NumNodes())
+	}
+	if tree.Predict([]float64{1}) != 0 {
+		t.Fatal("should predict majority class")
+	}
+}
+
+func TestSingleSample(t *testing.T) {
+	tree := Train([][]float64{{3}}, []int{1}, Options{NumClasses: 2})
+	if tree.Predict([]float64{99}) != 1 {
+		t.Fatal("single-sample tree should predict its only label")
+	}
+}
+
+func TestCrossValidate(t *testing.T) {
+	X, y := axisData(300, 13)
+	mean, perFold := CrossValidate(X, y, Options{NumClasses: 2}, 10, 99)
+	if len(perFold) != 10 {
+		t.Fatalf("perFold size %d", len(perFold))
+	}
+	if mean > 0.05 {
+		t.Fatalf("CV cost %v on separable data", mean)
+	}
+}
+
+func TestCrossValidateFoldsClamped(t *testing.T) {
+	X := [][]float64{{0}, {1}, {2}}
+	y := []int{0, 1, 1}
+	mean, perFold := CrossValidate(X, y, Options{NumClasses: 2, MinLeaf: 1}, 10, 1)
+	if len(perFold) != 3 {
+		t.Fatalf("folds not clamped: %d", len(perFold))
+	}
+	_ = mean
+}
+
+func TestStringRendering(t *testing.T) {
+	X, y := axisData(100, 17)
+	tree := Train(X, y, Options{NumClasses: 2})
+	s := tree.String()
+	if !strings.Contains(s, "class") || !strings.Contains(s, "f0 <") {
+		t.Fatalf("unexpected render:\n%s", s)
+	}
+}
+
+func TestPanicsOnBadInput(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"empty":      func() { Train(nil, nil, Options{NumClasses: 2}) },
+		"mismatched": func() { Train([][]float64{{1}}, []int{0, 1}, Options{NumClasses: 2}) },
+		"noClasses":  func() { Train([][]float64{{1}}, []int{0}, Options{}) },
+		"badFolds":   func() { CrossValidate([][]float64{{1}}, []int{0}, Options{NumClasses: 1}, 1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

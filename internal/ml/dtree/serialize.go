@@ -1,0 +1,88 @@
+package dtree
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// nodeJSON is the serialised form of a tree node.
+type nodeJSON struct {
+	Leaf      bool      `json:"leaf"`
+	Class     int       `json:"class,omitempty"`
+	Feature   int       `json:"feature,omitempty"`
+	Threshold float64   `json:"threshold,omitempty"`
+	Left      *nodeJSON `json:"left,omitempty"`
+	Right     *nodeJSON `json:"right,omitempty"`
+}
+
+// treeJSON is the serialised form of a Tree.
+type treeJSON struct {
+	NumClasses int       `json:"num_classes"`
+	Root       *nodeJSON `json:"root"`
+}
+
+func toJSON(n *node) *nodeJSON {
+	if n == nil {
+		return nil
+	}
+	if n.leaf {
+		return &nodeJSON{Leaf: true, Class: n.class}
+	}
+	return &nodeJSON{
+		Feature:   n.feature,
+		Threshold: n.threshold,
+		Left:      toJSON(n.left),
+		Right:     toJSON(n.right),
+	}
+}
+
+func fromJSON(j *nodeJSON) (*node, error) {
+	if j == nil {
+		return nil, fmt.Errorf("dtree: missing node")
+	}
+	if j.Leaf {
+		return &node{leaf: true, class: j.Class}, nil
+	}
+	left, err := fromJSON(j.Left)
+	if err != nil {
+		return nil, err
+	}
+	right, err := fromJSON(j.Right)
+	if err != nil {
+		return nil, err
+	}
+	return &node{feature: j.Feature, threshold: j.Threshold, left: left, right: right}, nil
+}
+
+// MarshalJSON serialises the fitted tree (structure and leaf labels; the
+// training options are not retained).
+func (t *Tree) MarshalJSON() ([]byte, error) {
+	return json.Marshal(treeJSON{NumClasses: t.opts.NumClasses, Root: toJSON(t.root)})
+}
+
+// UnmarshalJSON restores a tree serialised by MarshalJSON. FeaturesUsed is
+// reconstructed from the structure.
+func (t *Tree) UnmarshalJSON(data []byte) error {
+	var j treeJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	root, err := fromJSON(j.Root)
+	if err != nil {
+		return err
+	}
+	t.root = root
+	t.opts = Options{NumClasses: j.NumClasses}
+	t.usedSet = map[int]bool{}
+	var walk func(n *node)
+	walk = func(n *node) {
+		if n == nil || n.leaf {
+			return
+		}
+		t.usedSet[n.feature] = true
+		walk(n.left)
+		walk(n.right)
+	}
+	walk(root)
+	return nil
+}

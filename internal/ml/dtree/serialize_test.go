@@ -1,0 +1,53 @@
+package dtree
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestTreeJSONRoundTrip(t *testing.T) {
+	X, y := axisData(200, 42)
+	orig := Train(X, y, Options{NumClasses: 2})
+	data, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Tree
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	for i := range X {
+		if orig.Predict(X[i]) != back.Predict(X[i]) {
+			t.Fatalf("prediction diverged on row %d", i)
+		}
+	}
+	// Structure metadata restored.
+	if orig.NumNodes() != back.NumNodes() || orig.Depth() != back.Depth() {
+		t.Fatalf("structure changed: nodes %d->%d depth %d->%d",
+			orig.NumNodes(), back.NumNodes(), orig.Depth(), back.Depth())
+	}
+	of, bf := orig.FeaturesUsed(), back.FeaturesUsed()
+	if len(of) != len(bf) {
+		t.Fatalf("features used %v -> %v", of, bf)
+	}
+	for i := range of {
+		if of[i] != bf[i] {
+			t.Fatalf("features used %v -> %v", of, bf)
+		}
+	}
+}
+
+func TestTreeUnmarshalRejectsGarbage(t *testing.T) {
+	var tr Tree
+	if err := json.Unmarshal([]byte(`{"num_classes":2}`), &tr); err == nil {
+		t.Fatal("missing root accepted")
+	}
+	if err := json.Unmarshal([]byte(`noise`), &tr); err == nil {
+		t.Fatal("non-JSON accepted")
+	}
+	// Internal node missing a child.
+	bad := `{"num_classes":2,"root":{"feature":0,"threshold":1,"left":{"leaf":true,"class":0}}}`
+	if err := json.Unmarshal([]byte(bad), &tr); err == nil {
+		t.Fatal("truncated tree accepted")
+	}
+}

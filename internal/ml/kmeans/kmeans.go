@@ -1,0 +1,213 @@
+// Package kmeans implements K-means clustering with k-means++ seeding, the
+// Level-1 input-space clustering step of the paper (Section 3.1, Step 2).
+package kmeans
+
+import (
+	"inputtune/internal/rng"
+	"inputtune/internal/stats"
+)
+
+// Options configures a clustering run.
+type Options struct {
+	K       int
+	MaxIter int    // default 100
+	Seed    uint64 // deterministic per seed
+}
+
+// Result is a fitted clustering.
+type Result struct {
+	Centroids  [][]float64
+	Labels     []int
+	Inertia    float64 // sum of squared distances to assigned centroids
+	Iterations int
+}
+
+// Cluster fits K-means to points (each an equal-length feature vector).
+// K is clamped to len(points). It panics on an empty input.
+func Cluster(points [][]float64, opts Options) *Result {
+	if len(points) == 0 {
+		panic("kmeans: no points")
+	}
+	if opts.K <= 0 {
+		panic("kmeans: K must be positive")
+	}
+	k := opts.K
+	if k > len(points) {
+		k = len(points)
+	}
+	maxIter := opts.MaxIter
+	if maxIter <= 0 {
+		maxIter = 100
+	}
+	r := rng.New(opts.Seed)
+	dim := len(points[0])
+	for _, p := range points {
+		if len(p) != dim {
+			panic("kmeans: ragged points")
+		}
+	}
+
+	centroids := seedPlusPlus(points, k, r)
+	labels := make([]int, len(points))
+	res := &Result{}
+	for iter := 0; iter < maxIter; iter++ {
+		res.Iterations = iter + 1
+		changed := assign(points, centroids, labels)
+		recompute(points, centroids, labels, r)
+		if !changed && iter > 0 {
+			break
+		}
+	}
+	res.Centroids = centroids
+	res.Labels = labels
+	res.Inertia = inertia(points, centroids, labels)
+	return res
+}
+
+// seedPlusPlus picks initial centroids with k-means++: first uniform, then
+// proportional to squared distance from the nearest chosen centroid.
+func seedPlusPlus(points [][]float64, k int, r *rng.RNG) [][]float64 {
+	centroids := make([][]float64, 0, k)
+	first := r.Intn(len(points))
+	centroids = append(centroids, clone(points[first]))
+	d2 := make([]float64, len(points))
+	for len(centroids) < k {
+		total := 0.0
+		for i, p := range points {
+			best := stats.SquaredEuclidean(p, centroids[0])
+			for _, c := range centroids[1:] {
+				if d := stats.SquaredEuclidean(p, c); d < best {
+					best = d
+				}
+			}
+			d2[i] = best
+			total += best
+		}
+		if total == 0 {
+			// All remaining points coincide with existing centroids.
+			centroids = append(centroids, clone(points[r.Intn(len(points))]))
+			continue
+		}
+		t := r.Float64() * total
+		acc := 0.0
+		picked := len(points) - 1
+		for i, d := range d2 {
+			acc += d
+			if t < acc {
+				picked = i
+				break
+			}
+		}
+		centroids = append(centroids, clone(points[picked]))
+	}
+	return centroids
+}
+
+func assign(points, centroids [][]float64, labels []int) bool {
+	changed := false
+	for i, p := range points {
+		best, bestD := 0, stats.SquaredEuclidean(p, centroids[0])
+		for c := 1; c < len(centroids); c++ {
+			if d := stats.SquaredEuclidean(p, centroids[c]); d < bestD {
+				best, bestD = c, d
+			}
+		}
+		if labels[i] != best {
+			labels[i] = best
+			changed = true
+		}
+	}
+	return changed
+}
+
+func recompute(points, centroids [][]float64, labels []int, r *rng.RNG) {
+	dim := len(points[0])
+	counts := make([]int, len(centroids))
+	for c := range centroids {
+		for j := 0; j < dim; j++ {
+			centroids[c][j] = 0
+		}
+	}
+	for i, p := range points {
+		c := labels[i]
+		counts[c]++
+		for j, v := range p {
+			centroids[c][j] += v
+		}
+	}
+	// First pass: turn sums into means for non-empty clusters.
+	for c := range centroids {
+		if counts[c] == 0 {
+			continue
+		}
+		inv := 1 / float64(counts[c])
+		for j := 0; j < dim; j++ {
+			centroids[c][j] *= inv
+		}
+	}
+	// Second pass: reseed empty clusters at the point farthest from its
+	// currently assigned centroid (splits the loosest cluster).
+	for c := range centroids {
+		if counts[c] != 0 {
+			continue
+		}
+		far, farD := r.Intn(len(points)), -1.0
+		for i, p := range points {
+			if counts[labels[i]] == 0 {
+				continue
+			}
+			if d := stats.SquaredEuclidean(p, centroids[labels[i]]); d > farD {
+				far, farD = i, d
+			}
+		}
+		copy(centroids[c], points[far])
+	}
+}
+
+func inertia(points, centroids [][]float64, labels []int) float64 {
+	total := 0.0
+	for i, p := range points {
+		total += stats.SquaredEuclidean(p, centroids[labels[i]])
+	}
+	return total
+}
+
+// Nearest returns the index of the centroid closest to point.
+func (r *Result) Nearest(point []float64) int {
+	best, bestD := 0, stats.SquaredEuclidean(point, r.Centroids[0])
+	for c := 1; c < len(r.Centroids); c++ {
+		if d := stats.SquaredEuclidean(point, r.Centroids[c]); d < bestD {
+			best, bestD = c, d
+		}
+	}
+	return best
+}
+
+// ClusterSizes returns the number of points per cluster.
+func (r *Result) ClusterSizes() []int {
+	sizes := make([]int, len(r.Centroids))
+	for _, l := range r.Labels {
+		sizes[l]++
+	}
+	return sizes
+}
+
+// MedoidIndex returns, for cluster c, the index of the member point closest
+// to the centroid (the paper autotunes on each cluster's centroid; since a
+// centroid need not be a real input, we hand the autotuner the nearest
+// actual exemplar — the medoid).
+func (r *Result) MedoidIndex(points [][]float64, c int) int {
+	best, bestD := -1, 0.0
+	for i, p := range points {
+		if r.Labels[i] != c {
+			continue
+		}
+		d := stats.SquaredEuclidean(p, r.Centroids[c])
+		if best == -1 || d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return best
+}
+
+func clone(p []float64) []float64 { return append([]float64(nil), p...) }

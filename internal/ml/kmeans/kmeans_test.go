@@ -1,0 +1,146 @@
+package kmeans
+
+import (
+	"testing"
+
+	"inputtune/internal/rng"
+	"inputtune/internal/stats"
+)
+
+// blobs generates n points around each of the given centers.
+func blobs(centers [][]float64, n int, spread float64, seed uint64) [][]float64 {
+	r := rng.New(seed)
+	var out [][]float64
+	for _, c := range centers {
+		for i := 0; i < n; i++ {
+			p := make([]float64, len(c))
+			for j := range p {
+				p[j] = c[j] + r.Norm(0, spread)
+			}
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func TestRecoversWellSeparatedBlobs(t *testing.T) {
+	centers := [][]float64{{0, 0}, {10, 10}, {-10, 10}}
+	points := blobs(centers, 50, 0.5, 1)
+	res := Cluster(points, Options{K: 3, Seed: 2})
+	// Every recovered centroid must be within 1 unit of a true center.
+	used := map[int]bool{}
+	for _, c := range res.Centroids {
+		found := false
+		for i, tc := range centers {
+			if !used[i] && stats.Euclidean(c, tc) < 1 {
+				used[i] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("centroid %v matches no true center", c)
+		}
+	}
+	// All 150 points labelled, 50 per cluster.
+	sizes := res.ClusterSizes()
+	for _, s := range sizes {
+		if s != 50 {
+			t.Fatalf("cluster sizes %v, want 50 each", sizes)
+		}
+	}
+}
+
+func TestDeterministicPerSeed(t *testing.T) {
+	points := blobs([][]float64{{0, 0}, {5, 5}}, 30, 1, 3)
+	a := Cluster(points, Options{K: 2, Seed: 7})
+	b := Cluster(points, Options{K: 2, Seed: 7})
+	for i := range a.Labels {
+		if a.Labels[i] != b.Labels[i] {
+			t.Fatal("same seed produced different labels")
+		}
+	}
+}
+
+func TestLabelsMatchNearestCentroid(t *testing.T) {
+	points := blobs([][]float64{{0, 0}, {8, 0}, {0, 8}}, 40, 1, 5)
+	res := Cluster(points, Options{K: 3, Seed: 11})
+	for i, p := range points {
+		if res.Nearest(p) != res.Labels[i] {
+			t.Fatalf("point %d label %d but nearest centroid %d", i, res.Labels[i], res.Nearest(p))
+		}
+	}
+}
+
+func TestInertiaDecreasesWithMoreClusters(t *testing.T) {
+	points := blobs([][]float64{{0, 0}, {10, 0}, {0, 10}, {10, 10}}, 25, 1.5, 13)
+	var prev float64
+	for i, k := range []int{1, 2, 4, 8} {
+		res := Cluster(points, Options{K: k, Seed: 17})
+		if i > 0 && res.Inertia > prev*1.05 {
+			t.Fatalf("inertia rose from %v to %v at k=%d", prev, res.Inertia, k)
+		}
+		prev = res.Inertia
+	}
+}
+
+func TestKClampedToPointCount(t *testing.T) {
+	points := [][]float64{{0}, {1}, {2}}
+	res := Cluster(points, Options{K: 10, Seed: 1})
+	if len(res.Centroids) != 3 {
+		t.Fatalf("K not clamped: %d centroids", len(res.Centroids))
+	}
+}
+
+func TestDuplicatePointsHandled(t *testing.T) {
+	points := [][]float64{{1, 1}, {1, 1}, {1, 1}, {1, 1}}
+	res := Cluster(points, Options{K: 3, Seed: 9})
+	if res.Inertia != 0 {
+		t.Fatalf("inertia %v for identical points", res.Inertia)
+	}
+}
+
+func TestMedoidIsClusterMember(t *testing.T) {
+	points := blobs([][]float64{{0, 0}, {20, 20}}, 30, 1, 21)
+	res := Cluster(points, Options{K: 2, Seed: 23})
+	for c := 0; c < 2; c++ {
+		m := res.MedoidIndex(points, c)
+		if m < 0 || res.Labels[m] != c {
+			t.Fatalf("medoid %d of cluster %d not a member", m, c)
+		}
+		// Medoid must be at least as close to the centroid as any member.
+		md := stats.SquaredEuclidean(points[m], res.Centroids[c])
+		for i, p := range points {
+			if res.Labels[i] == c && stats.SquaredEuclidean(p, res.Centroids[c]) < md-1e-12 {
+				t.Fatalf("member %d closer to centroid than medoid", i)
+			}
+		}
+	}
+}
+
+func TestMedoidEmptyClusterReturnsMinusOne(t *testing.T) {
+	points := [][]float64{{0}, {1}}
+	res := Cluster(points, Options{K: 2, Seed: 1})
+	// Construct a label slice with no members of cluster 1.
+	res.Labels = []int{0, 0}
+	if m := res.MedoidIndex(points, 1); m != -1 {
+		t.Fatalf("medoid of empty cluster = %d, want -1", m)
+	}
+}
+
+func TestPanicsOnBadInput(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"empty":  func() { Cluster(nil, Options{K: 1}) },
+		"zeroK":  func() { Cluster([][]float64{{1}}, Options{K: 0}) },
+		"ragged": func() { Cluster([][]float64{{1}, {1, 2}}, Options{K: 1}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,74 @@
+// Package model implements the paper's theoretical analysis of diminishing
+// returns from additional landmark configurations (Section 4.3): if region
+// i of the input space has size p_i and speedup s_i under its dominant
+// configuration, and k landmarks are sampled uniformly at random, the
+// expected lost speedup is
+//
+//	L = Σ_i (1 - p_i)^k · p_i · s_i / Σ_i s_i ,
+//
+// maximised over region sizes at the worst case p* = 1/(k+1).
+package model
+
+import "math"
+
+// Region is one dominated region of the input space.
+type Region struct {
+	P float64 // fraction of the input space
+	S float64 // speedup when its dominant configuration is used
+}
+
+// LostSpeedup evaluates L for a set of regions and k sampled landmarks.
+func LostSpeedup(regions []Region, k int) float64 {
+	var num, den float64
+	for _, r := range regions {
+		num += math.Pow(1-r.P, float64(k)) * r.P * r.S
+		den += r.S
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// LossForUniformRegion evaluates the single-region integrand
+// (1-p)^k · p — the curve family of Figure 7a (all s_i equal).
+func LossForUniformRegion(p float64, k int) float64 {
+	return math.Pow(1-p, float64(k)) * p
+}
+
+// WorstCaseRegionSize returns the region size maximising the expected loss
+// for k landmarks: p* = 1/(k+1), obtained from dL/dp = 0.
+func WorstCaseRegionSize(k int) float64 { return 1 / float64(k+1) }
+
+// FractionOfFullSpeedup returns the model's prediction for Figure 7b: the
+// fraction of the ideal speedup retained when k landmarks are sampled and
+// the region size is adversarially set to the worst case for k landmarks.
+func FractionOfFullSpeedup(k int) float64 {
+	p := WorstCaseRegionSize(k)
+	return 1 - LossForUniformRegion(p, k)
+}
+
+// Fig7aCurve samples the Figure 7a loss curve for a given landmark count
+// over points region sizes in (0, 1).
+func Fig7aCurve(k, points int) (ps, losses []float64) {
+	ps = make([]float64, points)
+	losses = make([]float64, points)
+	for i := 0; i < points; i++ {
+		p := float64(i+1) / float64(points+1)
+		ps[i] = p
+		losses[i] = LossForUniformRegion(p, k)
+	}
+	return ps, losses
+}
+
+// Fig7bCurve samples the Figure 7b fraction-of-full-speedup curve for
+// k = 1..maxK.
+func Fig7bCurve(maxK int) (ks []int, fractions []float64) {
+	ks = make([]int, maxK)
+	fractions = make([]float64, maxK)
+	for k := 1; k <= maxK; k++ {
+		ks[k-1] = k
+		fractions[k-1] = FractionOfFullSpeedup(k)
+	}
+	return ks, fractions
+}

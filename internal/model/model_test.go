@@ -1,0 +1,105 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLossZeroAtExtremes(t *testing.T) {
+	for _, k := range []int{1, 5, 20} {
+		if l := LossForUniformRegion(0, k); l != 0 {
+			t.Fatalf("L(0, %d) = %v", k, l)
+		}
+		if l := LossForUniformRegion(1, k); l != 0 {
+			t.Fatalf("L(1, %d) = %v", k, l)
+		}
+	}
+}
+
+// The paper derives p* = 1/(k+1) from dL/dp = 0; verify numerically that
+// the analytic worst case maximises the loss.
+func TestWorstCaseMaximisesLoss(t *testing.T) {
+	for k := 1; k <= 30; k++ {
+		pStar := WorstCaseRegionSize(k)
+		lStar := LossForUniformRegion(pStar, k)
+		for p := 0.01; p < 1; p += 0.01 {
+			if LossForUniformRegion(p, k) > lStar+1e-12 {
+				t.Fatalf("k=%d: loss at p=%v exceeds analytic worst case", k, p)
+			}
+		}
+	}
+}
+
+func TestDiminishingReturns(t *testing.T) {
+	// Fraction of full speedup must increase monotonically in k and
+	// approach 1.
+	_, fr := Fig7bCurve(100)
+	for i := 1; i < len(fr); i++ {
+		if fr[i] < fr[i-1] {
+			t.Fatalf("fraction not monotone at k=%d: %v -> %v", i+1, fr[i-1], fr[i])
+		}
+	}
+	if fr[0] > 0.8 {
+		t.Fatalf("one landmark should lose substantial speedup, fraction %v", fr[0])
+	}
+	if fr[99] < 0.99 {
+		t.Fatalf("100 landmarks should capture nearly all speedup, fraction %v", fr[99])
+	}
+	// Diminishing increments: the gain from k=50→51 is below k=1→2.
+	if fr[50]-fr[49] >= fr[1]-fr[0] {
+		t.Fatal("increments not diminishing")
+	}
+}
+
+func TestLostSpeedupWeightsBySpeedup(t *testing.T) {
+	// A high-speedup region contributes more loss than a low-speedup one
+	// of the same size.
+	hi := []Region{{P: 0.1, S: 10}, {P: 0.9, S: 1}}
+	lo := []Region{{P: 0.1, S: 1}, {P: 0.9, S: 1}}
+	if LostSpeedup(hi, 3) <= LostSpeedup(lo, 3) {
+		t.Fatal("speedup weighting missing")
+	}
+	if LostSpeedup(nil, 3) != 0 {
+		t.Fatal("empty region set should lose nothing")
+	}
+}
+
+func TestLostSpeedupDecreasesWithK(t *testing.T) {
+	regions := []Region{{P: 0.2, S: 3}, {P: 0.3, S: 2}, {P: 0.5, S: 1}}
+	check := func(k8 uint8) bool {
+		k := int(k8%50) + 1
+		return LostSpeedup(regions, k+1) <= LostSpeedup(regions, k)+1e-12
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCurveShapes(t *testing.T) {
+	ps, losses := Fig7aCurve(4, 99)
+	if len(ps) != 99 || len(losses) != 99 {
+		t.Fatal("curve size wrong")
+	}
+	// Peak should be near p* = 0.2.
+	peak := 0
+	for i, l := range losses {
+		if l > losses[peak] {
+			peak = i
+		}
+	}
+	if math.Abs(ps[peak]-0.2) > 0.02 {
+		t.Fatalf("Fig7a peak at %v, want ~0.2", ps[peak])
+	}
+	ks, fr := Fig7bCurve(10)
+	if ks[0] != 1 || ks[9] != 10 || len(fr) != 10 {
+		t.Fatal("Fig7b axes wrong")
+	}
+}
+
+func TestFractionFormula(t *testing.T) {
+	// For k=1: p* = 1/2, L = (1/2)^1 * 1/2 = 1/4, fraction = 3/4.
+	if f := FractionOfFullSpeedup(1); math.Abs(f-0.75) > 1e-12 {
+		t.Fatalf("FractionOfFullSpeedup(1) = %v, want 0.75", f)
+	}
+}

@@ -1,0 +1,255 @@
+// Package pde implements the numerical substrate of the Poisson 2D and
+// Helmholtz 3D benchmarks: finite-difference grids with Dirichlet
+// boundaries, pointwise smoothers (Jacobi, Gauss-Seidel, SOR), geometric
+// multigrid with tunable cycle shape, and sine-transform direct solvers.
+// All solvers report their flop work so the benchmarks can charge a
+// cost.Meter.
+package pde
+
+import "math"
+
+// Grid2D holds an N×N interior grid (Dirichlet zero boundary) for
+// -Δu = f on the unit square, h = 1/(N+1).
+type Grid2D struct {
+	N    int
+	Data []float64 // row-major N×N
+}
+
+// NewGrid2D returns a zero grid. Multigrid requires N = 2^k - 1.
+func NewGrid2D(n int) *Grid2D {
+	return &Grid2D{N: n, Data: make([]float64, n*n)}
+}
+
+// At returns u(i, j) honouring the zero boundary for out-of-range indices.
+func (g *Grid2D) At(i, j int) float64 {
+	if i < 0 || j < 0 || i >= g.N || j >= g.N {
+		return 0
+	}
+	return g.Data[i*g.N+j]
+}
+
+// Set assigns u(i, j).
+func (g *Grid2D) Set(i, j int, v float64) { g.Data[i*g.N+j] = v }
+
+// Clone deep-copies the grid.
+func (g *Grid2D) Clone() *Grid2D {
+	out := NewGrid2D(g.N)
+	copy(out.Data, g.Data)
+	return out
+}
+
+// RMS returns the root-mean-square of the grid values.
+func (g *Grid2D) RMS() float64 {
+	sum := 0.0
+	for _, v := range g.Data {
+		sum += v * v
+	}
+	return math.Sqrt(sum / float64(len(g.Data)))
+}
+
+// SubRMS returns RMS(g - o).
+func (g *Grid2D) SubRMS(o *Grid2D) float64 {
+	sum := 0.0
+	for i, v := range g.Data {
+		d := v - o.Data[i]
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(g.Data)))
+}
+
+// h returns the mesh width.
+func (g *Grid2D) h() float64 { return 1.0 / float64(g.N+1) }
+
+// Work tallies the floating-point work a solver performed.
+type Work struct {
+	Flops int
+}
+
+// Residual2D computes r = f + Δu (the residual of -Δu = f) into r.
+func Residual2D(u, f, r *Grid2D, w *Work) {
+	n := u.N
+	inv := 1.0 / (u.h() * u.h())
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			lap := (4*u.At(i, j) - u.At(i-1, j) - u.At(i+1, j) - u.At(i, j-1) - u.At(i, j+1)) * inv
+			r.Set(i, j, f.At(i, j)-lap)
+		}
+	}
+	w.Flops += 7 * n * n
+}
+
+// Jacobi2D performs one weighted Jacobi sweep (weight omega) on -Δu = f.
+func Jacobi2D(u, f *Grid2D, omega float64, w *Work) {
+	n := u.N
+	h2 := u.h() * u.h()
+	next := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			gs := (u.At(i-1, j) + u.At(i+1, j) + u.At(i, j-1) + u.At(i, j+1) + h2*f.At(i, j)) / 4
+			next[i*n+j] = u.At(i, j) + omega*(gs-u.At(i, j))
+		}
+	}
+	copy(u.Data, next)
+	w.Flops += 8 * n * n
+}
+
+// SOR2D performs one successive-over-relaxation sweep (omega = 1 gives
+// Gauss-Seidel) on -Δu = f.
+func SOR2D(u, f *Grid2D, omega float64, w *Work) {
+	n := u.N
+	h2 := u.h() * u.h()
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			gs := (u.At(i-1, j) + u.At(i+1, j) + u.At(i, j-1) + u.At(i, j+1) + h2*f.At(i, j)) / 4
+			u.Set(i, j, u.At(i, j)+omega*(gs-u.At(i, j)))
+		}
+	}
+	w.Flops += 8 * n * n
+}
+
+// Restrict2D full-weights the residual to the (n-1)/2 coarse grid.
+func Restrict2D(fine *Grid2D, w *Work) *Grid2D {
+	nc := (fine.N - 1) / 2
+	coarse := NewGrid2D(nc)
+	for i := 0; i < nc; i++ {
+		for j := 0; j < nc; j++ {
+			fi, fj := 2*i+1, 2*j+1
+			v := 0.25*fine.At(fi, fj) +
+				0.125*(fine.At(fi-1, fj)+fine.At(fi+1, fj)+fine.At(fi, fj-1)+fine.At(fi, fj+1)) +
+				0.0625*(fine.At(fi-1, fj-1)+fine.At(fi-1, fj+1)+fine.At(fi+1, fj-1)+fine.At(fi+1, fj+1))
+			coarse.Set(i, j, v)
+		}
+	}
+	w.Flops += 12 * nc * nc
+	return coarse
+}
+
+// Prolong2D bilinearly interpolates the coarse correction onto fine,
+// adding in place.
+func Prolong2D(coarse, fine *Grid2D, w *Work) {
+	nf := fine.N
+	for i := 0; i < nf; i++ {
+		for j := 0; j < nf; j++ {
+			// Coarse coordinates (may be half-integral).
+			ci, cj := (i-1)/2, (j-1)/2
+			var v float64
+			switch {
+			case i%2 == 1 && j%2 == 1:
+				v = coarse.At(ci, cj)
+			case i%2 == 1:
+				v = 0.5 * (coarse.At(ci, (j-2)/2+0) + coarse.At(ci, j/2))
+			case j%2 == 1:
+				v = 0.5 * (coarse.At((i-2)/2+0, cj) + coarse.At(i/2, cj))
+			default:
+				v = 0.25 * (coarse.At((i-2)/2, (j-2)/2) + coarse.At((i-2)/2, j/2) +
+					coarse.At(i/2, (j-2)/2) + coarse.At(i/2, j/2))
+			}
+			fine.Set(i, j, fine.At(i, j)+v)
+		}
+	}
+	w.Flops += 4 * nf * nf
+}
+
+// MGOptions2D configures a multigrid cycle.
+type MGOptions2D struct {
+	Pre, Post int     // smoothing sweeps before/after coarse correction
+	Gamma     int     // 1 = V-cycle, 2 = W-cycle
+	Omega     float64 // smoother relaxation (SOR)
+}
+
+// MGCycle2D performs one multigrid cycle on -Δu = f.
+func MGCycle2D(u, f *Grid2D, opt MGOptions2D, w *Work) {
+	if opt.Gamma < 1 {
+		opt.Gamma = 1
+	}
+	if opt.Omega <= 0 {
+		opt.Omega = 1
+	}
+	n := u.N
+	if n <= 3 {
+		// Coarsest level: smooth hard (tiny cost).
+		for s := 0; s < 8; s++ {
+			SOR2D(u, f, 1.0, w)
+		}
+		return
+	}
+	for s := 0; s < opt.Pre; s++ {
+		SOR2D(u, f, opt.Omega, w)
+	}
+	r := NewGrid2D(n)
+	Residual2D(u, f, r, w)
+	coarseF := Restrict2D(r, w)
+	coarseU := NewGrid2D(coarseF.N)
+	for g := 0; g < opt.Gamma; g++ {
+		MGCycle2D(coarseU, coarseF, opt, w)
+	}
+	Prolong2D(coarseU, u, w)
+	for s := 0; s < opt.Post; s++ {
+		SOR2D(u, f, opt.Omega, w)
+	}
+}
+
+// DirectPoisson2D solves -Δu = f exactly via the 2-D discrete sine
+// transform (the matrix decomposition method): O(N³) with dense 1-D
+// transforms, no FFT needed at benchmark sizes.
+func DirectPoisson2D(f *Grid2D, w *Work) *Grid2D {
+	n := f.N
+	h := f.h()
+	// Sine basis S[j][k] = sin((j+1)(k+1)π/(N+1)).
+	s := make([][]float64, n)
+	for j := range s {
+		s[j] = make([]float64, n)
+		for k := range s[j] {
+			s[j][k] = math.Sin(float64(j+1) * float64(k+1) * math.Pi / float64(n+1))
+		}
+	}
+	// Eigenvalues of the 1-D operator.
+	lam := make([]float64, n)
+	for j := range lam {
+		sv := math.Sin(float64(j+1) * math.Pi / (2 * float64(n+1)))
+		lam[j] = 4 * sv * sv / (h * h)
+	}
+	// F̂ = S f S (two dense multiplications).
+	fh := dstApply2D(s, f.Data, n)
+	w.Flops += 4 * n * n * n
+	// Scale by 1/(λi + λj) and the DST normalisation (2/(N+1))².
+	norm := 4.0 / (float64(n+1) * float64(n+1))
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			fh[i*n+j] *= norm / (lam[i] + lam[j])
+		}
+	}
+	w.Flops += 2 * n * n
+	// u = S û S.
+	out := NewGrid2D(n)
+	out.Data = dstApply2D(s, fh, n)
+	w.Flops += 4 * n * n * n
+	return out
+}
+
+// dstApply2D computes S · X · S for the symmetric sine matrix S.
+func dstApply2D(s [][]float64, x []float64, n int) []float64 {
+	tmp := make([]float64, n*n)
+	// tmp = S X
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			sum := 0.0
+			for k := 0; k < n; k++ {
+				sum += s[i][k] * x[k*n+j]
+			}
+			tmp[i*n+j] = sum
+		}
+	}
+	// out = tmp S
+	out := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			sum := 0.0
+			for k := 0; k < n; k++ {
+				sum += tmp[i*n+k] * s[k][j]
+			}
+			out[i*n+j] = sum
+		}
+	}
+	return out
+}

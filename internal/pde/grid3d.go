@@ -1,0 +1,357 @@
+package pde
+
+import "math"
+
+// Grid3D holds an N×N×N interior grid (Dirichlet zero boundary) on the
+// unit cube, h = 1/(N+1), for the variable-coefficient Helmholtz problem
+//
+//	-∇·(a ∇u) + c·u = f
+//
+// with a sampled at grid nodes and c a non-negative constant.
+type Grid3D struct {
+	N    int
+	Data []float64 // len N³, index (i*N + j)*N + k
+}
+
+// NewGrid3D returns a zero grid.
+func NewGrid3D(n int) *Grid3D {
+	return &Grid3D{N: n, Data: make([]float64, n*n*n)}
+}
+
+// At returns u(i,j,k) honouring the zero boundary.
+func (g *Grid3D) At(i, j, k int) float64 {
+	if i < 0 || j < 0 || k < 0 || i >= g.N || j >= g.N || k >= g.N {
+		return 0
+	}
+	return g.Data[(i*g.N+j)*g.N+k]
+}
+
+// Set assigns u(i,j,k).
+func (g *Grid3D) Set(i, j, k int, v float64) { g.Data[(i*g.N+j)*g.N+k] = v }
+
+// Clone deep-copies the grid.
+func (g *Grid3D) Clone() *Grid3D {
+	out := NewGrid3D(g.N)
+	copy(out.Data, g.Data)
+	return out
+}
+
+// RMS returns the root-mean-square of the grid values.
+func (g *Grid3D) RMS() float64 {
+	sum := 0.0
+	for _, v := range g.Data {
+		sum += v * v
+	}
+	return math.Sqrt(sum / float64(len(g.Data)))
+}
+
+// SubRMS returns RMS(g - o).
+func (g *Grid3D) SubRMS(o *Grid3D) float64 {
+	sum := 0.0
+	for i, v := range g.Data {
+		d := v - o.Data[i]
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(g.Data)))
+}
+
+func (g *Grid3D) h() float64 { return 1.0 / float64(g.N+1) }
+
+// Helmholtz3D bundles the operator data: coefficient field a, constant c.
+type Helmholtz3D struct {
+	A *Grid3D // coefficient at nodes (boundary faces reuse interior value)
+	C float64
+}
+
+// faceA returns the face coefficient between node (i,j,k) and its
+// neighbour in the given direction, as the average of the two node values
+// (out-of-range neighbours reuse the interior node's coefficient).
+func (op *Helmholtz3D) faceA(i, j, k, di, dj, dk int) float64 {
+	ac := op.A.At(i, j, k)
+	ni, nj, nk := i+di, j+dj, k+dk
+	n := op.A.N
+	if ni < 0 || nj < 0 || nk < 0 || ni >= n || nj >= n || nk >= n {
+		return ac
+	}
+	return 0.5 * (ac + op.A.At(ni, nj, nk))
+}
+
+// Apply3D computes (L u)(i,j,k) for the Helmholtz operator.
+func (op *Helmholtz3D) apply(u *Grid3D, i, j, k int) (lu, diag float64) {
+	h2 := u.h() * u.h()
+	var sumA, flux float64
+	dirs := [6][3]int{{1, 0, 0}, {-1, 0, 0}, {0, 1, 0}, {0, -1, 0}, {0, 0, 1}, {0, 0, -1}}
+	uc := u.At(i, j, k)
+	for _, d := range dirs {
+		a := op.faceA(i, j, k, d[0], d[1], d[2])
+		sumA += a
+		flux += a * u.At(i+d[0], j+d[1], k+d[2])
+	}
+	diag = sumA/h2 + op.C
+	lu = (sumA*uc-flux)/h2 + op.C*uc
+	return lu, diag
+}
+
+// Residual3D computes r = f - L u.
+func Residual3D(op *Helmholtz3D, u, f, r *Grid3D, w *Work) {
+	n := u.N
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			for k := 0; k < n; k++ {
+				lu, _ := op.apply(u, i, j, k)
+				r.Set(i, j, k, f.At(i, j, k)-lu)
+			}
+		}
+	}
+	w.Flops += 15 * n * n * n
+}
+
+// Jacobi3D performs one weighted Jacobi sweep.
+func Jacobi3D(op *Helmholtz3D, u, f *Grid3D, omega float64, w *Work) {
+	n := u.N
+	next := make([]float64, n*n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			for k := 0; k < n; k++ {
+				lu, diag := op.apply(u, i, j, k)
+				uc := u.At(i, j, k)
+				next[(i*n+j)*n+k] = uc + omega*(f.At(i, j, k)-lu)/diag
+			}
+		}
+	}
+	copy(u.Data, next)
+	w.Flops += 17 * n * n * n
+}
+
+// SOR3D performs one SOR sweep (omega = 1 gives Gauss-Seidel).
+func SOR3D(op *Helmholtz3D, u, f *Grid3D, omega float64, w *Work) {
+	n := u.N
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			for k := 0; k < n; k++ {
+				lu, diag := op.apply(u, i, j, k)
+				uc := u.At(i, j, k)
+				u.Set(i, j, k, uc+omega*(f.At(i, j, k)-lu)/diag)
+			}
+		}
+	}
+	w.Flops += 17 * n * n * n
+}
+
+// Restrict3D full-weights a fine grid to the (n-1)/2 coarse grid using the
+// 27-point kernel.
+func Restrict3D(fine *Grid3D, w *Work) *Grid3D {
+	nc := (fine.N - 1) / 2
+	coarse := NewGrid3D(nc)
+	for i := 0; i < nc; i++ {
+		for j := 0; j < nc; j++ {
+			for k := 0; k < nc; k++ {
+				fi, fj, fk := 2*i+1, 2*j+1, 2*k+1
+				sum := 0.0
+				for di := -1; di <= 1; di++ {
+					for dj := -1; dj <= 1; dj++ {
+						for dk := -1; dk <= 1; dk++ {
+							wgt := 1.0 / float64(int(1)<<uint(abs(di)+abs(dj)+abs(dk))) / 8.0
+							sum += wgt * fine.At(fi+di, fj+dj, fk+dk)
+						}
+					}
+				}
+				coarse.Set(i, j, k, sum)
+			}
+		}
+	}
+	w.Flops += 30 * nc * nc * nc
+	return coarse
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Prolong3D trilinearly interpolates the coarse correction onto fine,
+// adding in place.
+func Prolong3D(coarse, fine *Grid3D, w *Work) {
+	nf := fine.N
+	for i := 0; i < nf; i++ {
+		for j := 0; j < nf; j++ {
+			for k := 0; k < nf; k++ {
+				v := trilinear(coarse, i, j, k)
+				fine.Set(i, j, k, fine.At(i, j, k)+v)
+			}
+		}
+	}
+	w.Flops += 8 * nf * nf * nf
+}
+
+// trilinear evaluates the coarse-grid interpolant at fine point (i,j,k).
+func trilinear(coarse *Grid3D, i, j, k int) float64 {
+	// Along each axis, an odd fine index coincides with a coarse node; an
+	// even index averages the two flanking coarse nodes (boundary = 0).
+	type axis struct {
+		idx  [2]int
+		wgt  [2]float64
+		nTap int
+	}
+	mk := func(x int) axis {
+		if x%2 == 1 {
+			return axis{idx: [2]int{(x - 1) / 2, 0}, wgt: [2]float64{1, 0}, nTap: 1}
+		}
+		return axis{idx: [2]int{x/2 - 1, x / 2}, wgt: [2]float64{0.5, 0.5}, nTap: 2}
+	}
+	ax, ay, az := mk(i), mk(j), mk(k)
+	sum := 0.0
+	for a := 0; a < ax.nTap; a++ {
+		for b := 0; b < ay.nTap; b++ {
+			for c := 0; c < az.nTap; c++ {
+				sum += ax.wgt[a] * ay.wgt[b] * az.wgt[c] *
+					coarse.At(ax.idx[a], ay.idx[b], az.idx[c])
+			}
+		}
+	}
+	return sum
+}
+
+// coarsen builds the coarse-grid operator by injecting the coefficient
+// field at odd fine nodes; c carries over unchanged.
+func (op *Helmholtz3D) coarsen() *Helmholtz3D {
+	nc := (op.A.N - 1) / 2
+	ca := NewGrid3D(nc)
+	for i := 0; i < nc; i++ {
+		for j := 0; j < nc; j++ {
+			for k := 0; k < nc; k++ {
+				ca.Set(i, j, k, op.A.At(2*i+1, 2*j+1, 2*k+1))
+			}
+		}
+	}
+	return &Helmholtz3D{A: ca, C: op.C}
+}
+
+// MGOptions3D configures a 3-D multigrid cycle.
+type MGOptions3D struct {
+	Pre, Post int
+	Gamma     int
+	Omega     float64
+}
+
+// MGCycle3D performs one multigrid cycle on the Helmholtz problem.
+func MGCycle3D(op *Helmholtz3D, u, f *Grid3D, opt MGOptions3D, w *Work) {
+	if opt.Gamma < 1 {
+		opt.Gamma = 1
+	}
+	if opt.Omega <= 0 {
+		opt.Omega = 1
+	}
+	n := u.N
+	if n <= 3 {
+		for s := 0; s < 8; s++ {
+			SOR3D(op, u, f, 1.0, w)
+		}
+		return
+	}
+	for s := 0; s < opt.Pre; s++ {
+		SOR3D(op, u, f, opt.Omega, w)
+	}
+	r := NewGrid3D(n)
+	Residual3D(op, u, f, r, w)
+	coarseF := Restrict3D(r, w)
+	coarseU := NewGrid3D(coarseF.N)
+	coarseOp := op.coarsen()
+	for g := 0; g < opt.Gamma; g++ {
+		MGCycle3D(coarseOp, coarseU, coarseF, opt, w)
+	}
+	Prolong3D(coarseU, u, w)
+	for s := 0; s < opt.Post; s++ {
+		SOR3D(op, u, f, opt.Omega, w)
+	}
+}
+
+// DirectHelmholtz3D solves the CONSTANT-coefficient surrogate of the
+// operator (a replaced by its mean) exactly via 3-D sine transforms. For
+// genuinely variable coefficients the result is only an approximation —
+// which is precisely the accuracy/speed trade the benchmark's autotuner
+// must navigate (see the poisson2d/helmholtz3d DESIGN.md entries).
+func DirectHelmholtz3D(op *Helmholtz3D, f *Grid3D, w *Work) *Grid3D {
+	n := f.N
+	h := f.h()
+	abar := 0.0
+	for _, v := range op.A.Data {
+		abar += v
+	}
+	abar /= float64(len(op.A.Data))
+	s := make([][]float64, n)
+	for j := range s {
+		s[j] = make([]float64, n)
+		for k := range s[j] {
+			s[j][k] = math.Sin(float64(j+1) * float64(k+1) * math.Pi / float64(n+1))
+		}
+	}
+	lam := make([]float64, n)
+	for j := range lam {
+		sv := math.Sin(float64(j+1) * math.Pi / (2 * float64(n+1)))
+		lam[j] = 4 * sv * sv / (h * h)
+	}
+	fh := dstApply3D(s, f.Data, n)
+	w.Flops += 3 * n * n * n * n
+	norm := math.Pow(2.0/float64(n+1), 3)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			for k := 0; k < n; k++ {
+				den := abar*(lam[i]+lam[j]+lam[k]) + op.C
+				fh[(i*n+j)*n+k] *= norm / den
+			}
+		}
+	}
+	w.Flops += 3 * n * n * n
+	out := NewGrid3D(n)
+	out.Data = dstApply3D(s, fh, n)
+	w.Flops += 3 * n * n * n * n
+	return out
+}
+
+// dstApply3D applies the sine matrix along all three axes.
+func dstApply3D(s [][]float64, x []float64, n int) []float64 {
+	cur := append([]float64(nil), x...)
+	next := make([]float64, n*n*n)
+	// Axis 0.
+	for j := 0; j < n; j++ {
+		for k := 0; k < n; k++ {
+			for i := 0; i < n; i++ {
+				sum := 0.0
+				for t := 0; t < n; t++ {
+					sum += s[i][t] * cur[(t*n+j)*n+k]
+				}
+				next[(i*n+j)*n+k] = sum
+			}
+		}
+	}
+	cur, next = next, cur
+	// Axis 1.
+	for i := 0; i < n; i++ {
+		for k := 0; k < n; k++ {
+			for j := 0; j < n; j++ {
+				sum := 0.0
+				for t := 0; t < n; t++ {
+					sum += s[j][t] * cur[(i*n+t)*n+k]
+				}
+				next[(i*n+j)*n+k] = sum
+			}
+		}
+	}
+	cur, next = next, cur
+	// Axis 2.
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			for k := 0; k < n; k++ {
+				sum := 0.0
+				for t := 0; t < n; t++ {
+					sum += s[k][t] * cur[(i*n+j)*n+t]
+				}
+				next[(i*n+j)*n+k] = sum
+			}
+		}
+	}
+	return next
+}

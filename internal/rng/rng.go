@@ -1,0 +1,209 @@
+// Package rng provides a small, fully deterministic pseudo-random number
+// generator used throughout the reproduction. Determinism across platforms
+// and Go releases matters here: the autotuner, the input generators, and the
+// learning pipeline must replay bit-identically so that experiments are
+// reproducible, so we implement xoshiro256** seeded via splitmix64 rather
+// than depending on math/rand internals.
+package rng
+
+import "math"
+
+// RNG is a xoshiro256** generator. The zero value is not usable; construct
+// with New. RNG is not safe for concurrent use; create one per goroutine
+// (see Split).
+type RNG struct {
+	s [4]uint64
+	// cached second normal variate from Box-Muller
+	haveGauss bool
+	gauss     float64
+}
+
+// New returns a generator seeded from the given seed using splitmix64 so
+// that closely spaced seeds still produce well-separated streams.
+func New(seed uint64) *RNG {
+	r := &RNG{}
+	sm := seed
+	for i := range r.s {
+		sm += 0x9e3779b97f4a7c15
+		z := sm
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		r.s[i] = z ^ (z >> 31)
+	}
+	// xoshiro must not start from the all-zero state.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9e3779b97f4a7c15
+	}
+	return r
+}
+
+// Split derives an independent generator from r. The derived stream is a
+// deterministic function of r's current state, and advancing it does not
+// advance r beyond the single draw used to seed it.
+func (r *RNG) Split() *RNG {
+	return New(r.Uint64())
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 random bits.
+func (r *RNG) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	// Lemire's nearly-divisionless bounded generation, simplified: the bias
+	// for n << 2^64 is negligible for our simulation purposes, but we still
+	// reject to keep the draw exact.
+	bound := uint64(n)
+	threshold := -bound % bound
+	for {
+		v := r.Uint64()
+		if v >= threshold {
+			return int(v % bound)
+		}
+	}
+}
+
+// Int63 returns a non-negative random int64.
+func (r *RNG) Int63() int64 { return int64(r.Uint64() >> 1) }
+
+// Bool returns true with probability 1/2.
+func (r *RNG) Bool() bool { return r.Uint64()&1 == 1 }
+
+// Coin returns true with probability p.
+func (r *RNG) Coin(p float64) bool { return r.Float64() < p }
+
+// Range returns a uniform value in [lo, hi).
+func (r *RNG) Range(lo, hi float64) float64 {
+	return lo + (hi-lo)*r.Float64()
+}
+
+// IntRange returns a uniform value in [lo, hi]. It panics if hi < lo.
+func (r *RNG) IntRange(lo, hi int) int {
+	if hi < lo {
+		panic("rng: IntRange with hi < lo")
+	}
+	return lo + r.Intn(hi-lo+1)
+}
+
+// NormFloat64 returns a standard normal variate via Box-Muller.
+func (r *RNG) NormFloat64() float64 {
+	if r.haveGauss {
+		r.haveGauss = false
+		return r.gauss
+	}
+	var u, v, s float64
+	for {
+		u = 2*r.Float64() - 1
+		v = 2*r.Float64() - 1
+		s = u*u + v*v
+		if s > 0 && s < 1 {
+			break
+		}
+	}
+	f := math.Sqrt(-2 * math.Log(s) / s)
+	r.gauss = v * f
+	r.haveGauss = true
+	return u * f
+}
+
+// Norm returns a normal variate with the given mean and standard deviation.
+func (r *RNG) Norm(mean, stddev float64) float64 {
+	return mean + stddev*r.NormFloat64()
+}
+
+// ExpFloat64 returns an exponential variate with rate 1.
+func (r *RNG) ExpFloat64() float64 {
+	for {
+		u := r.Float64()
+		if u > 0 {
+			return -math.Log(u)
+		}
+	}
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	r.ShuffleInts(p)
+	return p
+}
+
+// ShuffleInts permutes p in place (Fisher-Yates).
+func (r *RNG) ShuffleInts(p []int) {
+	for i := len(p) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+}
+
+// ShuffleFloats permutes p in place (Fisher-Yates).
+func (r *RNG) ShuffleFloats(p []float64) {
+	for i := len(p) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+}
+
+// Shuffle permutes n elements in place using the provided swap function.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Choice returns a uniformly random index weighted by w. All weights must be
+// non-negative and at least one must be positive.
+func (r *RNG) Choice(w []float64) int {
+	total := 0.0
+	for _, x := range w {
+		if x < 0 {
+			panic("rng: negative weight")
+		}
+		total += x
+	}
+	if total <= 0 {
+		panic("rng: all weights zero")
+	}
+	t := r.Float64() * total
+	acc := 0.0
+	for i, x := range w {
+		acc += x
+		if t < acc {
+			return i
+		}
+	}
+	return len(w) - 1
+}
+
+// SampleWithoutReplacement returns k distinct indices drawn uniformly from
+// [0, n). It panics if k > n.
+func (r *RNG) SampleWithoutReplacement(n, k int) []int {
+	if k > n {
+		panic("rng: sample size exceeds population")
+	}
+	p := r.Perm(n)
+	return p[:k]
+}

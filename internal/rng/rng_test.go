@@ -1,0 +1,220 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at draw %d", i)
+		}
+	}
+}
+
+func TestSeedsSeparate(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("adjacent seeds collided %d times in 1000 draws", same)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(7)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(11)
+	sum := 0.0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("uniform mean %v too far from 0.5", mean)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(3)
+	counts := make([]int, 10)
+	for i := 0; i < 100000; i++ {
+		v := r.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		counts[v]++
+	}
+	for v, c := range counts {
+		if c < 8000 || c > 12000 {
+			t.Fatalf("Intn(10) value %d count %d far from uniform", v, c)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for Intn(0)")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestIntRange(t *testing.T) {
+	r := New(5)
+	for i := 0; i < 1000; i++ {
+		v := r.IntRange(-3, 3)
+		if v < -3 || v > 3 {
+			t.Fatalf("IntRange out of bounds: %d", v)
+		}
+	}
+	if got := r.IntRange(4, 4); got != 4 {
+		t.Fatalf("degenerate IntRange = %d, want 4", got)
+	}
+}
+
+func TestNormMoments(t *testing.T) {
+	r := New(13)
+	const n = 200000
+	sum, sumsq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		x := r.NormFloat64()
+		sum += x
+		sumsq += x * x
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("normal mean %v too far from 0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Fatalf("normal variance %v too far from 1", variance)
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	r := New(17)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.ExpFloat64()
+	}
+	if mean := sum / n; math.Abs(mean-1) > 0.02 {
+		t.Fatalf("exponential mean %v too far from 1", mean)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(19)
+	check := func(n uint8) bool {
+		size := int(n%64) + 1
+		p := r.Perm(size)
+		seen := make([]bool, size)
+		for _, v := range p {
+			if v < 0 || v >= size || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShuffleCoversArrangements(t *testing.T) {
+	r := New(23)
+	counts := map[[3]int]int{}
+	for i := 0; i < 60000; i++ {
+		p := []int{0, 1, 2}
+		r.ShuffleInts(p)
+		counts[[3]int{p[0], p[1], p[2]}]++
+	}
+	if len(counts) != 6 {
+		t.Fatalf("shuffle produced %d of 6 arrangements", len(counts))
+	}
+	for arr, c := range counts {
+		if c < 8000 || c > 12000 {
+			t.Fatalf("arrangement %v count %d far from uniform", arr, c)
+		}
+	}
+}
+
+func TestChoiceRespectsWeights(t *testing.T) {
+	r := New(29)
+	counts := [3]int{}
+	for i := 0; i < 100000; i++ {
+		counts[r.Choice([]float64{1, 0, 3})]++
+	}
+	if counts[1] != 0 {
+		t.Fatalf("zero-weight index chosen %d times", counts[1])
+	}
+	ratio := float64(counts[2]) / float64(counts[0])
+	if ratio < 2.7 || ratio > 3.3 {
+		t.Fatalf("weight ratio %v far from 3", ratio)
+	}
+}
+
+func TestChoicePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for all-zero weights")
+		}
+	}()
+	New(1).Choice([]float64{0, 0})
+}
+
+func TestSampleWithoutReplacement(t *testing.T) {
+	r := New(31)
+	s := r.SampleWithoutReplacement(10, 5)
+	if len(s) != 5 {
+		t.Fatalf("sample size %d, want 5", len(s))
+	}
+	seen := map[int]bool{}
+	for _, v := range s {
+		if v < 0 || v >= 10 || seen[v] {
+			t.Fatalf("bad sample %v", s)
+		}
+		seen[v] = true
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	r := New(37)
+	a := r.Split()
+	b := r.Split()
+	if a.Uint64() == b.Uint64() {
+		t.Fatal("split streams start identically")
+	}
+}
+
+func TestCoin(t *testing.T) {
+	r := New(41)
+	heads := 0
+	for i := 0; i < 100000; i++ {
+		if r.Coin(0.25) {
+			heads++
+		}
+	}
+	if heads < 23500 || heads > 26500 {
+		t.Fatalf("Coin(0.25) hit %d/100000", heads)
+	}
+}

@@ -1,0 +1,303 @@
+// Package stats provides the descriptive statistics and normalisation
+// helpers used by the feature pipeline and the learning framework.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Variance returns the population variance of xs, or 0 for fewer than two
+// observations.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	sum := 0.0
+	for _, x := range xs {
+		d := x - m
+		sum += d * d
+	}
+	return sum / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// MinMax returns the smallest and largest element of xs. It panics on an
+// empty slice.
+func MinMax(xs []float64) (lo, hi float64) {
+	if len(xs) == 0 {
+		panic("stats: MinMax of empty slice")
+	}
+	lo, hi = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi
+}
+
+// Median returns the median of xs (average of the two middle elements for
+// even lengths). It panics on an empty slice.
+func Median(xs []float64) float64 { return Quantile(xs, 0.5) }
+
+// Quantile returns the q-th quantile of xs using linear interpolation
+// between closest ranks, with q clamped to [0, 1]. It panics on an empty
+// slice. xs need not be sorted.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Quantile of empty slice")
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return QuantileSorted(sorted, q)
+}
+
+// QuantileSorted is Quantile for an already ascending-sorted slice.
+func QuantileSorted(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		panic("stats: QuantileSorted of empty slice")
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// GeoMean returns the geometric mean of xs. All values must be positive.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			panic("stats: GeoMean requires positive values")
+		}
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs)))
+}
+
+// Summary bundles the five-number summary plus mean of a sample.
+type Summary struct {
+	Min, Q1, Median, Q3, Max, Mean float64
+	N                              int
+}
+
+// Summarize computes a Summary of xs. It panics on an empty slice.
+func Summarize(xs []float64) Summary {
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return Summary{
+		Min:    sorted[0],
+		Q1:     QuantileSorted(sorted, 0.25),
+		Median: QuantileSorted(sorted, 0.5),
+		Q3:     QuantileSorted(sorted, 0.75),
+		Max:    sorted[len(sorted)-1],
+		Mean:   Mean(sorted),
+		N:      len(sorted),
+	}
+}
+
+// ZScorer normalises feature columns to zero mean and unit variance, with
+// degenerate (constant) columns mapped to zero. The same transform learned
+// on training data is applied to test data.
+type ZScorer struct {
+	Means  []float64
+	Stds   []float64
+	fitted bool
+}
+
+// NewZScorer reconstructs a scorer from stored means and standard
+// deviations (model persistence).
+func NewZScorer(means, stds []float64) *ZScorer {
+	if len(means) != len(stds) {
+		panic("stats: means/stds length mismatch")
+	}
+	return &ZScorer{Means: means, Stds: stds, fitted: true}
+}
+
+// FitZScore learns per-column means and standard deviations from rows.
+// Every row must have the same length.
+func FitZScore(rows [][]float64) *ZScorer {
+	if len(rows) == 0 {
+		return &ZScorer{fitted: true}
+	}
+	dim := len(rows[0])
+	z := &ZScorer{
+		Means:  make([]float64, dim),
+		Stds:   make([]float64, dim),
+		fitted: true,
+	}
+	col := make([]float64, len(rows))
+	for j := 0; j < dim; j++ {
+		for i, row := range rows {
+			if len(row) != dim {
+				panic("stats: ragged feature matrix")
+			}
+			col[i] = row[j]
+		}
+		z.Means[j] = Mean(col)
+		z.Stds[j] = StdDev(col)
+	}
+	return z
+}
+
+// Transform returns a normalised copy of row.
+func (z *ZScorer) Transform(row []float64) []float64 {
+	if !z.fitted {
+		panic("stats: ZScorer not fitted")
+	}
+	out := make([]float64, len(row))
+	for j, x := range row {
+		if j < len(z.Stds) && z.Stds[j] > 1e-12 {
+			out[j] = (x - z.Means[j]) / z.Stds[j]
+		} else {
+			out[j] = 0
+		}
+	}
+	return out
+}
+
+// TransformAll normalises every row.
+func (z *ZScorer) TransformAll(rows [][]float64) [][]float64 {
+	out := make([][]float64, len(rows))
+	for i, row := range rows {
+		out[i] = z.Transform(row)
+	}
+	return out
+}
+
+// Euclidean returns the L2 distance between a and b, which must have equal
+// length.
+func Euclidean(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("stats: dimension mismatch")
+	}
+	sum := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		sum += d * d
+	}
+	return math.Sqrt(sum)
+}
+
+// SquaredEuclidean returns the squared L2 distance between a and b.
+func SquaredEuclidean(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("stats: dimension mismatch")
+	}
+	sum := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		sum += d * d
+	}
+	return sum
+}
+
+// Pearson returns the Pearson correlation coefficient between xs and ys,
+// or 0 if either side is constant.
+func Pearson(xs, ys []float64) float64 {
+	if len(xs) != len(ys) {
+		panic("stats: dimension mismatch")
+	}
+	if len(xs) == 0 {
+		return 0
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx <= 0 || syy <= 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// Histogram counts xs into n equal-width bins spanning [lo, hi]. Values
+// outside the range are clamped into the terminal bins.
+func Histogram(xs []float64, n int, lo, hi float64) []int {
+	if n <= 0 {
+		panic("stats: Histogram with non-positive bin count")
+	}
+	bins := make([]int, n)
+	if hi <= lo {
+		bins[0] = len(xs)
+		return bins
+	}
+	w := (hi - lo) / float64(n)
+	for _, x := range xs {
+		i := int((x - lo) / w)
+		if i < 0 {
+			i = 0
+		}
+		if i >= n {
+			i = n - 1
+		}
+		bins[i]++
+	}
+	return bins
+}
+
+// ArgMin returns the index of the smallest element, breaking ties toward
+// the lowest index. It panics on an empty slice.
+func ArgMin(xs []float64) int {
+	if len(xs) == 0 {
+		panic("stats: ArgMin of empty slice")
+	}
+	best := 0
+	for i, x := range xs {
+		if x < xs[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// ArgMax returns the index of the largest element, breaking ties toward the
+// lowest index. It panics on an empty slice.
+func ArgMax(xs []float64) int {
+	if len(xs) == 0 {
+		panic("stats: ArgMax of empty slice")
+	}
+	best := 0
+	for i, x := range xs {
+		if x > xs[best] {
+			best = i
+		}
+	}
+	return best
+}

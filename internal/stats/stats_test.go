@@ -1,0 +1,203 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"inputtune/internal/rng"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMeanVariance(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); !almostEqual(m, 5, 1e-12) {
+		t.Fatalf("mean = %v, want 5", m)
+	}
+	if v := Variance(xs); !almostEqual(v, 4, 1e-12) {
+		t.Fatalf("variance = %v, want 4", v)
+	}
+	if s := StdDev(xs); !almostEqual(s, 2, 1e-12) {
+		t.Fatalf("stddev = %v, want 2", s)
+	}
+}
+
+func TestEmptyAndSingleton(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("mean of empty should be 0")
+	}
+	if Variance([]float64{3}) != 0 {
+		t.Fatal("variance of singleton should be 0")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	lo, hi := MinMax([]float64{3, -1, 4, 1, 5})
+	if lo != -1 || hi != 5 {
+		t.Fatalf("MinMax = (%v, %v), want (-1, 5)", lo, hi)
+	}
+}
+
+func TestMedianQuantile(t *testing.T) {
+	if m := Median([]float64{1, 2, 3, 4}); !almostEqual(m, 2.5, 1e-12) {
+		t.Fatalf("median = %v, want 2.5", m)
+	}
+	if m := Median([]float64{5, 1, 3}); !almostEqual(m, 3, 1e-12) {
+		t.Fatalf("median = %v, want 3", m)
+	}
+	xs := []float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if q := Quantile(xs, 0.25); !almostEqual(q, 2.5, 1e-12) {
+		t.Fatalf("q25 = %v, want 2.5", q)
+	}
+	if q := Quantile(xs, 0); q != 0 {
+		t.Fatalf("q0 = %v, want 0", q)
+	}
+	if q := Quantile(xs, 1); q != 10 {
+		t.Fatalf("q1 = %v, want 10", q)
+	}
+	// Clamping out-of-range q.
+	if q := Quantile(xs, 1.5); q != 10 {
+		t.Fatalf("clamped q = %v, want 10", q)
+	}
+}
+
+func TestQuantileMonotone(t *testing.T) {
+	r := rng.New(1)
+	check := func(seed uint32) bool {
+		rr := rng.New(uint64(seed) + r.Uint64()%17)
+		n := rr.IntRange(1, 50)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rr.Norm(0, 10)
+		}
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.1 {
+			v := Quantile(xs, q)
+			if v < prev-1e-9 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if g := GeoMean([]float64{1, 4, 16}); !almostEqual(g, 4, 1e-9) {
+		t.Fatalf("geomean = %v, want 4", g)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.Min != 1 || s.Max != 5 || s.Median != 3 || s.N != 5 {
+		t.Fatalf("bad summary %+v", s)
+	}
+	if !almostEqual(s.Mean, 3, 1e-12) {
+		t.Fatalf("summary mean %v", s.Mean)
+	}
+}
+
+func TestZScore(t *testing.T) {
+	rows := [][]float64{{1, 100}, {2, 200}, {3, 300}}
+	z := FitZScore(rows)
+	out := z.TransformAll(rows)
+	for j := 0; j < 2; j++ {
+		col := []float64{out[0][j], out[1][j], out[2][j]}
+		if !almostEqual(Mean(col), 0, 1e-9) {
+			t.Fatalf("column %d mean %v not 0", j, Mean(col))
+		}
+		if !almostEqual(StdDev(col), 1, 1e-9) {
+			t.Fatalf("column %d stddev %v not 1", j, StdDev(col))
+		}
+	}
+}
+
+func TestZScoreConstantColumn(t *testing.T) {
+	rows := [][]float64{{5, 1}, {5, 2}, {5, 3}}
+	z := FitZScore(rows)
+	out := z.Transform([]float64{5, 2})
+	if out[0] != 0 {
+		t.Fatalf("constant column should map to 0, got %v", out[0])
+	}
+}
+
+func TestEuclidean(t *testing.T) {
+	d := Euclidean([]float64{0, 0}, []float64{3, 4})
+	if !almostEqual(d, 5, 1e-12) {
+		t.Fatalf("distance = %v, want 5", d)
+	}
+	if sq := SquaredEuclidean([]float64{0, 0}, []float64{3, 4}); !almostEqual(sq, 25, 1e-12) {
+		t.Fatalf("squared distance = %v, want 25", sq)
+	}
+}
+
+func TestPearson(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{2, 4, 6, 8, 10}
+	if p := Pearson(xs, ys); !almostEqual(p, 1, 1e-12) {
+		t.Fatalf("perfect correlation = %v", p)
+	}
+	neg := []float64{10, 8, 6, 4, 2}
+	if p := Pearson(xs, neg); !almostEqual(p, -1, 1e-12) {
+		t.Fatalf("perfect anticorrelation = %v", p)
+	}
+	if p := Pearson(xs, []float64{3, 3, 3, 3, 3}); p != 0 {
+		t.Fatalf("constant series correlation = %v, want 0", p)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	bins := Histogram([]float64{0, 0.1, 0.5, 0.9, 1.0, -5, 10}, 2, 0, 1)
+	if bins[0]+bins[1] != 7 {
+		t.Fatalf("histogram lost values: %v", bins)
+	}
+	// 0, 0.1, -5 (clamped) fall in bin 0; 0.5, 0.9, 1.0 and 10 (clamped) in bin 1.
+	if bins[0] != 3 || bins[1] != 4 {
+		t.Fatalf("histogram = %v, want [3 4]", bins)
+	}
+}
+
+func TestArgMinArgMax(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5}
+	if i := ArgMin(xs); i != 1 {
+		t.Fatalf("ArgMin = %d, want 1 (first tie)", i)
+	}
+	if i := ArgMax(xs); i != 4 {
+		t.Fatalf("ArgMax = %d, want 4", i)
+	}
+}
+
+func TestZScoreRoundTripProperty(t *testing.T) {
+	r := rng.New(99)
+	check := func(seed uint16) bool {
+		rr := rng.New(uint64(seed)*2654435761 + r.Uint64()%13)
+		n, d := rr.IntRange(2, 30), rr.IntRange(1, 8)
+		rows := make([][]float64, n)
+		for i := range rows {
+			rows[i] = make([]float64, d)
+			for j := range rows[i] {
+				rows[i][j] = rr.Norm(float64(j*10), 3)
+			}
+		}
+		z := FitZScore(rows)
+		for _, row := range rows {
+			tr := z.Transform(row)
+			for j, v := range tr {
+				// Invert the transform and compare.
+				back := v*z.Stds[j] + z.Means[j]
+				if z.Stds[j] > 1e-12 && math.Abs(back-row[j]) > 1e-6 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
