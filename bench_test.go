@@ -42,6 +42,20 @@ func benchTable1(b *testing.B, name string) {
 		b.ReportMetric(row.DynamicOracle, "dynamic_oracle_x")
 		b.ReportMetric(row.OneLevelFX, "one_level_speedup_x")
 		b.ReportMetric(100*row.TwoLevelAccuracy, "two_level_satisfaction_pct")
+		// Same scope as BENCH_1.json's cache_hit_rate: training + test eval.
+		b.ReportMetric(100*row.Report.Engine.Add(row.EvalEngine).HitRate(), "cache_hit_pct")
+	}
+}
+
+// BenchmarkTable1_Sort1_NoCache runs Sort1 through the cache-disabled
+// escape hatch — the A/B baseline for the engine's measurement cache.
+// Results are bit-identical to the cached run; only wall-clock differs.
+func BenchmarkTable1_Sort1_NoCache(b *testing.B) {
+	sc := benchScale()
+	sc.DisableCache = true
+	for i := 0; i < b.N; i++ {
+		row := exp.RunCase(exp.BuildCase("sort1", sc), sc, nil)
+		b.ReportMetric(row.TwoLevelFX, "two_level_speedup_x")
 	}
 }
 

@@ -19,6 +19,7 @@ import (
 	"inputtune/internal/benchmarks/sortbench"
 	"inputtune/internal/choice"
 	"inputtune/internal/cost"
+	"inputtune/internal/engine"
 	"inputtune/internal/rng"
 )
 
@@ -40,15 +41,20 @@ func main() {
 	fmt.Printf("%-14s %-24s %-24s %s\n", "input", "virtual ranking", "wall-clock ranking", "top pick agrees?")
 	for _, g := range sortbench.Generators() {
 		l := g.Gen(*n, r)
-		var scores []score
-		for alg := 0; alg < len(sortbench.AltNames); alg++ {
-			cfg := prog.Space().DefaultConfig()
-			cfg.Selectors[0].Else = alg
-			scores = append(scores, score{
-				alg:     alg,
-				virtual: virtualTime(cfg, l),
-				wall:    wallTime(cfg, l, *reps),
-			})
+		// Virtual runs are deterministic and independent, so they go on the
+		// shared engine pool; wall-clock runs stay serial so parallelism
+		// cannot skew the very timings being calibrated.
+		configs := make([]*choice.Config, len(sortbench.AltNames))
+		for alg := range configs {
+			configs[alg] = prog.Space().DefaultConfig()
+			configs[alg].Selectors[0].Else = alg
+		}
+		scores := make([]score, len(configs))
+		engine.Default().ForEach(len(scores), func(alg int) {
+			scores[alg] = score{alg: alg, virtual: virtualTime(configs[alg], l)}
+		})
+		for alg := range scores {
+			scores[alg].wall = wallTime(configs[alg], l, *reps)
 		}
 		byVirtual := append([]score(nil), scores...)
 		sort.Slice(byVirtual, func(a, b int) bool { return byVirtual[a].virtual < byVirtual[b].virtual })

@@ -7,10 +7,14 @@
 //	experiments fig7                 Figure 7 theoretical model curves
 //	experiments fig8                 Figure 8 speedup vs #landmarks
 //	experiments ablation             §3.1 K-means vs random landmark ablation
-//	experiments all                  everything above
+//	experiments bench                perf trajectory: wall-clock, evaluations,
+//	                                 cache hit-rate per benchmark (BENCH_1.json)
+//	experiments all                  everything above except bench
 //
 // Use -scale quick|default to trade fidelity for runtime, -out DIR to also
-// write CSV files, and -v for training progress.
+// write CSV files, and -v for training progress. `bench -json FILE`
+// selects the JSON output path; `bench -nocache` measures the engine's
+// cache-disabled escape hatch for A/B comparison.
 package main
 
 import (
@@ -35,6 +39,8 @@ func main() {
 	outDir := fs.String("out", "", "directory for CSV output (optional)")
 	seed := fs.Uint64("seed", 0, "override RNG seed (0 = scale default)")
 	verbose := fs.Bool("v", false, "log training progress")
+	benchJSON := fs.String("json", "", "bench: output path for the JSON report (default BENCH_1.json, or BENCH_1.nocache.json with -nocache)")
+	noCache := fs.Bool("nocache", false, "disable the measurement cache (A/B escape hatch; any subcommand)")
 	fs.Parse(os.Args[2:])
 
 	sc := exp.DefaultScale()
@@ -44,6 +50,7 @@ func main() {
 	if *seed != 0 {
 		sc.Seed = *seed
 	}
+	sc.DisableCache = *noCache
 	logf := func(string, ...any) {}
 	if *verbose {
 		logf = func(format string, args ...any) {
@@ -68,6 +75,28 @@ func main() {
 		runFig8(names, sc, logf, *outDir)
 	case "ablation":
 		runAblation(names, sc, logf)
+	case "bench":
+		path := *benchJSON
+		if path == "" {
+			// Separate defaults so an A/B -nocache run never clobbers the
+			// real perf-trajectory file.
+			path = "BENCH_1.json"
+			if *noCache {
+				path = "BENCH_1.nocache.json"
+			}
+		}
+		rep := exp.RunBench(names, *scaleName, sc, logf)
+		fmt.Println(exp.RenderBench(rep))
+		data, err := rep.BenchJSON()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "encode bench report: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "write %s: %v\n", path, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", path)
 	case "all":
 		rows := runTable1(names, sc, logf, *outDir, true)
 		fmt.Println(exp.RenderFig7())
@@ -161,12 +190,14 @@ func writeFile(dir, name, content string) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: experiments <table1|fig6|fig7|fig8|ablation|all> [flags]
+	fmt.Fprintln(os.Stderr, `usage: experiments <table1|fig6|fig7|fig8|ablation|bench|all> [flags]
 flags:
   -scale quick|default   workload scale (default "default")
   -case NAME             single test: sort1 sort2 clustering1 clustering2
                          binpacking svd poisson2d helmholtz3d
   -out DIR               also write CSVs to DIR
   -seed N                override the RNG seed
-  -v                     verbose training progress`)
+  -v                     verbose training progress
+  -json FILE             bench: JSON report path (default BENCH_1.json)
+  -nocache               disable the measurement cache (A/B escape hatch)`)
 }

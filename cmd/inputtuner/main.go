@@ -49,7 +49,10 @@ func main() {
 	fmt.Printf("benchmark        %s\n", rep.Benchmark)
 	fmt.Printf("search space     %s\n", rep.SpaceSize)
 	fmt.Printf("training inputs  %d (K1 = %d clusters)\n", rep.NumInputs, rep.K1)
-	fmt.Printf("tuner evals      %d configurations\n", rep.TunerEvaluations)
+	fmt.Printf("tuner evals      %d configurations (+%d memoized duplicates)\n", rep.TunerEvaluations, rep.TunerCacheHits)
+	fmt.Printf("engine cache     %d hits / %d misses (%.1f%% hit rate, %d evictions)\n",
+		rep.Engine.Hits, rep.Engine.Misses, 100*rep.Engine.HitRate(), rep.Engine.Evictions)
+	fmt.Printf("train wall       %.2fs (+%.2fs test-set evaluation)\n", row.TrainSeconds, row.EvalSeconds)
 	fmt.Printf("level-2 relabel  %.1f%% of inputs changed cluster\n", 100*rep.RelabelFraction)
 	fmt.Printf("classifier zoo   %d candidates\n", rep.NumCandidates)
 	fmt.Printf("production       %s\n", rep.Production)

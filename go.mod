@@ -1,0 +1,3 @@
+module inputtune
+
+go 1.24

@@ -8,10 +8,10 @@
 package autotuner
 
 import (
-	"runtime"
-	"sync"
+	"sort"
 
 	"inputtune/internal/choice"
+	"inputtune/internal/engine"
 	"inputtune/internal/rng"
 )
 
@@ -24,8 +24,15 @@ type Result struct {
 }
 
 // EvalFunc evaluates a configuration. It must be deterministic: the tuner
-// may evaluate candidates concurrently and caches nothing across calls.
+// may evaluate candidates concurrently, and it memoizes results by
+// configuration fingerprint (choice.Config.Key), so a structurally
+// identical genome is never evaluated twice within one run.
 type EvalFunc func(cfg *choice.Config) Result
+
+// NoImmigrants disables the per-generation injection of random
+// configurations. The zero value of Options.Immigrants selects the default
+// (2), so disabling immigration needs an explicit sentinel.
+const NoImmigrants = -1
 
 // Options configures a tuning run. Zero values select the documented
 // defaults.
@@ -38,13 +45,18 @@ type Options struct {
 	RequireAccuracy bool
 	AccuracyTarget  float64
 
-	Population  int    // default 24
-	Generations int    // default 24
-	Elites      int    // default 4
-	Tournament  int    // default 3
-	Immigrants  int    // random configs injected per generation, default 2
-	Seed        uint64 // RNG seed; runs are deterministic per seed
-	Parallel    bool   // evaluate each generation's offspring concurrently
+	Population  int // default 24
+	Generations int // default 24
+	Elites      int // default 4
+	Tournament  int // default 3
+	// Immigrants is the number of random configs injected per generation.
+	// 0 selects the default (2); pass NoImmigrants to disable immigration.
+	Immigrants int
+	Seed       uint64 // RNG seed; runs are deterministic per seed
+	// Parallel evaluates offspring concurrently on the shared engine
+	// pool, which keeps nested parallel loops (the caller's per-landmark
+	// loop outside, generations inside) from oversubscribing GOMAXPROCS.
+	Parallel bool
 }
 
 func (o *Options) setDefaults() {
@@ -63,11 +75,11 @@ func (o *Options) setDefaults() {
 	if o.Tournament <= 0 {
 		o.Tournament = 3
 	}
-	if o.Immigrants < 0 {
-		o.Immigrants = 0
-	}
 	if o.Immigrants == 0 {
 		o.Immigrants = 2
+	}
+	if o.Immigrants < 0 { // NoImmigrants (or any negative): disable
+		o.Immigrants = 0
 	}
 	if o.Immigrants > o.Population-o.Elites {
 		o.Immigrants = o.Population - o.Elites
@@ -76,7 +88,11 @@ func (o *Options) setDefaults() {
 
 // Stats summarises a tuning run.
 type Stats struct {
+	// Evaluations counts actual EvalFunc invocations (unique genomes).
 	Evaluations int
+	// CacheHits counts genome evaluations answered by the in-run memo
+	// instead of EvalFunc; Evaluations+CacheHits is the requested total.
+	CacheHits   int
 	Generations int
 	BestTime    float64
 	BestAcc     float64
@@ -117,35 +133,41 @@ func Tune(opts Options) (*choice.Config, Stats) {
 	}
 	r := rng.New(opts.Seed)
 	var st Stats
+	pool := engine.Default()
 
+	// memo holds every result of this run keyed by genome fingerprint, so
+	// duplicate genomes (no-op mutations, re-bred crossovers, converged
+	// populations) cost a map lookup instead of a program run. EvalFunc is
+	// deterministic, so memoized results are bit-identical to re-runs.
+	memo := make(map[string]Result)
 	evalAll := func(cfgs []*choice.Config) []individual {
-		out := make([]individual, len(cfgs))
-		st.Evaluations += len(cfgs)
-		if opts.Parallel && len(cfgs) > 1 {
-			workers := runtime.GOMAXPROCS(0)
-			if workers > len(cfgs) {
-				workers = len(cfgs)
+		keys := make([]string, len(cfgs))
+		var pending []int // first occurrence of each un-memoized genome
+		for i, c := range cfgs {
+			keys[i] = c.Key()
+			if _, ok := memo[keys[i]]; !ok {
+				memo[keys[i]] = Result{} // reserve so duplicates dedupe
+				pending = append(pending, i)
+			} else {
+				st.CacheHits++
 			}
-			var wg sync.WaitGroup
-			ch := make(chan int)
-			for w := 0; w < workers; w++ {
-				wg.Add(1)
-				go func() {
-					defer wg.Done()
-					for i := range ch {
-						out[i] = individual{cfg: cfgs[i], res: opts.Eval(cfgs[i])}
-					}
-				}()
-			}
-			for i := range cfgs {
-				ch <- i
-			}
-			close(ch)
-			wg.Wait()
+		}
+		st.Evaluations += len(pending)
+		results := make([]Result, len(pending))
+		run := func(j int) { results[j] = opts.Eval(cfgs[pending[j]]) }
+		if opts.Parallel {
+			pool.ForEach(len(pending), run)
 		} else {
-			for i, c := range cfgs {
-				out[i] = individual{cfg: c, res: opts.Eval(c)}
+			for j := range pending {
+				run(j)
 			}
+		}
+		for j, i := range pending {
+			memo[keys[i]] = results[j]
+		}
+		out := make([]individual, len(cfgs))
+		for i, c := range cfgs {
+			out[i] = individual{cfg: c, res: memo[keys[i]]}
 		}
 		return out
 	}
@@ -195,18 +217,14 @@ func Tune(opts Options) (*choice.Config, Stats) {
 	return best.cfg, st
 }
 
-// sortPop orders the population best-first (insertion sort: populations are
-// tiny and this avoids an import).
+// sortPop orders the population best-first under the lexicographic
+// comparator. The sort is stable, so individuals tied on (time, accuracy)
+// keep their insertion order — elites before offspring, earlier offspring
+// first — making elite survival deterministic across Go releases.
 func sortPop(pop []individual, opts Options) {
-	for i := 1; i < len(pop); i++ {
-		x := pop[i]
-		j := i - 1
-		for j >= 0 && better(x, pop[j], opts.RequireAccuracy, opts.AccuracyTarget) {
-			pop[j+1] = pop[j]
-			j--
-		}
-		pop[j+1] = x
-	}
+	sort.SliceStable(pop, func(i, j int) bool {
+		return better(pop[i], pop[j], opts.RequireAccuracy, opts.AccuracyTarget)
+	})
 }
 
 // tournament returns the index of the winner of a k-way tournament.

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"inputtune/internal/choice"
+	"inputtune/internal/rng"
 )
 
 // toySpace builds a space with one 3-way site and two tunables whose
@@ -161,5 +162,94 @@ func TestEvaluationBudget(t *testing.T) {
 	}
 	if calls > wantMax {
 		t.Fatalf("evaluations %d exceed budget %d", calls, wantMax)
+	}
+}
+
+func TestImmigrantsSentinel(t *testing.T) {
+	// Zero value selects the default.
+	o := Options{}
+	o.setDefaults()
+	if o.Immigrants != 2 {
+		t.Fatalf("default immigrants = %d, want 2", o.Immigrants)
+	}
+	// NoImmigrants disables immigration instead of silently re-enabling
+	// the default (the old behaviour promoted an explicit 0 to 2).
+	o = Options{Immigrants: NoImmigrants}
+	o.setDefaults()
+	if o.Immigrants != 0 {
+		t.Fatalf("NoImmigrants -> %d immigrants, want 0", o.Immigrants)
+	}
+	// Explicit positive values pass through (clamped to offspring slots).
+	o = Options{Immigrants: 5}
+	o.setDefaults()
+	if o.Immigrants != 5 {
+		t.Fatalf("explicit immigrants = %d, want 5", o.Immigrants)
+	}
+}
+
+// TestNoImmigrantsChangesSearch verifies the sentinel reaches the search
+// itself: with immigration off, the random-immigrant RNG draws are gone,
+// so the run differs from the default while staying deterministic.
+func TestNoImmigrantsChangesSearch(t *testing.T) {
+	sp := toySpace()
+	// Seed chosen so the two trajectories demonstrably diverge.
+	opts := Options{Space: sp, Eval: toyEval, Seed: 8, Population: 8, Generations: 6}
+	withDefault, _ := Tune(opts)
+	opts.Immigrants = NoImmigrants
+	a, _ := Tune(opts)
+	b, _ := Tune(opts)
+	if a.String() != b.String() {
+		t.Fatal("NoImmigrants run is not deterministic")
+	}
+	if a.String() == withDefault.String() {
+		t.Fatal("NoImmigrants run matched the default run; the sentinel never reached the search")
+	}
+}
+
+// TestSortPopStableTies: individuals tied on (time, accuracy) must keep
+// their insertion order, so elite survival does not depend on sort
+// internals.
+func TestSortPopStableTies(t *testing.T) {
+	sp := toySpace()
+	r := rng.New(1)
+	pop := make([]individual, 8)
+	for i := range pop {
+		pop[i] = individual{cfg: sp.RandomConfig(r), res: Result{Time: 5, Accuracy: 1}}
+	}
+	// Two strictly better individuals in the middle.
+	pop[3].res = Result{Time: 1, Accuracy: 1}
+	pop[6].res = Result{Time: 2, Accuracy: 1}
+	orig := make([]*choice.Config, len(pop))
+	for i, ind := range pop {
+		orig[i] = ind.cfg
+	}
+	sortPop(pop, Options{})
+	if pop[0].cfg != orig[3] || pop[1].cfg != orig[6] {
+		t.Fatal("better individuals not sorted first")
+	}
+	// The six tied individuals must appear in original order.
+	want := []*choice.Config{orig[0], orig[1], orig[2], orig[4], orig[5], orig[7]}
+	for i, w := range want {
+		if pop[2+i].cfg != w {
+			t.Fatalf("tie order perturbed at %d", i)
+		}
+	}
+}
+
+// TestTuneMemoAccounting: requested evaluations split exactly into actual
+// EvalFunc calls and memo hits, and every memo hit corresponds to a genome
+// fingerprint already evaluated.
+func TestTuneMemoAccounting(t *testing.T) {
+	sp := toySpace()
+	calls := 0
+	eval := func(cfg *choice.Config) Result { calls++; return toyEval(cfg) }
+	opts := Options{Space: sp, Eval: eval, Seed: 6, Population: 12, Generations: 10}
+	_, st := Tune(opts)
+	requested := 12 + 10*(12-4) // initial population + per-generation offspring
+	if st.Evaluations+st.CacheHits != requested {
+		t.Fatalf("evals %d + hits %d != requested %d", st.Evaluations, st.CacheHits, requested)
+	}
+	if calls != st.Evaluations {
+		t.Fatalf("actual calls %d != reported evaluations %d", calls, st.Evaluations)
 	}
 }

@@ -62,21 +62,27 @@ func (s *sorter) dispatch(data []float64) {
 // insertion is the terminal algorithm: O(n + inversions), unbeatable on
 // tiny or nearly sorted ranges.
 func (s *sorter) insertion(data []float64) {
+	// Ops are tallied locally and charged in bulk: the meter records
+	// integer counts, so this is exactly equivalent to per-op charging
+	// while keeping the inner loop free of memory traffic.
+	compares, moves := 0, 0
 	for i := 1; i < len(data); i++ {
 		v := data[i]
 		j := i - 1
 		for j >= 0 {
-			s.meter.Charge1(cost.Compare)
+			compares++
 			if data[j] <= v {
 				break
 			}
 			data[j+1] = data[j]
-			s.meter.Charge1(cost.Move)
+			moves++
 			j--
 		}
 		data[j+1] = v
-		s.meter.Charge1(cost.Move)
+		moves++
 	}
+	s.meter.Charge(cost.Compare, compares)
+	s.meter.Charge(cost.Move, moves)
 }
 
 // quick uses Lomuto partitioning with a last-element pivot — deliberately
@@ -92,15 +98,14 @@ func (s *sorter) quick(data []float64) {
 	pivot := data[n-1]
 	i := 0
 	for j := 0; j < n-1; j++ {
-		s.meter.Charge1(cost.Compare)
 		if data[j] < pivot {
 			data[i], data[j] = data[j], data[i]
-			s.meter.Charge(cost.Move, 2)
 			i++
 		}
 	}
 	data[i], data[n-1] = data[n-1], data[i]
-	s.meter.Charge(cost.Move, 2)
+	s.meter.Charge(cost.Compare, n-1)
+	s.meter.Charge(cost.Move, 2*i+2)
 	// Recurse through the dispatcher so the polyalgorithm can switch
 	// strategies at smaller sizes.
 	s.dispatch(data[:i])
@@ -133,6 +138,7 @@ func (s *sorter) merge(data []float64) {
 	heads := make([]int, ways)
 	out := make([]float64, 0, n)
 	s.meter.Charge(cost.Alloc, n)
+	compares := 0
 	for len(out) < n {
 		best := -1
 		for c := 0; c < ways; c++ {
@@ -140,16 +146,17 @@ func (s *sorter) merge(data []float64) {
 				continue
 			}
 			if best >= 0 {
-				s.meter.Charge1(cost.Compare)
+				compares++
 			}
 			if best < 0 || data[bounds[c]+heads[c]] < data[bounds[best]+heads[best]] {
 				best = c
 			}
 		}
 		out = append(out, data[bounds[best]+heads[best]])
-		s.meter.Charge1(cost.Move)
 		heads[best]++
 	}
+	s.meter.Charge(cost.Compare, compares)
+	s.meter.Charge(cost.Move, n) // one move per merged element
 	copy(data, out)
 	s.meter.Charge(cost.Move, n)
 }

@@ -9,6 +9,7 @@
 package choice
 
 import (
+	"encoding/binary"
 	"encoding/json"
 	"fmt"
 	"math"
@@ -292,6 +293,34 @@ func (c *Config) Clone() *Config {
 		}
 	}
 	return out
+}
+
+// Key returns a canonical fingerprint of c: two configurations have equal
+// keys if and only if they are structurally identical (same selector
+// decision lists and same tunable values). Tunable values are hashed as
+// stored, i.e. after the space's per-kind quantization, so an integer
+// tunable reached via different float intermediates fingerprints
+// identically. The encoding is injective (length-prefixed, fixed-width
+// floats), so distinct configurations can never collide — the property the
+// engine's measurement cache relies on.
+func (c *Config) Key() string {
+	// Worst case ~18 bytes per selector level + 8 per value; configs are
+	// small, so one allocation usually suffices.
+	buf := make([]byte, 0, 16+20*len(c.Selectors)+8*len(c.Values))
+	buf = binary.AppendUvarint(buf, uint64(len(c.Selectors)))
+	for _, sel := range c.Selectors {
+		buf = binary.AppendUvarint(buf, uint64(len(sel.Levels)))
+		for _, l := range sel.Levels {
+			buf = binary.AppendVarint(buf, int64(l.Cutoff))
+			buf = binary.AppendVarint(buf, int64(l.Choice))
+		}
+		buf = binary.AppendVarint(buf, int64(sel.Else))
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(c.Values)))
+	for _, v := range c.Values {
+		buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(v))
+	}
+	return string(buf)
 }
 
 // Int returns tunable i rounded to an integer.

@@ -289,3 +289,64 @@ func TestDescribeConfig(t *testing.T) {
 		}
 	}
 }
+
+// TestConfigKeyUniqueness draws 10k random configurations and checks the
+// fingerprint is collision-free: equal keys only for structurally equal
+// configs. The encoding is injective, so any collision is a bug.
+func TestConfigKeyUniqueness(t *testing.T) {
+	s := sortSpace()
+	r := rng.New(77)
+	seen := make(map[string]string, 10000)
+	configs := 0
+	for i := 0; i < 10000; i++ {
+		c := s.RandomConfig(r)
+		key := c.Key()
+		repr := c.String()
+		if prev, ok := seen[key]; ok {
+			if prev != repr {
+				t.Fatalf("fingerprint collision:\n%s\n%s", prev, repr)
+			}
+			continue // genuinely identical random draw
+		}
+		seen[key] = repr
+		configs++
+	}
+	if configs < 9000 {
+		t.Fatalf("only %d distinct configs in 10k draws; space too small for the test", configs)
+	}
+}
+
+func TestConfigKeyStability(t *testing.T) {
+	s := sortSpace()
+	r := rng.New(3)
+	c := s.RandomConfig(r)
+	if c.Key() != c.Key() {
+		t.Fatal("Key not stable across calls")
+	}
+	if c.Clone().Key() != c.Key() {
+		t.Fatal("clone fingerprint differs from original")
+	}
+	// Any structural change must change the key.
+	d := c.Clone()
+	d.Selectors[0].Else = (d.Selectors[0].Else + 1) % len(s.Sites[0].Alternatives)
+	if d.Key() == c.Key() {
+		t.Fatal("else-branch change did not change the key")
+	}
+	e := c.Clone()
+	e.Values[0]++
+	if e.Key() == c.Key() {
+		t.Fatal("tunable change did not change the key")
+	}
+}
+
+func TestConfigKeyQuantizedEquivalence(t *testing.T) {
+	s := sortSpace()
+	a := s.DefaultConfig()
+	b := s.DefaultConfig()
+	// Integer tunables are stored quantized, so two configs reached via
+	// different float intermediates fingerprint identically.
+	b.Values[0] = s.Tunables[0].quantize(b.Values[0] + 0.3)
+	if a.Key() != b.Key() {
+		t.Fatal("quantized-equal configs have different keys")
+	}
+}

@@ -1,6 +1,9 @@
 package core
 
-import "inputtune/internal/stats"
+import (
+	"inputtune/internal/engine"
+	"inputtune/internal/stats"
+)
 
 // This file implements the paper's three comparison baselines (Section 4):
 // the static oracle, the one-level method, and the dynamic oracle.
@@ -148,9 +151,19 @@ func EvalOneLevel(o *OneLevel, d *Dataset, idx []int) *EvalResult {
 
 // BuildDataset assembles a Dataset for fresh (test) inputs against an
 // existing landmark set: extract features, measure every landmark, relabel.
+// Measurement runs behind a fresh cache scoped to this input set, so
+// structurally identical landmarks (distinct clusters whose tuners
+// converged to the same configuration) are measured once, not once each.
 func BuildDataset(prog Program, inputs []Input, m *Model, parallel bool) *Dataset {
+	return BuildDatasetCached(prog, inputs, m, engine.NewCache(0), parallel)
+}
+
+// BuildDatasetCached is BuildDataset with an explicit measurement cache;
+// nil disables memoization (the same escape hatch as
+// Options.DisableCache). Results are identical either way.
+func BuildDatasetCached(prog Program, inputs []Input, m *Model, cache *engine.Cache, parallel bool) *Dataset {
 	F, E := ExtractFeatures(prog, inputs, parallel)
-	T, A := MeasureLandmarks(prog, inputs, m.Landmarks, parallel)
+	T, A := MeasureLandmarksCached(prog, inputs, m.Landmarks, cache, parallel)
 	labels, bestTime := Relabel(prog, T, A)
 	return &Dataset{F: F, E: E, T: T, A: A, Labels: labels, BestTime: bestTime}
 }

@@ -1,11 +1,8 @@
 package core
 
 import (
-	"runtime"
-	"sync"
-
 	"inputtune/internal/choice"
-	"inputtune/internal/cost"
+	"inputtune/internal/engine"
 	"inputtune/internal/stats"
 )
 
@@ -52,8 +49,23 @@ func ExtractFeatures(prog Program, inputs []Input, parallel bool) (F, E [][]floa
 
 // MeasureLandmarks runs every landmark on every input, filling T and A.
 func MeasureLandmarks(prog Program, inputs []Input, landmarks []*choice.Config, parallel bool) (T, A [][]float64) {
+	return MeasureLandmarksCached(prog, inputs, landmarks, nil, parallel)
+}
+
+// MeasureLandmarksCached is MeasureLandmarks backed by a shared measurement
+// cache (nil disables memoization). Two wins: (config, input) pairs the
+// landmark tuner already measured are free, and clusters whose tuners
+// converged to structurally identical configurations are measured once
+// instead of once per landmark. The cache must be scoped to this input set.
+func MeasureLandmarksCached(prog Program, inputs []Input, landmarks []*choice.Config, cache *engine.Cache, parallel bool) (T, A [][]float64) {
 	T = make([][]float64, len(inputs))
 	A = make([][]float64, len(inputs))
+	keys := make([]string, len(landmarks))
+	if cache != nil {
+		for k, lm := range landmarks {
+			keys[k] = lm.Key()
+		}
+	}
 	type job struct{ i, k int }
 	jobs := make([]job, 0, len(inputs)*len(landmarks))
 	for i := range inputs {
@@ -65,11 +77,20 @@ func MeasureLandmarks(prog Program, inputs []Input, landmarks []*choice.Config, 
 	}
 	forEach(len(jobs), parallel, func(j int) {
 		i, k := jobs[j].i, jobs[j].k
-		m := cost.NewMeter()
-		A[i][k] = prog.Run(landmarks[k], inputs[i], m)
-		T[i][k] = m.Elapsed()
+		res := cache.Measure(engine.Key{Config: keys[k], Input: i}, func() engine.Measurement {
+			return measureInput(prog, landmarks[k], inputs[i])
+		})
+		T[i][k] = res.Time
+		A[i][k] = res.Accuracy
 	})
 	return T, A
+}
+
+// measureInput is the one compute path behind every cached measurement:
+// Measure's fresh-meter run packaged as an engine.Measurement.
+func measureInput(prog Program, cfg *choice.Config, in Input) engine.Measurement {
+	t, acc := Measure(prog, cfg, in)
+	return engine.Measurement{Time: t, Accuracy: acc}
 }
 
 // Relabel assigns each input its best landmark: for time-only programs the
@@ -214,32 +235,16 @@ func CostMatrix(prog Program, d *Dataset, lambda float64) [][]float64 {
 	return c
 }
 
-// forEach runs fn(i) for i in [0, n), optionally across GOMAXPROCS workers.
+// forEach runs fn(i) for i in [0, n), optionally on the shared engine
+// pool. All parallel sections of the pipeline draw from that one pool, so
+// nesting (the per-landmark loop outside, GA evaluation inside) composes
+// without over- or under-subscribing GOMAXPROCS.
 func forEach(n int, parallel bool, fn func(i int)) {
-	if !parallel || n < 2 {
+	if !parallel {
 		for i := 0; i < n; i++ {
 			fn(i)
 		}
 		return
 	}
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
-	var wg sync.WaitGroup
-	ch := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range ch {
-				fn(i)
-			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		ch <- i
-	}
-	close(ch)
-	wg.Wait()
+	engine.Default().ForEach(n, fn)
 }

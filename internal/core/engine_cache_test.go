@@ -1,0 +1,88 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+)
+
+// saveBytes serialises a model for byte-level comparison.
+func saveBytes(t *testing.T, m *Model) []byte {
+	t.Helper()
+	var b bytes.Buffer
+	if err := SaveModel(m, &b); err != nil {
+		t.Fatal(err)
+	}
+	return b.Bytes()
+}
+
+// TestTrainModelCacheOnOffIdentical is the engine's core guarantee: the
+// memoized measurement cache is a pure optimisation. For a fixed seed,
+// training with Parallel: true and the cache enabled must produce the
+// byte-identical serialised model as the cache-disabled escape hatch.
+func TestTrainModelCacheOnOffIdentical(t *testing.T) {
+	prog := newSynthProgram()
+	inputs := synthInputs(100, 11)
+	base := Options{K1: 5, Seed: 3, TunerPopulation: 10, TunerGenerations: 8, Parallel: true}
+
+	withCache := base
+	cached := TrainModel(prog, inputs, withCache)
+
+	noCache := base
+	noCache.DisableCache = true
+	uncached := TrainModel(prog, inputs, noCache)
+
+	a, b := saveBytes(t, cached), saveBytes(t, uncached)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("cache changed the trained model:\ncached:   %s\nuncached: %s", a, b)
+	}
+	if cs := cached.Report.Engine; cs.Hits == 0 {
+		t.Fatalf("cache reported no hits over a full training run: %+v", cs)
+	}
+	if cs := uncached.Report.Engine; cs.Hits != 0 || cs.Misses != 0 {
+		t.Fatalf("escape hatch still recorded cache traffic: %+v", cs)
+	}
+}
+
+// TestTrainModelParallelMatchesSerial: the shared worker pool must not
+// change results, only wall-clock.
+func TestTrainModelParallelMatchesSerial(t *testing.T) {
+	prog := newSynthProgram()
+	inputs := synthInputs(80, 21)
+	opts := Options{K1: 4, Seed: 9, TunerPopulation: 8, TunerGenerations: 6}
+	serial := TrainModel(prog, inputs, opts)
+	opts.Parallel = true
+	parallel := TrainModel(prog, inputs, opts)
+	if !bytes.Equal(saveBytes(t, serial), saveBytes(t, parallel)) {
+		t.Fatal("parallel training changed the model")
+	}
+}
+
+func TestTrainModelCacheCapacityEviction(t *testing.T) {
+	prog := newSynthProgram()
+	inputs := synthInputs(60, 31)
+	opts := Options{K1: 3, Seed: 5, TunerPopulation: 8, TunerGenerations: 6, CacheCapacity: 32}
+	tiny := TrainModel(prog, inputs, opts)
+	if tiny.Report.Engine.Evictions == 0 {
+		t.Fatalf("32-entry cache never evicted: %+v", tiny.Report.Engine)
+	}
+	// Eviction costs speed, never correctness.
+	opts.CacheCapacity = 0
+	full := TrainModel(prog, inputs, opts)
+	if !bytes.Equal(saveBytes(t, tiny), saveBytes(t, full)) {
+		t.Fatal("cache capacity changed the trained model")
+	}
+}
+
+func TestReportEngineStats(t *testing.T) {
+	_, model := trainSynth(t)
+	cs := model.Report.Engine
+	if cs.Misses == 0 {
+		t.Fatalf("no cache traffic recorded: %+v", cs)
+	}
+	if rate := cs.HitRate(); rate <= 0 || rate >= 1 {
+		t.Fatalf("hit rate %v outside (0, 1)", rate)
+	}
+	if model.Report.TunerCacheHits == 0 {
+		t.Fatal("tuner memo recorded no duplicate genomes")
+	}
+}

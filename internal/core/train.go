@@ -8,6 +8,7 @@ import (
 	"inputtune/internal/autotuner"
 	"inputtune/internal/choice"
 	"inputtune/internal/cost"
+	"inputtune/internal/engine"
 	"inputtune/internal/feature"
 	"inputtune/internal/ml/kmeans"
 	"inputtune/internal/rng"
@@ -46,8 +47,16 @@ type Options struct {
 	// ValidationFraction of training inputs held out for production-
 	// classifier selection (default 0.3).
 	ValidationFraction float64
-	// Parallel enables concurrent landmark tuning and measurement.
+	// Parallel enables concurrent landmark tuning, measurement, and
+	// classifier-zoo training, all on the shared engine worker pool.
 	Parallel bool
+	// DisableCache turns off the shared measurement cache — the escape
+	// hatch for A/B runs. Program.Run is deterministic, so the trained
+	// model is bit-identical with the cache on or off; only speed differs.
+	DisableCache bool
+	// CacheCapacity bounds the measurement cache (entries; default
+	// engine.DefaultCacheCapacity).
+	CacheCapacity int
 	// RandomLandmarks replaces the K-means-medoid tuning inputs with
 	// uniformly random training inputs — the inferior alternative the paper
 	// quantifies in Section 3.1 (~41% worse at 5 configurations). Used by
@@ -94,6 +103,13 @@ type Report struct {
 	K1               int
 	SpaceSize        string
 	TunerEvaluations int
+	// TunerCacheHits counts genome evaluations the tuners answered from
+	// their in-run memo instead of running the program.
+	TunerCacheHits int
+	// Engine snapshots the shared measurement cache at the end of
+	// training. Excluded from model serialisation so that SaveModel output
+	// is byte-identical with the cache on or off.
+	Engine engine.CacheStats `json:"-"`
 	// RelabelFraction is the share of inputs whose Level-2 label differs
 	// from their Level-1 cluster — the paper reports 73.4% for Kmeans.
 	RelabelFraction float64
@@ -155,9 +171,23 @@ func TrainModel(prog Program, inputs []Input, opts Options) *Model {
 		nLandmarks++
 	}
 	logf("[%s] level 1: autotuning %d landmarks (space %s)", prog.Name(), nLandmarks, space.SizeDescription())
+	// The measurement cache is shared by the per-landmark tuners and the
+	// landmark measurement pass below: any (config, input) pair is run at
+	// most once per training session.
+	var cache *engine.Cache
+	if !opts.DisableCache {
+		cache = engine.NewCache(opts.CacheCapacity)
+	}
+	measure := func(key string, cfg *choice.Config, si int) engine.Measurement {
+		return cache.Measure(engine.Key{Config: key, Input: si}, func() engine.Measurement {
+			return measureInput(prog, cfg, inputs[si])
+		})
+	}
 	landmarks := make([]*choice.Config, nLandmarks)
 	tunerEvals := 0
+	tunerHits := 0
 	evalsCh := make([]int, nLandmarks)
+	hitsCh := make([]int, nLandmarks)
 	pickRand := rng.New(opts.Seed + 99)
 	randPicks := make([][]int, k1)
 	for c := range randPicks {
@@ -199,14 +229,14 @@ func TrainModel(prog Program, inputs []Input, opts Options) *Model {
 			// accuracy, so feasible landmarks carry an accuracy margin
 			// across their cluster, not just at its centroid.
 			Eval: func(cfg *choice.Config) autotuner.Result {
+				key := cfg.Key()
 				sumLog := 0.0
 				minAcc := math.Inf(1)
 				for _, si := range samples {
-					m := cost.NewMeter()
-					acc := prog.Run(cfg, inputs[si], m)
-					sumLog += math.Log(m.Elapsed() + 1)
-					if acc < minAcc {
-						minAcc = acc
+					res := measure(key, cfg, si)
+					sumLog += math.Log(res.Time + 1)
+					if res.Accuracy < minAcc {
+						minAcc = res.Accuracy
 					}
 				}
 				return autotuner.Result{
@@ -219,16 +249,24 @@ func TrainModel(prog Program, inputs []Input, opts Options) *Model {
 			Population:      opts.TunerPopulation,
 			Generations:     opts.TunerGenerations,
 			Seed:            opts.Seed*1000003 + uint64(c),
+			Parallel:        opts.Parallel,
 		})
 		landmarks[c] = cfg
 		evalsCh[c] = st.Evaluations
+		hitsCh[c] = st.CacheHits
 	})
-	for _, e := range evalsCh {
-		tunerEvals += e
+	for c := range evalsCh {
+		tunerEvals += evalsCh[c]
+		tunerHits += hitsCh[c]
 	}
 
 	logf("[%s] level 1: measuring %d landmarks x %d inputs", prog.Name(), nLandmarks, len(inputs))
-	T, A := MeasureLandmarks(prog, inputs, landmarks, opts.Parallel)
+	T, A := MeasureLandmarksCached(prog, inputs, landmarks, cache, opts.Parallel)
+
+	if cs := cache.Stats(); cs.Hits+cs.Misses > 0 {
+		logf("[%s] engine: measurement cache %.1f%% hit rate (%d hits, %d misses, %d evictions)",
+			prog.Name(), 100*cs.HitRate(), cs.Hits, cs.Misses, cs.Evictions)
+	}
 
 	// ---- Level 2 ----
 	labels, bestTime := Relabel(prog, T, A)
@@ -248,13 +286,13 @@ func TrainModel(prog Program, inputs []Input, opts Options) *Model {
 	// yields more conservative trees, which matters when accuracy
 	// feasibility is brittle.
 	lambdas := []float64{opts.Lambda, 4 * opts.Lambda, 16 * opts.Lambda}
-	cmatrices := make([][][]float64, len(lambdas))
-	for li, l := range lambdas {
-		cmatrices[li] = CostMatrix(prog, d, l)
-	}
 	if !prog.HasAccuracy() {
 		lambdas = lambdas[:1] // λ only affects the accuracy penalty
 	}
+	cmatrices := make([][][]float64, len(lambdas))
+	forEach(len(lambdas), opts.Parallel, func(li int) {
+		cmatrices[li] = CostMatrix(prog, d, lambdas[li])
+	})
 
 	// Split into classifier-train and validation rows.
 	r := rng.New(opts.Seed + 17)
@@ -283,6 +321,15 @@ func TrainModel(prog Program, inputs []Input, opts Options) *Model {
 		NewMaxAPriori(trY, nLandmarks),
 		NewFixed(fmt.Sprintf("static-oracle[%d]", soIdx), soIdx),
 	}
+	// The (z+1)^u - 1 subset trees × |λ| settings are independent training
+	// problems — train them on the worker pool, each writing its slot so
+	// the zoo order (and therefore production selection) is deterministic.
+	type treeSpec struct {
+		name   string
+		li     int
+		subset []int
+	}
+	var specs []treeSpec
 	for li := range lambdas {
 		suffix := ""
 		if li > 0 {
@@ -292,10 +339,19 @@ func TrainModel(prog Program, inputs []Input, opts Options) *Model {
 			if ss.Empty() {
 				continue
 			}
-			name := fmt.Sprintf("tree%s%s", set.Describe(ss), suffix)
-			cands = append(cands, NewSubsetTree(name, trX, trY, ss.Indices(z), nLandmarks, cmatrices[li], opts.MaxTreeDepth))
+			specs = append(specs, treeSpec{
+				name:   fmt.Sprintf("tree%s%s", set.Describe(ss), suffix),
+				li:     li,
+				subset: ss.Indices(z),
+			})
 		}
 	}
+	trees := make([]*Candidate, len(specs))
+	forEach(len(specs), opts.Parallel, func(i int) {
+		sp := specs[i]
+		trees[i] = NewSubsetTree(sp.name, trX, trY, sp.subset, nLandmarks, cmatrices[sp.li], opts.MaxTreeDepth)
+	})
+	cands = append(cands, trees...)
 
 	// Find the best tree so far to seed the incremental classifier's
 	// feature pool (the paper applies it "after the previous method has
@@ -344,6 +400,8 @@ func TrainModel(prog Program, inputs []Input, opts Options) *Model {
 			K1:               k1,
 			SpaceSize:        space.SizeDescription(),
 			TunerEvaluations: tunerEvals,
+			TunerCacheHits:   tunerHits,
+			Engine:           cache.Stats(),
 			RelabelFraction:  relabelFrac,
 			Production:       prod.Name,
 			SelectedFeatures: selected,

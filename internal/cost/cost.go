@@ -62,7 +62,11 @@ func (o Op) String() string {
 // op-homogeneous algorithm family.
 type Weights [numOps]float64
 
-// DefaultWeights returns the standard weight vector.
+// DefaultWeights returns the standard weight vector. All default weights
+// are dyadic rationals (k/2^m), so weighted totals are exact in binary
+// floating point at any realistic op count: Elapsed is the same value
+// whether charges arrive one at a time or in bulk, which is what lets hot
+// loops batch-charge without perturbing results.
 func DefaultWeights() Weights {
 	return Weights{
 		Compare: 1.0,
@@ -77,10 +81,18 @@ func DefaultWeights() Weights {
 // Meter accumulates abstract operation charges. The zero value uses all-zero
 // weights; construct with NewMeter. Meter is not safe for concurrent use;
 // each worker goroutine gets its own.
+//
+// Charges are recorded as integer operation counts only; the weighted unit
+// total is computed on demand by Elapsed. This keeps the charge path — the
+// single hottest instruction stream of the whole pipeline — to one integer
+// increment, and makes the reported time an exact function of the final
+// counts, independent of the order in which charges arrived.
 type Meter struct {
 	weights Weights
 	counts  [numOps]uint64
-	units   float64
+	// units holds only raw ChargeUnits additions (pre-weighted charges
+	// from child meters); weighted op charges live in counts.
+	units float64
 }
 
 // NewMeter returns a Meter with the default weights.
@@ -95,13 +107,11 @@ func (m *Meter) Charge(op Op, n int) {
 		panic("cost: negative charge")
 	}
 	m.counts[op] += uint64(n)
-	m.units += m.weights[op] * float64(n)
 }
 
 // Charge1 adds a single operation of class op.
 func (m *Meter) Charge1(op Op) {
 	m.counts[op]++
-	m.units += m.weights[op]
 }
 
 // ChargeUnits adds raw pre-weighted time units (used by composite
@@ -114,7 +124,15 @@ func (m *Meter) ChargeUnits(u float64) {
 }
 
 // Elapsed returns accumulated virtual time in abstract units.
-func (m *Meter) Elapsed() float64 { return m.units }
+func (m *Meter) Elapsed() float64 {
+	u := m.units
+	for op, n := range m.counts {
+		if n != 0 {
+			u += m.weights[op] * float64(n)
+		}
+	}
+	return u
+}
 
 // Count returns the number of charged operations of class op.
 func (m *Meter) Count(op Op) uint64 { return m.counts[op] }
@@ -127,15 +145,15 @@ func (m *Meter) Reset() {
 
 // Snapshot returns the current elapsed units; Since subtracts a snapshot,
 // giving the units consumed by an enclosed region.
-func (m *Meter) Snapshot() float64 { return m.units }
+func (m *Meter) Snapshot() float64 { return m.Elapsed() }
 
 // Since returns the units elapsed since the snapshot was taken.
-func (m *Meter) Since(snapshot float64) float64 { return m.units - snapshot }
+func (m *Meter) Since(snapshot float64) float64 { return m.Elapsed() - snapshot }
 
 // String summarises the meter for debugging.
 func (m *Meter) String() string {
 	return fmt.Sprintf("cost.Meter{units=%.1f cmp=%d mov=%d flop=%d scan=%d br=%d alloc=%d}",
-		m.units, m.counts[Compare], m.counts[Move], m.counts[Flop],
+		m.Elapsed(), m.counts[Compare], m.counts[Move], m.counts[Flop],
 		m.counts[Scan], m.counts[Branch], m.counts[Alloc])
 }
 

@@ -1,0 +1,122 @@
+package engine
+
+import "sync"
+
+// Measurement is one deterministic evaluation of a configuration on an
+// input: virtual execution time plus achieved accuracy.
+type Measurement struct {
+	Time     float64
+	Accuracy float64
+}
+
+// Key identifies one measurement: a canonical configuration fingerprint
+// (choice.Config.Key) and the index of the input within the set the cache
+// was built for. A Cache is scoped to ONE input set — train and test sets
+// get separate caches, since their indices name different inputs.
+type Key struct {
+	Config string
+	Input  int
+}
+
+// DefaultCacheCapacity bounds a cache built with capacity <= 0. At ~100
+// bytes per entry this caps memory in the tens of MB while comfortably
+// holding every distinct (config, input) pair of a full training run.
+const DefaultCacheCapacity = 1 << 19
+
+// Cache is a concurrency-safe memoized measurement store. Concurrent
+// requests for one key collapse into a single computation; later requests
+// block until the first completes and then share its result. The nil
+// *Cache is valid and memoizes nothing (the cache-disabled escape hatch).
+type Cache struct {
+	mu      sync.Mutex
+	entries map[Key]*cacheEntry
+	fifo    []Key // insertion order, for eviction
+	cap     int
+
+	hits, misses, evictions uint64
+}
+
+type cacheEntry struct {
+	once sync.Once
+	m    Measurement
+}
+
+// NewCache returns a cache bounded at capacity entries (<= 0 selects
+// DefaultCacheCapacity).
+func NewCache(capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = DefaultCacheCapacity
+	}
+	return &Cache{entries: make(map[Key]*cacheEntry), cap: capacity}
+}
+
+// Measure returns the memoized measurement for key, invoking compute at
+// most once per cached key. With a nil receiver it simply runs compute.
+// compute must be deterministic for the key, so a hit is bit-identical to
+// a recomputation.
+func (c *Cache) Measure(key Key, compute func() Measurement) Measurement {
+	if c == nil {
+		return compute()
+	}
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	if ok {
+		c.hits++
+	} else {
+		c.misses++
+		e = &cacheEntry{}
+		c.entries[key] = e
+		c.fifo = append(c.fifo, key)
+		// cap >= 1 and fifo mirrors entries, so when the map overflows the
+		// oldest entry is never the one just inserted.
+		for len(c.entries) > c.cap {
+			victim := c.fifo[0]
+			c.fifo = c.fifo[1:]
+			delete(c.entries, victim)
+			c.evictions++
+		}
+	}
+	c.mu.Unlock()
+	// An evicted entry stays reachable through e for goroutines already
+	// computing it; eviction only forgets it for future lookups.
+	e.once.Do(func() { e.m = compute() })
+	return e.m
+}
+
+// CacheStats is a point-in-time snapshot of cache effectiveness, surfaced
+// in core.Report and the bench runner.
+type CacheStats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	Entries   int    `json:"entries"`
+}
+
+// HitRate returns hits / (hits + misses), or 0 before any lookup.
+func (s CacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Stats snapshots the counters. The nil cache reports zeros.
+func (c *Cache) Stats() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Hits: c.hits, Misses: c.misses, Evictions: c.evictions, Entries: len(c.entries)}
+}
+
+// Add merges another snapshot into s (for aggregating train + test caches).
+func (s CacheStats) Add(o CacheStats) CacheStats {
+	return CacheStats{
+		Hits:      s.Hits + o.Hits,
+		Misses:    s.Misses + o.Misses,
+		Evictions: s.Evictions + o.Evictions,
+		Entries:   s.Entries + o.Entries,
+	}
+}

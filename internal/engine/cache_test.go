@@ -1,0 +1,137 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestCacheMemoizes(t *testing.T) {
+	c := NewCache(0)
+	calls := 0
+	compute := func() Measurement { calls++; return Measurement{Time: 42, Accuracy: 0.5} }
+	k := Key{Config: "cfg", Input: 3}
+	a := c.Measure(k, compute)
+	b := c.Measure(k, compute)
+	if calls != 1 {
+		t.Fatalf("compute ran %d times, want 1", calls)
+	}
+	if a != b || a.Time != 42 || a.Accuracy != 0.5 {
+		t.Fatalf("hit returned %+v, first run %+v", b, a)
+	}
+	s := c.Stats()
+	if s.Hits != 1 || s.Misses != 1 || s.Entries != 1 || s.Evictions != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.HitRate() != 0.5 {
+		t.Fatalf("hit rate = %v", s.HitRate())
+	}
+}
+
+func TestCacheDistinguishesKeys(t *testing.T) {
+	c := NewCache(0)
+	for i := 0; i < 10; i++ {
+		i := i
+		got := c.Measure(Key{Config: "x", Input: i}, func() Measurement {
+			return Measurement{Time: float64(i)}
+		})
+		if got.Time != float64(i) {
+			t.Fatalf("input %d returned %v", i, got.Time)
+		}
+	}
+	got := c.Measure(Key{Config: "y", Input: 0}, func() Measurement {
+		return Measurement{Time: -1}
+	})
+	if got.Time != -1 {
+		t.Fatalf("distinct config shared a cache slot: %v", got)
+	}
+}
+
+func TestNilCacheComputesEveryTime(t *testing.T) {
+	var c *Cache
+	calls := 0
+	for i := 0; i < 3; i++ {
+		c.Measure(Key{Config: "k"}, func() Measurement { calls++; return Measurement{} })
+	}
+	if calls != 3 {
+		t.Fatalf("nil cache memoized: %d calls", calls)
+	}
+	if s := c.Stats(); s != (CacheStats{}) {
+		t.Fatalf("nil cache stats = %+v", s)
+	}
+}
+
+func TestCacheEviction(t *testing.T) {
+	c := NewCache(4)
+	for i := 0; i < 10; i++ {
+		i := i
+		c.Measure(Key{Input: i}, func() Measurement { return Measurement{Time: float64(i)} })
+	}
+	s := c.Stats()
+	if s.Entries > 4 {
+		t.Fatalf("capacity not enforced: %d entries", s.Entries)
+	}
+	if s.Evictions != 6 {
+		t.Fatalf("evictions = %d, want 6", s.Evictions)
+	}
+	// An evicted key recomputes — and still returns the deterministic value.
+	recomputed := false
+	got := c.Measure(Key{Input: 0}, func() Measurement { recomputed = true; return Measurement{Time: 0} })
+	if !recomputed || got.Time != 0 {
+		t.Fatalf("evicted key: recomputed=%v got=%v", recomputed, got)
+	}
+}
+
+// TestCacheConcurrentDeterminism hammers a small key space from many
+// goroutines (run under -race): every reader of a key must observe the one
+// original measurement, and each key's compute must run exactly once.
+func TestCacheConcurrentDeterminism(t *testing.T) {
+	c := NewCache(0)
+	const keys = 16
+	const readers = 8
+	var computes [keys]int64
+	var wg sync.WaitGroup
+	errs := make(chan string, readers*100)
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for rep := 0; rep < 100; rep++ {
+				k := (g + rep) % keys
+				got := c.Measure(Key{Config: "c", Input: k}, func() Measurement {
+					atomic.AddInt64(&computes[k], 1)
+					return Measurement{Time: float64(k) * 10, Accuracy: float64(k)}
+				})
+				if got.Time != float64(k)*10 || got.Accuracy != float64(k) {
+					errs <- fmt.Sprintf("key %d returned %+v", k, got)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+	for k, n := range computes {
+		if n != 1 {
+			t.Fatalf("key %d computed %d times, want 1 (singleflight)", k, n)
+		}
+	}
+	s := c.Stats()
+	if s.Misses != keys || s.Hits != readers*100-keys {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestCacheStatsAdd(t *testing.T) {
+	a := CacheStats{Hits: 1, Misses: 2, Evictions: 3, Entries: 4}
+	b := CacheStats{Hits: 10, Misses: 20, Evictions: 30, Entries: 40}
+	got := a.Add(b)
+	want := CacheStats{Hits: 11, Misses: 22, Evictions: 33, Entries: 44}
+	if got != want {
+		t.Fatalf("Add = %+v, want %+v", got, want)
+	}
+}

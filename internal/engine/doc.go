@@ -1,0 +1,34 @@
+// Package engine is the shared evaluation engine behind the training
+// pipeline: a bounded worker pool and a memoized measurement cache that the
+// evolutionary autotuner, the landmark measurement pass, and the classifier
+// zoo all share.
+//
+// # Worker pool
+//
+// Pool bounds the TOTAL parallelism of the pipeline at GOMAXPROCS
+// executors, however deeply parallel sections nest. Earlier code spawned an
+// independent GOMAXPROCS-wide worker set at every parallel site, so the
+// outer per-landmark loop and the inner GA-generation loop either
+// oversubscribed the machine (both parallel) or left it idle (inner loop
+// serial, as train.go used to run it). Pool.ForEach instead hands out
+// helper slots from one shared semaphore and always lets the calling
+// goroutine work the loop itself: when the pool is saturated, a nested
+// ForEach simply degrades to an inline serial loop on the worker that
+// called it. Results are written by index, so schedules never change
+// results.
+//
+// # Measurement cache
+//
+// Cache memoizes configuration evaluations keyed by (config fingerprint,
+// input index) — see choice.Config.Key for the fingerprint. PetaBricks-
+// style autotuners win by never paying for the same measurement twice: the
+// GA re-breeds structurally identical genomes (no-op mutations, crossover
+// of near-identical parents, converged populations), and the landmark
+// measurement pass re-runs configurations the tuner already measured on
+// the same inputs. Because every Program.Run is deterministic in
+// (config, input), a cache hit returns the bit-identical measurement the
+// original run produced, so training results are unchanged — only faster.
+// Concurrent misses on one key are collapsed to a single computation
+// (singleflight), and the cache is bounded with FIFO eviction; hit, miss
+// and eviction counts are surfaced in core.Report.
+package engine

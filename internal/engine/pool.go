@@ -1,0 +1,98 @@
+package engine
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is a bounded work-sharing pool. A Pool created for w workers hands
+// out w-1 shared helper slots; the calling goroutine always participates
+// without holding a slot, so a single pipeline — however deeply its
+// parallel sections nest — runs at most w loop bodies at once, and a
+// ForEach on a saturated pool degrades to an inline serial loop instead of
+// deadlocking. Note the bound is per calling tree: k independent top-level
+// callers sharing one pool can run up to k+(w-1) bodies at once, since
+// each contributes its own inline executor.
+//
+// The zero Pool and the nil *Pool are valid and run everything serially.
+type Pool struct {
+	// sem holds the helper slots: capacity workers-1, because the caller
+	// of ForEach is itself the w-th executor.
+	sem chan struct{}
+}
+
+// NewPool returns a pool bounding total parallelism at workers executors.
+// workers <= 0 selects GOMAXPROCS.
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{sem: make(chan struct{}, workers-1)}
+}
+
+var (
+	defaultPool     *Pool
+	defaultPoolOnce sync.Once
+)
+
+// Default returns the process-wide pool, sized at GOMAXPROCS.
+func Default() *Pool {
+	defaultPoolOnce.Do(func() { defaultPool = NewPool(0) })
+	return defaultPool
+}
+
+// Workers returns the pool's executor bound.
+func (p *Pool) Workers() int {
+	if p == nil || p.sem == nil {
+		return 1
+	}
+	return cap(p.sem) + 1
+}
+
+// ForEach runs fn(i) for every i in [0, n), using up to Workers()
+// executors. Iterations are claimed from a shared counter, so uneven
+// bodies balance automatically. fn must write any result it produces to a
+// slot owned by its index; under that discipline results are independent
+// of the schedule. ForEach returns once every iteration has finished.
+func (p *Pool) ForEach(n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if p == nil || p.sem == nil || n == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	work := func() {
+		for {
+			i := int(next.Add(1) - 1)
+			if i >= n {
+				return
+			}
+			fn(i)
+		}
+	}
+	var wg sync.WaitGroup
+	// Recruit helpers only while both spare iterations and free slots
+	// exist; on a saturated pool this loop exits immediately and the
+	// caller runs the whole range inline.
+recruit:
+	for h := 0; h < n-1; h++ {
+		select {
+		case p.sem <- struct{}{}:
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer func() { <-p.sem }()
+				work()
+			}()
+		default:
+			break recruit
+		}
+	}
+	work()
+	wg.Wait()
+}

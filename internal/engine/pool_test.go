@@ -1,0 +1,89 @@
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		p := NewPool(workers)
+		for _, n := range []int{0, 1, 2, 7, 100} {
+			hits := make([]int32, n)
+			p.ForEach(n, func(i int) { atomic.AddInt32(&hits[i], 1) })
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("workers=%d n=%d: index %d ran %d times", workers, n, i, h)
+				}
+			}
+		}
+	}
+}
+
+func TestForEachNilPoolSerial(t *testing.T) {
+	var p *Pool
+	order := []int{}
+	p.ForEach(5, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("nil pool not serial in-order: %v", order)
+		}
+	}
+	if p.Workers() != 1 {
+		t.Fatalf("nil pool workers = %d", p.Workers())
+	}
+}
+
+// TestForEachNestedComposes is the regression test for the pool's reason to
+// exist: an outer parallel loop whose bodies run inner parallel loops must
+// neither deadlock nor exceed the executor bound.
+func TestForEachNestedComposes(t *testing.T) {
+	const workers = 4
+	p := NewPool(workers)
+	var active, peak int64
+	enter := func() {
+		a := atomic.AddInt64(&active, 1)
+		for {
+			pk := atomic.LoadInt64(&peak)
+			if a <= pk || atomic.CompareAndSwapInt64(&peak, pk, a) {
+				break
+			}
+		}
+	}
+	var total int64
+	p.ForEach(8, func(i int) {
+		p.ForEach(8, func(j int) {
+			enter()
+			for k := 0; k < 1000; k++ { // widen the overlap window
+				_ = k * k
+			}
+			atomic.AddInt64(&total, 1)
+			atomic.AddInt64(&active, -1)
+		})
+	})
+	if total != 64 {
+		t.Fatalf("ran %d inner bodies, want 64", total)
+	}
+	if got := atomic.LoadInt64(&peak); got > workers {
+		t.Fatalf("peak concurrency %d exceeded pool bound %d", got, workers)
+	}
+}
+
+// TestForEachConcurrentCallers exercises many goroutines sharing one pool.
+func TestForEachConcurrentCallers(t *testing.T) {
+	p := NewPool(3)
+	var wg sync.WaitGroup
+	var total int64
+	for g := 0; g < 10; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p.ForEach(50, func(i int) { atomic.AddInt64(&total, 1) })
+		}()
+	}
+	wg.Wait()
+	if total != 500 {
+		t.Fatalf("total = %d, want 500", total)
+	}
+}

@@ -1,0 +1,96 @@
+package exp
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"strings"
+)
+
+// BenchResult is one benchmark program's end-to-end pipeline cost, the
+// unit of the repo's performance trajectory (BENCH_1.json). Speedups are
+// quality headlines carried along so a perf regression that buys no
+// quality is visible immediately.
+type BenchResult struct {
+	Benchmark    string  `json:"benchmark"`
+	WallSeconds  float64 `json:"wall_seconds"`
+	TrainSeconds float64 `json:"train_seconds"`
+	EvalSeconds  float64 `json:"eval_seconds"`
+
+	// TunerEvaluations counts actual program runs the evolutionary tuners
+	// paid for; TunerCacheHits the genome evaluations answered by memo.
+	TunerEvaluations int `json:"tuner_evaluations"`
+	TunerCacheHits   int `json:"tuner_cache_hits"`
+
+	// Measurement-cache effectiveness over the training session.
+	CacheHits      uint64  `json:"cache_hits"`
+	CacheMisses    uint64  `json:"cache_misses"`
+	CacheHitRate   float64 `json:"cache_hit_rate"`
+	CacheEvictions uint64  `json:"cache_evictions"`
+
+	TwoLevelSpeedup float64 `json:"two_level_speedup_x"`
+	Satisfaction    float64 `json:"two_level_satisfaction"`
+}
+
+// BenchReport is the BENCH_1.json document.
+type BenchReport struct {
+	Scale    string `json:"scale"`
+	Seed     uint64 `json:"seed"`
+	Parallel bool   `json:"parallel"`
+	Workers  int    `json:"gomaxprocs"`
+	// CacheDisabled marks A/B runs through the escape hatch, so a
+	// -nocache report can never be mistaken for the real trajectory.
+	CacheDisabled bool          `json:"cache_disabled"`
+	Results       []BenchResult `json:"results"`
+}
+
+// RunBench runs the named cases once each and collects the perf trajectory.
+func RunBench(names []string, scaleName string, sc Scale, logf func(string, ...any)) BenchReport {
+	rep := BenchReport{
+		Scale:         scaleName,
+		Seed:          sc.Seed,
+		Parallel:      sc.Parallel,
+		Workers:       runtime.GOMAXPROCS(0),
+		CacheDisabled: sc.DisableCache,
+	}
+	for _, name := range names {
+		row := RunCase(BuildCase(name, sc), sc, logf)
+		// Cache stats span the whole pipeline, matching WallSeconds:
+		// training cache plus test-set evaluation cache.
+		cs := row.Report.Engine.Add(row.EvalEngine)
+		rep.Results = append(rep.Results, BenchResult{
+			Benchmark:        name,
+			WallSeconds:      row.TrainSeconds + row.EvalSeconds,
+			TrainSeconds:     row.TrainSeconds,
+			EvalSeconds:      row.EvalSeconds,
+			TunerEvaluations: row.Report.TunerEvaluations,
+			TunerCacheHits:   row.Report.TunerCacheHits,
+			CacheHits:        cs.Hits,
+			CacheMisses:      cs.Misses,
+			CacheHitRate:     cs.HitRate(),
+			CacheEvictions:   cs.Evictions,
+			TwoLevelSpeedup:  row.TwoLevelFX,
+			Satisfaction:     row.TwoLevelAccuracy,
+		})
+	}
+	return rep
+}
+
+// BenchJSON renders the report as indented JSON.
+func (r BenchReport) BenchJSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// RenderBench formats the report as a human-readable table.
+func RenderBench(r BenchReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %9s %9s %10s %10s %9s %9s\n",
+		"Benchmark", "wall(s)", "train(s)", "tunerEval", "memoHits", "cacheHit%", "speedup")
+	fmt.Fprintln(&b, strings.Repeat("-", 74))
+	for _, res := range r.Results {
+		fmt.Fprintf(&b, "%-12s %9.3f %9.3f %10d %10d %8.1f%% %8.2fx\n",
+			res.Benchmark, res.WallSeconds, res.TrainSeconds,
+			res.TunerEvaluations, res.TunerCacheHits, 100*res.CacheHitRate, res.TwoLevelSpeedup)
+	}
+	return b.String()
+}

@@ -13,6 +13,7 @@ import (
 	"inputtune/internal/benchmarks/sortbench"
 	"inputtune/internal/benchmarks/svd"
 	"inputtune/internal/core"
+	"inputtune/internal/engine"
 )
 
 // Scale sets the workload and training budget. The paper's scale (50-60k
@@ -27,6 +28,18 @@ type Scale struct {
 	TunerGens   int
 	Seed        uint64
 	Parallel    bool
+	// DisableCache turns off the engine's memoized measurement cache (the
+	// A/B escape hatch; results are identical either way).
+	DisableCache bool
+}
+
+// measurementCache returns a fresh test-set measurement cache, or nil when
+// the scale runs through the cache-disabled escape hatch.
+func (sc Scale) measurementCache() *engine.Cache {
+	if sc.DisableCache {
+		return nil
+	}
+	return engine.NewCache(0)
 }
 
 // QuickScale is sized for CI: result shapes hold, absolute noise is higher.

@@ -171,10 +171,11 @@ func AblationLandmarks(c Case, sc Scale, logf func(string, ...any)) AblationResu
 			TunerGenerations: sc.TunerGens,
 			H2:               h2,
 			Parallel:         sc.Parallel,
+			DisableCache:     sc.DisableCache,
 			RandomLandmarks:  random,
 			Logf:             logf,
 		})
-		testD := core.BuildDataset(c.Prog, c.Test, m, sc.Parallel)
+		testD := core.BuildDatasetCached(c.Prog, c.Test, m, sc.measurementCache(), sc.Parallel)
 		idx := core.AllRows(testD)
 		so := core.StaticOracleIndex(c.Prog, m.Train, core.AllRows(m.Train), h2)
 		static := core.EvalStatic(c.Prog, testD, idx, so)
@@ -234,9 +235,10 @@ func AblationTuneSamples(c Case, sc Scale, samples []int, logf func(string, ...a
 			TuneSamples:      n,
 			H2:               h2,
 			Parallel:         sc.Parallel,
+			DisableCache:     sc.DisableCache,
 			Logf:             logf,
 		})
-		testD := core.BuildDataset(c.Prog, c.Test, m, sc.Parallel)
+		testD := core.BuildDatasetCached(c.Prog, c.Test, m, sc.measurementCache(), sc.Parallel)
 		idx := core.AllRows(testD)
 		so := core.StaticOracleIndex(c.Prog, m.Train, core.AllRows(m.Train), h2)
 		static := core.EvalStatic(c.Prog, testD, idx, so)

@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"inputtune/internal/core"
+	"inputtune/internal/engine"
 )
 
 // h2 is the satisfaction threshold used throughout the evaluation.
@@ -39,6 +41,14 @@ type Table1Row struct {
 	// Report carries the training diagnostics (E6).
 	Report core.Report
 
+	// TrainSeconds and EvalSeconds are the wall-clock cost of training and
+	// of test-set evaluation — the perf trajectory the bench runner tracks.
+	TrainSeconds float64
+	EvalSeconds  float64
+	// EvalEngine is the test-set measurement cache snapshot (training-side
+	// stats live in Report.Engine).
+	EvalEngine engine.CacheStats
+
 	// Model and TestData are kept for the Figure 8 sweep.
 	Model    *core.Model
 	TestData *core.Dataset
@@ -50,6 +60,7 @@ func RunCase(c Case, sc Scale, logf func(string, ...any)) *Table1Row {
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
+	trainStart := time.Now()
 	model := core.TrainModel(c.Prog, c.Train, core.Options{
 		K1:               sc.K1,
 		Seed:             sc.Seed,
@@ -57,9 +68,13 @@ func RunCase(c Case, sc Scale, logf func(string, ...any)) *Table1Row {
 		TunerGenerations: sc.TunerGens,
 		H2:               h2,
 		Parallel:         sc.Parallel,
+		DisableCache:     sc.DisableCache,
 		Logf:             logf,
 	})
-	testD := core.BuildDataset(c.Prog, c.Test, model, sc.Parallel)
+	trainSeconds := time.Since(trainStart).Seconds()
+	evalStart := time.Now()
+	evalCache := sc.measurementCache()
+	testD := core.BuildDatasetCached(c.Prog, c.Test, model, evalCache, sc.Parallel)
 	idx := core.AllRows(testD)
 
 	so := core.StaticOracleIndex(c.Prog, model.Train, core.AllRows(model.Train), h2)
@@ -85,6 +100,9 @@ func RunCase(c Case, sc Scale, logf func(string, ...any)) *Table1Row {
 		StaticMeanTime:   static.MeanExec,
 		StaticPerInput:   static.PerInputExec,
 		Report:           model.Report,
+		TrainSeconds:     trainSeconds,
+		EvalSeconds:      time.Since(evalStart).Seconds(),
+		EvalEngine:       evalCache.Stats(),
 		Model:            model,
 		TestData:         testD,
 	}
