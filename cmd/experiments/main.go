@@ -7,14 +7,17 @@
 //	experiments fig7                 Figure 7 theoretical model curves
 //	experiments fig8                 Figure 8 speedup vs #landmarks
 //	experiments ablation             §3.1 K-means vs random landmark ablation
-//	experiments bench                perf trajectory: wall-clock, evaluations,
-//	                                 cache hit-rate per benchmark (BENCH_1.json)
+//	experiments bench                perf trajectory: wall-clock, per-phase
+//	                                 training breakdown, evaluations, cache
+//	                                 hit-rate per benchmark (BENCH_1.json)
 //	experiments all                  everything above except bench
 //
 // Use -scale quick|default to trade fidelity for runtime, -out DIR to also
 // write CSV files, and -v for training progress. `bench -json FILE`
-// selects the JSON output path; `bench -nocache` measures the engine's
-// cache-disabled escape hatch for A/B comparison.
+// selects the JSON output path (default: the gitignored BENCH_latest.json;
+// pass BENCH_<pr>.json to extend the committed trajectory); `bench
+// -nocache` measures the engine's cache-disabled escape hatch for A/B
+// comparison.
 package main
 
 import (
@@ -78,11 +81,13 @@ func main() {
 	case "bench":
 		path := *benchJSON
 		if path == "" {
-			// Separate defaults so an A/B -nocache run never clobbers the
-			// real perf-trajectory file.
-			path = "BENCH_1.json"
+			// The flagless defaults are scratch files (gitignored), so a
+			// casual run can never clobber a committed BENCH_<pr>.json
+			// trajectory snapshot; -nocache gets its own name so an A/B
+			// report is never mistaken for the real trajectory.
+			path = "BENCH_latest.json"
 			if *noCache {
-				path = "BENCH_1.nocache.json"
+				path = "BENCH_latest.nocache.json"
 			}
 		}
 		rep := exp.RunBench(names, *scaleName, sc, logf)
@@ -198,6 +203,13 @@ flags:
   -out DIR               also write CSVs to DIR
   -seed N                override the RNG seed
   -v                     verbose training progress
-  -json FILE             bench: JSON report path (default BENCH_1.json)
-  -nocache               disable the measurement cache (A/B escape hatch)`)
+  -json FILE             bench: JSON report path. Pass BENCH_<pr>.json to
+                         extend the committed perf trajectory; the default
+                         is the gitignored scratch file BENCH_latest.json
+                         (BENCH_latest.nocache.json under -nocache), so a
+                         flagless run never clobbers a committed snapshot
+  -nocache               disable the engine's memoized measurement cache
+                         (any subcommand). A/B escape hatch: results are
+                         byte-identical with the cache on or off; only
+                         wall-clock and the cache counters change`)
 }

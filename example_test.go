@@ -1,0 +1,85 @@
+package inputtune_test
+
+import (
+	"bytes"
+	"fmt"
+
+	"inputtune"
+	"inputtune/internal/benchmarks/sortbench"
+)
+
+// Example_quickstart is the package-comment and README quickstart as a
+// verified godoc example: implement Program (here the sort benchmark),
+// generate training inputs, train the two-level model, and deploy it on a
+// fresh input. Everything is deterministic per seed, so the output below is
+// checked by `go test`.
+func Example_quickstart() {
+	prog := sortbench.New()
+	var train []inputtune.Input
+	for _, l := range sortbench.GenerateMix(sortbench.MixOptions{Count: 60, Seed: 1, MaxSize: 512}) {
+		train = append(train, l)
+	}
+	model := inputtune.Train(prog, train, inputtune.Options{
+		K1: 6, Seed: 2, TunerPopulation: 8, TunerGenerations: 6, Parallel: true,
+	})
+
+	fresh := sortbench.GenerateMix(sortbench.MixOptions{Count: 1, Seed: 99, MaxSize: 512})[0]
+	meter := inputtune.NewMeter()
+	landmark, accuracy := model.Run(fresh, meter)
+
+	fmt.Printf("landmarks tuned: %d\n", len(model.Landmarks))
+	fmt.Printf("landmark in range: %v\n", landmark >= 0 && landmark < len(model.Landmarks))
+	fmt.Printf("sorted correctly: %v\n", accuracy == 1)
+	fmt.Printf("work was metered: %v\n", meter.Elapsed() > 0)
+	// Output:
+	// landmarks tuned: 6
+	// landmark in range: true
+	// sorted correctly: true
+	// work was metered: true
+}
+
+// ExampleSaveModel shows the train-once / deploy-many workflow: a trained
+// model serialises to JSON, and LoadModel re-binds the artifact to the
+// program so deployment never repeats the (at paper scale, hours-long)
+// training run.
+func ExampleSaveModel() {
+	prog := sortbench.New()
+	var train []inputtune.Input
+	for _, l := range sortbench.GenerateMix(sortbench.MixOptions{Count: 60, Seed: 1, MaxSize: 512}) {
+		train = append(train, l)
+	}
+	model := inputtune.Train(prog, train, inputtune.Options{
+		K1: 4, Seed: 7, TunerPopulation: 8, TunerGenerations: 6, Parallel: true,
+	})
+
+	var artifact bytes.Buffer
+	if err := inputtune.SaveModel(model, &artifact); err != nil {
+		fmt.Println("save:", err)
+		return
+	}
+	loaded, err := inputtune.LoadModel(sortbench.New(), &artifact)
+	if err != nil {
+		fmt.Println("load:", err)
+		return
+	}
+
+	in := sortbench.GenerateMix(sortbench.MixOptions{Count: 1, Seed: 123, MaxSize: 512})[0]
+	fmt.Printf("same classifier: %v\n", loaded.Production.Name == model.Production.Name)
+	fmt.Printf("same decision: %v\n", loaded.Classify(in, nil) == model.Classify(in, nil))
+	// Output:
+	// same classifier: true
+	// same decision: true
+}
+
+// ExampleMeasure runs a program once under an explicit configuration — the
+// building block the autotuner and the landmark measurement pass share.
+func ExampleMeasure() {
+	prog := sortbench.New()
+	in := sortbench.GenerateMix(sortbench.MixOptions{Count: 1, Seed: 5, MaxSize: 256})[0]
+	elapsed, accuracy := inputtune.Measure(prog, prog.Space().DefaultConfig(), in)
+	fmt.Printf("charged work: %v\n", elapsed > 0)
+	fmt.Printf("accuracy: %.0f\n", accuracy)
+	// Output:
+	// charged work: true
+	// accuracy: 1
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math"
 	"sort"
@@ -131,19 +132,120 @@ func NewMaxAPriori(labels []int, k1 int) *Candidate {
 // are chosen cost-sensitively over a population of inputs rather than
 // memorising individual (often near-tied, hence noisy) labels.
 func NewSubsetTree(name string, X [][]float64, y []int, subsetIdx []int, k1 int, costMatrix [][]float64, maxDepth int) *Candidate {
-	minLeaf := len(X) / 40
-	if minLeaf < 4 {
-		minLeaf = 4
-	}
 	tree := dtree.Train(X, y, dtree.Options{
 		NumClasses: k1,
 		Features:   subsetIdx,
 		CostMatrix: costMatrix,
 		MaxDepth:   maxDepth,
-		MinLeaf:    minLeaf,
+		MinLeaf:    subsetTreeMinLeaf(len(X)),
 	})
 	used := tree.FeaturesUsed()
 	return &Candidate{Name: name, Kind: SubsetTree, Static: used, tree: tree}
+}
+
+// subsetTreeMinLeaf is the minimum leaf size of every subset tree, shared
+// by NewSubsetTree and BuildTreeZoo so the two construction paths can
+// never diverge: it scales with the training-set size (see NewSubsetTree)
+// with a floor of 4.
+func subsetTreeMinLeaf(n int) int {
+	if minLeaf := n / 40; minLeaf > 4 {
+		return minLeaf
+	}
+	return 4
+}
+
+// TreeSpec describes one subset-tree member of the classifier zoo: a name,
+// a feature subset, and the cost matrix (λ setting) it trains under.
+type TreeSpec struct {
+	Name       string
+	Subset     []int
+	CostMatrix [][]float64
+}
+
+// zooUseReference routes BuildTreeZoo through the per-tree ReferenceTrain
+// path — no shared backbone, no dedup — exactly the pre-backbone trainer.
+// The parity test flips it to prove both paths serialise byte-identically.
+var zooUseReference = false
+
+// zooFingerprint is an injective binary encoding of the parts of a TreeSpec
+// that influence the trained tree: the feature subset and the cost-matrix
+// contents. Rows, labels and tree bounds are constant across one zoo build,
+// so equal fingerprints ⇔ identical training jobs. Duplicates are common in
+// practice: the zoo trains every subset at three λ settings, and whenever no
+// landmark misses the accuracy threshold the three cost matrices coincide.
+func zooFingerprint(subset []int, cm [][]float64) string {
+	b := make([]byte, 0, 8*(1+len(subset)+len(cm)*len(cm)))
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(len(subset)))
+	b = append(b, buf[:]...)
+	for _, f := range subset {
+		binary.LittleEndian.PutUint64(buf[:], uint64(f))
+		b = append(b, buf[:]...)
+	}
+	for _, row := range cm {
+		for _, v := range row {
+			binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+			b = append(b, buf[:]...)
+		}
+	}
+	return string(b)
+}
+
+// BuildTreeZoo trains every subset-tree candidate of the classifier zoo on
+// one shared presorted-feature backbone: the classifier-training rows are
+// column-transposed and sorted once (dtree.NewFeatureMatrix), and each tree
+// reuses those sort permutations instead of re-sorting at every node. Specs
+// whose (subset, cost matrix) fingerprints collide share a single trained
+// tree, and the distinct jobs run in parallel on the engine worker pool.
+// It returns the candidates in spec order plus the number of distinct trees
+// trained and the number of dedup hits.
+func BuildTreeZoo(X [][]float64, y []int, specs []TreeSpec, k1, maxDepth int, parallel bool) (cands []*Candidate, uniqueTrees, dedupHits int) {
+	minLeaf := subsetTreeMinLeaf(len(X))
+	treeOpts := func(sp TreeSpec) dtree.Options {
+		return dtree.Options{
+			NumClasses: k1,
+			Features:   sp.Subset,
+			CostMatrix: sp.CostMatrix,
+			MaxDepth:   maxDepth,
+			MinLeaf:    minLeaf,
+		}
+	}
+	wrap := func(sp TreeSpec, tree *dtree.Tree) *Candidate {
+		return &Candidate{Name: sp.Name, Kind: SubsetTree, Static: tree.FeaturesUsed(), tree: tree}
+	}
+	cands = make([]*Candidate, len(specs))
+	if zooUseReference {
+		forEach(len(specs), parallel, func(i int) {
+			cands[i] = wrap(specs[i], dtree.ReferenceTrain(X, y, treeOpts(specs[i])))
+		})
+		return cands, len(specs), 0
+	}
+	// Deduplicate: jobOf[i] is the index of the distinct job spec i maps
+	// to; jobs holds the spec index that owns each distinct job.
+	jobOf := make([]int, len(specs))
+	var jobs []int
+	seen := make(map[string]int, len(specs))
+	for i, sp := range specs {
+		fp := zooFingerprint(sp.Subset, sp.CostMatrix)
+		j, ok := seen[fp]
+		if !ok {
+			j = len(jobs)
+			seen[fp] = j
+			jobs = append(jobs, i)
+		} else {
+			dedupHits++
+		}
+		jobOf[i] = j
+	}
+	fm := dtree.NewFeatureMatrix(X)
+	trees := make([]*dtree.Tree, len(jobs))
+	forEach(len(jobs), parallel, func(j int) {
+		trees[j] = dtree.TrainMatrix(fm, y, treeOpts(specs[jobs[j]]))
+	})
+	for i, sp := range specs {
+		cands[i] = wrap(sp, trees[jobOf[i]])
+	}
+	return cands, len(jobs), dedupHits
 }
 
 // NewFixed builds a trivial classifier that always predicts the given

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"inputtune/internal/autotuner"
 	"inputtune/internal/choice"
@@ -96,6 +97,47 @@ func (o *Options) setDefaults() {
 	}
 }
 
+// PhaseTime is the wall-clock cost of one named training phase.
+type PhaseTime struct {
+	Name    string
+	Seconds float64
+}
+
+// PhaseTimes is the ordered per-phase breakdown of a training run:
+//
+//   - "features" — feature extraction, z-score scaling and Level-1
+//     clustering;
+//   - "tune" — landmark autotuning;
+//   - "measure" — the landmark × input measurement pass;
+//   - "classifiers" — all of Level 2: relabeling, cost-matrix builds,
+//     classifier-zoo training and production selection.
+type PhaseTimes []PhaseTime
+
+// Get returns the seconds recorded for name, or 0 if the phase is absent.
+func (p PhaseTimes) Get(name string) float64 {
+	for _, ph := range p {
+		if ph.Name == name {
+			return ph.Seconds
+		}
+	}
+	return 0
+}
+
+// phaseClock accumulates PhaseTimes as training advances; each Mark closes
+// the phase that began at the previous Mark (or at Start).
+type phaseClock struct {
+	phases PhaseTimes
+	last   time.Time
+}
+
+func startPhaseClock() *phaseClock { return &phaseClock{last: time.Now()} }
+
+func (c *phaseClock) Mark(name string) {
+	now := time.Now()
+	c.phases = append(c.phases, PhaseTime{Name: name, Seconds: now.Sub(c.last).Seconds()})
+	c.last = now
+}
+
 // Report summarises a training run for EXPERIMENTS.md and the verbose CLI.
 type Report struct {
 	Benchmark        string
@@ -110,6 +152,19 @@ type Report struct {
 	// training. Excluded from model serialisation so that SaveModel output
 	// is byte-identical with the cache on or off.
 	Engine engine.CacheStats `json:"-"`
+	// Phases is the wall-clock breakdown of training. Excluded from model
+	// serialisation (wall-clock is nondeterministic; SaveModel must stay
+	// byte-identical per seed).
+	Phases PhaseTimes `json:"-"`
+	// ZooTrees is the number of distinct decision trees actually trained
+	// for the subset-tree zoo; ZooDedupHits counts zoo members that shared
+	// a tree with an identical (subset, cost matrix) job instead of
+	// training their own. Excluded from model serialisation: they describe
+	// how the zoo was trained, not what was learned, and the reference
+	// trainer path legitimately reports different values for an otherwise
+	// identical model.
+	ZooTrees     int `json:"-"`
+	ZooDedupHits int `json:"-"`
 	// RelabelFraction is the share of inputs whose Level-2 label differs
 	// from their Level-1 cluster — the paper reports 73.4% for Kmeans.
 	RelabelFraction float64
@@ -143,6 +198,7 @@ func TrainModel(prog Program, inputs []Input, opts Options) *Model {
 	set := prog.Features()
 	space := prog.Space()
 	logf := opts.Logf
+	clock := startPhaseClock()
 
 	// ---- Level 1 ----
 	logf("[%s] level 1: extracting %d features on %d inputs", prog.Name(), set.NumFeatures(), len(inputs))
@@ -157,6 +213,7 @@ func TrainModel(prog Program, inputs []Input, opts Options) *Model {
 	logf("[%s] level 1: clustering into K1=%d groups", prog.Name(), k1)
 	km := kmeans.Cluster(Fn, kmeans.Options{K: k1, Seed: opts.Seed})
 	k1 = len(km.Centroids)
+	clock.Mark("features")
 
 	// Variable-accuracy programs get one extra "safety" landmark tuned
 	// against samples spread over the whole training set rather than one
@@ -259,9 +316,11 @@ func TrainModel(prog Program, inputs []Input, opts Options) *Model {
 		tunerEvals += evalsCh[c]
 		tunerHits += hitsCh[c]
 	}
+	clock.Mark("tune")
 
 	logf("[%s] level 1: measuring %d landmarks x %d inputs", prog.Name(), nLandmarks, len(inputs))
 	T, A := MeasureLandmarksCached(prog, inputs, landmarks, cache, opts.Parallel)
+	clock.Mark("measure")
 
 	if cs := cache.Stats(); cs.Hits+cs.Misses > 0 {
 		logf("[%s] engine: measurement cache %.1f%% hit rate (%d hits, %d misses, %d evictions)",
@@ -321,15 +380,12 @@ func TrainModel(prog Program, inputs []Input, opts Options) *Model {
 		NewMaxAPriori(trY, nLandmarks),
 		NewFixed(fmt.Sprintf("static-oracle[%d]", soIdx), soIdx),
 	}
-	// The (z+1)^u - 1 subset trees × |λ| settings are independent training
-	// problems — train them on the worker pool, each writing its slot so
+	// The (z+1)^u - 1 subset trees × |λ| settings all train on one shared
+	// presorted-feature backbone (BuildTreeZoo): rows are sorted per
+	// feature once, duplicate (subset, cost matrix) jobs share a tree, and
+	// the distinct jobs run on the worker pool, each writing its slot so
 	// the zoo order (and therefore production selection) is deterministic.
-	type treeSpec struct {
-		name   string
-		li     int
-		subset []int
-	}
-	var specs []treeSpec
+	var specs []TreeSpec
 	for li := range lambdas {
 		suffix := ""
 		if li > 0 {
@@ -339,18 +395,17 @@ func TrainModel(prog Program, inputs []Input, opts Options) *Model {
 			if ss.Empty() {
 				continue
 			}
-			specs = append(specs, treeSpec{
-				name:   fmt.Sprintf("tree%s%s", set.Describe(ss), suffix),
-				li:     li,
-				subset: ss.Indices(z),
+			specs = append(specs, TreeSpec{
+				Name:       fmt.Sprintf("tree%s%s", set.Describe(ss), suffix),
+				Subset:     ss.Indices(z),
+				CostMatrix: cmatrices[li],
 			})
 		}
 	}
-	trees := make([]*Candidate, len(specs))
-	forEach(len(specs), opts.Parallel, func(i int) {
-		sp := specs[i]
-		trees[i] = NewSubsetTree(sp.name, trX, trY, sp.subset, nLandmarks, cmatrices[sp.li], opts.MaxTreeDepth)
-	})
+	trees, zooTrees, zooDedup := BuildTreeZoo(trX, trY, specs, nLandmarks, opts.MaxTreeDepth, opts.Parallel)
+	if zooDedup > 0 {
+		logf("[%s] level 2: zoo deduplicated %d of %d tree jobs", prog.Name(), zooDedup, len(specs))
+	}
 	cands = append(cands, trees...)
 
 	// Find the best tree so far to seed the incremental classifier's
@@ -379,6 +434,7 @@ func TrainModel(prog Program, inputs []Input, opts Options) *Model {
 
 	best, scores := SelectProduction(prog, d, validIdx, cands, opts.H2)
 	prod := cands[best]
+	clock.Mark("classifiers")
 	logf("[%s] level 2: production classifier = %s (cost %.3g, satisfaction %.1f%%)",
 		prog.Name(), prod.Name, scores[best].MeanCost, 100*scores[best].Satisfaction)
 
@@ -402,6 +458,9 @@ func TrainModel(prog Program, inputs []Input, opts Options) *Model {
 			TunerEvaluations: tunerEvals,
 			TunerCacheHits:   tunerHits,
 			Engine:           cache.Stats(),
+			Phases:           clock.phases,
+			ZooTrees:         zooTrees,
+			ZooDedupHits:     zooDedup,
 			RelabelFraction:  relabelFrac,
 			Production:       prod.Name,
 			SelectedFeatures: selected,

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+)
+
+// withReferenceZoo runs fn with BuildTreeZoo routed through the per-tree
+// ReferenceTrain path — the pre-backbone trainer kept for differential
+// testing.
+func withReferenceZoo(fn func()) {
+	zooUseReference = true
+	defer func() { zooUseReference = false }()
+	fn()
+}
+
+// TestZooPresortedMatchesReference is the backbone's end-to-end guarantee
+// at the model level: for a fixed seed, training with the shared
+// presorted-feature zoo (dedup included) must produce the byte-identical
+// serialised model as the original per-tree re-sorting trainer.
+func TestZooPresortedMatchesReference(t *testing.T) {
+	prog := newSynthProgram()
+	inputs := synthInputs(100, 11)
+	opts := Options{K1: 5, Seed: 3, TunerPopulation: 10, TunerGenerations: 8, Parallel: true}
+
+	presorted := TrainModel(prog, inputs, opts)
+	var reference *Model
+	withReferenceZoo(func() { reference = TrainModel(prog, inputs, opts) })
+
+	a, b := saveBytes(t, presorted), saveBytes(t, reference)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("presorted zoo changed the trained model:\npresorted: %s\nreference: %s", a, b)
+	}
+	if presorted.Report.ZooTrees == 0 {
+		t.Fatal("presorted run trained no zoo trees")
+	}
+	if reference.Report.ZooDedupHits != 0 {
+		t.Fatalf("reference path reported dedup hits: %d", reference.Report.ZooDedupHits)
+	}
+	// Every zoo member is accounted for: distinct jobs plus dedup hits on
+	// one side, one tree per member on the other.
+	if got, want := presorted.Report.ZooTrees+presorted.Report.ZooDedupHits, reference.Report.ZooTrees; got != want {
+		t.Fatalf("zoo member accounting: %d distinct + dedup, reference trained %d", got, want)
+	}
+}
+
+// TestZooPresortedMatchesReferenceAccuracy repeats the parity check on a
+// variable-accuracy program, where the zoo trains every subset at three λ
+// settings — the case with non-trivial cost matrices and the duplicate
+// (subset, cost matrix) jobs the fingerprint dedup exists for.
+func TestZooPresortedMatchesReferenceAccuracy(t *testing.T) {
+	prog := &accProgram{*newSynthProgram()}
+	inputs := synthInputs(90, 7)
+	opts := Options{K1: 4, Seed: 13, TunerPopulation: 8, TunerGenerations: 6, Parallel: true}
+
+	presorted := TrainModel(prog, inputs, opts)
+	var reference *Model
+	withReferenceZoo(func() { reference = TrainModel(prog, inputs, opts) })
+
+	if !bytes.Equal(saveBytes(t, presorted), saveBytes(t, reference)) {
+		t.Fatal("presorted zoo diverged from reference on a variable-accuracy program")
+	}
+	if got, want := presorted.Report.ZooTrees+presorted.Report.ZooDedupHits, reference.Report.ZooTrees; got != want {
+		t.Fatalf("zoo member accounting: %d != %d", got, want)
+	}
+}
+
+// TestBuildTreeZooDedup checks the fingerprint dedup directly: identical
+// (subset, cost matrix) specs share one tree, distinct specs do not.
+func TestBuildTreeZooDedup(t *testing.T) {
+	X := [][]float64{{1, 4}, {2, 3}, {3, 2}, {4, 1}, {5, 9}, {6, 8}, {7, 7}, {8, 6}}
+	y := []int{0, 0, 0, 0, 1, 1, 1, 1}
+	cmA := [][]float64{{0, 1}, {1, 0}}
+	cmB := [][]float64{{0, 2}, {1, 0}}
+	specs := []TreeSpec{
+		{Name: "a", Subset: []int{0}, CostMatrix: cmA},
+		{Name: "b", Subset: []int{0}, CostMatrix: append([][]float64(nil), cmA...)}, // same contents, distinct backing
+		{Name: "c", Subset: []int{0}, CostMatrix: cmB},
+		{Name: "d", Subset: []int{1}, CostMatrix: cmA},
+	}
+	cands, unique, dedup := BuildTreeZoo(X, y, specs, 2, 6, false)
+	if len(cands) != 4 {
+		t.Fatalf("got %d candidates", len(cands))
+	}
+	if unique != 3 || dedup != 1 {
+		t.Fatalf("unique=%d dedup=%d, want 3 and 1", unique, dedup)
+	}
+	if cands[0].tree != cands[1].tree {
+		t.Fatal("identical jobs did not share a tree")
+	}
+	if cands[0].tree == cands[2].tree || cands[0].tree == cands[3].tree {
+		t.Fatal("distinct jobs shared a tree")
+	}
+	if cands[0].Name != "a" || cands[1].Name != "b" {
+		t.Fatal("candidate names must stay per-spec even when trees are shared")
+	}
+}
+
+// TestZooFingerprintInjective guards the encoding against collisions
+// between the subset and matrix sections.
+func TestZooFingerprintInjective(t *testing.T) {
+	cm := [][]float64{{0, 1}, {1, 0}}
+	pairs := [][2]string{
+		{zooFingerprint([]int{0}, cm), zooFingerprint([]int{1}, cm)},
+		{zooFingerprint([]int{0}, cm), zooFingerprint([]int{0, 1}, cm)},
+		{zooFingerprint([]int{0}, cm), zooFingerprint([]int{0}, [][]float64{{0, 1}, {2, 0}})},
+		{zooFingerprint(nil, cm), zooFingerprint([]int{0}, nil)},
+	}
+	for i, p := range pairs {
+		if p[0] == p[1] {
+			t.Fatalf("fingerprint collision in pair %d", i)
+		}
+	}
+	if zooFingerprint([]int{2, 5}, cm) != zooFingerprint([]int{2, 5}, [][]float64{{0, 1}, {1, 0}}) {
+		t.Fatal("equal jobs produced different fingerprints")
+	}
+}

@@ -17,6 +17,18 @@ type BenchResult struct {
 	TrainSeconds float64 `json:"train_seconds"`
 	EvalSeconds  float64 `json:"eval_seconds"`
 
+	// TrainPhaseSeconds breaks TrainSeconds down by pipeline phase
+	// (features / tune / measure / classifiers), so a hot phase — e.g.
+	// classifier-zoo training — is visible in the trajectory file, not just
+	// in aggregate wall-clock.
+	TrainPhaseSeconds map[string]float64 `json:"train_phase_seconds"`
+
+	// ZooTrees is the number of distinct subset trees trained;
+	// ZooDedupHits the zoo members served by an identical already-trained
+	// job.
+	ZooTrees     int `json:"zoo_trees"`
+	ZooDedupHits int `json:"zoo_dedup_hits"`
+
 	// TunerEvaluations counts actual program runs the evolutionary tuners
 	// paid for; TunerCacheHits the genome evaluations answered by memo.
 	TunerEvaluations int `json:"tuner_evaluations"`
@@ -58,19 +70,26 @@ func RunBench(names []string, scaleName string, sc Scale, logf func(string, ...a
 		// Cache stats span the whole pipeline, matching WallSeconds:
 		// training cache plus test-set evaluation cache.
 		cs := row.Report.Engine.Add(row.EvalEngine)
+		phases := make(map[string]float64, len(row.Report.Phases))
+		for _, ph := range row.Report.Phases {
+			phases[ph.Name] = ph.Seconds
+		}
 		rep.Results = append(rep.Results, BenchResult{
-			Benchmark:        name,
-			WallSeconds:      row.TrainSeconds + row.EvalSeconds,
-			TrainSeconds:     row.TrainSeconds,
-			EvalSeconds:      row.EvalSeconds,
-			TunerEvaluations: row.Report.TunerEvaluations,
-			TunerCacheHits:   row.Report.TunerCacheHits,
-			CacheHits:        cs.Hits,
-			CacheMisses:      cs.Misses,
-			CacheHitRate:     cs.HitRate(),
-			CacheEvictions:   cs.Evictions,
-			TwoLevelSpeedup:  row.TwoLevelFX,
-			Satisfaction:     row.TwoLevelAccuracy,
+			Benchmark:         name,
+			WallSeconds:       row.TrainSeconds + row.EvalSeconds,
+			TrainSeconds:      row.TrainSeconds,
+			EvalSeconds:       row.EvalSeconds,
+			TrainPhaseSeconds: phases,
+			ZooTrees:          row.Report.ZooTrees,
+			ZooDedupHits:      row.Report.ZooDedupHits,
+			TunerEvaluations:  row.Report.TunerEvaluations,
+			TunerCacheHits:    row.Report.TunerCacheHits,
+			CacheHits:         cs.Hits,
+			CacheMisses:       cs.Misses,
+			CacheHitRate:      cs.HitRate(),
+			CacheEvictions:    cs.Evictions,
+			TwoLevelSpeedup:   row.TwoLevelFX,
+			Satisfaction:      row.TwoLevelAccuracy,
 		})
 	}
 	return rep
@@ -84,12 +103,12 @@ func (r BenchReport) BenchJSON() ([]byte, error) {
 // RenderBench formats the report as a human-readable table.
 func RenderBench(r BenchReport) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-12s %9s %9s %10s %10s %9s %9s\n",
-		"Benchmark", "wall(s)", "train(s)", "tunerEval", "memoHits", "cacheHit%", "speedup")
-	fmt.Fprintln(&b, strings.Repeat("-", 74))
+	fmt.Fprintf(&b, "%-12s %9s %9s %8s %10s %10s %9s %9s\n",
+		"Benchmark", "wall(s)", "train(s)", "clf(s)", "tunerEval", "memoHits", "cacheHit%", "speedup")
+	fmt.Fprintln(&b, strings.Repeat("-", 83))
 	for _, res := range r.Results {
-		fmt.Fprintf(&b, "%-12s %9.3f %9.3f %10d %10d %8.1f%% %8.2fx\n",
-			res.Benchmark, res.WallSeconds, res.TrainSeconds,
+		fmt.Fprintf(&b, "%-12s %9.3f %9.3f %8.3f %10d %10d %8.1f%% %8.2fx\n",
+			res.Benchmark, res.WallSeconds, res.TrainSeconds, res.TrainPhaseSeconds["classifiers"],
 			res.TunerEvaluations, res.TunerCacheHits, 100*res.CacheHitRate, res.TwoLevelSpeedup)
 	}
 	return b.String()

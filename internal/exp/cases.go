@@ -1,8 +1,3 @@
-// Package exp is the experiment harness: it wires the six benchmarks into
-// the eight tests of the paper's evaluation (Table 1) and regenerates every
-// table and figure — Table 1, Figure 6 (per-input speedup distributions),
-// Figure 7 (theoretical model), Figure 8 (speedup vs. landmark count), and
-// the Section 3.1 landmark-selection ablation.
 package exp
 
 import (

@@ -1,0 +1,18 @@
+// Package exp is the experiment harness: it wires the six benchmarks into
+// the eight tests of the paper's evaluation (Table 1) and regenerates every
+// table and figure — Table 1, Figure 6 (per-input speedup distributions),
+// Figure 7 (theoretical model), Figure 8 (speedup vs. landmark count), and
+// the Section 3.1 landmark-selection ablation.
+//
+// It also owns the repo's performance trajectory: RunBench runs every case
+// end to end and emits the BENCH_*.json document — wall/train/eval
+// seconds, a per-phase training breakdown (features / tune / measure /
+// classifiers), tuner-evaluation and measurement-cache counters,
+// classifier-zoo dedup stats, and the headline speedup/satisfaction
+// metrics, so performance work and result quality are diffed together
+// across PRs.
+//
+// Scale selects the workload size: QuickScale for CI, DefaultScale for the
+// standard reproduction; the paper's full scale is reachable by raising
+// the fields. Everything is deterministic per Scale.Seed.
+package exp

@@ -1,0 +1,14 @@
+// Package feature reproduces the paper's input_feature language extension:
+// programmer-defined feature extractors, each available at z sampling
+// levels of increasing cost and fidelity (the paper's `level` tunable with
+// z = 3 in the evaluation). Extraction work is charged to a cost.Meter so
+// the learner can weigh a feature's usefulness against the runtime overhead
+// of computing it — one of the paper's three core challenges ("Costly
+// Features").
+//
+// A Set is a program's full feature battery: u properties × z levels =
+// M = u·z flat features. The classifier zoo enumerates per-property level
+// selections as Subset values ((z+1)^u of them, the empty subset
+// included), and deployment extracts only the subset the production
+// classifier actually needs via ExtractSubset.
+package feature

@@ -1,10 +1,3 @@
-// Package feature reproduces the paper's input_feature language extension:
-// programmer-defined feature extractors, each available at z sampling
-// levels of increasing cost and fidelity (the paper's `level` tunable with
-// z = 3 in the evaluation). Extraction work is charged to a cost.Meter so
-// the learner can weigh a feature's usefulness against the runtime overhead
-// of computing it — one of the paper's three core challenges ("Costly
-// Features").
 package feature
 
 import (

@@ -1,0 +1,20 @@
+// Package ml groups the learning components of the two-level framework.
+// It contains no code of its own; the machinery lives in three
+// subpackages, each deterministic per seed:
+//
+//   - dtree — cost-sensitive CART decision trees, the exhaustive
+//     feature-subset classifiers of Section 3.2. Includes the
+//     presorted-feature training backbone (FeatureMatrix/TrainMatrix)
+//     that the classifier zoo shares across all (z+1)^u−1 subsets, and
+//     the original re-sorting trainer (ReferenceTrain) retained as its
+//     byte-exactness reference.
+//   - bayes — the incremental feature-examination classifier: features
+//     discretised into decision regions, acquired cheapest-first at
+//     deployment until a class posterior passes the threshold τ.
+//   - kmeans — k-means with k-means++ seeding, the Level-1 input-space
+//     clustering step.
+//
+// The packages depend only on internal/rng and internal/stats, so they
+// can be reused (and differentially tested) in isolation from the
+// training pipeline in internal/core.
+package ml

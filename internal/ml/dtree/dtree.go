@@ -65,8 +65,13 @@ type Tree struct {
 	usedSet map[int]bool
 }
 
-// Train fits a tree to rows X with integer labels y in [0, NumClasses).
-func Train(X [][]float64, y []int, opts Options) *Tree {
+// ReferenceTrain fits a tree to rows X with integer labels y in
+// [0, NumClasses) by re-sorting the node's rows on every feature at every
+// node — O(n·f·log n) per node. It is the original trainer, retained
+// verbatim as the differential-testing reference for the presorted-feature
+// backbone (Train/TrainMatrix): the two must produce byte-identical
+// serialised trees for any input, which the package tests enforce.
+func ReferenceTrain(X [][]float64, y []int, opts Options) *Tree {
 	if len(X) == 0 || len(X) != len(y) {
 		panic("dtree: bad training data")
 	}

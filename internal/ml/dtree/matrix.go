@@ -1,0 +1,306 @@
+package dtree
+
+import "sort"
+
+// FeatureMatrix is the presorted-feature training backbone: a column-major
+// copy of the training rows plus, per feature, the ascending sort
+// permutation of the row indices, computed once and shared by every tree
+// trained on any feature subset of the same rows. The classifier zoo of
+// the paper trains 3·((z+1)^u−1) trees over one row set; with the matrix,
+// per-feature sorting happens once per training run instead of once per
+// feature per node per tree.
+//
+// A FeatureMatrix is immutable after construction and safe for concurrent
+// use by any number of TrainMatrix calls.
+type FeatureMatrix struct {
+	n    int
+	cols [][]float64
+	perm [][]int32
+}
+
+// NewFeatureMatrix transposes rows X into column-major storage and
+// presorts every feature column. Ties are broken by row index, so the
+// permutations are deterministic; tie order never affects a trained tree
+// (splits exist only at distinct-value boundaries, and the label counts at
+// a boundary depend only on the multiset of rows on each side).
+func NewFeatureMatrix(X [][]float64) *FeatureMatrix {
+	return newFeatureMatrixFor(X, nil)
+}
+
+// newFeatureMatrixFor transposes and presorts only the listed feature
+// columns (nil = all). Train uses it so a tree restricted to a small
+// subset never pays for columns it cannot read; the resulting sparse
+// matrix supports TrainMatrix only over those features.
+func newFeatureMatrixFor(X [][]float64, feats []int) *FeatureMatrix {
+	n := len(X)
+	if n == 0 {
+		panic("dtree: empty feature matrix")
+	}
+	f := len(X[0])
+	fm := &FeatureMatrix{n: n, cols: make([][]float64, f), perm: make([][]int32, f)}
+	sel := feats
+	if sel == nil {
+		sel = make([]int, f)
+		for j := range sel {
+			sel[j] = j
+		}
+	}
+	flat := make([]float64, n*len(sel))
+	idx := make([]int32, n*len(sel))
+	for s, j := range sel {
+		col := flat[s*n : (s+1)*n]
+		for i, row := range X {
+			col[i] = row[j]
+		}
+		p := idx[s*n : (s+1)*n]
+		for i := range p {
+			p[i] = int32(i)
+		}
+		sort.Slice(p, func(a, b int) bool {
+			va, vb := col[p[a]], col[p[b]]
+			if va != vb {
+				return va < vb
+			}
+			return p[a] < p[b]
+		})
+		fm.cols[j] = col
+		fm.perm[j] = p
+	}
+	return fm
+}
+
+// NumRows returns the number of training rows.
+func (fm *FeatureMatrix) NumRows() int { return fm.n }
+
+// NumFeatures returns the number of feature columns.
+func (fm *FeatureMatrix) NumFeatures() int { return len(fm.cols) }
+
+// Train fits a tree to rows X with integer labels y in [0, NumClasses).
+// It builds a one-off FeatureMatrix — presorting only opts.Features when a
+// subset is given — and delegates to TrainMatrix; callers training many
+// trees over subsets of the same rows (the classifier zoo) should build
+// the matrix once and call TrainMatrix directly.
+func Train(X [][]float64, y []int, opts Options) *Tree {
+	if len(X) == 0 || len(X) != len(y) {
+		panic("dtree: bad training data")
+	}
+	return TrainMatrix(newFeatureMatrixFor(X, opts.Features), y, opts)
+}
+
+// TrainMatrix fits a tree on the shared presorted backbone. The trained
+// tree is byte-identical (after serialisation) to ReferenceTrain on the
+// same rows: split evaluation walks each feature's presorted order with
+// incremental label counts — O(n·f) work per node instead of the
+// reference's O(n·f·log n) — visiting the same candidate thresholds with
+// the same floating-point label-count sums, so gains, tie-breaks and leaf
+// labels all coincide exactly.
+func TrainMatrix(fm *FeatureMatrix, y []int, opts Options) *Tree {
+	if fm == nil || fm.n == 0 || fm.n != len(y) {
+		panic("dtree: bad training data")
+	}
+	if opts.NumClasses <= 0 {
+		panic("dtree: NumClasses required")
+	}
+	opts.setDefaults()
+	feats := opts.Features
+	if feats == nil {
+		for f := 0; f < fm.NumFeatures(); f++ {
+			feats = append(feats, f)
+		}
+	}
+	t := &Tree{opts: opts, usedSet: map[int]bool{}}
+	if len(feats) == 0 {
+		// No splittable features: a lone cost-minimising leaf, exactly as
+		// the reference's empty feature loop produces.
+		counts := make([]float64, opts.NumClasses)
+		for _, label := range y {
+			counts[label]++
+		}
+		class, _ := t.bestLabel(counts)
+		t.root = &node{leaf: true, class: class}
+		return t
+	}
+	k := opts.NumClasses
+	tr := &matrixTrainer{
+		t:        t,
+		fm:       fm,
+		y:        y,
+		feats:    feats,
+		lists:    make([][]int32, len(feats)),
+		scratch:  make([]int32, 0, fm.n),
+		goesLeft: make([]bool, fm.n),
+		costTab:  flatCostTable(&opts),
+		left:     make([]float64, k),
+		right:    make([]float64, k),
+		acc:      make([]float64, k),
+	}
+	// Subset training copies only the presorted permutations it needs —
+	// O(n) per feature — and partitions them in place as nodes split, which
+	// keeps every child segment sorted without ever calling sort again.
+	lists := make([]int32, len(feats)*fm.n)
+	for j, f := range feats {
+		if fm.perm[f] == nil {
+			panic("dtree: feature not presorted in this matrix")
+		}
+		tr.lists[j] = lists[j*fm.n : (j+1)*fm.n]
+		copy(tr.lists[j], fm.perm[f])
+	}
+	t.root = tr.build(0, fm.n, 0)
+	return t
+}
+
+// flatCostTable flattens the option's cost function into a k×k row-major
+// table holding the exact same float64 values cost(i, j) returns, so the
+// split scan's inner loop is a slice load instead of a nil-check and a
+// nested index per element.
+func flatCostTable(o *Options) []float64 {
+	k := o.NumClasses
+	tab := make([]float64, k*k)
+	for i := 0; i < k; i++ {
+		for j := 0; j < k; j++ {
+			tab[i*k+j] = o.cost(i, j)
+		}
+	}
+	return tab
+}
+
+// matrixTrainer carries the per-tree mutable state of one TrainMatrix
+// call: the working presorted index lists (one per selected feature, all
+// holding the same row set per node segment) and reusable scan buffers.
+type matrixTrainer struct {
+	t     *Tree
+	fm    *FeatureMatrix
+	y     []int
+	feats []int
+	// lists[j] is the working order for feats[j]; build partitions the
+	// segment [lo, hi) of every list around each split, stably, so both
+	// children stay sorted per feature.
+	lists    [][]int32
+	scratch  []int32
+	goesLeft []bool
+	costTab  []float64
+	// left and right are the incremental label-count buffers shared by all
+	// split scans, and acc the per-label cost accumulator of bestLabel (a
+	// node is done with all three before it recurses).
+	left, right, acc []float64
+}
+
+// bestLabel mirrors Tree.bestLabel on the flat cost table with the loops
+// swapped: each per-label expected cost still accumulates its terms in
+// ascending truth-class order with zero counts skipped, so every sum is
+// bit-identical to the reference — but the skip branches once per truth
+// class instead of once per cell, and the cost table is walked row-major.
+func (tr *matrixTrainer) bestLabel(counts []float64) (int, float64) {
+	k := tr.t.opts.NumClasses
+	acc := tr.acc
+	for j := range acc {
+		acc[j] = 0
+	}
+	for i, n := range counts {
+		if n > 0 {
+			row := tr.costTab[i*k : i*k+k]
+			for j, c := range row {
+				acc[j] += n * c
+			}
+		}
+	}
+	bestJ, bestC := 0, -1.0
+	for j, c := range acc {
+		if bestC < 0 || c < bestC {
+			bestJ, bestC = j, c
+		}
+	}
+	return bestJ, bestC
+}
+
+// build grows the subtree over the row segment [lo, hi) of every working
+// list. The candidate-split sequence — features in option order, boundaries
+// in ascending value order — and every intermediate float match the
+// reference trainer exactly; see TrainMatrix.
+func (tr *matrixTrainer) build(lo, hi, depth int) *node {
+	t := tr.t
+	opts := &t.opts
+	n := hi - lo
+	counts := make([]float64, opts.NumClasses)
+	for _, i := range tr.lists[0][lo:hi] {
+		counts[tr.y[i]]++
+	}
+	label, nodeCost := tr.bestLabel(counts)
+	if depth >= opts.MaxDepth || n < 2*opts.MinLeaf || nodeCost == 0 {
+		return &node{leaf: true, class: label}
+	}
+	bestGain := 0.0
+	bestFeat, bestThresh := -1, 0.0
+	for j, f := range tr.feats {
+		col := tr.fm.cols[f]
+		seg := tr.lists[j][lo:hi]
+		if col[seg[0]] == col[seg[n-1]] {
+			continue // constant over this node: no boundary to split at
+		}
+		leftCounts, rightCounts := tr.left, tr.right
+		for c := range leftCounts {
+			leftCounts[c] = 0
+		}
+		copy(rightCounts, counts)
+		for pos := 0; pos < n-1; pos++ {
+			i := seg[pos]
+			leftCounts[tr.y[i]]++
+			rightCounts[tr.y[i]]--
+			v, next := col[i], col[seg[pos+1]]
+			if v == next {
+				continue // can't split between equal values
+			}
+			nLeft, nRight := pos+1, n-pos-1
+			if nLeft < opts.MinLeaf || nRight < opts.MinLeaf {
+				continue
+			}
+			_, lc := tr.bestLabel(leftCounts)
+			_, rc := tr.bestLabel(rightCounts)
+			gain := nodeCost - (lc + rc)
+			if gain > bestGain+1e-12 {
+				bestGain = gain
+				bestFeat = f
+				bestThresh = (v + next) / 2
+			}
+		}
+	}
+	if bestFeat < 0 {
+		return &node{leaf: true, class: label}
+	}
+	// Stable-partition every feature's presorted segment around the split.
+	// Membership is per row, so one pass over any list decides it for all.
+	splitCol := tr.fm.cols[bestFeat]
+	nLeft := 0
+	for _, i := range tr.lists[0][lo:hi] {
+		left := splitCol[i] < bestThresh
+		tr.goesLeft[i] = left
+		if left {
+			nLeft++
+		}
+	}
+	if nLeft == 0 || nLeft == n {
+		return &node{leaf: true, class: label}
+	}
+	for j := range tr.lists {
+		seg := tr.lists[j][lo:hi]
+		w := 0
+		spill := tr.scratch[:0]
+		for _, i := range seg {
+			if tr.goesLeft[i] {
+				seg[w] = i
+				w++
+			} else {
+				spill = append(spill, i)
+			}
+		}
+		copy(seg[w:], spill)
+	}
+	t.usedSet[bestFeat] = true
+	mid := lo + nLeft
+	return &node{
+		feature:   bestFeat,
+		threshold: bestThresh,
+		left:      tr.build(lo, mid, depth+1),
+		right:     tr.build(mid, hi, depth+1),
+	}
+}

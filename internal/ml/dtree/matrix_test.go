@@ -1,0 +1,278 @@
+package dtree
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"inputtune/internal/rng"
+)
+
+// treeBytes serialises a tree for byte-level comparison.
+func treeBytes(t *testing.T, tree *Tree) []byte {
+	t.Helper()
+	b, err := json.Marshal(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// randomDataset builds a duplicate-heavy dataset: values are quantised so
+// equal-value runs (the case the presorted scan must skip exactly like the
+// reference) occur constantly.
+func randomDataset(r *rng.RNG, n, f, k int) ([][]float64, []int) {
+	X := make([][]float64, n)
+	y := make([]int, n)
+	for i := range X {
+		row := make([]float64, f)
+		for j := range row {
+			row[j] = float64(r.Intn(7)) + 0.25*float64(r.Intn(3))
+		}
+		X[i] = row
+		y[i] = r.Intn(k)
+	}
+	return X, y
+}
+
+// randomCostMatrix draws a k×k matrix with zero diagonal and positive
+// off-diagonal costs; occasionally degenerate (all-equal) to exercise
+// tie-breaking.
+func randomCostMatrix(r *rng.RNG, k int) [][]float64 {
+	cm := make([][]float64, k)
+	uniform := r.Intn(4) == 0
+	for i := range cm {
+		cm[i] = make([]float64, k)
+		for j := range cm[i] {
+			if i == j {
+				continue
+			}
+			if uniform {
+				cm[i][j] = 1
+			} else {
+				cm[i][j] = r.Range(0.1, 10)
+			}
+		}
+	}
+	return cm
+}
+
+// TestTrainMatchesReference is the backbone's core guarantee: across many
+// random datasets, feature subsets, cost matrices and tree bounds, the
+// presorted trainer and the reference trainer serialise byte-identically.
+func TestTrainMatchesReference(t *testing.T) {
+	r := rng.New(1234)
+	for trial := 0; trial < 60; trial++ {
+		n := 5 + r.Intn(120)
+		f := 1 + r.Intn(6)
+		k := 2 + r.Intn(4)
+		X, y := randomDataset(r, n, f, k)
+		opts := Options{NumClasses: k}
+		if r.Intn(2) == 0 {
+			opts.CostMatrix = randomCostMatrix(r, k)
+		}
+		if r.Intn(2) == 0 {
+			opts.MaxDepth = 1 + r.Intn(8)
+		}
+		if r.Intn(2) == 0 {
+			opts.MinLeaf = 1 + r.Intn(6)
+		}
+		if r.Intn(3) == 0 {
+			var subset []int
+			for j := 0; j < f; j++ {
+				if r.Intn(2) == 0 {
+					subset = append(subset, j)
+				}
+			}
+			opts.Features = subset // may be nil: all features
+		}
+		ref := ReferenceTrain(X, y, opts)
+		got := Train(X, y, opts)
+		a, b := treeBytes(t, ref), treeBytes(t, got)
+		if !bytes.Equal(a, b) {
+			t.Fatalf("trial %d (n=%d f=%d k=%d opts=%+v): presorted trainer diverged\nreference: %s\npresorted: %s",
+				trial, n, f, k, opts, a, b)
+		}
+	}
+}
+
+// TestTrainMatrixSharedAcrossSubsets trains a whole subset zoo from ONE
+// FeatureMatrix — the classifier-zoo usage pattern — and checks every tree
+// against the reference, proving the in-place partitioned lists never leak
+// state between trainings.
+func TestTrainMatrixSharedAcrossSubsets(t *testing.T) {
+	r := rng.New(77)
+	const n, f, k = 90, 4, 3
+	X, y := randomDataset(r, n, f, k)
+	fm := NewFeatureMatrix(X)
+	cm := randomCostMatrix(r, k)
+	for mask := 1; mask < 1<<f; mask++ {
+		var subset []int
+		for j := 0; j < f; j++ {
+			if mask&(1<<j) != 0 {
+				subset = append(subset, j)
+			}
+		}
+		opts := Options{NumClasses: k, Features: subset, CostMatrix: cm, MinLeaf: 3}
+		ref := ReferenceTrain(X, y, opts)
+		got := TrainMatrix(fm, y, opts)
+		if !bytes.Equal(treeBytes(t, ref), treeBytes(t, got)) {
+			t.Fatalf("subset %v diverged from reference", subset)
+		}
+	}
+}
+
+// TestTrainMatrixConcurrent trains from one shared matrix on many
+// goroutines at once; the matrix is immutable, so results must match the
+// serial reference (run with -race to catch sharing bugs).
+func TestTrainMatrixConcurrent(t *testing.T) {
+	r := rng.New(99)
+	const n, f, k = 120, 5, 4
+	X, y := randomDataset(r, n, f, k)
+	fm := NewFeatureMatrix(X)
+	subsets := [][]int{{0}, {1, 2}, {0, 3, 4}, {2, 4}, {0, 1, 2, 3, 4}}
+	want := make([][]byte, len(subsets))
+	for i, ss := range subsets {
+		want[i] = treeBytes(t, ReferenceTrain(X, y, Options{NumClasses: k, Features: ss}))
+	}
+	done := make(chan error, 4*len(subsets))
+	for g := 0; g < 4; g++ {
+		go func() {
+			for i, ss := range subsets {
+				// No t.Fatal off the test goroutine: report through the
+				// channel so a failure can't strand the receiver below.
+				got, err := json.Marshal(TrainMatrix(fm, y, Options{NumClasses: k, Features: ss}))
+				if err != nil {
+					done <- err
+					continue
+				}
+				if !bytes.Equal(want[i], got) {
+					done <- fmt.Errorf("subset %v diverged under concurrency", ss)
+					continue
+				}
+				done <- nil
+			}
+		}()
+	}
+	for i := 0; i < cap(done); i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestFeatureMatrixShape(t *testing.T) {
+	fm := NewFeatureMatrix([][]float64{{1, 9}, {3, 8}, {2, 7}})
+	if fm.NumRows() != 3 || fm.NumFeatures() != 2 {
+		t.Fatalf("shape (%d, %d)", fm.NumRows(), fm.NumFeatures())
+	}
+	// Column 0 ascending: rows 0, 2, 1. Column 1 ascending: rows 2, 1, 0.
+	if got := fm.perm[0]; got[0] != 0 || got[1] != 2 || got[2] != 1 {
+		t.Fatalf("perm[0] = %v", got)
+	}
+	if got := fm.perm[1]; got[0] != 2 || got[1] != 1 || got[2] != 0 {
+		t.Fatalf("perm[1] = %v", got)
+	}
+}
+
+func TestFeatureMatrixTiesByRowIndex(t *testing.T) {
+	fm := NewFeatureMatrix([][]float64{{5}, {5}, {1}, {5}})
+	want := []int32{2, 0, 1, 3}
+	for i, w := range want {
+		if fm.perm[0][i] != w {
+			t.Fatalf("perm[0] = %v, want %v", fm.perm[0], want)
+		}
+	}
+}
+
+func TestTrainMatrixZeroFeatures(t *testing.T) {
+	// Rows with no columns: both trainers must produce the majority leaf.
+	X := [][]float64{{}, {}, {}}
+	y := []int{1, 1, 0}
+	ref := ReferenceTrain(X, y, Options{NumClasses: 2})
+	got := Train(X, y, Options{NumClasses: 2})
+	if !bytes.Equal(treeBytes(t, ref), treeBytes(t, got)) {
+		t.Fatal("zero-feature trees diverged")
+	}
+	if got.Predict(nil) != 1 {
+		t.Fatal("zero-feature tree should predict majority class")
+	}
+}
+
+// TestTrainSparsePresort: Train with a feature restriction presorts only
+// the selected columns; results still match the reference, and using the
+// sparse matrix outside its subset fails loudly rather than silently.
+func TestTrainSparsePresort(t *testing.T) {
+	r := rng.New(41)
+	X, y := randomDataset(r, 80, 6, 3)
+	opts := Options{NumClasses: 3, Features: []int{1, 4}}
+	ref := ReferenceTrain(X, y, opts)
+	got := Train(X, y, opts)
+	if !bytes.Equal(treeBytes(t, ref), treeBytes(t, got)) {
+		t.Fatal("subset-restricted Train diverged from reference")
+	}
+	sparse := newFeatureMatrixFor(X, []int{1, 4})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("training outside the presorted subset should panic")
+		}
+	}()
+	TrainMatrix(sparse, y, Options{NumClasses: 3, Features: []int{0}})
+}
+
+func TestTrainMatrixPanicsOnBadInput(t *testing.T) {
+	fm := NewFeatureMatrix([][]float64{{1}, {2}})
+	for name, fn := range map[string]func(){
+		"emptyMatrix": func() { NewFeatureMatrix(nil) },
+		"mismatched":  func() { TrainMatrix(fm, []int{0}, Options{NumClasses: 2}) },
+		"noClasses":   func() { TrainMatrix(fm, []int{0, 1}, Options{}) },
+		"nilMatrix":   func() { TrainMatrix(nil, []int{0, 1}, Options{NumClasses: 2}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// BenchmarkZooTraining compares the two trainers on the zoo's workload
+// shape: all non-empty subsets of f features over one row set.
+func BenchmarkZooTraining(b *testing.B) {
+	r := rng.New(5)
+	const n, f, k = 160, 6, 8
+	X, y := randomDataset(r, n, f, k)
+	cm := randomCostMatrix(r, k)
+	subsets := make([][]int, 0, 1<<f-1)
+	for mask := 1; mask < 1<<f; mask++ {
+		var ss []int
+		for j := 0; j < f; j++ {
+			if mask&(1<<j) != 0 {
+				ss = append(ss, j)
+			}
+		}
+		subsets = append(subsets, ss)
+	}
+	opts := func(ss []int) Options {
+		return Options{NumClasses: k, Features: ss, CostMatrix: cm, MinLeaf: 4, MaxDepth: 6}
+	}
+	b.Run("reference", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, ss := range subsets {
+				ReferenceTrain(X, y, opts(ss))
+			}
+		}
+	})
+	b.Run("presorted", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			fm := NewFeatureMatrix(X)
+			for _, ss := range subsets {
+				TrainMatrix(fm, y, opts(ss))
+			}
+		}
+	})
+}
