@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"inputtune"
+	"inputtune/internal/benchmarks/poisson2d"
 	"inputtune/internal/benchmarks/sortbench"
 )
 
@@ -69,6 +70,49 @@ func ExampleSaveModel() {
 	// Output:
 	// same classifier: true
 	// same decision: true
+}
+
+// ExampleTrain_poisson2d exercises the variable-accuracy PDE path of the
+// public API: train the Poisson 2D benchmark at a small scale, persist
+// the model, and let the LOADED model classify and solve a fresh input —
+// the train-once / deploy-many loop for a benchmark where the dispatcher
+// must respect an accuracy threshold (7 decades of error reduction), not
+// just execution time. Deterministic per seed, so `go test` checks the
+// output.
+func ExampleTrain_poisson2d() {
+	prog := poisson2d.New()
+	var train []inputtune.Input
+	for _, pr := range poisson2d.GenerateMix(poisson2d.MixOptions{Count: 12, Seed: 3, Sizes: []int{15, 31}}) {
+		train = append(train, pr)
+	}
+	model := inputtune.Train(prog, train, inputtune.Options{
+		K1: 4, Seed: 11, TunerPopulation: 8, TunerGenerations: 5, Parallel: true,
+	})
+
+	var artifact bytes.Buffer
+	if err := inputtune.SaveModel(model, &artifact); err != nil {
+		fmt.Println("save:", err)
+		return
+	}
+	loaded, err := inputtune.LoadModel(poisson2d.New(), &artifact)
+	if err != nil {
+		fmt.Println("load:", err)
+		return
+	}
+
+	fresh := poisson2d.GenerateMix(poisson2d.MixOptions{Count: 1, Seed: 77, Sizes: []int{31}})[0]
+	meter := inputtune.NewMeter()
+	landmark, accuracy := loaded.Run(fresh, meter)
+
+	fmt.Printf("landmarks tuned: %d\n", len(loaded.Landmarks))
+	fmt.Printf("same decision as unsaved model: %v\n", landmark == model.Classify(fresh, nil))
+	fmt.Printf("meets accuracy target: %v\n", accuracy >= prog.AccuracyThreshold())
+	fmt.Printf("work was metered: %v\n", meter.Elapsed() > 0)
+	// Output:
+	// landmarks tuned: 5
+	// same decision as unsaved model: true
+	// meets accuracy target: true
+	// work was metered: true
 }
 
 // ExampleMeasure runs a program once under an explicit configuration — the

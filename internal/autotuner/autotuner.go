@@ -1,10 +1,3 @@
-// Package autotuner implements the evolutionary configuration search the
-// two-level learner invokes once per input cluster (Level 1, Step 3 of the
-// paper). It is a steady-state genetic algorithm over choice.Config
-// genomes: tournament selection, structural mutation and crossover from the
-// choice package, elitism, and a lexicographic fitness that puts accuracy
-// feasibility ahead of execution time — the paper's variable-accuracy dual
-// objective.
 package autotuner
 
 import (

@@ -1,0 +1,18 @@
+// Package autotuner implements the evolutionary configuration search the
+// two-level learner invokes once per input cluster (Level 1, Step 3 of
+// the paper). It is a steady-state genetic algorithm over choice.Config
+// genomes: tournament selection, structural mutation and crossover from
+// the choice package, elitism, and a lexicographic fitness that puts
+// accuracy feasibility ahead of execution time — the paper's
+// variable-accuracy dual objective. When the accuracy target is
+// unreachable on the tuning samples, the infeasible path maximises
+// accuracy instead, which is exactly the behaviour the safety landmark
+// relies on.
+//
+// Each run memoizes duplicate genomes by Config.Key (Stats.CacheHits), on
+// top of the cross-run engine.Cache its Eval callback usually measures
+// through, and evaluates generations on the shared engine.Pool when
+// Options.Parallel is set. RandomSearch and HillClimb are the
+// equal-budget baseline strategies behind the tuner ablation
+// (BenchmarkTunerStrategies).
+package autotuner

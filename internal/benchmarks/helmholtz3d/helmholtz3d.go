@@ -14,6 +14,7 @@ import (
 
 	"inputtune/internal/choice"
 	"inputtune/internal/cost"
+	"inputtune/internal/engine"
 	"inputtune/internal/feature"
 	"inputtune/internal/pde"
 	"inputtune/internal/rng"
@@ -42,21 +43,35 @@ type Problem struct {
 	exactOnce sync.Once
 	exact     *pde.Grid3D
 	exactRMS  float64
+
+	// chainOnce/chain cache the coarsened operator ladder (immutable,
+	// shared); fpOnce/fp the content fingerprint keying the solver memo;
+	// hpool pools multigrid workspaces over the chain.
+	chainOnce sync.Once
+	chain     *pde.OpChain3D
+	fpOnce    sync.Once
+	fp        string
+	hpool     sync.Pool
 }
 
 // Size implements feature.Input.
 func (p *Problem) Size() int { return p.N * p.N * p.N }
 
 // exactSolution lazily computes a converged reference via W-cycle
-// multigrid on the true operator (metric evaluation; never charged).
+// multigrid on the true operator (metric evaluation; never charged). It
+// runs on the pooled hierarchy, which is bit-identical to the original
+// per-cycle MGCycle3D (differential-test enforced), so the reference —
+// and every accuracy derived from it — is unchanged.
 func (p *Problem) exactSolution() (*pde.Grid3D, float64) {
 	p.exactOnce.Do(func() {
 		var w pde.Work
 		u := pde.NewGrid3D(p.N)
 		opt := pde.MGOptions3D{Pre: 3, Post: 3, Gamma: 2, Omega: 1}
+		h := p.hier()
 		for c := 0; c < 25; c++ {
-			pde.MGCycle3D(p.Op, u, p.F, opt, &w)
+			h.Cycle(u, p.F, opt, &w)
 		}
+		p.putHier(h)
 		p.exact = u
 		p.exactRMS = u.RMS()
 	})
@@ -73,6 +88,11 @@ type Program struct {
 	preIdx   int
 	postIdx  int
 	gammaIdx int
+
+	// memo is the sub-run solver-state memo (see solve.go); memoOff is the
+	// test hook proving results are identical with the memo disabled.
+	memo    engine.Memo
+	memoOff bool
 }
 
 // New constructs the Helmholtz 3D program.
@@ -126,23 +146,12 @@ func (p *Program) Run(cfg *choice.Config, in feature.Input, meter *cost.Meter) f
 	case SolverDirect:
 		u = pde.DirectHelmholtz3D(prob.Op, prob.F, &w)
 	case SolverJacobi:
-		u = pde.NewGrid3D(prob.N)
-		for it := 0; it < cfg.Int(p.itersIdx); it++ {
-			pde.Jacobi3D(prob.Op, u, prob.F, 0.8, &w)
-		}
+		u = p.smoothSolve(prob, smootherJacobi, 0.8, cfg.Int(p.itersIdx), &w)
 	case SolverGaussSeidel:
-		u = pde.NewGrid3D(prob.N)
-		for it := 0; it < cfg.Int(p.itersIdx); it++ {
-			pde.SOR3D(prob.Op, u, prob.F, 1.0, &w)
-		}
+		u = p.smoothSolve(prob, smootherSOR, 1.0, cfg.Int(p.itersIdx), &w)
 	case SolverSOR:
-		u = pde.NewGrid3D(prob.N)
-		omega := cfg.Float(p.omegaIdx)
-		for it := 0; it < cfg.Int(p.itersIdx); it++ {
-			pde.SOR3D(prob.Op, u, prob.F, omega, &w)
-		}
+		u = p.smoothSolve(prob, smootherSOR, cfg.Float(p.omegaIdx), cfg.Int(p.itersIdx), &w)
 	default: // SolverMultigrid
-		u = pde.NewGrid3D(prob.N)
 		opt := pde.MGOptions3D{
 			Pre:   cfg.Int(p.preIdx),
 			Post:  cfg.Int(p.postIdx),
@@ -152,9 +161,7 @@ func (p *Program) Run(cfg *choice.Config, in feature.Input, meter *cost.Meter) f
 		if opt.Pre == 0 && opt.Post == 0 {
 			opt.Post = 1
 		}
-		for c := 0; c < cfg.Int(p.cycIdx); c++ {
-			pde.MGCycle3D(prob.Op, u, prob.F, opt, &w)
-		}
+		u = p.mgSolve(prob, opt, cfg.Int(p.cycIdx), &w)
 	}
 	meter.Charge(cost.Flop, w.Flops)
 	exact, exactRMS := prob.exactSolution()

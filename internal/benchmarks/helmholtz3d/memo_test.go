@@ -1,0 +1,113 @@
+package helmholtz3d
+
+import (
+	"bytes"
+	"testing"
+
+	"inputtune/internal/choice"
+	"inputtune/internal/core"
+	"inputtune/internal/cost"
+	"inputtune/internal/rng"
+)
+
+// memoConfigs builds configurations sharing solver prefixes: same cycle
+// shape at different cycle counts, same smoother at different sweep
+// counts, and genomes differing only in tunables the solver ignores.
+func memoConfigs(p *Program) []*choice.Config {
+	var cfgs []*choice.Config
+	for _, cycles := range []int{5, 2, 7, 5} {
+		c := cfgSolver(p, SolverMultigrid)
+		c.Values[p.cycIdx] = float64(cycles)
+		cfgs = append(cfgs, c)
+	}
+	c := cfgSolver(p, SolverMultigrid)
+	c.Values[p.cycIdx] = 5
+	c.Values[p.itersIdx] = 120 // irrelevant to the multigrid path
+	cfgs = append(cfgs, c)
+	for _, iters := range []int{30, 18, 40} {
+		c := cfgSolver(p, SolverSOR)
+		c.Values[p.itersIdx] = float64(iters)
+		c.Values[p.omegaIdx] = 1.4
+		cfgs = append(cfgs, c)
+	}
+	c = cfgSolver(p, SolverGaussSeidel)
+	c.Values[p.itersIdx] = 25
+	cfgs = append(cfgs, c)
+	c = cfgSolver(p, SolverSOR)
+	c.Values[p.itersIdx] = 35
+	c.Values[p.omegaIdx] = 1.0 // shares stems with Gauss-Seidel
+	cfgs = append(cfgs, c)
+	c = cfgSolver(p, SolverJacobi)
+	c.Values[p.itersIdx] = 28
+	cfgs = append(cfgs, c)
+	cfgs = append(cfgs, cfgSolver(p, SolverDirect))
+	return cfgs
+}
+
+// TestSolverMemoBitIdentical proves a memo-warm Run returns exactly the
+// measurement a memo-cold Run does, in multiple evaluation orders.
+func TestSolverMemoBitIdentical(t *testing.T) {
+	r := rng.New(43)
+	probs := []*Problem{GenVaryingCoeff(15, r), GenRoughCoeff(7, r), GenSparse(15, r)}
+
+	cold := New()
+	cold.memoOff = true
+	cfgs := memoConfigs(cold)
+	want := make(map[int]map[int][2]float64)
+	for pi, prob := range probs {
+		want[pi] = make(map[int][2]float64)
+		for ci, cfg := range cfgs {
+			m := cost.NewMeter()
+			acc := cold.Run(cfg, prob, m)
+			want[pi][ci] = [2]float64{m.Elapsed(), acc}
+		}
+	}
+
+	for _, reverse := range []bool{false, true} {
+		warm := New()
+		warmCfgs := memoConfigs(warm)
+		for pass := 0; pass < 2; pass++ {
+			for pi, prob := range probs {
+				for x := range warmCfgs {
+					ci := x
+					if reverse {
+						ci = len(warmCfgs) - 1 - x
+					}
+					m := cost.NewMeter()
+					acc := warm.Run(warmCfgs[ci], prob, m)
+					if got := [2]float64{m.Elapsed(), acc}; got != want[pi][ci] {
+						t.Fatalf("prob %d cfg %d pass %d: memo-warm (time %v, acc %v) != cold (time %v, acc %v)",
+							pi, ci, pass, got[0], got[1], want[pi][ci][0], want[pi][ci][1])
+					}
+				}
+			}
+		}
+		if st := warm.SolverMemoStats(); st.Hits == 0 {
+			t.Fatal("memo recorded no hits across overlapping configurations")
+		}
+	}
+}
+
+// TestTrainModelMemoParity proves end-to-end training serialises to the
+// exact same bytes with the solver memo on and off.
+func TestTrainModelMemoParity(t *testing.T) {
+	train := func(memoOff bool) []byte {
+		p := New()
+		p.memoOff = memoOff
+		var inputs []core.Input
+		for _, pr := range GenerateMix(MixOptions{Count: 10, Seed: 9}) {
+			inputs = append(inputs, pr)
+		}
+		m := core.TrainModel(p, inputs, core.Options{
+			K1: 2, Seed: 5, TunerPopulation: 5, TunerGenerations: 3,
+		})
+		var buf bytes.Buffer
+		if err := core.SaveModel(m, &buf); err != nil {
+			t.Fatalf("save: %v", err)
+		}
+		return buf.Bytes()
+	}
+	if !bytes.Equal(train(false), train(true)) {
+		t.Fatal("SaveModel bytes differ between memo-on and memo-off training")
+	}
+}

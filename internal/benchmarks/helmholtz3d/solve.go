@@ -1,0 +1,134 @@
+package helmholtz3d
+
+import (
+	"math"
+	"strconv"
+
+	"inputtune/internal/engine"
+	"inputtune/internal/pde"
+)
+
+// Solver plumbing behind Program.Run, mirroring poisson2d/solve.go: the
+// problem's coarsened operator chain is built once (sync.Once) and shared
+// read-only, multigrid workspaces over it are pooled, and every iterative
+// solve resumes from the longest (problem fingerprint, solver-parameter
+// prefix) state memoized in engine.Memo. Resumed solves are bit-identical
+// to from-scratch solves; memoOff is the A/B test hook.
+
+// Smoother kinds. Gauss-Seidel is SOR at omega = 1 and shares its stems.
+const (
+	smootherJacobi = byte('j')
+	smootherSOR    = byte('s')
+)
+
+// solveSnap is one memoized solver state: the solution grid after a known
+// number of sweeps/cycles plus the exact flops spent producing it from the
+// zero guess. Immutable once stored.
+type solveSnap struct {
+	data  []float64
+	flops int
+}
+
+// fingerprint lazily content-hashes the problem: the solve depends on the
+// operator (a, c) as well as the right-hand side.
+func (p *Problem) fingerprint() string {
+	p.fpOnce.Do(func() {
+		p.fp = engine.Fingerprint(
+			[]uint64{uint64(p.N), math.Float64bits(p.Op.C)}, p.Op.A.Data, p.F.Data)
+	})
+	return p.fp
+}
+
+// opChain lazily builds the coarsened operator ladder, shared by every
+// hierarchy (and goroutine) solving this problem.
+func (p *Problem) opChain() *pde.OpChain3D {
+	p.chainOnce.Do(func() {
+		p.chain = pde.NewOpChain3D(p.Op)
+	})
+	return p.chain
+}
+
+// hier checks a multigrid workspace out of the problem's pool.
+func (p *Problem) hier() *pde.Hierarchy3D {
+	if h, ok := p.hpool.Get().(*pde.Hierarchy3D); ok {
+		return h
+	}
+	return pde.NewHierarchy3DFromChain(p.opChain())
+}
+
+func (p *Problem) putHier(h *pde.Hierarchy3D) { p.hpool.Put(h) }
+
+// SolverMemoStats exposes the sub-run solver-state memo counters; the
+// bench runner surfaces them as solver_memo_hits / solver_memo_misses.
+func (p *Program) SolverMemoStats() engine.MemoStats { return p.memo.Stats() }
+
+// smoothSolve runs sweeps of one pointwise smoother from the zero guess,
+// resuming from the longest memoized prefix with the same smoother and
+// omega.
+func (p *Program) smoothSolve(prob *Problem, kind byte, omega float64, sweeps int, w *pde.Work) *pde.Grid3D {
+	u := pde.NewGrid3D(prob.N)
+	var stem string
+	start, base := 0, 0
+	if !p.memoOff {
+		stem = prob.fingerprint() + "|s" + string(kind) + "|" +
+			strconv.FormatUint(math.Float64bits(omega), 16) + "|"
+		if v, k, ok := p.memo.LongestPrefix(stem, sweeps); ok {
+			s := v.(solveSnap)
+			copy(u.Data, s.data)
+			start, base = k, s.flops
+		}
+	}
+	var cw pde.Work
+	if start < sweeps {
+		if kind == smootherJacobi {
+			// Only Jacobi needs workspace (its out-of-place scratch buffer).
+			h := prob.hier()
+			for it := start; it < sweeps; it++ {
+				h.Jacobi(u, prob.F, omega, &cw)
+			}
+			prob.putHier(h)
+		} else {
+			for it := start; it < sweeps; it++ {
+				pde.SOR3D(prob.Op, u, prob.F, omega, &cw)
+			}
+		}
+	}
+	total := base + cw.Flops
+	if !p.memoOff && start < sweeps {
+		p.memo.PutStep(stem, sweeps, solveSnap{data: append([]float64(nil), u.Data...), flops: total})
+	}
+	w.Flops += total
+	return u
+}
+
+// mgSolve runs multigrid cycles from the zero guess on a pooled hierarchy,
+// resuming from the longest memoized prefix with the same cycle shape.
+func (p *Program) mgSolve(prob *Problem, opt pde.MGOptions3D, cycles int, w *pde.Work) *pde.Grid3D {
+	u := pde.NewGrid3D(prob.N)
+	var stem string
+	start, base := 0, 0
+	if !p.memoOff {
+		stem = prob.fingerprint() + "|mg|" +
+			strconv.Itoa(opt.Pre) + "," + strconv.Itoa(opt.Post) + "," + strconv.Itoa(opt.Gamma) + "," +
+			strconv.FormatUint(math.Float64bits(opt.Omega), 16) + "|"
+		if v, k, ok := p.memo.LongestPrefix(stem, cycles); ok {
+			s := v.(solveSnap)
+			copy(u.Data, s.data)
+			start, base = k, s.flops
+		}
+	}
+	var cw pde.Work
+	if start < cycles {
+		h := prob.hier()
+		for c := start; c < cycles; c++ {
+			h.Cycle(u, prob.F, opt, &cw)
+		}
+		prob.putHier(h)
+	}
+	total := base + cw.Flops
+	if !p.memoOff && start < cycles {
+		p.memo.PutStep(stem, cycles, solveSnap{data: append([]float64(nil), u.Data...), flops: total})
+	}
+	w.Flops += total
+	return u
+}

@@ -1,0 +1,132 @@
+package poisson2d
+
+import (
+	"bytes"
+	"testing"
+
+	"inputtune/internal/choice"
+	"inputtune/internal/core"
+	"inputtune/internal/cost"
+	"inputtune/internal/rng"
+)
+
+// memoConfigs builds a battery of configurations that share solver
+// prefixes in every way the memo exploits: same cycle shape at different
+// cycle counts, same smoother at different sweep counts, and genomes that
+// differ only in tunables the selected solver ignores.
+func memoConfigs(p *Program) []*choice.Config {
+	var cfgs []*choice.Config
+	for _, cycles := range []int{6, 3, 8, 6} {
+		c := cfgSolver(p, SolverMultigrid)
+		c.Values[p.cycIdx] = float64(cycles)
+		cfgs = append(cfgs, c)
+	}
+	// Same cycle shape, different irrelevant iteration tunable.
+	c := cfgSolver(p, SolverMultigrid)
+	c.Values[p.cycIdx] = 6
+	c.Values[p.itersIdx] = 250
+	cfgs = append(cfgs, c)
+	for _, iters := range []int{40, 25, 60} {
+		c := cfgSolver(p, SolverSOR)
+		c.Values[p.itersIdx] = float64(iters)
+		c.Values[p.omegaIdx] = 1.5
+		cfgs = append(cfgs, c)
+	}
+	// Gauss-Seidel shares stems with SOR at omega = 1.
+	c = cfgSolver(p, SolverGaussSeidel)
+	c.Values[p.itersIdx] = 30
+	cfgs = append(cfgs, c)
+	c = cfgSolver(p, SolverSOR)
+	c.Values[p.itersIdx] = 45
+	c.Values[p.omegaIdx] = 1.0
+	cfgs = append(cfgs, c)
+	c = cfgSolver(p, SolverJacobi)
+	c.Values[p.itersIdx] = 35
+	cfgs = append(cfgs, c)
+	cfgs = append(cfgs, cfgSolver(p, SolverDirect))
+	return cfgs
+}
+
+// TestSolverMemoBitIdentical proves a memo-warm Run returns exactly the
+// measurement a memo-cold Run does, for every configuration, in multiple
+// evaluation orders.
+func TestSolverMemoBitIdentical(t *testing.T) {
+	r := rng.New(41)
+	probs := []*Problem{GenSmooth(31, r), GenNoise(15, r), GenPointSources(31, r)}
+
+	cold := New()
+	cold.memoOff = true
+	want := make(map[int]map[int][2]float64)
+	cfgs := memoConfigs(cold)
+	for pi, prob := range probs {
+		want[pi] = make(map[int][2]float64)
+		for ci, cfg := range cfgs {
+			m := cost.NewMeter()
+			acc := cold.Run(cfg, prob, m)
+			want[pi][ci] = [2]float64{m.Elapsed(), acc}
+		}
+	}
+
+	for _, order := range [][]int{forwardOrder(len(cfgs)), reverseOrder(len(cfgs))} {
+		warm := New()
+		warmCfgs := memoConfigs(warm)
+		for pass := 0; pass < 2; pass++ { // second pass hits every stem exactly
+			for pi, prob := range probs {
+				for _, ci := range order {
+					m := cost.NewMeter()
+					acc := warm.Run(warmCfgs[ci], prob, m)
+					if got := [2]float64{m.Elapsed(), acc}; got != want[pi][ci] {
+						t.Fatalf("prob %d cfg %d pass %d: memo-warm (time %v, acc %v) != cold (time %v, acc %v)",
+							pi, ci, pass, got[0], got[1], want[pi][ci][0], want[pi][ci][1])
+					}
+				}
+			}
+		}
+		if st := warm.SolverMemoStats(); st.Hits == 0 {
+			t.Fatal("memo recorded no hits across overlapping configurations")
+		}
+	}
+}
+
+func forwardOrder(n int) []int {
+	o := make([]int, n)
+	for i := range o {
+		o[i] = i
+	}
+	return o
+}
+
+func reverseOrder(n int) []int {
+	o := make([]int, n)
+	for i := range o {
+		o[i] = n - 1 - i
+	}
+	return o
+}
+
+// TestTrainModelMemoParity proves end-to-end training serialises to the
+// exact same bytes with the solver memo on and off — the same guarantee
+// the engine cache and the presorted-tree backbone carry.
+func TestTrainModelMemoParity(t *testing.T) {
+	train := func(memoOff bool) []byte {
+		p := New()
+		p.memoOff = memoOff
+		var inputs []core.Input
+		for _, pr := range GenerateMix(MixOptions{Count: 12, Seed: 9, Sizes: []int{15, 31}}) {
+			inputs = append(inputs, pr)
+		}
+		m := core.TrainModel(p, inputs, core.Options{
+			K1: 3, Seed: 5, TunerPopulation: 6, TunerGenerations: 4,
+		})
+		var buf bytes.Buffer
+		if err := core.SaveModel(m, &buf); err != nil {
+			t.Fatalf("save: %v", err)
+		}
+		return buf.Bytes()
+	}
+	withMemo := train(false)
+	without := train(true)
+	if !bytes.Equal(withMemo, without) {
+		t.Fatal("SaveModel bytes differ between memo-on and memo-off training")
+	}
+}

@@ -12,6 +12,7 @@ import (
 
 	"inputtune/internal/choice"
 	"inputtune/internal/cost"
+	"inputtune/internal/engine"
 	"inputtune/internal/feature"
 	"inputtune/internal/pde"
 	"inputtune/internal/rng"
@@ -39,6 +40,13 @@ type Problem struct {
 	exactOnce sync.Once
 	exact     *pde.Grid2D
 	exactRMS  float64
+
+	// fpOnce/fp cache the content fingerprint keying the solver memo;
+	// hpool pools multigrid workspaces so concurrent evaluations of this
+	// problem never share scratch.
+	fpOnce sync.Once
+	fp     string
+	hpool  sync.Pool
 }
 
 // Size implements feature.Input.
@@ -65,6 +73,11 @@ type Program struct {
 	preIdx   int
 	postIdx  int
 	gammaIdx int
+
+	// memo is the sub-run solver-state memo (see solve.go); memoOff is the
+	// test hook proving results are identical with the memo disabled.
+	memo    engine.Memo
+	memoOff bool
 }
 
 // New constructs the Poisson 2D program.
@@ -108,26 +121,12 @@ func (p *Program) Run(cfg *choice.Config, in feature.Input, meter *cost.Meter) f
 	case SolverDirect:
 		u = pde.DirectPoisson2D(prob.F, &w)
 	case SolverJacobi:
-		u = pde.NewGrid2D(prob.N)
-		iters := cfg.Int(p.itersIdx)
-		for it := 0; it < iters; it++ {
-			pde.Jacobi2D(u, prob.F, 0.8, &w)
-		}
+		u = p.smoothSolve(prob, smootherJacobi, 0.8, cfg.Int(p.itersIdx), &w)
 	case SolverGaussSeidel:
-		u = pde.NewGrid2D(prob.N)
-		iters := cfg.Int(p.itersIdx)
-		for it := 0; it < iters; it++ {
-			pde.SOR2D(u, prob.F, 1.0, &w)
-		}
+		u = p.smoothSolve(prob, smootherSOR, 1.0, cfg.Int(p.itersIdx), &w)
 	case SolverSOR:
-		u = pde.NewGrid2D(prob.N)
-		iters := cfg.Int(p.itersIdx)
-		omega := cfg.Float(p.omegaIdx)
-		for it := 0; it < iters; it++ {
-			pde.SOR2D(u, prob.F, omega, &w)
-		}
+		u = p.smoothSolve(prob, smootherSOR, cfg.Float(p.omegaIdx), cfg.Int(p.itersIdx), &w)
 	default: // SolverMultigrid
-		u = pde.NewGrid2D(prob.N)
 		opt := pde.MGOptions2D{
 			Pre:   cfg.Int(p.preIdx),
 			Post:  cfg.Int(p.postIdx),
@@ -137,10 +136,7 @@ func (p *Program) Run(cfg *choice.Config, in feature.Input, meter *cost.Meter) f
 		if opt.Pre == 0 && opt.Post == 0 {
 			opt.Post = 1 // a smoother-free cycle cannot converge
 		}
-		cycles := cfg.Int(p.cycIdx)
-		for c := 0; c < cycles; c++ {
-			pde.MGCycle2D(u, prob.F, opt, &w)
-		}
+		u = p.mgSolve(prob, opt, cfg.Int(p.cycIdx), &w)
 	}
 	meter.Charge(cost.Flop, w.Flops)
 	exact, exactRMS := prob.exactSolution()

@@ -1,11 +1,3 @@
-// Package choice models the PetaBricks configuration space: either…or
-// algorithmic choice sites decided at run time by size-threshold selectors
-// (the "decision trees" of Figure 2 in the paper), plus scalar tunables such
-// as cutoffs, iteration counts and feature-extractor sampling levels.
-//
-// A Space describes what can be configured; a Config is one point in that
-// space. Configs are what the evolutionary autotuner breeds and what the
-// two-level learner stores as landmark configurations.
 package choice
 
 import (

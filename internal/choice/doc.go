@@ -1,0 +1,19 @@
+// Package choice models the PetaBricks configuration space: either…or
+// algorithmic choice sites decided at run time by size-threshold selectors
+// (the "decision trees" of Figure 2 in the paper), plus scalar tunables
+// such as cutoffs, iteration counts and feature-extractor sampling levels.
+//
+// A Space describes what can be configured; a Config is one point in that
+// space. Configs are what the evolutionary autotuner breeds (genetic.go
+// supplies the structural mutation and crossover operators) and what the
+// two-level learner stores as landmark configurations.
+//
+// Config.Key() is the injective fingerprint of a configuration — a
+// canonical binary encoding of selectors plus quantized tunable values,
+// so equal keys hold exactly for structurally identical configurations.
+// It is the config half of every engine.Cache measurement key; the
+// sub-run solver memo (engine.Memo) deliberately keys on LESS — only the
+// parameters the selected solver actually reads — which is how genomes
+// that differ only in irrelevant tunables share memoized work the full
+// fingerprint would keep apart.
+package choice

@@ -1,0 +1,33 @@
+// Package core implements the paper's contribution: the two-level input
+// learning framework for input-sensitive algorithmic autotuning.
+//
+// Level 1 (Section 3.1) clusters the training inputs in feature space,
+// autotunes one "landmark" configuration per cluster centroid, and
+// measures every landmark on every training input. Level 2 (Section 3.2)
+// regroups inputs by their best landmark, builds a cost matrix blending
+// performance and accuracy penalties, trains a zoo of candidate
+// classifiers (max-a-priori, exhaustive feature-subset decision trees,
+// all-features, and the incremental feature-examination classifier), and
+// selects the production classifier by an objective that charges each
+// classifier for the features it extracts.
+//
+// The pieces:
+//
+//   - TrainModel (train.go) runs the whole pipeline and records a
+//     per-phase wall-clock breakdown (Report.Phases: features / tune /
+//     measure / classifiers).
+//   - Dataset (dataset.go) is the Level-2 datatable <F, T, A, E>;
+//     Relabel and CostMatrix derive labels and misclassification costs
+//     from it.
+//   - BuildTreeZoo (classifiers.go) trains the whole subset-tree zoo from
+//     one shared presorted-feature matrix with duplicate-job dedup;
+//     SelectProduction scores candidates on held-out rows.
+//   - Baselines (baselines.go): static/dynamic oracles and the one-level
+//     ablation.
+//   - SaveModel/LoadModel (persist.go) serialise the deployable parts.
+//
+// Everything runs on the shared engine.Pool and measures through the
+// shared engine.Cache; training is deterministic per seed — SaveModel
+// output is byte-identical with caching on or off, serial or parallel,
+// memoized solver state warm or cold (all test-enforced).
+package core

@@ -1,15 +1,3 @@
-// Package core implements the paper's contribution: the two-level input
-// learning framework for input-sensitive algorithmic autotuning.
-//
-// Level 1 (Section 3.1) clusters the training inputs in feature space,
-// autotunes one "landmark" configuration per cluster centroid, and measures
-// every landmark on every training input. Level 2 (Section 3.2) regroups
-// inputs by their best landmark, builds a cost matrix blending performance
-// and accuracy penalties, trains a zoo of candidate classifiers (max-a-
-// priori, exhaustive feature-subset decision trees, all-features, and the
-// incremental feature-examination classifier), and selects the production
-// classifier by an objective that charges each classifier for the features
-// it extracts.
 package core
 
 import (

@@ -1,0 +1,168 @@
+package engine
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+	"strconv"
+	"sync"
+)
+
+// DefaultMemoCapacity bounds a zero-value or capacity<=0 Memo. The cap
+// counts entries, not bytes: solver snapshots run from a few KB to
+// ~130 KB each at benchmark sizes, so the theoretical ceiling is ~130 MB
+// if every entry were a largest-grid snapshot; in practice the stored mix
+// follows the solve-size mix (mostly small grids) and stays in the tens
+// of MB. Callers with bigger states should pass a smaller capacity.
+const DefaultMemoCapacity = 1024
+
+// Memo is a bounded, concurrency-safe store for deterministic intermediate
+// solver state, keyed by (problem fingerprint, configuration prefix)
+// strings. It is the sub-run layer of the engine cache path: Cache
+// memoizes whole (config, input) measurements, while a Memo lets a
+// Program.Run that shares a *prefix* of its work with an earlier run —
+// e.g. a multigrid solve whose cycle shape matches but whose cycle count
+// differs, the GA's favourite mutation — resume from the stored state
+// instead of recomputing it. Stored values must be deterministic functions
+// of their key and immutable once stored, so a resumed run is bit-identical
+// to a from-scratch run; only wall-clock changes.
+//
+// The zero value is ready to use (DefaultMemoCapacity). Entries are
+// evicted FIFO past the capacity.
+type Memo struct {
+	mu      sync.Mutex
+	entries map[string]any
+	fifo    []string
+	cap     int
+
+	hits, misses, evictions uint64
+}
+
+// NewMemo returns a memo bounded at capacity entries (<= 0 selects
+// DefaultMemoCapacity).
+func NewMemo(capacity int) *Memo {
+	m := &Memo{}
+	m.cap = capacity
+	return m
+}
+
+// init lazily prepares the zero value; callers hold m.mu.
+func (m *Memo) init() {
+	if m.entries == nil {
+		m.entries = make(map[string]any)
+	}
+	if m.cap <= 0 {
+		m.cap = DefaultMemoCapacity
+	}
+}
+
+// stepKey appends the integer step to the stem: one stored state per
+// (stem, step) pair.
+func stepKey(stem string, step int) string {
+	return stem + strconv.Itoa(step)
+}
+
+// LongestPrefix returns the stored state with the largest step ≤ steps
+// under stem, scanning downward from an exact match. It records one
+// logical lookup: a hit if any prefix was found, a miss otherwise.
+func (m *Memo) LongestPrefix(stem string, steps int) (v any, step int, ok bool) {
+	if m == nil {
+		return nil, 0, false
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.init()
+	for k := steps; k >= 1; k-- {
+		if e, found := m.entries[stepKey(stem, k)]; found {
+			m.hits++
+			return e, k, true
+		}
+	}
+	m.misses++
+	return nil, 0, false
+}
+
+// PutStep stores state v for (stem, step). The caller must not mutate v
+// after storing it. If the key is already present the existing entry is
+// kept — by determinism it holds the identical value.
+func (m *Memo) PutStep(stem string, step int, v any) {
+	if m == nil {
+		return
+	}
+	key := stepKey(stem, step)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.init()
+	if _, exists := m.entries[key]; exists {
+		return
+	}
+	m.entries[key] = v
+	m.fifo = append(m.fifo, key)
+	for len(m.entries) > m.cap {
+		victim := m.fifo[0]
+		m.fifo = m.fifo[1:]
+		delete(m.entries, victim)
+		m.evictions++
+	}
+}
+
+// Fingerprint hashes scalar words plus the exact bit patterns of float64
+// slices into a compact content-identity string (FNV-128a), the problem
+// half of a Memo key. Two inputs share a fingerprint exactly when their
+// hashed content is identical (up to hash collision, negligible at 128
+// bits), in which case sharing memoized solver state is not just safe but
+// correct — the solves are the same computation.
+func Fingerprint(words []uint64, chunks ...[]float64) string {
+	h := fnv.New128a()
+	var buf [1024]byte
+	n := 0
+	put := func(x uint64) {
+		if n+8 > len(buf) {
+			h.Write(buf[:n])
+			n = 0
+		}
+		binary.LittleEndian.PutUint64(buf[n:], x)
+		n += 8
+	}
+	for _, wd := range words {
+		put(wd)
+	}
+	for _, c := range chunks {
+		// Length-prefix each chunk so different chunk splits of the same
+		// concatenated values can never collide.
+		put(uint64(len(c)))
+		for _, v := range c {
+			put(math.Float64bits(v))
+		}
+	}
+	h.Write(buf[:n])
+	return string(h.Sum(nil))
+}
+
+// MemoStats is a point-in-time snapshot of memo effectiveness. Hits and
+// misses count logical LongestPrefix lookups, not individual key probes.
+type MemoStats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	Entries   int    `json:"entries"`
+}
+
+// HitRate returns hits / (hits + misses), or 0 before any lookup.
+func (s MemoStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Stats snapshots the counters. The nil memo reports zeros.
+func (m *Memo) Stats() MemoStats {
+	if m == nil {
+		return MemoStats{}
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return MemoStats{Hits: m.hits, Misses: m.misses, Evictions: m.evictions, Entries: len(m.entries)}
+}

@@ -1,0 +1,113 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestMemoLongestPrefix(t *testing.T) {
+	var m Memo // zero value must be usable
+	if _, _, ok := m.LongestPrefix("a|", 10); ok {
+		t.Fatal("empty memo returned a prefix")
+	}
+	m.PutStep("a|", 4, "four")
+	m.PutStep("a|", 7, "seven")
+	m.PutStep("b|", 9, "other-stem")
+
+	v, k, ok := m.LongestPrefix("a|", 10)
+	if !ok || k != 7 || v.(string) != "seven" {
+		t.Fatalf("got (%v, %d, %v), want (seven, 7, true)", v, k, ok)
+	}
+	v, k, ok = m.LongestPrefix("a|", 6)
+	if !ok || k != 4 || v.(string) != "four" {
+		t.Fatalf("got (%v, %d, %v), want (four, 4, true)", v, k, ok)
+	}
+	if _, _, ok := m.LongestPrefix("a|", 3); ok {
+		t.Fatal("found prefix below the smallest stored step")
+	}
+	// Exact-step hit.
+	v, k, ok = m.LongestPrefix("a|", 4)
+	if !ok || k != 4 || v.(string) != "four" {
+		t.Fatalf("exact hit got (%v, %d, %v)", v, k, ok)
+	}
+
+	st := m.Stats()
+	if st.Hits != 3 || st.Misses != 2 || st.Entries != 3 {
+		t.Fatalf("stats = %+v, want 3 hits, 2 misses, 3 entries", st)
+	}
+	if st.HitRate() != 0.6 {
+		t.Fatalf("hit rate %v", st.HitRate())
+	}
+}
+
+func TestMemoStemIsolation(t *testing.T) {
+	var m Memo
+	m.PutStep("x|", 5, 1)
+	if _, _, ok := m.LongestPrefix("y|", 9); ok {
+		t.Fatal("stems leaked into each other")
+	}
+}
+
+func TestMemoDuplicatePutKeepsFirst(t *testing.T) {
+	var m Memo
+	m.PutStep("s|", 2, "first")
+	m.PutStep("s|", 2, "second")
+	v, _, _ := m.LongestPrefix("s|", 2)
+	if v.(string) != "first" {
+		t.Fatalf("duplicate put replaced entry: %v", v)
+	}
+	if st := m.Stats(); st.Entries != 1 {
+		t.Fatalf("duplicate put grew the memo: %+v", st)
+	}
+}
+
+func TestMemoEviction(t *testing.T) {
+	m := NewMemo(3)
+	for i := 1; i <= 5; i++ {
+		m.PutStep(fmt.Sprintf("k%d|", i), 1, i)
+	}
+	st := m.Stats()
+	if st.Entries != 3 || st.Evictions != 2 {
+		t.Fatalf("stats = %+v, want 3 entries, 2 evictions", st)
+	}
+	if _, _, ok := m.LongestPrefix("k1|", 1); ok {
+		t.Fatal("oldest entry survived eviction")
+	}
+	if _, _, ok := m.LongestPrefix("k5|", 1); !ok {
+		t.Fatal("newest entry evicted")
+	}
+}
+
+func TestMemoNilReceiver(t *testing.T) {
+	var m *Memo
+	m.PutStep("a|", 1, "x")
+	if _, _, ok := m.LongestPrefix("a|", 1); ok {
+		t.Fatal("nil memo stored something")
+	}
+	if st := m.Stats(); st != (MemoStats{}) {
+		t.Fatalf("nil memo stats %+v", st)
+	}
+}
+
+func TestMemoConcurrent(t *testing.T) {
+	var m Memo
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			stem := fmt.Sprintf("g%d|", g%2)
+			for i := 1; i <= 200; i++ {
+				if v, k, ok := m.LongestPrefix(stem, i); ok {
+					if k > i || v.(int) != k {
+						t.Errorf("bad prefix (%v, %d) for steps %d", v, k, i)
+						return
+					}
+				}
+				m.PutStep(stem, i, i)
+			}
+		}(g)
+	}
+	wg.Wait()
+}

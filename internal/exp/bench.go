@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"runtime"
 	"strings"
+
+	"inputtune/internal/engine"
 )
 
 // BenchResult is one benchmark program's end-to-end pipeline cost, the
@@ -40,6 +42,15 @@ type BenchResult struct {
 	CacheHitRate   float64 `json:"cache_hit_rate"`
 	CacheEvictions uint64  `json:"cache_evictions"`
 
+	// Sub-run solver-state memo effectiveness (engine.Memo), reported by
+	// programs that resume solves from shared configuration prefixes —
+	// currently the PDE benchmarks. Omitted for the others. Unlike every
+	// count above, these may legitimately vary across schedules on
+	// multi-core runs (whether a prefix is stored before a concurrent
+	// solve looks for it is a race the results are immune to).
+	SolverMemoHits   uint64 `json:"solver_memo_hits,omitempty"`
+	SolverMemoMisses uint64 `json:"solver_memo_misses,omitempty"`
+
 	TwoLevelSpeedup float64 `json:"two_level_speedup_x"`
 	Satisfaction    float64 `json:"two_level_satisfaction"`
 }
@@ -66,10 +77,17 @@ func RunBench(names []string, scaleName string, sc Scale, logf func(string, ...a
 		CacheDisabled: sc.DisableCache,
 	}
 	for _, name := range names {
-		row := RunCase(BuildCase(name, sc), sc, logf)
+		c := BuildCase(name, sc)
+		row := RunCase(c, sc, logf)
 		// Cache stats span the whole pipeline, matching WallSeconds:
 		// training cache plus test-set evaluation cache.
 		cs := row.Report.Engine.Add(row.EvalEngine)
+		// So does the solver memo: it lives on the Program, which serves
+		// both training and test evaluation.
+		var ms engine.MemoStats
+		if mr, ok := c.Prog.(interface{ SolverMemoStats() engine.MemoStats }); ok {
+			ms = mr.SolverMemoStats()
+		}
 		phases := make(map[string]float64, len(row.Report.Phases))
 		for _, ph := range row.Report.Phases {
 			phases[ph.Name] = ph.Seconds
@@ -88,6 +106,8 @@ func RunBench(names []string, scaleName string, sc Scale, logf func(string, ...a
 			CacheMisses:       cs.Misses,
 			CacheHitRate:      cs.HitRate(),
 			CacheEvictions:    cs.Evictions,
+			SolverMemoHits:    ms.Hits,
+			SolverMemoMisses:  ms.Misses,
 			TwoLevelSpeedup:   row.TwoLevelFX,
 			Satisfaction:      row.TwoLevelAccuracy,
 		})
@@ -103,13 +123,17 @@ func (r BenchReport) BenchJSON() ([]byte, error) {
 // RenderBench formats the report as a human-readable table.
 func RenderBench(r BenchReport) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-12s %9s %9s %8s %10s %10s %9s %9s\n",
-		"Benchmark", "wall(s)", "train(s)", "clf(s)", "tunerEval", "memoHits", "cacheHit%", "speedup")
-	fmt.Fprintln(&b, strings.Repeat("-", 83))
+	fmt.Fprintf(&b, "%-12s %9s %9s %8s %10s %10s %9s %9s %9s\n",
+		"Benchmark", "wall(s)", "train(s)", "clf(s)", "tunerEval", "memoHits", "solvMemo", "cacheHit%", "speedup")
+	fmt.Fprintln(&b, strings.Repeat("-", 93))
 	for _, res := range r.Results {
-		fmt.Fprintf(&b, "%-12s %9.3f %9.3f %8.3f %10d %10d %8.1f%% %8.2fx\n",
+		solv := "-"
+		if res.SolverMemoHits+res.SolverMemoMisses > 0 {
+			solv = fmt.Sprintf("%d", res.SolverMemoHits)
+		}
+		fmt.Fprintf(&b, "%-12s %9.3f %9.3f %8.3f %10d %10d %9s %8.1f%% %8.2fx\n",
 			res.Benchmark, res.WallSeconds, res.TrainSeconds, res.TrainPhaseSeconds["classifiers"],
-			res.TunerEvaluations, res.TunerCacheHits, 100*res.CacheHitRate, res.TwoLevelSpeedup)
+			res.TunerEvaluations, res.TunerCacheHits, solv, 100*res.CacheHitRate, res.TwoLevelSpeedup)
 	}
 	return b.String()
 }

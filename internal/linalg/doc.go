@@ -1,0 +1,12 @@
+// Package linalg implements the dense linear algebra needed by the SVD
+// benchmark and the PDE direct solvers: row-major matrix/vector
+// arithmetic, LU factorisation (plus a tridiagonal solver), Householder
+// QR, a cyclic-Jacobi symmetric eigensolver, a one-sided Jacobi SVD, and
+// power iteration.
+//
+// Iterative routines report their work through EigenStats — sweep,
+// rotation and matvec counts — so callers can charge a cost.Meter
+// without this package depending on the cost model. The benchmark sizes in this reproduction stay small enough
+// that no blocking or SIMD tuning is warranted; determinism and
+// charge-ability matter more than peak flops here.
+package linalg

@@ -1,9 +1,3 @@
-// Package linalg implements the dense linear algebra needed by the SVD
-// benchmark and the PDE direct solvers: basic matrix/vector arithmetic, LU
-// and QR factorisations, a symmetric Jacobi eigensolver, a one-sided Jacobi
-// SVD, and power iteration. Everything is written against row-major dense
-// matrices; the benchmark sizes in this reproduction stay small enough that
-// no blocking or SIMD tuning is warranted.
 package linalg
 
 import (

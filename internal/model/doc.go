@@ -1,0 +1,17 @@
+// Package model implements the paper's theoretical analysis of
+// diminishing returns from additional landmark configurations (Section
+// 4.3): if region i of the input space has size p_i and speedup s_i under
+// its dominant configuration, and k landmarks are sampled uniformly at
+// random, the expected lost speedup is
+//
+//	L = Σ_i (1 - p_i)^k · p_i · s_i / Σ_i s_i ,
+//
+// maximised over region sizes at the worst case p* = 1/(k+1).
+//
+// Fig7aCurve and Fig7bCurve regenerate the two panels of Figure 7: the
+// worst-case lost-speedup curve as k grows, and the fraction of the
+// achievable speedup captured by k landmarks. The experiment harness
+// (internal/exp) plots them next to the measured Figure 8 sweep, closing
+// the loop between the model's prediction — a handful of landmarks
+// suffices — and the empirical K1 choice the training options default to.
+package model

@@ -1,12 +1,3 @@
-// Package model implements the paper's theoretical analysis of diminishing
-// returns from additional landmark configurations (Section 4.3): if region
-// i of the input space has size p_i and speedup s_i under its dominant
-// configuration, and k landmarks are sampled uniformly at random, the
-// expected lost speedup is
-//
-//	L = Σ_i (1 - p_i)^k · p_i · s_i / Σ_i s_i ,
-//
-// maximised over region sizes at the worst case p* = 1/(k+1).
 package model
 
 import "math"

@@ -1,0 +1,303 @@
+package pde
+
+import (
+	"math"
+	"testing"
+
+	"inputtune/internal/rng"
+)
+
+// Differential tests: the flattened boundary-split kernels and the
+// hierarchy-based multigrid cycles must produce BIT-identical grids and
+// identical op counts versus the reference implementations in
+// reference.go, on randomized inputs across sizes (including the
+// non-multigrid even sizes the guarded fallbacks handle).
+
+func randGrid2D(n int, r *rng.RNG) *Grid2D {
+	g := NewGrid2D(n)
+	for i := range g.Data {
+		g.Data[i] = r.Norm(0, 1)
+	}
+	return g
+}
+
+func randGrid3D(n int, r *rng.RNG) *Grid3D {
+	g := NewGrid3D(n)
+	for i := range g.Data {
+		g.Data[i] = r.Norm(0, 1)
+	}
+	return g
+}
+
+// randOp3D builds a positive random-coefficient Helmholtz operator.
+func randOp3D(n int, r *rng.RNG) *Helmholtz3D {
+	a := NewGrid3D(n)
+	for i := range a.Data {
+		a.Data[i] = r.Range(0.2, 3)
+	}
+	return &Helmholtz3D{A: a, C: r.Range(0, 4)}
+}
+
+// sameBits2D fails the test unless got and want match bit for bit.
+func sameBits(t *testing.T, label string, got, want []float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: length %d vs %d", label, len(got), len(want))
+	}
+	for i := range got {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("%s: cell %d differs: %v (%#x) vs %v (%#x)",
+				label, i, got[i], math.Float64bits(got[i]), want[i], math.Float64bits(want[i]))
+		}
+	}
+}
+
+func sameWork(t *testing.T, label string, got, want Work) {
+	t.Helper()
+	if got != want {
+		t.Fatalf("%s: flops %d vs reference %d", label, got.Flops, want.Flops)
+	}
+}
+
+var diffSizes2D = []int{1, 2, 3, 4, 5, 7, 8, 15, 16, 31}
+
+func TestKernels2DMatchReference(t *testing.T) {
+	r := rng.New(7)
+	for _, n := range diffSizes2D {
+		for _, omega := range []float64{0.8, 1.0, 1.5, 1.93} {
+			u := randGrid2D(n, r)
+			f := randGrid2D(n, r)
+
+			uRef, uNew := u.Clone(), u.Clone()
+			var wRef, wNew Work
+			for s := 0; s < 3; s++ { // repeated sweeps compound any drift
+				referenceSOR2D(uRef, f, omega, &wRef)
+				SOR2D(uNew, f, omega, &wNew)
+			}
+			sameBits(t, "SOR2D", uNew.Data, uRef.Data)
+			sameWork(t, "SOR2D", wNew, wRef)
+
+			uRef, uNew = u.Clone(), u.Clone()
+			wRef, wNew = Work{}, Work{}
+			for s := 0; s < 3; s++ {
+				referenceJacobi2D(uRef, f, omega, &wRef)
+				Jacobi2D(uNew, f, omega, &wNew)
+			}
+			sameBits(t, "Jacobi2D", uNew.Data, uRef.Data)
+			sameWork(t, "Jacobi2D", wNew, wRef)
+
+			rRef, rNew := NewGrid2D(n), NewGrid2D(n)
+			wRef, wNew = Work{}, Work{}
+			referenceResidual2D(u, f, rRef, &wRef)
+			Residual2D(u, f, rNew, &wNew)
+			sameBits(t, "Residual2D", rNew.Data, rRef.Data)
+			sameWork(t, "Residual2D", wNew, wRef)
+
+			if n >= 3 {
+				wRef, wNew = Work{}, Work{}
+				cRef := referenceRestrict2D(u, &wRef)
+				cNew := Restrict2D(u, &wNew)
+				sameBits(t, "Restrict2D", cNew.Data, cRef.Data)
+				sameWork(t, "Restrict2D", wNew, wRef)
+
+				coarse := randGrid2D((n-1)/2, r)
+				fRef, fNew := u.Clone(), u.Clone()
+				wRef, wNew = Work{}, Work{}
+				referenceProlong2D(coarse, fRef, &wRef)
+				Prolong2D(coarse, fNew, &wNew)
+				sameBits(t, "Prolong2D", fNew.Data, fRef.Data)
+				sameWork(t, "Prolong2D", wNew, wRef)
+			}
+		}
+	}
+}
+
+func TestMGCycle2DMatchesReference(t *testing.T) {
+	r := rng.New(11)
+	opts := []MGOptions2D{
+		{Pre: 2, Post: 2, Gamma: 1, Omega: 1},
+		{Pre: 0, Post: 1, Gamma: 2, Omega: 1.5},
+		{Pre: 3, Post: 0, Gamma: 2, Omega: 1},
+		{Pre: 1, Post: 1, Gamma: 1, Omega: 1.2},
+		{Pre: 0, Post: 0, Gamma: 1, Omega: 0}, // defaults path
+	}
+	for _, n := range []int{3, 7, 15, 31} {
+		for _, opt := range opts {
+			f := randGrid2D(n, r)
+			uRef, uNew := NewGrid2D(n), NewGrid2D(n)
+			var wRef, wNew Work
+			h := NewHierarchy2D(n)
+			for c := 0; c < 4; c++ {
+				ReferenceMGCycle2D(uRef, f, opt, &wRef)
+				h.Cycle(uNew, f, opt, &wNew)
+				sameBits(t, "MGCycle2D", uNew.Data, uRef.Data)
+				sameWork(t, "MGCycle2D", wNew, wRef)
+			}
+		}
+	}
+}
+
+var diffSizes3D = []int{1, 2, 3, 4, 5, 7, 8, 15}
+
+func TestKernels3DMatchReference(t *testing.T) {
+	r := rng.New(13)
+	for _, n := range diffSizes3D {
+		for _, omega := range []float64{0.8, 1.0, 1.6} {
+			op := randOp3D(n, r)
+			u := randGrid3D(n, r)
+			f := randGrid3D(n, r)
+
+			uRef, uNew := u.Clone(), u.Clone()
+			var wRef, wNew Work
+			for s := 0; s < 2; s++ {
+				referenceSOR3D(op, uRef, f, omega, &wRef)
+				SOR3D(op, uNew, f, omega, &wNew)
+			}
+			sameBits(t, "SOR3D", uNew.Data, uRef.Data)
+			sameWork(t, "SOR3D", wNew, wRef)
+
+			uRef, uNew = u.Clone(), u.Clone()
+			wRef, wNew = Work{}, Work{}
+			for s := 0; s < 2; s++ {
+				referenceJacobi3D(op, uRef, f, omega, &wRef)
+				Jacobi3D(op, uNew, f, omega, &wNew)
+			}
+			sameBits(t, "Jacobi3D", uNew.Data, uRef.Data)
+			sameWork(t, "Jacobi3D", wNew, wRef)
+
+			rRef, rNew := NewGrid3D(n), NewGrid3D(n)
+			wRef, wNew = Work{}, Work{}
+			referenceResidual3D(op, u, f, rRef, &wRef)
+			Residual3D(op, u, f, rNew, &wNew)
+			sameBits(t, "Residual3D", rNew.Data, rRef.Data)
+			sameWork(t, "Residual3D", wNew, wRef)
+
+			if n >= 3 {
+				wRef, wNew = Work{}, Work{}
+				cRef := referenceRestrict3D(u, &wRef)
+				cNew := Restrict3D(u, &wNew)
+				sameBits(t, "Restrict3D", cNew.Data, cRef.Data)
+				sameWork(t, "Restrict3D", wNew, wRef)
+
+				coarse := randGrid3D((n-1)/2, r)
+				fRef, fNew := u.Clone(), u.Clone()
+				wRef, wNew = Work{}, Work{}
+				referenceProlong3D(coarse, fRef, &wRef)
+				Prolong3D(coarse, fNew, &wNew)
+				sameBits(t, "Prolong3D", fNew.Data, fRef.Data)
+				sameWork(t, "Prolong3D", wNew, wRef)
+			}
+		}
+	}
+}
+
+func TestMGCycle3DMatchesReference(t *testing.T) {
+	r := rng.New(17)
+	opts := []MGOptions3D{
+		{Pre: 2, Post: 2, Gamma: 1, Omega: 1},
+		{Pre: 3, Post: 3, Gamma: 2, Omega: 1}, // the exactSolution shape
+		{Pre: 0, Post: 1, Gamma: 2, Omega: 1.4},
+		{Pre: 0, Post: 0, Gamma: 0, Omega: 0}, // defaults path
+	}
+	for _, n := range []int{3, 7, 15} {
+		for _, opt := range opts {
+			op := randOp3D(n, r)
+			f := randGrid3D(n, r)
+			uRef, uNew := NewGrid3D(n), NewGrid3D(n)
+			var wRef, wNew Work
+			h := NewHierarchy3D(op)
+			for c := 0; c < 3; c++ {
+				ReferenceMGCycle3D(op, uRef, f, opt, &wRef)
+				h.Cycle(uNew, f, opt, &wNew)
+				sameBits(t, "MGCycle3D", uNew.Data, uRef.Data)
+				sameWork(t, "MGCycle3D", wNew, wRef)
+			}
+		}
+	}
+}
+
+// TestHierarchyReuseIsStateless proves a hierarchy carries no state between
+// solves: interleaving two different problems through one hierarchy gives
+// the same bits as fresh hierarchies.
+func TestHierarchyReuseIsStateless(t *testing.T) {
+	r := rng.New(19)
+	n := 15
+	opt := MGOptions2D{Pre: 2, Post: 1, Gamma: 2, Omega: 1}
+	fA, fB := randGrid2D(n, r), randGrid2D(n, r)
+
+	shared := NewHierarchy2D(n)
+	var w Work
+	uA1, uB, uA2 := NewGrid2D(n), NewGrid2D(n), NewGrid2D(n)
+	shared.Cycle(uA1, fA, opt, &w)
+	shared.Cycle(uB, fB, opt, &w)
+	shared.Cycle(uA2, fA, opt, &w)
+
+	fresh := NewGrid2D(n)
+	NewHierarchy2D(n).Cycle(fresh, fA, opt, &w)
+	sameBits(t, "hierarchy reuse (first)", uA1.Data, fresh.Data)
+	sameBits(t, "hierarchy reuse (after other problem)", uA2.Data, fresh.Data)
+
+	op := randOp3D(n, r)
+	f3A, f3B := randGrid3D(n, r), randGrid3D(n, r)
+	opt3 := MGOptions3D{Pre: 1, Post: 2, Gamma: 2, Omega: 1}
+	h3 := NewHierarchy3DFromChain(NewOpChain3D(op))
+	u3A1, u3B, u3A2 := NewGrid3D(n), NewGrid3D(n), NewGrid3D(n)
+	h3.Cycle(u3A1, f3A, opt3, &w)
+	h3.Cycle(u3B, f3B, opt3, &w)
+	h3.Cycle(u3A2, f3A, opt3, &w)
+	fresh3 := NewGrid3D(n)
+	NewHierarchy3D(op).Cycle(fresh3, f3A, opt3, &w)
+	sameBits(t, "hierarchy3D reuse (first)", u3A1.Data, fresh3.Data)
+	sameBits(t, "hierarchy3D reuse (after other problem)", u3A2.Data, fresh3.Data)
+}
+
+// TestHierarchyJacobiMatchesAllocating proves the scratch-buffer Jacobi
+// path equals the allocating public function.
+func TestHierarchyJacobiMatchesAllocating(t *testing.T) {
+	r := rng.New(23)
+	n := 15
+	f := randGrid2D(n, r)
+	u1 := randGrid2D(n, r)
+	uAlloc, uWS := u1.Clone(), u1.Clone()
+	h := NewHierarchy2D(n)
+	var w1, w2 Work
+	for s := 0; s < 5; s++ {
+		Jacobi2D(uAlloc, f, 0.8, &w1)
+		h.Jacobi(uWS, f, 0.8, &w2)
+	}
+	sameBits(t, "Hierarchy2D.Jacobi", uWS.Data, uAlloc.Data)
+	sameWork(t, "Hierarchy2D.Jacobi", w2, w1)
+
+	op := randOp3D(7, r)
+	f3 := randGrid3D(7, r)
+	u3 := randGrid3D(7, r)
+	uAlloc3, uWS3 := u3.Clone(), u3.Clone()
+	h3 := NewHierarchy3D(op)
+	w1, w2 = Work{}, Work{}
+	for s := 0; s < 5; s++ {
+		Jacobi3D(op, uAlloc3, f3, 0.8, &w1)
+		h3.Jacobi(uWS3, f3, 0.8, &w2)
+		SOR3D(op, uAlloc3, f3, 1.2, &w1)
+		h3.SOR(uWS3, f3, 1.2, &w2)
+	}
+	sameBits(t, "Hierarchy3D.Jacobi/SOR", uWS3.Data, uAlloc3.Data)
+	sameWork(t, "Hierarchy3D.Jacobi/SOR", w2, w1)
+}
+
+// TestOpChainMatchesPerCycleCoarsening proves the precomputed operator
+// chain equals repeated on-the-fly coarsening.
+func TestOpChainMatchesPerCycleCoarsening(t *testing.T) {
+	r := rng.New(29)
+	op := randOp3D(15, r)
+	chain := NewOpChain3D(op)
+	cur := op
+	for l, got := range chain.ops {
+		if l > 0 {
+			cur = cur.coarsen()
+		}
+		sameBits(t, "OpChain3D coefficients", got.A.Data, cur.A.Data)
+		if got.C != cur.C {
+			t.Fatalf("chain level %d: C %v vs %v", l, got.C, cur.C)
+		}
+	}
+}

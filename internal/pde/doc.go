@@ -1,0 +1,36 @@
+// Package pde is the numerical substrate of the Poisson 2D and Helmholtz
+// 3D benchmarks: finite-difference grids with Dirichlet zero boundaries,
+// pointwise smoothers (weighted Jacobi, Gauss-Seidel, SOR), geometric
+// multigrid with tunable cycle shape, and sine-transform direct solvers.
+// All solvers report their flop work through a Work tally so the
+// benchmarks can charge a cost.Meter in one batch per run.
+//
+// # Kernel layers
+//
+// Each stencil operation exists in two forms:
+//
+//   - The production kernels (Residual2D/3D, Jacobi2D/3D, SOR2D/3D,
+//     Restrict2DInto/3DInto, Prolong2D/3D) are boundary-split: interior
+//     cells run over raw slices with no bounds logic, boundary cells take
+//     a guarded per-cell path, and non-multigrid grid shapes fall back to
+//     the fully guarded loop.
+//   - The reference kernels (reference.go) are the original At-indexed,
+//     allocate-per-call implementations — the simplest statement of the
+//     numerics, retained as the differential-testing baseline.
+//
+// The two layers are bit-identical: the production kernels preserve the
+// reference floating-point expression shapes and operand order exactly,
+// and differential_test.go enforces equality of every grid value (by bit
+// pattern) and every op count on randomized inputs.
+//
+// # Multigrid workspace engine
+//
+// Hierarchy2D and Hierarchy3D (hierarchy.go) own a problem's full
+// restriction ladder — residual scratch, coarse right-hand sides and
+// corrections at every level, plus the coarsened Helmholtz operator chain
+// (OpChain3D) — allocated once per problem instead of once per cycle, so
+// Cycle is an allocation-free inner loop. ReferenceMGCycle2D/3D retain
+// the original allocate-per-cycle recursion as the baseline. OpChain3D is
+// immutable and shareable across goroutines; hierarchies themselves are
+// single-threaded and meant to be pooled.
+package pde

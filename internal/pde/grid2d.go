@@ -1,12 +1,4 @@
-// Package pde implements the numerical substrate of the Poisson 2D and
-// Helmholtz 3D benchmarks: finite-difference grids with Dirichlet
-// boundaries, pointwise smoothers (Jacobi, Gauss-Seidel, SOR), geometric
-// multigrid with tunable cycle shape, and sine-transform direct solvers.
-// All solvers report their flop work so the benchmarks can charge a
-// cost.Meter.
 package pde
-
-import "math"
 
 // Grid2D holds an N×N interior grid (Dirichlet zero boundary) for
 // -Δu = f on the unit square, h = 1/(N+1).
@@ -39,23 +31,10 @@ func (g *Grid2D) Clone() *Grid2D {
 }
 
 // RMS returns the root-mean-square of the grid values.
-func (g *Grid2D) RMS() float64 {
-	sum := 0.0
-	for _, v := range g.Data {
-		sum += v * v
-	}
-	return math.Sqrt(sum / float64(len(g.Data)))
-}
+func (g *Grid2D) RMS() float64 { return rmsOf(g.Data) }
 
 // SubRMS returns RMS(g - o).
-func (g *Grid2D) SubRMS(o *Grid2D) float64 {
-	sum := 0.0
-	for i, v := range g.Data {
-		d := v - o.Data[i]
-		sum += d * d
-	}
-	return math.Sqrt(sum / float64(len(g.Data)))
-}
+func (g *Grid2D) SubRMS(o *Grid2D) float64 { return subRMSOf(g.Data, o.Data) }
 
 // h returns the mesh width.
 func (g *Grid2D) h() float64 { return 1.0 / float64(g.N+1) }
@@ -65,32 +44,124 @@ type Work struct {
 	Flops int
 }
 
+// The 2-D stencil kernels below are boundary-split: the interior of each
+// row runs over raw slices with no At bounds logic, and only the outermost
+// rows/columns take the guarded per-cell path. Every kernel preserves the
+// reference implementation's floating-point expression shapes and operand
+// order exactly, so results are bit-identical to reference.go
+// (differential-test enforced), and charges the same per-sweep flop count.
+
+// residualCell2D is the guarded per-cell residual for boundary cells.
+func residualCell2D(ud, fd, rd []float64, n, i, j int, inv float64) {
+	idx := i*n + j
+	var up, down, left, right float64
+	if i > 0 {
+		up = ud[idx-n]
+	}
+	if i < n-1 {
+		down = ud[idx+n]
+	}
+	if j > 0 {
+		left = ud[idx-1]
+	}
+	if j < n-1 {
+		right = ud[idx+1]
+	}
+	lap := (4*ud[idx] - up - down - left - right) * inv
+	rd[idx] = fd[idx] - lap
+}
+
 // Residual2D computes r = f + Δu (the residual of -Δu = f) into r.
 func Residual2D(u, f, r *Grid2D, w *Work) {
 	n := u.N
 	inv := 1.0 / (u.h() * u.h())
+	ud, fd, rd := u.Data, f.Data, r.Data
 	for i := 0; i < n; i++ {
-		for j := 0; j < n; j++ {
-			lap := (4*u.At(i, j) - u.At(i-1, j) - u.At(i+1, j) - u.At(i, j-1) - u.At(i, j+1)) * inv
-			r.Set(i, j, f.At(i, j)-lap)
+		if i == 0 || i == n-1 {
+			for j := 0; j < n; j++ {
+				residualCell2D(ud, fd, rd, n, i, j, inv)
+			}
+			continue
 		}
+		residualCell2D(ud, fd, rd, n, i, 0, inv)
+		row := i * n
+		for idx := row + 1; idx < row+n-1; idx++ {
+			lap := (4*ud[idx] - ud[idx-n] - ud[idx+n] - ud[idx-1] - ud[idx+1]) * inv
+			rd[idx] = fd[idx] - lap
+		}
+		residualCell2D(ud, fd, rd, n, i, n-1, inv)
 	}
 	w.Flops += 7 * n * n
 }
 
+// jacobiCell2D is the guarded per-cell Jacobi update for boundary cells.
+func jacobiCell2D(ud, fd, next []float64, n, i, j int, h2, omega float64) {
+	idx := i*n + j
+	var up, down, left, right float64
+	if i > 0 {
+		up = ud[idx-n]
+	}
+	if i < n-1 {
+		down = ud[idx+n]
+	}
+	if j > 0 {
+		left = ud[idx-1]
+	}
+	if j < n-1 {
+		right = ud[idx+1]
+	}
+	gs := (up + down + left + right + h2*fd[idx]) / 4
+	next[idx] = ud[idx] + omega*(gs-ud[idx])
+}
+
 // Jacobi2D performs one weighted Jacobi sweep (weight omega) on -Δu = f.
 func Jacobi2D(u, f *Grid2D, omega float64, w *Work) {
+	jacobi2D(u, f, omega, make([]float64, u.N*u.N), w)
+}
+
+// jacobi2D is Jacobi2D over a caller-provided scratch buffer (len n²), the
+// allocation-free path Hierarchy2D.Jacobi uses.
+func jacobi2D(u, f *Grid2D, omega float64, next []float64, w *Work) {
 	n := u.N
 	h2 := u.h() * u.h()
-	next := make([]float64, n*n)
+	ud, fd := u.Data, f.Data
 	for i := 0; i < n; i++ {
-		for j := 0; j < n; j++ {
-			gs := (u.At(i-1, j) + u.At(i+1, j) + u.At(i, j-1) + u.At(i, j+1) + h2*f.At(i, j)) / 4
-			next[i*n+j] = u.At(i, j) + omega*(gs-u.At(i, j))
+		if i == 0 || i == n-1 {
+			for j := 0; j < n; j++ {
+				jacobiCell2D(ud, fd, next, n, i, j, h2, omega)
+			}
+			continue
 		}
+		jacobiCell2D(ud, fd, next, n, i, 0, h2, omega)
+		row := i * n
+		for idx := row + 1; idx < row+n-1; idx++ {
+			gs := (ud[idx-n] + ud[idx+n] + ud[idx-1] + ud[idx+1] + h2*fd[idx]) / 4
+			next[idx] = ud[idx] + omega*(gs-ud[idx])
+		}
+		jacobiCell2D(ud, fd, next, n, i, n-1, h2, omega)
 	}
-	copy(u.Data, next)
+	copy(ud, next[:n*n])
 	w.Flops += 8 * n * n
+}
+
+// sorCell2D is the guarded per-cell SOR update for boundary cells.
+func sorCell2D(ud, fd []float64, n, i, j int, h2, omega float64) {
+	idx := i*n + j
+	var up, down, left, right float64
+	if i > 0 {
+		up = ud[idx-n]
+	}
+	if i < n-1 {
+		down = ud[idx+n]
+	}
+	if j > 0 {
+		left = ud[idx-1]
+	}
+	if j < n-1 {
+		right = ud[idx+1]
+	}
+	gs := (up + down + left + right + h2*fd[idx]) / 4
+	ud[idx] = ud[idx] + omega*(gs-ud[idx])
 }
 
 // SOR2D performs one successive-over-relaxation sweep (omega = 1 gives
@@ -98,54 +169,139 @@ func Jacobi2D(u, f *Grid2D, omega float64, w *Work) {
 func SOR2D(u, f *Grid2D, omega float64, w *Work) {
 	n := u.N
 	h2 := u.h() * u.h()
+	ud, fd := u.Data, f.Data
 	for i := 0; i < n; i++ {
-		for j := 0; j < n; j++ {
-			gs := (u.At(i-1, j) + u.At(i+1, j) + u.At(i, j-1) + u.At(i, j+1) + h2*f.At(i, j)) / 4
-			u.Set(i, j, u.At(i, j)+omega*(gs-u.At(i, j)))
+		if i == 0 || i == n-1 {
+			for j := 0; j < n; j++ {
+				sorCell2D(ud, fd, n, i, j, h2, omega)
+			}
+			continue
 		}
+		sorCell2D(ud, fd, n, i, 0, h2, omega)
+		row := i * n
+		for idx := row + 1; idx < row+n-1; idx++ {
+			gs := (ud[idx-n] + ud[idx+n] + ud[idx-1] + ud[idx+1] + h2*fd[idx]) / 4
+			ud[idx] = ud[idx] + omega*(gs-ud[idx])
+		}
+		sorCell2D(ud, fd, n, i, n-1, h2, omega)
 	}
 	w.Flops += 8 * n * n
 }
 
 // Restrict2D full-weights the residual to the (n-1)/2 coarse grid.
 func Restrict2D(fine *Grid2D, w *Work) *Grid2D {
-	nc := (fine.N - 1) / 2
-	coarse := NewGrid2D(nc)
+	coarse := NewGrid2D((fine.N - 1) / 2)
+	Restrict2DInto(fine, coarse, w)
+	return coarse
+}
+
+// Restrict2DInto full-weights fine into the caller-provided coarse grid,
+// the allocation-free path the multigrid hierarchy uses. When fine.N is
+// odd (the multigrid invariant N = 2·coarse.N + 1) every one of the nine
+// stencil taps is in range, so the whole restriction runs without bounds
+// logic; other shapes take the guarded path.
+func Restrict2DInto(fine, coarse *Grid2D, w *Work) {
+	nc := coarse.N
+	nf := fine.N
+	if nf != 2*nc+1 {
+		for i := 0; i < nc; i++ {
+			for j := 0; j < nc; j++ {
+				fi, fj := 2*i+1, 2*j+1
+				v := 0.25*fine.At(fi, fj) +
+					0.125*(fine.At(fi-1, fj)+fine.At(fi+1, fj)+fine.At(fi, fj-1)+fine.At(fi, fj+1)) +
+					0.0625*(fine.At(fi-1, fj-1)+fine.At(fi-1, fj+1)+fine.At(fi+1, fj-1)+fine.At(fi+1, fj+1))
+				coarse.Set(i, j, v)
+			}
+		}
+		w.Flops += 12 * nc * nc
+		return
+	}
+	fd, cd := fine.Data, coarse.Data
 	for i := 0; i < nc; i++ {
+		crow := i * nc
+		c := (2*i+1)*nf + 1 // fine index of (2i+1, 2j+1) at j = 0
 		for j := 0; j < nc; j++ {
-			fi, fj := 2*i+1, 2*j+1
-			v := 0.25*fine.At(fi, fj) +
-				0.125*(fine.At(fi-1, fj)+fine.At(fi+1, fj)+fine.At(fi, fj-1)+fine.At(fi, fj+1)) +
-				0.0625*(fine.At(fi-1, fj-1)+fine.At(fi-1, fj+1)+fine.At(fi+1, fj-1)+fine.At(fi+1, fj+1))
-			coarse.Set(i, j, v)
+			v := 0.25*fd[c] +
+				0.125*(fd[c-nf]+fd[c+nf]+fd[c-1]+fd[c+1]) +
+				0.0625*(fd[c-nf-1]+fd[c-nf+1]+fd[c+nf-1]+fd[c+nf+1])
+			cd[crow+j] = v
+			c += 2
 		}
 	}
 	w.Flops += 12 * nc * nc
-	return coarse
+}
+
+// prolongCell2D evaluates the bilinear coarse-grid interpolant at fine
+// point (i, j) through the bounds-checked accessor — the guarded path for
+// boundary cells and non-multigrid shapes.
+func prolongCell2D(coarse *Grid2D, i, j int) float64 {
+	// Coarse coordinates (may be half-integral).
+	ci, cj := (i-1)/2, (j-1)/2
+	var v float64
+	switch {
+	case i%2 == 1 && j%2 == 1:
+		v = coarse.At(ci, cj)
+	case i%2 == 1:
+		v = 0.5 * (coarse.At(ci, (j-2)/2+0) + coarse.At(ci, j/2))
+	case j%2 == 1:
+		v = 0.5 * (coarse.At((i-2)/2+0, cj) + coarse.At(i/2, cj))
+	default:
+		v = 0.25 * (coarse.At((i-2)/2, (j-2)/2) + coarse.At((i-2)/2, j/2) +
+			coarse.At(i/2, (j-2)/2) + coarse.At(i/2, j/2))
+	}
+	return v
 }
 
 // Prolong2D bilinearly interpolates the coarse correction onto fine,
 // adding in place.
 func Prolong2D(coarse, fine *Grid2D, w *Work) {
-	nf := fine.N
-	for i := 0; i < nf; i++ {
-		for j := 0; j < nf; j++ {
-			// Coarse coordinates (may be half-integral).
-			ci, cj := (i-1)/2, (j-1)/2
-			var v float64
-			switch {
-			case i%2 == 1 && j%2 == 1:
-				v = coarse.At(ci, cj)
-			case i%2 == 1:
-				v = 0.5 * (coarse.At(ci, (j-2)/2+0) + coarse.At(ci, j/2))
-			case j%2 == 1:
-				v = 0.5 * (coarse.At((i-2)/2+0, cj) + coarse.At(i/2, cj))
-			default:
-				v = 0.25 * (coarse.At((i-2)/2, (j-2)/2) + coarse.At((i-2)/2, j/2) +
-					coarse.At(i/2, (j-2)/2) + coarse.At(i/2, j/2))
+	nf, nc := fine.N, coarse.N
+	if nf != 2*nc+1 || nf < 3 {
+		for i := 0; i < nf; i++ {
+			for j := 0; j < nf; j++ {
+				fine.Set(i, j, fine.At(i, j)+prolongCell2D(coarse, i, j))
 			}
-			fine.Set(i, j, fine.At(i, j)+v)
 		}
+		w.Flops += 4 * nf * nf
+		return
+	}
+	fd, cd := fine.Data, coarse.Data
+	for i := 0; i < nf; i++ {
+		if i == 0 || i == nf-1 {
+			row := i * nf
+			for j := 0; j < nf; j++ {
+				fd[row+j] += prolongCell2D(coarse, i, j)
+			}
+			continue
+		}
+		row := i * nf
+		fd[row] += prolongCell2D(coarse, i, 0)
+		if i%2 == 1 {
+			base := ((i - 1) / 2) * nc
+			for j := 1; j < nf-1; j++ {
+				var v float64
+				if j%2 == 1 {
+					v = cd[base+(j-1)/2]
+				} else {
+					v = 0.5 * (cd[base+j/2-1] + cd[base+j/2])
+				}
+				fd[row+j] += v
+			}
+		} else {
+			b0 := (i/2 - 1) * nc
+			b1 := (i / 2) * nc
+			for j := 1; j < nf-1; j++ {
+				var v float64
+				if j%2 == 1 {
+					cj := (j - 1) / 2
+					v = 0.5 * (cd[b0+cj] + cd[b1+cj])
+				} else {
+					v = 0.25 * (cd[b0+j/2-1] + cd[b0+j/2] + cd[b1+j/2-1] + cd[b1+j/2])
+				}
+				fd[row+j] += v
+			}
+		}
+		fd[row+nf-1] += prolongCell2D(coarse, i, nf-1)
 	}
 	w.Flops += 4 * nf * nf
 }
@@ -157,36 +313,11 @@ type MGOptions2D struct {
 	Omega     float64 // smoother relaxation (SOR)
 }
 
-// MGCycle2D performs one multigrid cycle on -Δu = f.
+// MGCycle2D performs one multigrid cycle on -Δu = f. It builds a
+// throwaway Hierarchy2D per call; loops over many cycles should construct
+// the hierarchy once and call its Cycle method instead.
 func MGCycle2D(u, f *Grid2D, opt MGOptions2D, w *Work) {
-	if opt.Gamma < 1 {
-		opt.Gamma = 1
-	}
-	if opt.Omega <= 0 {
-		opt.Omega = 1
-	}
-	n := u.N
-	if n <= 3 {
-		// Coarsest level: smooth hard (tiny cost).
-		for s := 0; s < 8; s++ {
-			SOR2D(u, f, 1.0, w)
-		}
-		return
-	}
-	for s := 0; s < opt.Pre; s++ {
-		SOR2D(u, f, opt.Omega, w)
-	}
-	r := NewGrid2D(n)
-	Residual2D(u, f, r, w)
-	coarseF := Restrict2D(r, w)
-	coarseU := NewGrid2D(coarseF.N)
-	for g := 0; g < opt.Gamma; g++ {
-		MGCycle2D(coarseU, coarseF, opt, w)
-	}
-	Prolong2D(coarseU, u, w)
-	for s := 0; s < opt.Post; s++ {
-		SOR2D(u, f, opt.Omega, w)
-	}
+	NewHierarchy2D(u.N).Cycle(u, f, opt, w)
 }
 
 // DirectPoisson2D solves -Δu = f exactly via the 2-D discrete sine
@@ -195,20 +326,8 @@ func MGCycle2D(u, f *Grid2D, opt MGOptions2D, w *Work) {
 func DirectPoisson2D(f *Grid2D, w *Work) *Grid2D {
 	n := f.N
 	h := f.h()
-	// Sine basis S[j][k] = sin((j+1)(k+1)π/(N+1)).
-	s := make([][]float64, n)
-	for j := range s {
-		s[j] = make([]float64, n)
-		for k := range s[j] {
-			s[j][k] = math.Sin(float64(j+1) * float64(k+1) * math.Pi / float64(n+1))
-		}
-	}
-	// Eigenvalues of the 1-D operator.
-	lam := make([]float64, n)
-	for j := range lam {
-		sv := math.Sin(float64(j+1) * math.Pi / (2 * float64(n+1)))
-		lam[j] = 4 * sv * sv / (h * h)
-	}
+	s := sineMatrix(n)
+	lam := sineEigenvalues(n, h)
 	// F̂ = S f S (two dense multiplications).
 	fh := dstApply2D(s, f.Data, n)
 	w.Flops += 4 * n * n * n

@@ -37,23 +37,10 @@ func (g *Grid3D) Clone() *Grid3D {
 }
 
 // RMS returns the root-mean-square of the grid values.
-func (g *Grid3D) RMS() float64 {
-	sum := 0.0
-	for _, v := range g.Data {
-		sum += v * v
-	}
-	return math.Sqrt(sum / float64(len(g.Data)))
-}
+func (g *Grid3D) RMS() float64 { return rmsOf(g.Data) }
 
 // SubRMS returns RMS(g - o).
-func (g *Grid3D) SubRMS(o *Grid3D) float64 {
-	sum := 0.0
-	for i, v := range g.Data {
-		d := v - o.Data[i]
-		sum += d * d
-	}
-	return math.Sqrt(sum / float64(len(g.Data)))
-}
+func (g *Grid3D) SubRMS(o *Grid3D) float64 { return subRMSOf(g.Data, o.Data) }
 
 func (g *Grid3D) h() float64 { return 1.0 / float64(g.N+1) }
 
@@ -76,7 +63,10 @@ func (op *Helmholtz3D) faceA(i, j, k, di, dj, dk int) float64 {
 	return 0.5 * (ac + op.A.At(ni, nj, nk))
 }
 
-// Apply3D computes (L u)(i,j,k) for the Helmholtz operator.
+// apply computes (L u)(i,j,k) and the operator diagonal through the
+// bounds-checked accessors. It is both the reference stencil and the
+// guarded path the flattened sweeps take on boundary cells, so the two can
+// never disagree where they overlap.
 func (op *Helmholtz3D) apply(u *Grid3D, i, j, k int) (lu, diag float64) {
 	h2 := u.h() * u.h()
 	var sumA, flux float64
@@ -92,101 +82,261 @@ func (op *Helmholtz3D) apply(u *Grid3D, i, j, k int) (lu, diag float64) {
 	return lu, diag
 }
 
-// Residual3D computes r = f - L u.
-func Residual3D(op *Helmholtz3D, u, f, r *Grid3D, w *Work) {
-	n := u.N
-	for i := 0; i < n; i++ {
-		for j := 0; j < n; j++ {
-			for k := 0; k < n; k++ {
-				lu, _ := op.apply(u, i, j, k)
-				r.Set(i, j, k, f.At(i, j, k)-lu)
-			}
-		}
-	}
-	w.Flops += 15 * n * n * n
-}
+// The 3-D sweeps below are boundary-split like their 2-D counterparts: the
+// innermost k-run of every interior (i, j) pencil evaluates the seven-point
+// flux stencil over raw slices (face coefficients averaged inline, in the
+// reference direction order +i, -i, +j, -j, +k, -k), while boundary cells
+// fall back to op.apply. Expression shapes and accumulation order match
+// the reference kernels exactly, so grids stay bit-identical.
 
-// Jacobi3D performs one weighted Jacobi sweep.
-func Jacobi3D(op *Helmholtz3D, u, f *Grid3D, omega float64, w *Work) {
-	n := u.N
-	next := make([]float64, n*n*n)
-	for i := 0; i < n; i++ {
-		for j := 0; j < n; j++ {
-			for k := 0; k < n; k++ {
-				lu, diag := op.apply(u, i, j, k)
-				uc := u.At(i, j, k)
-				next[(i*n+j)*n+k] = uc + omega*(f.At(i, j, k)-lu)/diag
-			}
-		}
-	}
-	copy(u.Data, next)
-	w.Flops += 17 * n * n * n
+// sorCell3D is the guarded per-cell SOR update.
+func sorCell3D(op *Helmholtz3D, u, f *Grid3D, i, j, k int, omega float64) {
+	lu, diag := op.apply(u, i, j, k)
+	idx := (i*u.N+j)*u.N + k
+	uc := u.Data[idx]
+	u.Data[idx] = uc + omega*(f.Data[idx]-lu)/diag
 }
 
 // SOR3D performs one SOR sweep (omega = 1 gives Gauss-Seidel).
 func SOR3D(op *Helmholtz3D, u, f *Grid3D, omega float64, w *Work) {
 	n := u.N
+	h2 := u.h() * u.h()
+	n2 := n * n
+	ud, fd, ad := u.Data, f.Data, op.A.Data
+	cc := op.C
 	for i := 0; i < n; i++ {
 		for j := 0; j < n; j++ {
-			for k := 0; k < n; k++ {
-				lu, diag := op.apply(u, i, j, k)
-				uc := u.At(i, j, k)
-				u.Set(i, j, k, uc+omega*(f.At(i, j, k)-lu)/diag)
+			if i == 0 || i == n-1 || j == 0 || j == n-1 {
+				for k := 0; k < n; k++ {
+					sorCell3D(op, u, f, i, j, k, omega)
+				}
+				continue
 			}
+			sorCell3D(op, u, f, i, j, 0, omega)
+			base := (i*n + j) * n
+			for idx := base + 1; idx < base+n-1; idx++ {
+				ac := ad[idx]
+				axp := 0.5 * (ac + ad[idx+n2])
+				axm := 0.5 * (ac + ad[idx-n2])
+				ayp := 0.5 * (ac + ad[idx+n])
+				aym := 0.5 * (ac + ad[idx-n])
+				azp := 0.5 * (ac + ad[idx+1])
+				azm := 0.5 * (ac + ad[idx-1])
+				sumA := 0.0
+				sumA += axp
+				sumA += axm
+				sumA += ayp
+				sumA += aym
+				sumA += azp
+				sumA += azm
+				flux := 0.0
+				flux += axp * ud[idx+n2]
+				flux += axm * ud[idx-n2]
+				flux += ayp * ud[idx+n]
+				flux += aym * ud[idx-n]
+				flux += azp * ud[idx+1]
+				flux += azm * ud[idx-1]
+				uc := ud[idx]
+				diag := sumA/h2 + cc
+				lu := (sumA*uc-flux)/h2 + cc*uc
+				ud[idx] = uc + omega*(fd[idx]-lu)/diag
+			}
+			sorCell3D(op, u, f, i, j, n-1, omega)
 		}
 	}
 	w.Flops += 17 * n * n * n
 }
 
+// jacobiCell3D is the guarded per-cell Jacobi update.
+func jacobiCell3D(op *Helmholtz3D, u, f *Grid3D, next []float64, i, j, k int, omega float64) {
+	lu, diag := op.apply(u, i, j, k)
+	idx := (i*u.N+j)*u.N + k
+	uc := u.Data[idx]
+	next[idx] = uc + omega*(f.Data[idx]-lu)/diag
+}
+
+// Jacobi3D performs one weighted Jacobi sweep.
+func Jacobi3D(op *Helmholtz3D, u, f *Grid3D, omega float64, w *Work) {
+	jacobi3D(op, u, f, omega, make([]float64, u.N*u.N*u.N), w)
+}
+
+// jacobi3D is Jacobi3D over a caller-provided scratch buffer (len n³).
+func jacobi3D(op *Helmholtz3D, u, f *Grid3D, omega float64, next []float64, w *Work) {
+	n := u.N
+	h2 := u.h() * u.h()
+	n2 := n * n
+	ud, fd, ad := u.Data, f.Data, op.A.Data
+	cc := op.C
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == 0 || i == n-1 || j == 0 || j == n-1 {
+				for k := 0; k < n; k++ {
+					jacobiCell3D(op, u, f, next, i, j, k, omega)
+				}
+				continue
+			}
+			jacobiCell3D(op, u, f, next, i, j, 0, omega)
+			base := (i*n + j) * n
+			for idx := base + 1; idx < base+n-1; idx++ {
+				ac := ad[idx]
+				axp := 0.5 * (ac + ad[idx+n2])
+				axm := 0.5 * (ac + ad[idx-n2])
+				ayp := 0.5 * (ac + ad[idx+n])
+				aym := 0.5 * (ac + ad[idx-n])
+				azp := 0.5 * (ac + ad[idx+1])
+				azm := 0.5 * (ac + ad[idx-1])
+				sumA := 0.0
+				sumA += axp
+				sumA += axm
+				sumA += ayp
+				sumA += aym
+				sumA += azp
+				sumA += azm
+				flux := 0.0
+				flux += axp * ud[idx+n2]
+				flux += axm * ud[idx-n2]
+				flux += ayp * ud[idx+n]
+				flux += aym * ud[idx-n]
+				flux += azp * ud[idx+1]
+				flux += azm * ud[idx-1]
+				uc := ud[idx]
+				diag := sumA/h2 + cc
+				lu := (sumA*uc-flux)/h2 + cc*uc
+				next[idx] = uc + omega*(fd[idx]-lu)/diag
+			}
+			jacobiCell3D(op, u, f, next, i, j, n-1, omega)
+		}
+	}
+	copy(ud, next[:n*n*n])
+	w.Flops += 17 * n * n * n
+}
+
+// residualCell3D is the guarded per-cell residual.
+func residualCell3D(op *Helmholtz3D, u, f, r *Grid3D, i, j, k int) {
+	lu, _ := op.apply(u, i, j, k)
+	idx := (i*u.N+j)*u.N + k
+	r.Data[idx] = f.Data[idx] - lu
+}
+
+// Residual3D computes r = f - L u.
+func Residual3D(op *Helmholtz3D, u, f, r *Grid3D, w *Work) {
+	n := u.N
+	h2 := u.h() * u.h()
+	n2 := n * n
+	ud, fd, rd, ad := u.Data, f.Data, r.Data, op.A.Data
+	cc := op.C
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == 0 || i == n-1 || j == 0 || j == n-1 {
+				for k := 0; k < n; k++ {
+					residualCell3D(op, u, f, r, i, j, k)
+				}
+				continue
+			}
+			residualCell3D(op, u, f, r, i, j, 0)
+			base := (i*n + j) * n
+			for idx := base + 1; idx < base+n-1; idx++ {
+				ac := ad[idx]
+				axp := 0.5 * (ac + ad[idx+n2])
+				axm := 0.5 * (ac + ad[idx-n2])
+				ayp := 0.5 * (ac + ad[idx+n])
+				aym := 0.5 * (ac + ad[idx-n])
+				azp := 0.5 * (ac + ad[idx+1])
+				azm := 0.5 * (ac + ad[idx-1])
+				sumA := 0.0
+				sumA += axp
+				sumA += axm
+				sumA += ayp
+				sumA += aym
+				sumA += azp
+				sumA += azm
+				flux := 0.0
+				flux += axp * ud[idx+n2]
+				flux += axm * ud[idx-n2]
+				flux += ayp * ud[idx+n]
+				flux += aym * ud[idx-n]
+				flux += azp * ud[idx+1]
+				flux += azm * ud[idx-1]
+				uc := ud[idx]
+				lu := (sumA*uc-flux)/h2 + cc*uc
+				rd[idx] = fd[idx] - lu
+			}
+			residualCell3D(op, u, f, r, i, j, n-1)
+		}
+	}
+	w.Flops += 15 * n * n * n
+}
+
 // Restrict3D full-weights a fine grid to the (n-1)/2 coarse grid using the
 // 27-point kernel.
 func Restrict3D(fine *Grid3D, w *Work) *Grid3D {
-	nc := (fine.N - 1) / 2
-	coarse := NewGrid3D(nc)
-	for i := 0; i < nc; i++ {
-		for j := 0; j < nc; j++ {
-			for k := 0; k < nc; k++ {
-				fi, fj, fk := 2*i+1, 2*j+1, 2*k+1
-				sum := 0.0
-				for di := -1; di <= 1; di++ {
-					for dj := -1; dj <= 1; dj++ {
-						for dk := -1; dk <= 1; dk++ {
-							wgt := 1.0 / float64(int(1)<<uint(abs(di)+abs(dj)+abs(dk))) / 8.0
-							sum += wgt * fine.At(fi+di, fj+dj, fk+dk)
+	coarse := NewGrid3D((fine.N - 1) / 2)
+	Restrict3DInto(fine, coarse, w)
+	return coarse
+}
+
+// Restrict3DInto full-weights fine into the caller-provided coarse grid.
+// On the multigrid shape fine.N = 2·coarse.N + 1 all 27 taps are in range
+// and the kernel runs over precomputed offsets without bounds logic.
+func Restrict3DInto(fine, coarse *Grid3D, w *Work) {
+	nc := coarse.N
+	nf := fine.N
+	if nf != 2*nc+1 {
+		for i := 0; i < nc; i++ {
+			for j := 0; j < nc; j++ {
+				for k := 0; k < nc; k++ {
+					fi, fj, fk := 2*i+1, 2*j+1, 2*k+1
+					sum := 0.0
+					for di := -1; di <= 1; di++ {
+						for dj := -1; dj <= 1; dj++ {
+							for dk := -1; dk <= 1; dk++ {
+								wgt := 1.0 / float64(int(1)<<uint(absInt(di)+absInt(dj)+absInt(dk))) / 8.0
+								sum += wgt * fine.At(fi+di, fj+dj, fk+dk)
+							}
 						}
 					}
+					coarse.Set(i, j, k, sum)
 				}
-				coarse.Set(i, j, k, sum)
+			}
+		}
+		w.Flops += 30 * nc * nc * nc
+		return
+	}
+	// Tap weights and fine-grid offsets in the reference iteration order
+	// (di, dj, dk ascending). The weights are exact dyadic rationals.
+	var wgt [27]float64
+	var off [27]int
+	t := 0
+	for di := -1; di <= 1; di++ {
+		for dj := -1; dj <= 1; dj++ {
+			for dk := -1; dk <= 1; dk++ {
+				wgt[t] = 1.0 / float64(int(1)<<uint(absInt(di)+absInt(dj)+absInt(dk))) / 8.0
+				off[t] = (di*nf+dj)*nf + dk
+				t++
+			}
+		}
+	}
+	fd, cd := fine.Data, coarse.Data
+	for i := 0; i < nc; i++ {
+		for j := 0; j < nc; j++ {
+			crow := (i*nc + j) * nc
+			c := ((2*i+1)*nf+2*j+1)*nf + 1 // fine index at k = 0
+			for k := 0; k < nc; k++ {
+				sum := 0.0
+				for t := 0; t < 27; t++ {
+					sum += wgt[t] * fd[c+off[t]]
+				}
+				cd[crow+k] = sum
+				c += 2
 			}
 		}
 	}
 	w.Flops += 30 * nc * nc * nc
-	return coarse
 }
 
-func abs(x int) int {
-	if x < 0 {
-		return -x
-	}
-	return x
-}
-
-// Prolong3D trilinearly interpolates the coarse correction onto fine,
-// adding in place.
-func Prolong3D(coarse, fine *Grid3D, w *Work) {
-	nf := fine.N
-	for i := 0; i < nf; i++ {
-		for j := 0; j < nf; j++ {
-			for k := 0; k < nf; k++ {
-				v := trilinear(coarse, i, j, k)
-				fine.Set(i, j, k, fine.At(i, j, k)+v)
-			}
-		}
-	}
-	w.Flops += 8 * nf * nf * nf
-}
-
-// trilinear evaluates the coarse-grid interpolant at fine point (i,j,k).
+// trilinear evaluates the coarse-grid interpolant at fine point (i,j,k)
+// through the bounds-checked accessor — the guarded path for boundary
+// cells and non-multigrid shapes.
 func trilinear(coarse *Grid3D, i, j, k int) float64 {
 	// Along each axis, an odd fine index coincides with a coarse node; an
 	// even index averages the two flanking coarse nodes (boundary = 0).
@@ -214,6 +364,98 @@ func trilinear(coarse *Grid3D, i, j, k int) float64 {
 	return sum
 }
 
+// Prolong3D trilinearly interpolates the coarse correction onto fine,
+// adding in place.
+func Prolong3D(coarse, fine *Grid3D, w *Work) {
+	nf, nc := fine.N, coarse.N
+	if nf != 2*nc+1 || nf < 3 {
+		for i := 0; i < nf; i++ {
+			for j := 0; j < nf; j++ {
+				for k := 0; k < nf; k++ {
+					fine.Set(i, j, k, fine.At(i, j, k)+trilinear(coarse, i, j, k))
+				}
+			}
+		}
+		w.Flops += 8 * nf * nf * nf
+		return
+	}
+	fd, cd := fine.Data, coarse.Data
+	for i := 0; i < nf; i++ {
+		if i == 0 || i == nf-1 {
+			for j := 0; j < nf; j++ {
+				base := (i*nf + j) * nf
+				for k := 0; k < nf; k++ {
+					fd[base+k] += trilinear(coarse, i, j, k)
+				}
+			}
+			continue
+		}
+		// i-axis taps (coarse plane index and weight).
+		var ia [2]int
+		var iw [2]float64
+		ni := 1
+		if i%2 == 1 {
+			ia[0], iw[0] = (i-1)/2, 1
+		} else {
+			ia[0], iw[0] = i/2-1, 0.5
+			ia[1], iw[1] = i/2, 0.5
+			ni = 2
+		}
+		for j := 0; j < nf; j++ {
+			base := (i*nf + j) * nf
+			if j == 0 || j == nf-1 {
+				for k := 0; k < nf; k++ {
+					fd[base+k] += trilinear(coarse, i, j, k)
+				}
+				continue
+			}
+			var ja [2]int
+			var jw [2]float64
+			nj := 1
+			if j%2 == 1 {
+				ja[0], jw[0] = (j-1)/2, 1
+			} else {
+				ja[0], jw[0] = j/2-1, 0.5
+				ja[1], jw[1] = j/2, 0.5
+				nj = 2
+			}
+			// Coarse row bases and combined (i, j) weights, in the
+			// reference tap order (i-axis outer, j-axis inner). All weights
+			// are exact dyadics, so the products carry no rounding.
+			var rb [4]int
+			var rw [4]float64
+			nr := 0
+			for a := 0; a < ni; a++ {
+				for b := 0; b < nj; b++ {
+					rb[nr] = (ia[a]*nc + ja[b]) * nc
+					rw[nr] = iw[a] * jw[b]
+					nr++
+				}
+			}
+			fd[base] += trilinear(coarse, i, j, 0)
+			for k := 1; k < nf-1; k++ {
+				sum := 0.0
+				if k%2 == 1 {
+					ck := (k - 1) / 2
+					for t := 0; t < nr; t++ {
+						sum += rw[t] * cd[rb[t]+ck]
+					}
+				} else {
+					c0, c1 := k/2-1, k/2
+					for t := 0; t < nr; t++ {
+						wz := rw[t] * 0.5
+						sum += wz * cd[rb[t]+c0]
+						sum += wz * cd[rb[t]+c1]
+					}
+				}
+				fd[base+k] += sum
+			}
+			fd[base+nf-1] += trilinear(coarse, i, j, nf-1)
+		}
+	}
+	w.Flops += 8 * nf * nf * nf
+}
+
 // coarsen builds the coarse-grid operator by injecting the coefficient
 // field at odd fine nodes; c carries over unchanged.
 func (op *Helmholtz3D) coarsen() *Helmholtz3D {
@@ -236,36 +478,12 @@ type MGOptions3D struct {
 	Omega     float64
 }
 
-// MGCycle3D performs one multigrid cycle on the Helmholtz problem.
+// MGCycle3D performs one multigrid cycle on the Helmholtz problem. It
+// builds a throwaway Hierarchy3D (including the coarsened operator chain)
+// per call; loops over many cycles should construct the hierarchy once and
+// call its Cycle method instead.
 func MGCycle3D(op *Helmholtz3D, u, f *Grid3D, opt MGOptions3D, w *Work) {
-	if opt.Gamma < 1 {
-		opt.Gamma = 1
-	}
-	if opt.Omega <= 0 {
-		opt.Omega = 1
-	}
-	n := u.N
-	if n <= 3 {
-		for s := 0; s < 8; s++ {
-			SOR3D(op, u, f, 1.0, w)
-		}
-		return
-	}
-	for s := 0; s < opt.Pre; s++ {
-		SOR3D(op, u, f, opt.Omega, w)
-	}
-	r := NewGrid3D(n)
-	Residual3D(op, u, f, r, w)
-	coarseF := Restrict3D(r, w)
-	coarseU := NewGrid3D(coarseF.N)
-	coarseOp := op.coarsen()
-	for g := 0; g < opt.Gamma; g++ {
-		MGCycle3D(coarseOp, coarseU, coarseF, opt, w)
-	}
-	Prolong3D(coarseU, u, w)
-	for s := 0; s < opt.Post; s++ {
-		SOR3D(op, u, f, opt.Omega, w)
-	}
+	NewHierarchy3D(op).Cycle(u, f, opt, w)
 }
 
 // DirectHelmholtz3D solves the CONSTANT-coefficient surrogate of the
@@ -281,18 +499,8 @@ func DirectHelmholtz3D(op *Helmholtz3D, f *Grid3D, w *Work) *Grid3D {
 		abar += v
 	}
 	abar /= float64(len(op.A.Data))
-	s := make([][]float64, n)
-	for j := range s {
-		s[j] = make([]float64, n)
-		for k := range s[j] {
-			s[j][k] = math.Sin(float64(j+1) * float64(k+1) * math.Pi / float64(n+1))
-		}
-	}
-	lam := make([]float64, n)
-	for j := range lam {
-		sv := math.Sin(float64(j+1) * math.Pi / (2 * float64(n+1)))
-		lam[j] = 4 * sv * sv / (h * h)
-	}
+	s := sineMatrix(n)
+	lam := sineEigenvalues(n, h)
 	fh := dstApply3D(s, f.Data, n)
 	w.Flops += 3 * n * n * n * n
 	norm := math.Pow(2.0/float64(n+1), 3)

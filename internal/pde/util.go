@@ -1,0 +1,65 @@
+package pde
+
+import "math"
+
+// Small helpers shared by the 2-D and 3-D solver families. Everything here
+// exists in exactly one place so the kernels, the direct solvers and the
+// reference implementations cannot drift apart numerically.
+
+// absInt returns |x| for the restriction-weight exponents.
+func absInt(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// rmsOf returns the root-mean-square of xs.
+func rmsOf(xs []float64) float64 {
+	sum := 0.0
+	for _, v := range xs {
+		sum += v * v
+	}
+	return math.Sqrt(sum / float64(len(xs)))
+}
+
+// subRMSOf returns the RMS of the elementwise difference a - b.
+func subRMSOf(a, b []float64) float64 {
+	sum := 0.0
+	for i, v := range a {
+		d := v - b[i]
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(a)))
+}
+
+// zeroFloats clears xs (the coarse-correction reset inside a cycle).
+func zeroFloats(xs []float64) {
+	for i := range xs {
+		xs[i] = 0
+	}
+}
+
+// sineMatrix builds the symmetric sine basis S[j][k] =
+// sin((j+1)(k+1)π/(N+1)) shared by both direct sine-transform solvers.
+func sineMatrix(n int) [][]float64 {
+	s := make([][]float64, n)
+	for j := range s {
+		s[j] = make([]float64, n)
+		for k := range s[j] {
+			s[j][k] = math.Sin(float64(j+1) * float64(k+1) * math.Pi / float64(n+1))
+		}
+	}
+	return s
+}
+
+// sineEigenvalues returns the eigenvalues 4·sin²((j+1)π/(2(N+1)))/h² of
+// the 1-D second-difference operator, shared by both direct solvers.
+func sineEigenvalues(n int, h float64) []float64 {
+	lam := make([]float64, n)
+	for j := range lam {
+		sv := math.Sin(float64(j+1) * math.Pi / (2 * float64(n+1)))
+		lam[j] = 4 * sv * sv / (h * h)
+	}
+	return lam
+}

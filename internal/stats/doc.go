@@ -1,0 +1,12 @@
+// Package stats provides the descriptive statistics and normalisation
+// helpers used by the feature pipeline and the learning framework: means,
+// medians and quantiles, geometric means (the tuner's scale-free time
+// objective), z-score fitting and transformation (ZScorer, applied to
+// feature vectors before Level-1 clustering so no single feature's scale
+// dominates the distance metric), and squared-Euclidean distance (the
+// k-means and cluster-sampling metric).
+//
+// Everything is allocation-light, dependency-free and deterministic —
+// these helpers sit inside the training hot loops, so they must never
+// introduce ordering or precision surprises of their own.
+package stats

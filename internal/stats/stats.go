@@ -1,5 +1,3 @@
-// Package stats provides the descriptive statistics and normalisation
-// helpers used by the feature pipeline and the learning framework.
 package stats
 
 import (
