@@ -10,6 +10,11 @@
 //	experiments bench                perf trajectory: wall-clock, per-phase
 //	                                 training breakdown, evaluations, cache
 //	                                 hit-rate per benchmark (BENCH_1.json)
+//	experiments serve-bench          serving-side trajectory: train, serve
+//	                                 over loopback HTTP, drive with
+//	                                 concurrent clients + hot reloads, and
+//	                                 merge throughput/p50/p99 into the
+//	                                 bench JSON's "serve" section
 //	experiments all                  everything above except bench
 //
 // Use -scale quick|default to trade fidelity for runtime, -out DIR to also
@@ -44,6 +49,9 @@ func main() {
 	verbose := fs.Bool("v", false, "log training progress")
 	benchJSON := fs.String("json", "", "bench: output path for the JSON report (default BENCH_1.json, or BENCH_1.nocache.json with -nocache)")
 	noCache := fs.Bool("nocache", false, "disable the measurement cache (A/B escape hatch; any subcommand)")
+	clients := fs.Int("clients", 8, "serve-bench: concurrent load-generator clients")
+	requests := fs.Int("requests", 2000, "serve-bench: total requests per case")
+	reloads := fs.Int("reloads", 2, "serve-bench: hot reloads fired mid-run")
 	fs.Parse(os.Args[2:])
 
 	sc := exp.DefaultScale()
@@ -102,6 +110,40 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	case "serve-bench":
+		path := *benchJSON
+		if path == "" {
+			path = "BENCH_latest.json"
+		}
+		var cases []string
+		if *caseName != "" {
+			cases = []string{*caseName}
+		}
+		sb, err := exp.RunServeBench(exp.ServeBenchOptions{
+			Cases:                cases,
+			Clients:              *clients,
+			Requests:             *requests,
+			Reloads:              *reloads,
+			DisableDecisionCache: *noCache,
+			Scale:                sc,
+			Logf:                 logf,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "serve-bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(exp.RenderServeBench(sb))
+		for _, res := range sb.Results {
+			if res.FailedRequests != 0 {
+				fmt.Fprintf(os.Stderr, "serve-bench: %d failed requests on %s\n", res.FailedRequests, res.Case)
+				os.Exit(1)
+			}
+		}
+		if err := exp.MergeServeIntoBench(path, sb); err != nil {
+			fmt.Fprintf(os.Stderr, "merge into %s: %v\n", path, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "merged serve section into %s\n", path)
 	case "all":
 		rows := runTable1(names, sc, logf, *outDir, true)
 		fmt.Println(exp.RenderFig7())
@@ -195,7 +237,7 @@ func writeFile(dir, name, content string) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: experiments <table1|fig6|fig7|fig8|ablation|bench|all> [flags]
+	fmt.Fprintln(os.Stderr, `usage: experiments <table1|fig6|fig7|fig8|ablation|bench|serve-bench|all> [flags]
 flags:
   -scale quick|default   workload scale (default "default")
   -case NAME             single test: sort1 sort2 clustering1 clustering2
@@ -211,5 +253,13 @@ flags:
   -nocache               disable the engine's memoized measurement cache
                          (any subcommand). A/B escape hatch: results are
                          byte-identical with the cache on or off; only
-                         wall-clock and the cache counters change`)
+                         wall-clock and the cache counters change. For
+                         serve-bench it disables the server's decision
+                         cache instead — labels are identical either way
+  -clients N             serve-bench: concurrent clients (default 8)
+  -requests N            serve-bench: total requests per case (default 2000)
+  -reloads N             serve-bench: hot reloads spaced through the run
+                         (default 2; 0 = no-reload baseline); every reload
+                         must complete with zero failed requests or the
+                         run exits nonzero`)
 }

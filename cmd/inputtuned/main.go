@@ -1,0 +1,142 @@
+// Command inputtuned is the serving daemon: it loads trained model
+// artifacts (SaveModel output) into a hot-reloadable registry and serves
+// the classification API over HTTP.
+//
+//	inputtuner -bench sort2 -save model.json   # train once
+//	inputtuned -model model.json               # deploy
+//	curl -s localhost:8077/v1/classify -d \
+//	  '{"benchmark": "sort", "input": {"data": [3, 1, 2]}}'
+//
+// Several -model flags serve several benchmarks side by side; POST a new
+// artifact to /v1/reload to hot-swap a model under live traffic (zero
+// dropped requests — in-flight requests finish on the snapshot they
+// started with). For a dependency-free demo, -train CASE trains a
+// quick-scale model in-process instead of loading an artifact.
+//
+// Endpoints: POST /v1/classify, POST /v1/reload, GET /v1/models,
+// GET /metrics (?format=json), GET /healthz.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"inputtune/internal/core"
+	"inputtune/internal/exp"
+	"inputtune/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", "localhost:8077", "listen address")
+	cacheCap := flag.Int("cache", 0, "decision-cache capacity in entries (0 = default)")
+	noCache := flag.Bool("no-cache", false, "disable the decision cache")
+	shards := flag.Int("shards", 0, "batching shards (0 = classify inline per request)")
+	maxBatch := flag.Int("batch", 0, "max requests per shard batch (0 = default)")
+	trainCase := flag.String("train", "", "train a quick-scale model for this case in-process (e.g. sort2)")
+	verbose := flag.Bool("v", false, "log requests setup progress")
+	var modelPaths []string
+	flag.Func("model", "model artifact to serve (repeatable)", func(path string) error {
+		modelPaths = append(modelPaths, path)
+		return nil
+	})
+	flag.Parse()
+
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, format+"\n", args...)
+	}
+	if len(modelPaths) == 0 && *trainCase == "" {
+		fmt.Fprintln(os.Stderr, "need at least one -model artifact or -train CASE")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	reg := serve.BuiltinRegistry()
+	svc := serve.NewService(reg, serve.Options{
+		DecisionCacheCapacity: *cacheCap,
+		DisableDecisionCache:  *noCache,
+		Shards:                *shards,
+		MaxBatch:              *maxBatch,
+	})
+	defer svc.Close()
+
+	for _, path := range modelPaths {
+		artifact, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "read %s: %v\n", path, err)
+			os.Exit(1)
+		}
+		snap, err := svc.Load(artifact)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "load %s: %v\n", path, err)
+			os.Exit(1)
+		}
+		logf("loaded %s: benchmark %s, production %s, generation %d",
+			path, snap.Benchmark, snap.Model.Production.Name, snap.Generation)
+	}
+	if *trainCase != "" {
+		sc := exp.QuickScale()
+		c := exp.BuildCase(*trainCase, sc)
+		trainLogf := func(string, ...any) {}
+		if *verbose {
+			trainLogf = logf
+		}
+		logf("training quick-scale model for %s (%d inputs)...", *trainCase, len(c.Train))
+		model := core.TrainModel(c.Prog, c.Train, core.Options{
+			K1: sc.K1, Seed: sc.Seed, TunerPopulation: sc.TunerPop,
+			TunerGenerations: sc.TunerGens, Parallel: true, Logf: trainLogf,
+		})
+		snap, err := reg.Install(model)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "install trained model: %v\n", err)
+			os.Exit(1)
+		}
+		logf("trained %s: benchmark %s, production %s, generation %d",
+			*trainCase, snap.Benchmark, model.Production.Name, snap.Generation)
+	}
+
+	handler := serve.NewHandler(svc)
+	if *verbose {
+		handler = logRequests(handler, logf)
+	}
+	server := &http.Server{
+		Addr:              *addr,
+		Handler:           handler,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- server.ListenAndServe() }()
+	logf("inputtuned serving %v on http://%s", reg.Names(), *addr)
+
+	select {
+	case err := <-errCh:
+		fmt.Fprintf(os.Stderr, "server: %v\n", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+	logf("shutting down...")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := server.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintf(os.Stderr, "shutdown: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// logRequests wraps the handler with one access-log line per request.
+func logRequests(next http.Handler, logf func(string, ...any)) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		next.ServeHTTP(w, r)
+		logf("%s %s %s", r.Method, r.URL.Path, time.Since(start))
+	})
+}

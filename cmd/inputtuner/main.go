@@ -7,6 +7,11 @@
 //	inputtuner -bench binpacking -k1 24 -train 400 -test 400 -v
 //	inputtuner -bench svd -json             # dump landmark configs as JSON
 //	inputtuner -bench sort2 -save model.json
+//
+// With -load it skips training entirely and evaluates a saved artifact on
+// fresh test inputs, closing the save → load → deploy loop:
+//
+//	inputtuner -bench sort2 -load model.json
 package main
 
 import (
@@ -31,6 +36,7 @@ func main() {
 	verbose := flag.Bool("v", false, "log training progress")
 	asJSON := flag.Bool("json", false, "dump landmark configurations as JSON")
 	savePath := flag.String("save", "", "write the trained model to this file")
+	loadPath := flag.String("load", "", "evaluate a saved model artifact instead of training")
 	flag.Parse()
 
 	sc := exp.Scale{
@@ -43,6 +49,14 @@ func main() {
 	}
 
 	c := exp.BuildCase(*bench, sc)
+	if *loadPath != "" {
+		if *savePath != "" {
+			fmt.Fprintln(os.Stderr, "-load and -save are mutually exclusive")
+			os.Exit(2)
+		}
+		runLoaded(c, sc, *loadPath, logf)
+		return
+	}
 	row := exp.RunCase(c, sc, logf)
 	rep := row.Report
 
@@ -100,4 +114,40 @@ func main() {
 		}
 		fmt.Printf("\nmodel written to %s\n", *savePath)
 	}
+}
+
+// runLoaded restores a SaveModel artifact and evaluates it on the case's
+// held-out test inputs — no training anywhere on this path.
+func runLoaded(c exp.Case, sc exp.Scale, path string, logf func(string, ...any)) {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "open %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	model, err := core.LoadModel(c.Prog, f)
+	f.Close()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "load model: %v\n", err)
+		os.Exit(1)
+	}
+	rep := model.Report
+	fmt.Printf("benchmark        %s (loaded from %s)\n", c.Prog.Name(), path)
+	fmt.Printf("production       %s\n", rep.Production)
+	if len(rep.SelectedFeatures) > 0 {
+		fmt.Printf("features used    %s\n", strings.Join(rep.SelectedFeatures, ", "))
+	} else {
+		fmt.Printf("features used    (none)\n")
+	}
+	fmt.Println("\nlandmark configurations (Figure 2 form):")
+	space := c.Prog.Space()
+	for k, lm := range model.Landmarks {
+		fmt.Printf("  %2d: %s\n", k, space.DescribeConfig(lm))
+	}
+	ev := exp.EvalLoadedModel(c, model, sc, logf)
+	fmt.Printf("\ndeployment on %d held-out inputs (speedup over static oracle, chosen on the test set):\n", len(c.Test))
+	fmt.Printf("  dynamic oracle    %6.2fx\n", ev.DynamicOracle)
+	fmt.Printf("  two-level (w/o fx)%6.2fx\n", ev.TwoLevelNoFX)
+	fmt.Printf("  two-level (w/ fx) %6.2fx   satisfaction %.1f%%\n", ev.TwoLevelFX, 100*ev.TwoLevelAccuracy)
+	fmt.Printf("  (one-level baseline unavailable: artifacts carry no Level-1 clusters)\n")
+	fmt.Printf("eval wall        %.2fs\n", ev.EvalSeconds)
 }

@@ -50,6 +50,11 @@ type Model = core.Model
 // Report carries training diagnostics.
 type Report = core.Report
 
+// Decision is the outcome of one production inference: the selected
+// landmark, its configuration, and the feature-extraction cost incurred.
+// Produced by Model.Infer, the race-safe inference entry point.
+type Decision = core.Decision
+
 // Space describes a program's configuration search space.
 type Space = choice.Space
 

@@ -1,0 +1,50 @@
+package core
+
+import (
+	"inputtune/internal/choice"
+	"inputtune/internal/cost"
+)
+
+// This file is the deployment-side inference contract: what a serving
+// layer may do with a trained (or loaded) Model from many goroutines at
+// once.
+//
+// A *Model is safe for concurrent readers. Everything inference touches is
+// immutable after training/loading: landmark configurations, the
+// production classifier's tree/posterior tables, the scaler, and the
+// feature Set (whose LevelFuncs are required to be deterministic and
+// side-effect free; benchmark inputs that cache derived values do so
+// behind sync.Once). The ONE mutable object on the inference path is the
+// cost.Meter, which is explicitly not concurrency-safe — the historical
+// hazard was callers threading a single meter through Classify/Run from
+// several goroutines, which races on its counters and under-counts
+// charges. Infer closes that hole: it allocates a private meter per call
+// and returns the charged units by value, so there is no shared mutable
+// state left for callers to misuse.
+
+// Decision is the outcome of one production inference: the selected
+// landmark, its configuration, and the feature-extraction cost the
+// classifier incurred deciding (virtual-time units).
+type Decision struct {
+	// Landmark is the index into Model.Landmarks the classifier selected.
+	Landmark int
+	// Config is the selected landmark configuration (shared, read-only).
+	Config *choice.Config
+	// FeatureUnits is the virtual-time cost of the features extracted for
+	// this decision — the g_i term of the paper's deployment objective.
+	FeatureUnits float64
+}
+
+// Infer classifies a fresh input and returns the full decision. Unlike
+// Classify it takes no meter: a private meter is created per call, making
+// Infer safe to invoke concurrently on one shared *Model — the race-free
+// entry point serving layers should use.
+func (m *Model) Infer(in Input) Decision {
+	meter := cost.NewMeter()
+	label := m.Production.ClassifyInput(m.Program.Features(), in, meter)
+	return Decision{
+		Landmark:     label,
+		Config:       m.Landmarks[label],
+		FeatureUnits: meter.Elapsed(),
+	}
+}

@@ -1,0 +1,108 @@
+package core_test
+
+import (
+	"sync"
+	"testing"
+
+	"inputtune/internal/benchmarks/binpack"
+	"inputtune/internal/benchmarks/sortbench"
+	"inputtune/internal/core"
+)
+
+// trainInferModel trains one tiny model per program for the concurrency
+// hammer; scale is irrelevant here, only the inference path is under test.
+func trainInferModel(t *testing.T, prog core.Program, inputs []core.Input) *core.Model {
+	t.Helper()
+	return core.TrainModel(prog, inputs, core.Options{
+		K1: 4, Seed: 11, TunerPopulation: 6, TunerGenerations: 4, Parallel: true,
+	})
+}
+
+// TestInferConcurrent hammers one shared *Model from many goroutines, all
+// classifying the SAME input objects, and checks every decision matches the
+// serial answer. Run under -race (CI does) this is the enforcement of the
+// Model-is-safe-for-concurrent-readers contract: a shared meter, lazily
+// initialised classifier state, or a mutating feature extractor would all
+// trip the detector here.
+func TestInferConcurrent(t *testing.T) {
+	cases := []struct {
+		name   string
+		prog   core.Program
+		inputs []core.Input
+	}{
+		{"sort", sortbench.New(), sortCaseInputs(48, 3)},
+		{"binpacking", binpack.New(), packCaseInputs(48, 3)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := trainInferModel(t, tc.prog, tc.inputs)
+			set := tc.prog.Features()
+
+			// Serial ground truth, one label per input.
+			want := make([]int, len(tc.inputs))
+			wantUnits := make([]float64, len(tc.inputs))
+			for i, in := range tc.inputs {
+				d := m.Infer(in)
+				want[i] = d.Landmark
+				wantUnits[i] = d.FeatureUnits
+			}
+
+			const goroutines = 16
+			const rounds = 8
+			var wg sync.WaitGroup
+			errs := make(chan string, goroutines)
+			for g := 0; g < goroutines; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					for r := 0; r < rounds; r++ {
+						for i, in := range tc.inputs {
+							// Alternate the two public entry points so both
+							// are exercised concurrently.
+							var label int
+							var units float64
+							if (g+r)%2 == 0 {
+								d := m.Infer(in)
+								label, units = d.Landmark, d.FeatureUnits
+							} else {
+								label = m.Production.ClassifyInput(set, in, nil)
+								units = wantUnits[i]
+							}
+							if label != want[i] {
+								errs <- tc.name + ": concurrent label diverged from serial"
+								return
+							}
+							if units != wantUnits[i] {
+								errs <- tc.name + ": concurrent feature units diverged from serial"
+								return
+							}
+						}
+					}
+				}(g)
+			}
+			wg.Wait()
+			close(errs)
+			if msg, bad := <-errs; bad {
+				t.Fatal(msg)
+			}
+		})
+	}
+}
+
+func sortCaseInputs(n int, seed uint64) []core.Input {
+	lists := sortbench.GenerateMix(sortbench.MixOptions{Count: n, Seed: seed, MaxSize: 512})
+	out := make([]core.Input, len(lists))
+	for i, l := range lists {
+		out[i] = l
+	}
+	return out
+}
+
+func packCaseInputs(n int, seed uint64) []core.Input {
+	items := binpack.GenerateMix(binpack.MixOptions{Count: n, Seed: seed})
+	out := make([]core.Input, len(items))
+	for i, it := range items {
+		out[i] = it
+	}
+	return out
+}

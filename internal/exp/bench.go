@@ -65,6 +65,11 @@ type BenchReport struct {
 	// -nocache report can never be mistaken for the real trajectory.
 	CacheDisabled bool          `json:"cache_disabled"`
 	Results       []BenchResult `json:"results"`
+	// Serve is the deployment-side half of the trajectory: throughput and
+	// latency of the classification server under concurrent load, written
+	// by `experiments serve-bench` (which merges into an existing bench
+	// file). Omitted until that runs.
+	Serve *ServeBenchReport `json:"serve,omitempty"`
 }
 
 // RunBench runs the named cases once each and collects the perf trajectory.

@@ -1,0 +1,54 @@
+package exp
+
+import (
+	"time"
+
+	"inputtune/internal/core"
+)
+
+// LoadedEval is the deployment report of a model restored from a SaveModel
+// artifact: how the loaded production classifier performs on fresh test
+// inputs, with no retraining. A loaded model carries no training dataset
+// or Level-1 clusters, so the one-level baseline is unavailable and the
+// static-oracle baseline is chosen over the TEST dataset (slightly
+// flattering to the static baseline, which makes the reported two-level
+// speedup conservative).
+type LoadedEval struct {
+	Name string
+	// StaticOracle is the index of the best single landmark on the test set.
+	StaticOracle int
+	// Speedups over that static oracle (mean per-input ratio, as Table 1).
+	DynamicOracle float64
+	TwoLevelNoFX  float64
+	TwoLevelFX    float64
+	// TwoLevelAccuracy is the fraction of test inputs meeting H1.
+	TwoLevelAccuracy float64
+	// EvalSeconds is the wall-clock cost of the test-set evaluation.
+	EvalSeconds float64
+}
+
+// EvalLoadedModel measures a loaded model on the case's held-out test
+// inputs — the save → load → deploy loop's verification step.
+func EvalLoadedModel(c Case, m *core.Model, sc Scale, logf func(string, ...any)) *LoadedEval {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	start := time.Now()
+	logf("[%s] evaluating loaded model (%d landmarks, production %s) on %d test inputs",
+		c.Name, len(m.Landmarks), m.Production.Name, len(c.Test))
+	testD := core.BuildDatasetCached(c.Prog, c.Test, m, sc.measurementCache(), sc.Parallel)
+	idx := core.AllRows(testD)
+	so := core.StaticOracleIndex(c.Prog, testD, idx, h2)
+	static := core.EvalStatic(c.Prog, testD, idx, so)
+	dyn := core.EvalDynamicOracle(c.Prog, testD, idx)
+	two := core.EvalTwoLevel(m, testD, idx)
+	return &LoadedEval{
+		Name:             c.Name,
+		StaticOracle:     so,
+		DynamicOracle:    meanSpeedup(static.PerInputExec, dyn.PerInputExec),
+		TwoLevelNoFX:     meanSpeedup(static.PerInputExec, two.PerInputExec),
+		TwoLevelFX:       meanSpeedup(static.PerInputExec, two.PerInputTotal),
+		TwoLevelAccuracy: two.Satisfaction,
+		EvalSeconds:      time.Since(start).Seconds(),
+	}
+}

@@ -1,0 +1,47 @@
+package exp
+
+import (
+	"bytes"
+	"testing"
+
+	"inputtune/internal/core"
+)
+
+// TestEvalLoadedModelMatchesTrained round-trips a trained model through
+// SaveModel/LoadModel and checks the loaded artifact deploys identically:
+// same labels on every test input, and an evaluation report with the
+// Table-1 ordering invariants.
+func TestEvalLoadedModelMatchesTrained(t *testing.T) {
+	sc := tinyScale()
+	c := BuildCase("sort2", sc)
+	trained := core.TrainModel(c.Prog, c.Train, core.Options{
+		K1: sc.K1, Seed: sc.Seed, TunerPopulation: sc.TunerPop,
+		TunerGenerations: sc.TunerGens, H2: h2, Parallel: sc.Parallel,
+	})
+	var buf bytes.Buffer
+	if err := core.SaveModel(trained, &buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := core.LoadModel(c.Prog, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, in := range c.Test {
+		if got, want := loaded.Infer(in).Landmark, trained.Infer(in).Landmark; got != want {
+			t.Fatalf("test input %d: loaded model classifies %d, trained %d", i, got, want)
+		}
+	}
+	ev := EvalLoadedModel(c, loaded, sc, nil)
+	if ev.Name != "sort2" || ev.EvalSeconds <= 0 {
+		t.Fatalf("eval shape off: %+v", ev)
+	}
+	if ev.DynamicOracle < ev.TwoLevelNoFX-1e-9 {
+		t.Fatalf("two-level (%.2fx) beats the dynamic oracle (%.2fx)?", ev.TwoLevelNoFX, ev.DynamicOracle)
+	}
+	if ev.TwoLevelFX > ev.TwoLevelNoFX+1e-9 {
+		t.Fatalf("feature extraction made two-level faster: %v vs %v", ev.TwoLevelFX, ev.TwoLevelNoFX)
+	}
+	if ev.StaticOracle < 0 || ev.StaticOracle >= len(loaded.Landmarks) {
+		t.Fatalf("static oracle index %d out of range", ev.StaticOracle)
+	}
+}

@@ -1,0 +1,315 @@
+package exp
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"inputtune/internal/core"
+	"inputtune/internal/serve"
+)
+
+// ServeBenchOptions sizes the serving load benchmark.
+type ServeBenchOptions struct {
+	// Cases are the Table-1 case names to serve (default sort2 and
+	// binpacking: one time-only, one variable-accuracy workload).
+	Cases []string
+	// Clients is the number of concurrent load-generator clients
+	// (default 8).
+	Clients int
+	// Requests is the total request budget per case, split over the
+	// clients (default 2000).
+	Requests int
+	// Reloads is how many hot reloads are fired while traffic runs,
+	// spaced evenly through the request budget; all must succeed with
+	// zero failed requests. Zero means none (the no-reload baseline); the
+	// CLI default is 2.
+	Reloads int
+	// DisableDecisionCache runs the server with the decision cache off —
+	// the A/B arm; labels are identical either way.
+	DisableDecisionCache bool
+	// Scale sets the training budget for the served models.
+	Scale Scale
+	// Logf, when non-nil, receives progress lines.
+	Logf func(format string, args ...any)
+}
+
+func (o *ServeBenchOptions) setDefaults() {
+	if len(o.Cases) == 0 {
+		o.Cases = []string{"sort2", "binpacking"}
+	}
+	if o.Clients <= 0 {
+		o.Clients = 8
+	}
+	if o.Requests <= 0 {
+		o.Requests = 2000
+	}
+	if o.Reloads < 0 {
+		o.Reloads = 0
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+}
+
+// ServeCaseResult is one benchmark's serving performance under load.
+type ServeCaseResult struct {
+	Case      string `json:"case"`
+	Benchmark string `json:"benchmark"`
+	// Requests actually issued; FailedRequests MUST be zero (non-200, a
+	// transport error, or a label differing from the offline
+	// classification all count as failures).
+	Requests       int `json:"requests"`
+	FailedRequests int `json:"failed_requests"`
+	// Reloads fired mid-run; GenerationEnd is the registry generation
+	// after the last one.
+	Reloads       int    `json:"reloads"`
+	GenerationEnd uint64 `json:"generation_end"`
+
+	WallSeconds   float64 `json:"wall_seconds"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+	P50Micros     float64 `json:"latency_p50_us"`
+	P90Micros     float64 `json:"latency_p90_us"`
+	P99Micros     float64 `json:"latency_p99_us"`
+	MeanMicros    float64 `json:"latency_mean_us"`
+
+	CacheHits    uint64  `json:"decision_cache_hits"`
+	CacheMisses  uint64  `json:"decision_cache_misses"`
+	CacheHitRate float64 `json:"decision_cache_hit_rate"`
+}
+
+// ServeBenchReport is the "serve" section of the BENCH trajectory file.
+type ServeBenchReport struct {
+	Clients       int               `json:"clients"`
+	Requests      int               `json:"requests_per_case"`
+	DecisionCache bool              `json:"decision_cache"`
+	Results       []ServeCaseResult `json:"results"`
+}
+
+// RunServeBench trains a model per case, serves it over a real loopback
+// HTTP server through the full serve stack (codec decode, registry,
+// decision cache, metrics), and drives it with concurrent clients while
+// firing hot reloads — the deployment-side half of the perf trajectory.
+func RunServeBench(opts ServeBenchOptions) (ServeBenchReport, error) {
+	opts.setDefaults()
+	rep := ServeBenchReport{
+		Clients:       opts.Clients,
+		Requests:      opts.Requests,
+		DecisionCache: !opts.DisableDecisionCache,
+	}
+	for _, name := range opts.Cases {
+		res, err := runServeCase(name, opts)
+		if err != nil {
+			return rep, fmt.Errorf("serve-bench %s: %w", name, err)
+		}
+		rep.Results = append(rep.Results, res)
+	}
+	return rep, nil
+}
+
+func runServeCase(name string, opts ServeBenchOptions) (ServeCaseResult, error) {
+	logf := opts.Logf
+	sc := opts.Scale
+	c := BuildCase(name, sc)
+	logf("[serve-bench %s] training model (%d inputs, K1=%d)", name, len(c.Train), sc.K1)
+	model := core.TrainModel(c.Prog, c.Train, core.Options{
+		K1: sc.K1, Seed: sc.Seed, TunerPopulation: sc.TunerPop,
+		TunerGenerations: sc.TunerGens, H2: h2, Parallel: sc.Parallel,
+		DisableCache: sc.DisableCache,
+	})
+	var artifact bytes.Buffer
+	if err := core.SaveModel(model, &artifact); err != nil {
+		return ServeCaseResult{}, err
+	}
+
+	codec, err := serve.LookupCodec(c.Prog.Name())
+	if err != nil {
+		return ServeCaseResult{}, err
+	}
+	// Pre-encode the request bodies and precompute the expected labels so
+	// the measured loop is pure serving work plus client-side bookkeeping.
+	bodies := make([][]byte, len(c.Test))
+	want := make([]int, len(c.Test))
+	set := c.Prog.Features()
+	for i, in := range c.Test {
+		raw, err := codec.Encode(in)
+		if err != nil {
+			return ServeCaseResult{}, err
+		}
+		bodies[i], err = json.Marshal(struct {
+			Benchmark string          `json:"benchmark"`
+			Input     json.RawMessage `json:"input"`
+		}{c.Prog.Name(), raw})
+		if err != nil {
+			return ServeCaseResult{}, err
+		}
+		want[i] = model.Production.ClassifyInput(set, in, nil)
+	}
+
+	reg := serve.NewRegistry()
+	if err := reg.Register(c.Prog); err != nil {
+		return ServeCaseResult{}, err
+	}
+	svc := serve.NewService(reg, serve.Options{DisableDecisionCache: opts.DisableDecisionCache})
+	defer svc.Close()
+	if _, err := svc.Load(artifact.Bytes()); err != nil {
+		return ServeCaseResult{}, err
+	}
+	srv := httptest.NewServer(serve.NewHandler(svc))
+	defer srv.Close()
+	client := srv.Client()
+	client.Timeout = 60 * time.Second
+
+	perClient := opts.Requests / opts.Clients
+	if perClient < 1 {
+		perClient = 1
+	}
+	total := perClient * opts.Clients
+	logf("[serve-bench %s] %d clients x %d requests, %d hot reloads mid-run",
+		name, opts.Clients, perClient, opts.Reloads)
+
+	latencies := make([][]time.Duration, opts.Clients)
+	var failed atomic.Uint64
+	var issued atomic.Uint64
+	var completed atomic.Uint64 // every attempt, success or not
+	var wg sync.WaitGroup
+	start := time.Now()
+	for g := 0; g < opts.Clients; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			lat := make([]time.Duration, 0, perClient)
+			for r := 0; r < perClient; r++ {
+				i := (g*perClient + r) % len(bodies)
+				t0 := time.Now()
+				resp, err := client.Post(srv.URL+"/v1/classify", "application/json", bytes.NewReader(bodies[i]))
+				if err != nil {
+					failed.Add(1)
+					completed.Add(1)
+					continue
+				}
+				var d serve.Decision
+				err = json.NewDecoder(resp.Body).Decode(&d)
+				resp.Body.Close()
+				lat = append(lat, time.Since(t0))
+				issued.Add(1)
+				completed.Add(1)
+				if err != nil || resp.StatusCode != http.StatusOK || d.Landmark != want[i] {
+					failed.Add(1)
+				}
+			}
+			latencies[g] = lat
+		}(g)
+	}
+	// Hot reloads spaced evenly through the request budget (reload r fires
+	// once (r+1)/(Reloads+1) of the traffic has completed, so the swap
+	// lands on warm-cache steady-state traffic, not the cold start). Each
+	// must succeed, and — the acceptance criterion — cost zero failed
+	// requests.
+	reloadsDone := 0
+	for r := 0; r < opts.Reloads; r++ {
+		target := uint64((r + 1) * total / (opts.Reloads + 1))
+		for completed.Load() < target {
+			time.Sleep(500 * time.Microsecond)
+		}
+		resp, err := client.Post(srv.URL+"/v1/reload", "application/json", bytes.NewReader(artifact.Bytes()))
+		if err != nil {
+			return ServeCaseResult{}, fmt.Errorf("hot reload %d: %w", r, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return ServeCaseResult{}, fmt.Errorf("hot reload %d: status %d", r, resp.StatusCode)
+		}
+		reloadsDone++
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	var all []time.Duration
+	for _, lat := range latencies {
+		all = append(all, lat...)
+	}
+	sort.Slice(all, func(a, b int) bool { return all[a] < all[b] })
+	q := func(p float64) float64 {
+		if len(all) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(all)-1))
+		return float64(all[i].Nanoseconds()) / 1e3
+	}
+	var sum time.Duration
+	for _, d := range all {
+		sum += d
+	}
+	mean := 0.0
+	if len(all) > 0 {
+		mean = float64(sum.Nanoseconds()) / 1e3 / float64(len(all))
+	}
+	cs := svc.CacheStats()
+	snap, _ := reg.Get(c.Prog.Name())
+	res := ServeCaseResult{
+		Case:           name,
+		Benchmark:      c.Prog.Name(),
+		Requests:       total,
+		FailedRequests: int(failed.Load()),
+		Reloads:        reloadsDone,
+		GenerationEnd:  snap.Generation,
+		WallSeconds:    wall.Seconds(),
+		ThroughputRPS:  float64(issued.Load()) / wall.Seconds(),
+		P50Micros:      q(0.50),
+		P90Micros:      q(0.90),
+		P99Micros:      q(0.99),
+		MeanMicros:     mean,
+		CacheHits:      cs.Hits,
+		CacheMisses:    cs.Misses,
+		CacheHitRate:   cs.HitRate(),
+	}
+	logf("[serve-bench %s] %.0f req/s, p50 %.0fµs p99 %.0fµs, %d failed, cache hit %.1f%%",
+		name, res.ThroughputRPS, res.P50Micros, res.P99Micros, res.FailedRequests, 100*res.CacheHitRate)
+	return res, nil
+}
+
+// RenderServeBench formats the report as a human-readable table.
+func RenderServeBench(r ServeBenchReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "serve-bench: %d clients, %d requests/case, decision cache %v\n",
+		r.Clients, r.Requests, r.DecisionCache)
+	fmt.Fprintf(&b, "%-12s %9s %10s %9s %9s %9s %7s %8s %9s\n",
+		"Case", "req", "thru(r/s)", "p50(µs)", "p90(µs)", "p99(µs)", "failed", "reloads", "cacheHit%")
+	fmt.Fprintln(&b, strings.Repeat("-", 92))
+	for _, res := range r.Results {
+		fmt.Fprintf(&b, "%-12s %9d %10.0f %9.0f %9.0f %9.0f %7d %8d %8.1f%%\n",
+			res.Case, res.Requests, res.ThroughputRPS, res.P50Micros, res.P90Micros,
+			res.P99Micros, res.FailedRequests, res.Reloads, 100*res.CacheHitRate)
+	}
+	return b.String()
+}
+
+// MergeServeIntoBench folds a serve-bench report into the BENCH
+// trajectory file at path: if the file exists its training-side results
+// are kept and only the "serve" section is replaced; otherwise a minimal
+// report holding just the serve section is written.
+func MergeServeIntoBench(path string, sb ServeBenchReport) error {
+	var rep BenchReport
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &rep); err != nil {
+			return fmt.Errorf("existing %s is not a bench report: %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	rep.Serve = &sb
+	data, err := rep.BenchJSON()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}

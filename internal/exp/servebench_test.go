@@ -1,0 +1,134 @@
+package exp
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestRunServeBenchSmoke drives the full serving stack at a tiny scale:
+// train, serve over loopback HTTP, hammer with concurrent clients, hot
+// reload mid-run. Zero failed requests is the acceptance invariant — a
+// failure here means a served label diverged from the offline
+// classification or a reload dropped traffic.
+func TestRunServeBenchSmoke(t *testing.T) {
+	sc := tinyScale()
+	rep, err := RunServeBench(ServeBenchOptions{
+		Cases:    []string{"sort2"},
+		Clients:  4,
+		Requests: 80,
+		Reloads:  2,
+		Scale:    sc,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 1 {
+		t.Fatalf("expected 1 result, got %d", len(rep.Results))
+	}
+	res := rep.Results[0]
+	if res.FailedRequests != 0 {
+		t.Fatalf("%d failed requests under hot reload", res.FailedRequests)
+	}
+	if res.Requests != 80 || res.Reloads != 2 {
+		t.Fatalf("result shape off: %+v", res)
+	}
+	if res.GenerationEnd < 3 { // initial load + 2 reloads
+		t.Fatalf("generation %d after 2 reloads", res.GenerationEnd)
+	}
+	if res.ThroughputRPS <= 0 || res.P50Micros <= 0 || res.P99Micros < res.P50Micros {
+		t.Fatalf("latency/throughput malformed: %+v", res)
+	}
+	if out := RenderServeBench(rep); out == "" {
+		t.Fatal("empty render")
+	}
+}
+
+// TestServeBenchCacheOnOffLabelsIdentical runs the A/B arms and checks
+// both serve every request correctly (failed counts stay zero), proving
+// the decision cache changes no answers over the real wire path.
+func TestServeBenchCacheOnOffLabelsIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full serve-bench arms")
+	}
+	sc := tinyScale()
+	for _, disable := range []bool{false, true} {
+		rep, err := RunServeBench(ServeBenchOptions{
+			Cases: []string{"sort2"}, Clients: 2, Requests: 64, Reloads: 1,
+			DisableDecisionCache: disable, Scale: sc,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := rep.Results[0].FailedRequests; got != 0 {
+			t.Fatalf("cacheDisabled=%v: %d failed requests", disable, got)
+		}
+		hits := rep.Results[0].CacheHits
+		if disable && hits != 0 {
+			t.Fatalf("disabled cache recorded %d hits", hits)
+		}
+	}
+}
+
+// TestRunServeBenchNoReloadBaseline checks that -reloads 0 really means
+// zero: no reload fires and the generation stays at the initial load.
+func TestRunServeBenchNoReloadBaseline(t *testing.T) {
+	rep, err := RunServeBench(ServeBenchOptions{
+		Cases: []string{"sort2"}, Clients: 2, Requests: 16, Reloads: 0,
+		Scale: tinyScale(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := rep.Results[0]
+	if res.Reloads != 0 || res.GenerationEnd != 1 {
+		t.Fatalf("no-reload baseline fired reloads: %+v", res)
+	}
+	if res.FailedRequests != 0 {
+		t.Fatalf("%d failed requests", res.FailedRequests)
+	}
+}
+
+func TestMergeServeIntoBench(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_test.json")
+
+	// Merge into a fresh file.
+	sb := ServeBenchReport{Clients: 2, Requests: 10,
+		Results: []ServeCaseResult{{Case: "sort2", Benchmark: "sort", Requests: 10}}}
+	if err := MergeServeIntoBench(path, sb); err != nil {
+		t.Fatal(err)
+	}
+	// Merge must preserve existing training-side results.
+	existing := BenchReport{Scale: "quick", Seed: 42,
+		Results: []BenchResult{{Benchmark: "sort1", WallSeconds: 1}}}
+	data, _ := json.Marshal(existing)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := MergeServeIntoBench(path, sb); err != nil {
+		t.Fatal(err)
+	}
+	out, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var merged BenchReport
+	if err := json.Unmarshal(out, &merged); err != nil {
+		t.Fatal(err)
+	}
+	if merged.Scale != "quick" || len(merged.Results) != 1 || merged.Results[0].Benchmark != "sort1" {
+		t.Fatalf("merge clobbered training results: %+v", merged)
+	}
+	if merged.Serve == nil || merged.Serve.Clients != 2 || len(merged.Serve.Results) != 1 {
+		t.Fatalf("merge lost serve section: %+v", merged.Serve)
+	}
+
+	// A non-bench file must be rejected, not overwritten.
+	badPath := filepath.Join(dir, "notbench.json")
+	os.WriteFile(badPath, []byte("[1,2,3]"), 0o644)
+	if err := MergeServeIntoBench(badPath, sb); err == nil {
+		t.Fatal("merged into a non-bench file")
+	}
+}

@@ -1,0 +1,134 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"inputtune/internal/core"
+	"inputtune/internal/engine"
+)
+
+// DefaultMaxBatch bounds how many queued requests one shard drains into a
+// single worker-pool pass when the caller does not say.
+const DefaultMaxBatch = 16
+
+// task is one queued classification request; done carries exactly one
+// result.
+type task struct {
+	benchmark string
+	in        core.Input
+	done      chan taskResult
+}
+
+type taskResult struct {
+	d   *Decision
+	err error
+}
+
+// Batcher is the sharded worker/batching layer. Incoming requests are
+// spread round-robin over S shard queues; each shard goroutine drains its
+// queue into batches of at most MaxBatch and classifies the batch on the
+// shared engine.Pool. The effect under load: however many request
+// goroutines pile up, classification work is performed by S shard workers
+// plus whatever helpers the bounded pool grants, and adjacent requests
+// amortise scheduling into one pool pass. Under light load a batch is a
+// single request and the path degenerates to an inline call plus one
+// channel hop.
+type Batcher struct {
+	svc      *Service
+	shards   []chan *task
+	maxBatch int
+	pool     *engine.Pool
+	next     atomic.Uint64
+	closed   atomic.Bool
+	wg       sync.WaitGroup
+}
+
+// NewBatcher starts shards workers feeding the service's inline path.
+// maxBatch <= 0 selects DefaultMaxBatch; pool == nil selects the shared
+// engine.Default pool.
+func NewBatcher(svc *Service, shards, maxBatch int, pool *engine.Pool) *Batcher {
+	if shards <= 0 {
+		shards = 1
+	}
+	if maxBatch <= 0 {
+		maxBatch = DefaultMaxBatch
+	}
+	if pool == nil {
+		pool = engine.Default()
+	}
+	b := &Batcher{svc: svc, maxBatch: maxBatch, pool: pool}
+	b.shards = make([]chan *task, shards)
+	for i := range b.shards {
+		// Buffer a couple of batches per shard: enough to keep the worker
+		// fed, small enough that backpressure reaches callers quickly.
+		b.shards[i] = make(chan *task, 2*maxBatch)
+		b.wg.Add(1)
+		go b.run(b.shards[i])
+	}
+	return b
+}
+
+// Classify enqueues the request on a shard and waits for its result.
+func (b *Batcher) Classify(benchmark string, in core.Input) (d *Decision, err error) {
+	if b.closed.Load() {
+		return nil, fmt.Errorf("serve: batcher is shut down")
+	}
+	t := &task{benchmark: benchmark, in: in, done: make(chan taskResult, 1)}
+	shard := b.shards[b.next.Add(1)%uint64(len(b.shards))]
+	defer func() {
+		// A send on a channel closed by a concurrent Close panics; convert
+		// that unlikely shutdown race into an orderly error.
+		if recover() != nil {
+			d, err = nil, fmt.Errorf("serve: batcher is shut down")
+		}
+	}()
+	shard <- t
+	res := <-t.done
+	return res.d, res.err
+}
+
+// run is one shard worker: block for the first task, opportunistically
+// drain more up to maxBatch, classify the batch on the pool.
+func (b *Batcher) run(queue chan *task) {
+	defer b.wg.Done()
+	for first := range queue {
+		batch := []*task{first}
+	drain:
+		for len(batch) < b.maxBatch {
+			select {
+			case t, ok := <-queue:
+				if !ok {
+					break drain
+				}
+				batch = append(batch, t)
+			default:
+				break drain
+			}
+		}
+		if len(batch) == 1 {
+			t := batch[0]
+			d, err := b.svc.classifyNow(t.benchmark, t.in)
+			t.done <- taskResult{d: d, err: err}
+			continue
+		}
+		b.pool.ForEach(len(batch), func(i int) {
+			t := batch[i]
+			d, err := b.svc.classifyNow(t.benchmark, t.in)
+			t.done <- taskResult{d: d, err: err}
+		})
+	}
+}
+
+// Close stops accepting requests, lets the shard workers drain what is
+// queued, and waits for them to exit.
+func (b *Batcher) Close() {
+	if b.closed.Swap(true) {
+		return
+	}
+	for _, shard := range b.shards {
+		close(shard)
+	}
+	b.wg.Wait()
+}

@@ -1,0 +1,75 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestDecisionCacheLRU(t *testing.T) {
+	c := NewDecisionCache(3)
+	for i := 0; i < 3; i++ {
+		c.Put(fmt.Sprintf("k%d", i), i)
+	}
+	// Touch k0 so k1 becomes the LRU victim.
+	if v, ok := c.Get("k0"); !ok || v != 0 {
+		t.Fatalf("k0 = %d, %v", v, ok)
+	}
+	c.Put("k3", 3)
+	if _, ok := c.Get("k1"); ok {
+		t.Fatal("k1 survived past capacity; LRU order wrong")
+	}
+	for _, k := range []string{"k0", "k2", "k3"} {
+		if _, ok := c.Get(k); !ok {
+			t.Fatalf("%s evicted wrongly", k)
+		}
+	}
+	s := c.Stats()
+	if s.Evictions != 1 || s.Entries != 3 || s.Capacity != 3 {
+		t.Fatalf("stats %+v", s)
+	}
+	// Refreshing an existing key must not grow the cache.
+	c.Put("k2", 22)
+	if v, _ := c.Get("k2"); v != 22 {
+		t.Fatal("Put on existing key did not update")
+	}
+	if c.Stats().Entries != 3 {
+		t.Fatal("refresh grew the cache")
+	}
+}
+
+func TestDecisionCacheNilDisabled(t *testing.T) {
+	var c *DecisionCache
+	c.Put("k", 1)
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("nil cache returned a hit")
+	}
+	if s := c.Stats(); s != (DecisionCacheStats{}) {
+		t.Fatalf("nil cache stats %+v", s)
+	}
+}
+
+func TestDecisionCacheDefaultCapacity(t *testing.T) {
+	if got := NewDecisionCache(0).Stats().Capacity; got != DefaultDecisionCacheCapacity {
+		t.Fatalf("default capacity %d", got)
+	}
+}
+
+func TestDecisionCacheConcurrent(t *testing.T) {
+	c := NewDecisionCache(64)
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 500; i++ {
+				k := fmt.Sprintf("k%d", i%100)
+				c.Put(k, i%100)
+				if v, ok := c.Get(k); ok && v != i%100 {
+					panic("cache returned a foreign value")
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+}

@@ -1,0 +1,242 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"inputtune/internal/benchmarks/binpack"
+	"inputtune/internal/benchmarks/clustering"
+	"inputtune/internal/benchmarks/helmholtz3d"
+	"inputtune/internal/benchmarks/poisson2d"
+	"inputtune/internal/benchmarks/sortbench"
+	"inputtune/internal/benchmarks/svd"
+	"inputtune/internal/core"
+	"inputtune/internal/linalg"
+	"inputtune/internal/pde"
+)
+
+// Codec is one benchmark's wire format: how the JSON API decodes request
+// inputs into the program's concrete input type, and how the serve-bench
+// load generator encodes generated inputs back into request bodies (so
+// the bench exercises the same decode path real traffic does).
+//
+// The wire format carries only what classification needs — the raw data
+// feature extractors read. Execution-only details (e.g. the clustering
+// inputs' internal decorrelation seed) are deliberately not part of it:
+// the serving runtime classifies, it does not run the workload.
+type Codec struct {
+	// Name is the program name (Program.Name()) the codec serves.
+	Name string
+	// NewProgram constructs the benchmark program.
+	NewProgram func() core.Program
+	// Decode parses a wire input.
+	Decode func(raw json.RawMessage) (core.Input, error)
+	// Encode renders an input in wire form.
+	Encode func(in core.Input) (json.RawMessage, error)
+}
+
+// codecByName indexes builtinCodecs once for the per-request lookup.
+var codecByName = func() map[string]Codec {
+	m := make(map[string]Codec, len(builtinCodecs))
+	for _, c := range builtinCodecs {
+		m[c.Name] = c
+	}
+	return m
+}()
+
+// Codecs returns a copy of the builtin benchmark codecs keyed by program
+// name.
+func Codecs() map[string]Codec {
+	out := make(map[string]Codec, len(codecByName))
+	for name, c := range codecByName {
+		out[name] = c
+	}
+	return out
+}
+
+// LookupCodec returns the codec for a program name.
+func LookupCodec(name string) (Codec, error) {
+	c, ok := codecByName[name]
+	if !ok {
+		return Codec{}, fmt.Errorf("serve: no codec for benchmark %q", name)
+	}
+	return c, nil
+}
+
+// BuiltinRegistry returns a registry with every builtin benchmark program
+// registered (no models loaded yet).
+func BuiltinRegistry() *Registry {
+	r := NewRegistry()
+	for _, c := range builtinCodecs {
+		// Names are distinct by construction; Register cannot fail here.
+		if err := r.Register(c.NewProgram()); err != nil {
+			panic(err)
+		}
+	}
+	return r
+}
+
+type sortWire struct {
+	Data []float64 `json:"data"`
+}
+
+type clusteringWire struct {
+	X []float64 `json:"x"`
+	Y []float64 `json:"y"`
+}
+
+type binpackWire struct {
+	Sizes []float64 `json:"sizes"`
+}
+
+type svdWire struct {
+	Rows int       `json:"rows"`
+	Cols int       `json:"cols"`
+	Data []float64 `json:"data"` // row-major Rows×Cols
+}
+
+type poissonWire struct {
+	N int       `json:"n"`
+	F []float64 `json:"f"` // row-major N×N right-hand side
+}
+
+type helmholtzWire struct {
+	N int       `json:"n"`
+	F []float64 `json:"f"` // N³ right-hand side, index (i*N+j)*N+k
+	A []float64 `json:"a"` // N³ coefficient field
+	C float64   `json:"c"`
+}
+
+var builtinCodecs = []Codec{
+	{
+		Name:       "sort",
+		NewProgram: func() core.Program { return sortbench.New() },
+		Decode: func(raw json.RawMessage) (core.Input, error) {
+			var w sortWire
+			if err := json.Unmarshal(raw, &w); err != nil {
+				return nil, err
+			}
+			if len(w.Data) == 0 {
+				return nil, fmt.Errorf("sort input needs a non-empty \"data\" array")
+			}
+			return &sortbench.List{Data: w.Data}, nil
+		},
+		Encode: func(in core.Input) (json.RawMessage, error) {
+			l, ok := in.(*sortbench.List)
+			if !ok {
+				return nil, fmt.Errorf("sort codec: input is %T", in)
+			}
+			return json.Marshal(sortWire{Data: l.Data})
+		},
+	},
+	{
+		Name:       "clustering",
+		NewProgram: func() core.Program { return clustering.New() },
+		Decode: func(raw json.RawMessage) (core.Input, error) {
+			var w clusteringWire
+			if err := json.Unmarshal(raw, &w); err != nil {
+				return nil, err
+			}
+			if len(w.X) == 0 || len(w.X) != len(w.Y) {
+				return nil, fmt.Errorf("clustering input needs equal-length non-empty \"x\" and \"y\" arrays")
+			}
+			return &clustering.Points{X: w.X, Y: w.Y}, nil
+		},
+		Encode: func(in core.Input) (json.RawMessage, error) {
+			p, ok := in.(*clustering.Points)
+			if !ok {
+				return nil, fmt.Errorf("clustering codec: input is %T", in)
+			}
+			return json.Marshal(clusteringWire{X: p.X, Y: p.Y})
+		},
+	},
+	{
+		Name:       "binpacking",
+		NewProgram: func() core.Program { return binpack.New() },
+		Decode: func(raw json.RawMessage) (core.Input, error) {
+			var w binpackWire
+			if err := json.Unmarshal(raw, &w); err != nil {
+				return nil, err
+			}
+			if len(w.Sizes) == 0 {
+				return nil, fmt.Errorf("binpacking input needs a non-empty \"sizes\" array")
+			}
+			return &binpack.Items{Sizes: w.Sizes}, nil
+		},
+		Encode: func(in core.Input) (json.RawMessage, error) {
+			it, ok := in.(*binpack.Items)
+			if !ok {
+				return nil, fmt.Errorf("binpacking codec: input is %T", in)
+			}
+			return json.Marshal(binpackWire{Sizes: it.Sizes})
+		},
+	},
+	{
+		Name:       "svd",
+		NewProgram: func() core.Program { return svd.New() },
+		Decode: func(raw json.RawMessage) (core.Input, error) {
+			var w svdWire
+			if err := json.Unmarshal(raw, &w); err != nil {
+				return nil, err
+			}
+			if w.Rows <= 0 || w.Cols <= 0 || len(w.Data) != w.Rows*w.Cols {
+				return nil, fmt.Errorf("svd input needs rows*cols == len(data), both positive")
+			}
+			return &svd.MatrixInput{A: &linalg.Matrix{Rows: w.Rows, Cols: w.Cols, Data: w.Data}}, nil
+		},
+		Encode: func(in core.Input) (json.RawMessage, error) {
+			m, ok := in.(*svd.MatrixInput)
+			if !ok {
+				return nil, fmt.Errorf("svd codec: input is %T", in)
+			}
+			return json.Marshal(svdWire{Rows: m.A.Rows, Cols: m.A.Cols, Data: m.A.Data})
+		},
+	},
+	{
+		Name:       "poisson2d",
+		NewProgram: func() core.Program { return poisson2d.New() },
+		Decode: func(raw json.RawMessage) (core.Input, error) {
+			var w poissonWire
+			if err := json.Unmarshal(raw, &w); err != nil {
+				return nil, err
+			}
+			if w.N <= 0 || len(w.F) != w.N*w.N {
+				return nil, fmt.Errorf("poisson2d input needs len(f) == n*n, n positive")
+			}
+			return &poisson2d.Problem{N: w.N, F: &pde.Grid2D{N: w.N, Data: w.F}}, nil
+		},
+		Encode: func(in core.Input) (json.RawMessage, error) {
+			p, ok := in.(*poisson2d.Problem)
+			if !ok {
+				return nil, fmt.Errorf("poisson2d codec: input is %T", in)
+			}
+			return json.Marshal(poissonWire{N: p.N, F: p.F.Data})
+		},
+	},
+	{
+		Name:       "helmholtz3d",
+		NewProgram: func() core.Program { return helmholtz3d.New() },
+		Decode: func(raw json.RawMessage) (core.Input, error) {
+			var w helmholtzWire
+			if err := json.Unmarshal(raw, &w); err != nil {
+				return nil, err
+			}
+			n3 := w.N * w.N * w.N
+			if w.N <= 0 || len(w.F) != n3 || len(w.A) != n3 {
+				return nil, fmt.Errorf("helmholtz3d input needs len(f) == len(a) == n³, n positive")
+			}
+			return &helmholtz3d.Problem{
+				N:  w.N,
+				Op: &pde.Helmholtz3D{A: &pde.Grid3D{N: w.N, Data: w.A}, C: w.C},
+				F:  &pde.Grid3D{N: w.N, Data: w.F},
+			}, nil
+		},
+		Encode: func(in core.Input) (json.RawMessage, error) {
+			p, ok := in.(*helmholtz3d.Problem)
+			if !ok {
+				return nil, fmt.Errorf("helmholtz3d codec: input is %T", in)
+			}
+			return json.Marshal(helmholtzWire{N: p.N, F: p.F.Data, A: p.Op.A.Data, C: p.Op.C})
+		},
+	},
+}

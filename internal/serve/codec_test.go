@@ -1,0 +1,99 @@
+package serve
+
+import (
+	"encoding/json"
+	"testing"
+
+	"inputtune/internal/benchmarks/binpack"
+	"inputtune/internal/benchmarks/clustering"
+	"inputtune/internal/benchmarks/helmholtz3d"
+	"inputtune/internal/benchmarks/poisson2d"
+	"inputtune/internal/benchmarks/sortbench"
+	"inputtune/internal/benchmarks/svd"
+	"inputtune/internal/core"
+)
+
+// sampleInputs builds one small generated input per benchmark.
+func sampleInputs() map[string]core.Input {
+	return map[string]core.Input{
+		"sort":        sortbench.GenerateMix(sortbench.MixOptions{Count: 1, Seed: 3, MaxSize: 128})[0],
+		"clustering":  clustering.GenerateMix(clustering.MixOptions{Count: 1, Seed: 3, MaxSize: 120})[0],
+		"binpacking":  binpack.GenerateMix(binpack.MixOptions{Count: 1, Seed: 3})[0],
+		"svd":         svd.GenerateMix(svd.MixOptions{Count: 1, Seed: 3})[0],
+		"poisson2d":   poisson2d.GenerateMix(poisson2d.MixOptions{Count: 1, Seed: 3, Sizes: []int{15}})[0],
+		"helmholtz3d": helmholtz3d.GenerateMix(helmholtz3d.MixOptions{Count: 1, Seed: 3, Sizes: []int{7}})[0],
+	}
+}
+
+// TestCodecRoundTripPreservesFeatures encodes each benchmark's input to
+// the wire and back, then checks the decoded input yields bit-identical
+// feature vectors — the only thing classification reads.
+func TestCodecRoundTripPreservesFeatures(t *testing.T) {
+	inputs := sampleInputs()
+	for name, in := range inputs {
+		codec, err := LookupCodec(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		raw, err := codec.Encode(in)
+		if err != nil {
+			t.Fatalf("%s encode: %v", name, err)
+		}
+		back, err := codec.Decode(raw)
+		if err != nil {
+			t.Fatalf("%s decode: %v", name, err)
+		}
+		set := codec.NewProgram().Features()
+		wantV, wantC := set.ExtractAll(in)
+		gotV, gotC := set.ExtractAll(back)
+		for f := range wantV {
+			if wantV[f] != gotV[f] || wantC[f] != gotC[f] {
+				t.Fatalf("%s: feature %d diverged after round trip: (%v,%v) vs (%v,%v)",
+					name, f, wantV[f], wantC[f], gotV[f], gotC[f])
+			}
+		}
+	}
+}
+
+func TestCodecCoverage(t *testing.T) {
+	// Every builtin program must have a codec with a matching name, and
+	// the builtin registry must register exactly those names.
+	codecs := Codecs()
+	if len(codecs) != 6 {
+		t.Fatalf("expected 6 codecs, got %d", len(codecs))
+	}
+	for name, c := range codecs {
+		if got := c.NewProgram().Name(); got != name {
+			t.Fatalf("codec %q constructs program %q", name, got)
+		}
+	}
+	reg := BuiltinRegistry()
+	if got := len(reg.Names()); got != 6 {
+		t.Fatalf("builtin registry has %d benchmarks", got)
+	}
+	if _, err := LookupCodec("nosuch"); err == nil {
+		t.Fatal("LookupCodec on unknown name succeeded")
+	}
+}
+
+func TestCodecDecodeRejectsMalformed(t *testing.T) {
+	bad := map[string][]string{
+		"sort":        {`{}`, `{"data": []}`, `[1,2]`},
+		"clustering":  {`{}`, `{"x": [1], "y": []}`},
+		"binpacking":  {`{}`, `{"sizes": []}`},
+		"svd":         {`{}`, `{"rows": 2, "cols": 2, "data": [1]}`, `{"rows": -1, "cols": 2, "data": []}`},
+		"poisson2d":   {`{}`, `{"n": 3, "f": [0]}`},
+		"helmholtz3d": {`{}`, `{"n": 3, "f": [0], "a": [0], "c": 1}`},
+	}
+	for name, payloads := range bad {
+		codec, err := LookupCodec(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range payloads {
+			if _, err := codec.Decode(json.RawMessage(p)); err == nil {
+				t.Fatalf("%s accepted %s", name, p)
+			}
+		}
+	}
+}

@@ -1,0 +1,34 @@
+// Package serve is the deployment runtime: it turns trained models (the
+// SaveModel artifacts the training pipeline emits) into a concurrent
+// classification service with hot reload, a bounded decision cache, a
+// sharded batching layer and a metrics surface.
+//
+// The layering, bottom to top:
+//
+//   - Registry — named benchmarks, each holding its current model behind
+//     an atomic.Pointer. Load validates a new artifact against the
+//     benchmark's Program and swaps it in atomically: in-flight requests
+//     keep the snapshot they started with, new requests see the new one,
+//     and a bad artifact is rejected without disturbing the live model.
+//   - DecisionCache — a bounded LRU from quantized feature vectors
+//     (exact Float64bits, fingerprinted with engine.Fingerprint) to
+//     predicted landmarks. Feature extraction is deterministic, so a hit
+//     returns exactly the label a fresh prediction would; the cache can
+//     only skip work, never change an answer.
+//   - Service — the per-request path: resolve the model snapshot, extract
+//     features on a private cost.Meter (requests never share mutable
+//     state; see core.Model.Infer for the contract), consult the decision
+//     cache, predict, and record metrics.
+//   - Batcher — optional sharded worker/batching layer: requests are
+//     spread round-robin over shards, each shard drains its queue into
+//     small batches and classifies them on the shared engine.Pool, so a
+//     flood of HTTP goroutines degrades into bounded, batched work
+//     instead of unbounded concurrency.
+//   - Handler — the stdlib net/http JSON API served by cmd/inputtuned:
+//     POST /v1/classify, POST /v1/reload, GET /v1/models, GET /metrics,
+//     GET /healthz.
+//
+// Wire inputs are decoded per benchmark by the codecs in codec.go; the
+// serve-bench load generator (internal/exp) uses the same codecs to
+// encode generated inputs, so the bench drives the real wire path.
+package serve

@@ -1,0 +1,151 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// MaxRequestBytes bounds request bodies (inputs and artifacts alike) so a
+// misbehaving client cannot exhaust server memory. Large PDE instances at
+// benchmark sizes are a few MB of JSON; 64 MB leaves ample headroom.
+const MaxRequestBytes = 64 << 20
+
+// classifyRequest is the POST /v1/classify body.
+type classifyRequest struct {
+	Benchmark string          `json:"benchmark"`
+	Input     json.RawMessage `json:"input"`
+}
+
+// errorResponse is the JSON error envelope.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// reloadResponse is the POST /v1/reload success body.
+type reloadResponse struct {
+	Benchmark  string `json:"benchmark"`
+	Generation uint64 `json:"generation"`
+	Bytes      int    `json:"bytes"`
+}
+
+// modelInfo is one row of GET /v1/models.
+type modelInfo struct {
+	Benchmark  string `json:"benchmark"`
+	Generation uint64 `json:"generation"`
+	Classifier string `json:"classifier"`
+	Landmarks  int    `json:"landmarks"`
+}
+
+// healthResponse is the GET /healthz body.
+type healthResponse struct {
+	Status string `json:"status"`
+	Models int    `json:"models"`
+}
+
+// NewHandler builds the serving API over a service:
+//
+//	POST /v1/classify  {"benchmark": "...", "input": {...}}  → Decision
+//	POST /v1/reload    <SaveModel artifact JSON>             → generation
+//	GET  /v1/models                                          → loaded models
+//	GET  /metrics                  Prometheus text (?format=json for JSON)
+//	GET  /healthz                                            → liveness
+//
+// Input wire formats are the per-benchmark codecs (codec.go).
+func NewHandler(svc *Service) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/classify", func(w http.ResponseWriter, r *http.Request) {
+		body, err := io.ReadAll(io.LimitReader(r.Body, MaxRequestBytes))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("reading body: %w", err))
+			return
+		}
+		var req classifyRequest
+		if err := json.Unmarshal(body, &req); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+			return
+		}
+		if req.Benchmark == "" || len(req.Input) == 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("request needs \"benchmark\" and \"input\""))
+			return
+		}
+		codec, err := LookupCodec(req.Benchmark)
+		if err != nil {
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+		in, err := codec.Decode(req.Input)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("decoding %s input: %w", req.Benchmark, err))
+			return
+		}
+		d, err := svc.Classify(req.Benchmark, in)
+		if err != nil {
+			writeError(w, http.StatusServiceUnavailable, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, d)
+	})
+	mux.HandleFunc("POST /v1/reload", func(w http.ResponseWriter, r *http.Request) {
+		artifact, err := io.ReadAll(io.LimitReader(r.Body, MaxRequestBytes))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("reading artifact: %w", err))
+			return
+		}
+		snap, err := svc.Load(artifact)
+		if err != nil {
+			// The previously loaded model (if any) is still serving; a bad
+			// artifact costs the client an error, never the fleet a model.
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, reloadResponse{
+			Benchmark:  snap.Benchmark,
+			Generation: snap.Generation,
+			Bytes:      snap.ArtifactBytes,
+		})
+	})
+	mux.HandleFunc("GET /v1/models", func(w http.ResponseWriter, r *http.Request) {
+		snaps := svc.Registry().Snapshots()
+		out := make([]modelInfo, 0, len(snaps))
+		for _, s := range snaps {
+			out = append(out, modelInfo{
+				Benchmark:  s.Benchmark,
+				Generation: s.Generation,
+				Classifier: s.Model.Production.Name,
+				Landmarks:  len(s.Model.Landmarks),
+			})
+		}
+		writeJSON(w, http.StatusOK, out)
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		snap := svc.MetricsSnapshot()
+		if r.URL.Query().Get("format") == "json" {
+			writeJSON(w, http.StatusOK, snap)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		io.WriteString(w, snap.RenderPrometheus())
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, healthResponse{
+			Status: "ok",
+			Models: len(svc.Registry().Snapshots()),
+		})
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	// Encoding errors past the header are unrecoverable mid-stream; the
+	// client sees a truncated body and retries.
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}

@@ -1,0 +1,245 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// latencyBucketBounds are the upper bounds (microseconds, inclusive) of
+// the request-latency histogram, log-spaced from 10 µs to 10 s; the last
+// bucket is unbounded (+Inf).
+var latencyBucketBounds = []float64{
+	10, 25, 50, 100, 250, 500,
+	1_000, 2_500, 5_000, 10_000, 25_000, 50_000,
+	100_000, 250_000, 500_000, 1_000_000, 10_000_000,
+}
+
+// histogram is a fixed-bucket, lock-free latency histogram; buckets has
+// len(latencyBucketBounds)+1 entries (the last is the +Inf bucket).
+type histogram struct {
+	buckets []atomic.Uint64
+	count   atomic.Uint64
+	sumNano atomic.Int64
+}
+
+func newHistogram() *histogram {
+	return &histogram{buckets: make([]atomic.Uint64, len(latencyBucketBounds)+1)}
+}
+
+func (h *histogram) observe(d time.Duration) {
+	us := float64(d.Nanoseconds()) / 1e3
+	i := sort.SearchFloat64s(latencyBucketBounds, us)
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sumNano.Add(d.Nanoseconds())
+}
+
+// quantile estimates the q-quantile (0..1) in microseconds from the
+// bucket counts: linear interpolation within the holding bucket.
+func (h *histogram) quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum float64
+	lower := 0.0
+	for i := range h.buckets {
+		n := float64(h.buckets[i].Load())
+		if cum+n >= rank && n > 0 {
+			upper := 10e6 // open-ended last bucket: clamp at 10 s
+			if i < len(latencyBucketBounds) {
+				upper = latencyBucketBounds[i]
+			}
+			frac := (rank - cum) / n
+			return lower + frac*(upper-lower)
+		}
+		cum += n
+		if i < len(latencyBucketBounds) {
+			lower = latencyBucketBounds[i]
+		}
+	}
+	return lower
+}
+
+// benchCounters are per-benchmark request tallies.
+type benchCounters struct {
+	requests  atomic.Uint64
+	errors    atomic.Uint64
+	cacheHits atomic.Uint64
+}
+
+// Metrics is the serving runtime's observability surface: request and
+// error counts (total and per benchmark), a latency histogram, decision-
+// cache effectiveness, and reload counts. All counters are atomic; the
+// per-benchmark map is guarded by a mutex taken only on first sight of a
+// new benchmark name.
+type Metrics struct {
+	start    time.Time
+	requests atomic.Uint64
+	errors   atomic.Uint64
+	reloads  atomic.Uint64
+	latency  *histogram
+
+	mu       sync.RWMutex
+	perBench map[string]*benchCounters
+}
+
+// NewMetrics returns a zeroed metrics surface.
+func NewMetrics() *Metrics {
+	return &Metrics{start: time.Now(), latency: newHistogram(), perBench: make(map[string]*benchCounters)}
+}
+
+func (m *Metrics) bench(name string) *benchCounters {
+	m.mu.RLock()
+	c := m.perBench[name]
+	m.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if c = m.perBench[name]; c == nil {
+		c = &benchCounters{}
+		m.perBench[name] = c
+	}
+	return c
+}
+
+// ObserveRequest records one classification request.
+func (m *Metrics) ObserveRequest(benchmark string, d time.Duration, cacheHit bool, err error) {
+	m.requests.Add(1)
+	m.latency.observe(d)
+	c := m.bench(benchmark)
+	c.requests.Add(1)
+	if cacheHit {
+		c.cacheHits.Add(1)
+	}
+	if err != nil {
+		m.errors.Add(1)
+		c.errors.Add(1)
+	}
+}
+
+// ObserveReload records one successful model reload.
+func (m *Metrics) ObserveReload() { m.reloads.Add(1) }
+
+// BenchSnapshot is one benchmark's counters in a MetricsSnapshot.
+type BenchSnapshot struct {
+	Benchmark  string `json:"benchmark"`
+	Requests   uint64 `json:"requests"`
+	Errors     uint64 `json:"errors"`
+	CacheHits  uint64 `json:"cache_hits"`
+	Generation uint64 `json:"generation,omitempty"`
+}
+
+// MetricsSnapshot is the JSON form of the metrics surface.
+type MetricsSnapshot struct {
+	UptimeSeconds float64            `json:"uptime_seconds"`
+	Requests      uint64             `json:"requests"`
+	Errors        uint64             `json:"errors"`
+	Reloads       uint64             `json:"reloads"`
+	P50Micros     float64            `json:"latency_p50_us"`
+	P90Micros     float64            `json:"latency_p90_us"`
+	P99Micros     float64            `json:"latency_p99_us"`
+	MeanMicros    float64            `json:"latency_mean_us"`
+	DecisionCache DecisionCacheStats `json:"decision_cache"`
+	Benchmarks    []BenchSnapshot    `json:"benchmarks"`
+}
+
+// Snapshot assembles the current metrics, folding in the decision-cache
+// stats and the registry's live generations.
+func (m *Metrics) Snapshot(cache *DecisionCache, reg *Registry) MetricsSnapshot {
+	snap := MetricsSnapshot{
+		UptimeSeconds: time.Since(m.start).Seconds(),
+		Requests:      m.requests.Load(),
+		Errors:        m.errors.Load(),
+		Reloads:       m.reloads.Load(),
+		P50Micros:     m.latency.quantile(0.50),
+		P90Micros:     m.latency.quantile(0.90),
+		P99Micros:     m.latency.quantile(0.99),
+		DecisionCache: cache.Stats(),
+	}
+	if n := m.latency.count.Load(); n > 0 {
+		snap.MeanMicros = float64(m.latency.sumNano.Load()) / 1e3 / float64(n)
+	}
+	gens := map[string]uint64{}
+	if reg != nil {
+		for _, s := range reg.Snapshots() {
+			gens[s.Benchmark] = s.Generation
+		}
+	}
+	m.mu.RLock()
+	for name, c := range m.perBench {
+		snap.Benchmarks = append(snap.Benchmarks, BenchSnapshot{
+			Benchmark: name,
+			Requests:  c.requests.Load(),
+			Errors:    c.errors.Load(),
+			CacheHits: c.cacheHits.Load(),
+		})
+	}
+	m.mu.RUnlock()
+	// Benchmarks with a loaded model but no traffic yet still surface
+	// their generation.
+	seen := map[string]bool{}
+	for i := range snap.Benchmarks {
+		snap.Benchmarks[i].Generation = gens[snap.Benchmarks[i].Benchmark]
+		seen[snap.Benchmarks[i].Benchmark] = true
+	}
+	for name, gen := range gens {
+		if !seen[name] {
+			snap.Benchmarks = append(snap.Benchmarks, BenchSnapshot{Benchmark: name, Generation: gen})
+		}
+	}
+	sort.Slice(snap.Benchmarks, func(a, b int) bool {
+		return snap.Benchmarks[a].Benchmark < snap.Benchmarks[b].Benchmark
+	})
+	return snap
+}
+
+// RenderPrometheus formats the snapshot in Prometheus text exposition
+// format (the /metrics endpoint body).
+func (s MetricsSnapshot) RenderPrometheus() string {
+	var b strings.Builder
+	w := func(format string, args ...any) { fmt.Fprintf(&b, format, args...) }
+	w("# HELP inputtuned_requests_total Classification requests served.\n")
+	w("# TYPE inputtuned_requests_total counter\n")
+	w("inputtuned_requests_total %d\n", s.Requests)
+	w("# HELP inputtuned_request_errors_total Requests that failed.\n")
+	w("# TYPE inputtuned_request_errors_total counter\n")
+	w("inputtuned_request_errors_total %d\n", s.Errors)
+	w("# HELP inputtuned_reloads_total Successful model hot-reloads.\n")
+	w("# TYPE inputtuned_reloads_total counter\n")
+	w("inputtuned_reloads_total %d\n", s.Reloads)
+	w("# HELP inputtuned_request_latency_us Request latency quantiles (microseconds).\n")
+	w("# TYPE inputtuned_request_latency_us gauge\n")
+	w("inputtuned_request_latency_us{quantile=\"0.5\"} %.1f\n", s.P50Micros)
+	w("inputtuned_request_latency_us{quantile=\"0.9\"} %.1f\n", s.P90Micros)
+	w("inputtuned_request_latency_us{quantile=\"0.99\"} %.1f\n", s.P99Micros)
+	w("# HELP inputtuned_decision_cache_hits_total Decision-cache hits.\n")
+	w("# TYPE inputtuned_decision_cache_hits_total counter\n")
+	w("inputtuned_decision_cache_hits_total %d\n", s.DecisionCache.Hits)
+	w("# HELP inputtuned_decision_cache_misses_total Decision-cache misses.\n")
+	w("# TYPE inputtuned_decision_cache_misses_total counter\n")
+	w("inputtuned_decision_cache_misses_total %d\n", s.DecisionCache.Misses)
+	w("# HELP inputtuned_decision_cache_evictions_total Decision-cache evictions.\n")
+	w("# TYPE inputtuned_decision_cache_evictions_total counter\n")
+	w("inputtuned_decision_cache_evictions_total %d\n", s.DecisionCache.Evictions)
+	w("# HELP inputtuned_model_generation Registry generation of the live model.\n")
+	w("# TYPE inputtuned_model_generation gauge\n")
+	for _, bs := range s.Benchmarks {
+		if bs.Generation > 0 {
+			w("inputtuned_model_generation{benchmark=%q} %d\n", bs.Benchmark, bs.Generation)
+		}
+	}
+	w("# HELP inputtuned_benchmark_requests_total Requests per benchmark.\n")
+	w("# TYPE inputtuned_benchmark_requests_total counter\n")
+	for _, bs := range s.Benchmarks {
+		w("inputtuned_benchmark_requests_total{benchmark=%q} %d\n", bs.Benchmark, bs.Requests)
+	}
+	return b.String()
+}

@@ -1,0 +1,176 @@
+package serve
+
+import (
+	"fmt"
+	"time"
+
+	"inputtune/internal/choice"
+	"inputtune/internal/core"
+	"inputtune/internal/cost"
+	"inputtune/internal/engine"
+)
+
+// Decision is the service's answer to one classification request.
+type Decision struct {
+	Benchmark string `json:"benchmark"`
+	// Generation identifies the model snapshot that served the request.
+	Generation uint64 `json:"generation"`
+	// Landmark is the selected configuration's index.
+	Landmark int `json:"landmark"`
+	// Config is the selected landmark configuration itself — the payload a
+	// deployment applies to its algorithmic choices.
+	Config *choice.Config `json:"config"`
+	// ConfigDescription renders Config against the program's space.
+	ConfigDescription string `json:"config_description"`
+	// Classifier names the production classifier that decided.
+	Classifier string `json:"classifier"`
+	// FeatureUnits is the virtual-time cost of the features extracted for
+	// this decision.
+	FeatureUnits float64 `json:"feature_units"`
+	// CacheHit reports whether the decision cache answered the predict
+	// step (feature extraction still ran; hits cannot change answers).
+	CacheHit bool `json:"cache_hit"`
+}
+
+// Options configures a Service.
+type Options struct {
+	// DecisionCacheCapacity bounds the decision cache (entries; <= 0
+	// selects DefaultDecisionCacheCapacity).
+	DecisionCacheCapacity int
+	// DisableDecisionCache turns the decision cache off — the A/B escape
+	// hatch; labels are identical either way (test-enforced).
+	DisableDecisionCache bool
+	// Shards and MaxBatch configure the batching layer; Shards <= 0
+	// disables batching and classifies inline on the request goroutine.
+	Shards int
+	// MaxBatch bounds how many queued requests one shard drains into a
+	// single pool pass (default 16).
+	MaxBatch int
+	// Pool is the worker pool batches run on (nil selects engine.Default).
+	Pool *engine.Pool
+}
+
+// Service is the classification runtime: registry resolution, per-request
+// feature extraction on a private meter, decision caching, and metrics.
+// One Service is safe for any number of concurrent callers.
+type Service struct {
+	reg     *Registry
+	cache   *DecisionCache
+	metrics *Metrics
+	batcher *Batcher
+}
+
+// NewService assembles a service over a registry.
+func NewService(reg *Registry, opts Options) *Service {
+	s := &Service{reg: reg, metrics: NewMetrics()}
+	if !opts.DisableDecisionCache {
+		s.cache = NewDecisionCache(opts.DecisionCacheCapacity)
+	}
+	if opts.Shards > 0 {
+		s.batcher = NewBatcher(s, opts.Shards, opts.MaxBatch, opts.Pool)
+	}
+	return s
+}
+
+// Registry returns the service's registry (for reload endpoints).
+func (s *Service) Registry() *Registry { return s.reg }
+
+// Metrics returns the service's metrics surface.
+func (s *Service) Metrics() *Metrics { return s.metrics }
+
+// MetricsSnapshot assembles the current observability snapshot.
+func (s *Service) MetricsSnapshot() MetricsSnapshot {
+	return s.metrics.Snapshot(s.cache, s.reg)
+}
+
+// Close shuts down the batching layer (if any), draining queued requests.
+func (s *Service) Close() {
+	if s.batcher != nil {
+		s.batcher.Close()
+	}
+}
+
+// Classify answers one request, routing through the batching layer when
+// configured. It records request metrics including latency.
+func (s *Service) Classify(benchmark string, in core.Input) (*Decision, error) {
+	start := time.Now()
+	var d *Decision
+	var err error
+	if s.batcher != nil {
+		d, err = s.batcher.Classify(benchmark, in)
+	} else {
+		d, err = s.classifyNow(benchmark, in)
+	}
+	hit := d != nil && d.CacheHit
+	s.metrics.ObserveRequest(benchmark, time.Since(start), hit, err)
+	return d, err
+}
+
+// classifyNow is the inline classification path (the batcher's workers
+// call it too). All per-request mutable state — the meter, the feature
+// row — is private to the call; the model snapshot is resolved once and
+// used throughout, so a concurrent hot-reload never splits a request
+// across two models.
+func (s *Service) classifyNow(benchmark string, in core.Input) (*Decision, error) {
+	snap, ok := s.reg.Get(benchmark)
+	if !ok {
+		return nil, fmt.Errorf("serve: no model loaded for benchmark %q", benchmark)
+	}
+	model := snap.Model
+	prod := model.Production
+	set := model.Program.Features()
+	meter := cost.NewMeter()
+
+	var label int
+	var cacheHit bool
+	if s.cache != nil && prod.Kind == core.SubsetTree && len(prod.Static) > 0 {
+		// Static-subset classifiers extract a fixed feature set, so the
+		// decision is a pure function of (model snapshot, feature bits):
+		// fingerprint those and let the cache skip the tree walk. The
+		// extraction itself (the dominant cost, charged to the meter)
+		// runs either way, so cached and uncached requests report the
+		// same feature units and, by determinism, the same label.
+		row := set.ExtractSubset(in, prod.Static, meter)
+		vals := make([]float64, len(prod.Static))
+		for i, f := range prod.Static {
+			vals[i] = row[f]
+		}
+		key := engine.Fingerprint([]uint64{snap.Generation}, vals)
+		if cached, hit := s.cache.Get(key); hit {
+			label, cacheHit = cached, true
+		} else {
+			label, _ = prod.PredictRow(row)
+			s.cache.Put(key, label)
+		}
+	} else {
+		// Max-a-priori extracts nothing; the incremental classifier
+		// chooses its features adaptively per input — both classify
+		// directly. (Caching the incremental path would require paying
+		// for a fixed key feature set first, which is exactly the cost
+		// it exists to avoid.)
+		label = prod.ClassifyInput(set, in, meter)
+	}
+	return &Decision{
+		Benchmark:         benchmark,
+		Generation:        snap.Generation,
+		Landmark:          label,
+		Config:            model.Landmarks[label],
+		ConfigDescription: model.Program.Space().DescribeConfig(model.Landmarks[label]),
+		Classifier:        prod.Name,
+		FeatureUnits:      meter.Elapsed(),
+		CacheHit:          cacheHit,
+	}, nil
+}
+
+// Load parses and publishes a model artifact (see Registry.Load),
+// recording the reload in metrics on success.
+func (s *Service) Load(artifact []byte) (*Snapshot, error) {
+	snap, err := s.reg.Load(artifact)
+	if err == nil {
+		s.metrics.ObserveReload()
+	}
+	return snap, err
+}
+
+// CacheStats exposes decision-cache effectiveness (zeros when disabled).
+func (s *Service) CacheStats() DecisionCacheStats { return s.cache.Stats() }
