@@ -12,9 +12,15 @@
 //	                                 hit-rate per benchmark (BENCH_1.json)
 //	experiments serve-bench          serving-side trajectory: train, serve
 //	                                 over loopback HTTP, drive with
-//	                                 concurrent clients + hot reloads, and
-//	                                 merge throughput/p50/p99 into the
-//	                                 bench JSON's "serve" section
+//	                                 concurrent clients + hot reloads —
+//	                                 one arm per wire format (the JSON vs
+//	                                 binary A/B) — and merge throughput/
+//	                                 p50/p99/allocs into the bench JSON's
+//	                                 "serve" section
+//	experiments classify             wire-level client for a running
+//	                                 inputtuned: encode -data in -wire
+//	                                 json|binary and POST /v1/classify
+//	                                 (the binary frame's curl)
 //	experiments all                  everything above except bench
 //
 // Use -scale quick|default to trade fidelity for runtime, -out DIR to also
@@ -26,13 +32,22 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 
+	"inputtune/internal/benchmarks/binpack"
+	"inputtune/internal/benchmarks/sortbench"
+	"inputtune/internal/core"
 	"inputtune/internal/exp"
+	"inputtune/internal/serve"
 )
 
 func main() {
@@ -50,8 +65,12 @@ func main() {
 	benchJSON := fs.String("json", "", "bench: output path for the JSON report (default BENCH_1.json, or BENCH_1.nocache.json with -nocache)")
 	noCache := fs.Bool("nocache", false, "disable the measurement cache (A/B escape hatch; any subcommand)")
 	clients := fs.Int("clients", 8, "serve-bench: concurrent load-generator clients")
-	requests := fs.Int("requests", 2000, "serve-bench: total requests per case")
+	requests := fs.Int("requests", 2000, "serve-bench: total requests per case and wire")
 	reloads := fs.Int("reloads", 2, "serve-bench: hot reloads fired mid-run")
+	wire := fs.String("wire", "both", "serve-bench: wire formats to drive (json, binary, or both); classify: request format")
+	addr := fs.String("addr", "localhost:8077", "classify: inputtuned address")
+	benchmark := fs.String("benchmark", "sort", "classify: benchmark name (sort or binpacking)")
+	data := fs.String("data", "", "classify: comma-separated float input vector")
 	fs.Parse(os.Args[2:])
 
 	sc := exp.DefaultScale()
@@ -110,6 +129,11 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	case "classify":
+		if err := runClassify(*addr, *benchmark, *wire, *data); err != nil {
+			fmt.Fprintf(os.Stderr, "classify: %v\n", err)
+			os.Exit(1)
+		}
 	case "serve-bench":
 		path := *benchJSON
 		if path == "" {
@@ -119,8 +143,14 @@ func main() {
 		if *caseName != "" {
 			cases = []string{*caseName}
 		}
+		wires, err := parseWires(*wire)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "serve-bench: %v\n", err)
+			os.Exit(2)
+		}
 		sb, err := exp.RunServeBench(exp.ServeBenchOptions{
 			Cases:                cases,
+			Wires:                wires,
 			Clients:              *clients,
 			Requests:             *requests,
 			Reloads:              *reloads,
@@ -220,6 +250,89 @@ func runAblation(names []string, sc exp.Scale, logf func(string, ...any)) {
 	fmt.Println(exp.RenderTuneSamples(tsResults))
 }
 
+// parseWires resolves the serve-bench -wire flag.
+func parseWires(s string) ([]serve.Wire, error) {
+	if s == "" || s == "both" {
+		return []serve.Wire{serve.WireJSON, serve.WireBinary}, nil
+	}
+	w, err := serve.ParseWire(s)
+	if err != nil {
+		return nil, err
+	}
+	return []serve.Wire{w}, nil
+}
+
+// runClassify is a tiny wire-level client for a running inputtuned: it
+// encodes the given vector in the chosen format (curl cannot speak the
+// binary frame; this can) and prints the server's Decision JSON. Only the
+// single-vector benchmarks make sense from a comma-separated flag.
+func runClassify(addr, benchmark, wireName, data string) error {
+	if data == "" {
+		return fmt.Errorf("need -data (comma-separated floats)")
+	}
+	var vals []float64
+	for _, fld := range strings.Split(data, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(fld), 64)
+		if err != nil {
+			return fmt.Errorf("bad -data element %q: %w", fld, err)
+		}
+		vals = append(vals, v)
+	}
+	var in core.Input
+	switch benchmark {
+	case "sort":
+		in = &sortbench.List{Data: vals}
+	case "binpacking":
+		in = &binpack.Items{Sizes: vals}
+	default:
+		return fmt.Errorf("classify supports the vector benchmarks sort and binpacking, not %q", benchmark)
+	}
+	// The flag's default "both" exists for serve-bench; a single POST must
+	// name one format explicitly, or a user checking the binary path could
+	// silently exercise JSON instead.
+	w, err := serve.ParseWire(wireName)
+	if err != nil {
+		return fmt.Errorf("classify needs -wire json or -wire binary: %w", err)
+	}
+	var body bytes.Buffer
+	if w == serve.WireBinary {
+		if err := serve.EncodeBinaryRequest(&body, benchmark, in); err != nil {
+			return err
+		}
+	} else {
+		codec, err := serve.LookupCodec(benchmark)
+		if err != nil {
+			return err
+		}
+		raw, err := codec.EncodeJSON(in)
+		if err != nil {
+			return err
+		}
+		env, err := json.Marshal(struct {
+			Benchmark string          `json:"benchmark"`
+			Input     json.RawMessage `json:"input"`
+		}{benchmark, raw})
+		if err != nil {
+			return err
+		}
+		body.Write(env)
+	}
+	resp, err := http.Post("http://"+addr+"/v1/classify", w.ContentType(), &body)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	fmt.Print(string(out))
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("server returned %s", resp.Status)
+	}
+	return nil
+}
+
 func writeFile(dir, name, content string) {
 	if dir == "" {
 		return
@@ -237,7 +350,7 @@ func writeFile(dir, name, content string) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: experiments <table1|fig6|fig7|fig8|ablation|bench|serve-bench|all> [flags]
+	fmt.Fprintln(os.Stderr, `usage: experiments <table1|fig6|fig7|fig8|ablation|bench|serve-bench|classify|all> [flags]
 flags:
   -scale quick|default   workload scale (default "default")
   -case NAME             single test: sort1 sort2 clustering1 clustering2
@@ -257,9 +370,19 @@ flags:
                          serve-bench it disables the server's decision
                          cache instead — labels are identical either way
   -clients N             serve-bench: concurrent clients (default 8)
-  -requests N            serve-bench: total requests per case (default 2000)
+  -requests N            serve-bench: total requests per case and wire
+                         (default 2000)
   -reloads N             serve-bench: hot reloads spaced through the run
                          (default 2; 0 = no-reload baseline); every reload
                          must complete with zero failed requests or the
-                         run exits nonzero`)
+                         run exits nonzero
+  -wire FORMAT           serve-bench: json, binary, or both (default both —
+                         one load arm per format, the JSON-vs-binary A/B);
+                         classify: the request format to send
+  -addr HOST:PORT        classify: inputtuned address (default localhost:8077)
+  -benchmark NAME        classify: sort or binpacking (default sort)
+  -data FLOATS           classify: comma-separated input vector, e.g.
+                         "5,1,4,2" — encoded in the chosen wire format and
+                         POSTed to /v1/classify (the binary wire's Go
+                         client; curl cannot frame it)`)
 }

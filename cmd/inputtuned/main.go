@@ -15,6 +15,13 @@
 //
 // Endpoints: POST /v1/classify, POST /v1/reload, GET /v1/models,
 // GET /metrics (?format=json), GET /healthz.
+//
+// /v1/classify negotiates the request format on Content-Type: the JSON
+// envelope above, or the length-prefixed binary frame
+// (application/x-inputtune; see docs/ARCHITECTURE.md § Wire protocol) that
+// large-input clients should prefer — `experiments classify -wire binary`
+// is a ready-made client. -wire restricts which formats a deployment
+// accepts.
 package main
 
 import (
@@ -25,6 +32,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -37,6 +45,8 @@ func main() {
 	addr := flag.String("addr", "localhost:8077", "listen address")
 	cacheCap := flag.Int("cache", 0, "decision-cache capacity in entries (0 = default)")
 	noCache := flag.Bool("no-cache", false, "disable the decision cache")
+	quantize := flag.Int("cache-quantize", 0, "decision-cache key quantization in mantissa bits (0 = exact keys; >0 trades the bit-identical guarantee for hit rate on near-duplicate inputs)")
+	wireList := flag.String("wire", "json,binary", "accepted request wire formats (comma-separated: json, binary)")
 	shards := flag.Int("shards", 0, "batching shards (0 = classify inline per request)")
 	maxBatch := flag.Int("batch", 0, "max requests per shard batch (0 = default)")
 	trainCase := flag.String("train", "", "train a quick-scale model for this case in-process (e.g. sort2)")
@@ -56,13 +66,26 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	var wires []serve.Wire
+	for _, s := range strings.Split(*wireList, ",") {
+		w, err := serve.ParseWire(strings.TrimSpace(s))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "-wire: %v\n", err)
+			os.Exit(2)
+		}
+		wires = append(wires, w)
+	}
 
 	reg := serve.BuiltinRegistry()
 	svc := serve.NewService(reg, serve.Options{
-		DecisionCacheCapacity: *cacheCap,
-		DisableDecisionCache:  *noCache,
-		Shards:                *shards,
-		MaxBatch:              *maxBatch,
+		Cache: serve.CacheOptions{
+			Capacity:     *cacheCap,
+			Disable:      *noCache,
+			QuantizeBits: *quantize,
+		},
+		Shards:   *shards,
+		MaxBatch: *maxBatch,
+		Wires:    wires,
 	})
 	defer svc.Close()
 

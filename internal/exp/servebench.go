@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -19,14 +20,18 @@ import (
 
 // ServeBenchOptions sizes the serving load benchmark.
 type ServeBenchOptions struct {
-	// Cases are the Table-1 case names to serve (default sort2 and
-	// binpacking: one time-only, one variable-accuracy workload).
+	// Cases are the Table-1 case names to serve. The default — sort2,
+	// clustering2, binpacking — covers the two largest-input workloads
+	// (where wire-format cost shows) plus a variable-accuracy one.
 	Cases []string
+	// Wires are the wire formats to run, one load arm per format against
+	// its own server instance (default: JSON then binary — the A/B).
+	Wires []serve.Wire
 	// Clients is the number of concurrent load-generator clients
 	// (default 8).
 	Clients int
-	// Requests is the total request budget per case, split over the
-	// clients (default 2000).
+	// Requests is the total request budget per case and wire, split over
+	// the clients (default 2000).
 	Requests int
 	// Reloads is how many hot reloads are fired while traffic runs,
 	// spaced evenly through the request budget; all must succeed with
@@ -44,7 +49,10 @@ type ServeBenchOptions struct {
 
 func (o *ServeBenchOptions) setDefaults() {
 	if len(o.Cases) == 0 {
-		o.Cases = []string{"sort2", "binpacking"}
+		o.Cases = []string{"sort2", "clustering2", "binpacking"}
+	}
+	if len(o.Wires) == 0 {
+		o.Wires = []serve.Wire{serve.WireJSON, serve.WireBinary}
 	}
 	if o.Clients <= 0 {
 		o.Clients = 8
@@ -60,10 +68,13 @@ func (o *ServeBenchOptions) setDefaults() {
 	}
 }
 
-// ServeCaseResult is one benchmark's serving performance under load.
+// ServeCaseResult is one benchmark's serving performance under load over
+// one wire format.
 type ServeCaseResult struct {
 	Case      string `json:"case"`
 	Benchmark string `json:"benchmark"`
+	// Wire is the request format this arm ran ("json" or "binary").
+	Wire string `json:"wire"`
 	// Requests actually issued; FailedRequests MUST be zero (non-200, a
 	// transport error, or a label differing from the offline
 	// classification all count as failures).
@@ -81,6 +92,15 @@ type ServeCaseResult struct {
 	P99Micros     float64 `json:"latency_p99_us"`
 	MeanMicros    float64 `json:"latency_mean_us"`
 
+	// AllocsPerRequest is the process-wide heap-allocation count per
+	// request over the measured run (server plus loopback client; the
+	// client-side bookkeeping is identical across wire arms, so the
+	// JSON-vs-binary delta is the wire stack's own).
+	AllocsPerRequest float64 `json:"allocs_per_request"`
+	// RequestBytes is the median request-body size over the test inputs —
+	// the wire-efficiency companion to AllocsPerRequest.
+	RequestBytes int `json:"request_bytes"`
+
 	CacheHits    uint64  `json:"decision_cache_hits"`
 	CacheMisses  uint64  `json:"decision_cache_misses"`
 	CacheHitRate float64 `json:"decision_cache_hit_rate"`
@@ -97,7 +117,8 @@ type ServeBenchReport struct {
 // RunServeBench trains a model per case, serves it over a real loopback
 // HTTP server through the full serve stack (codec decode, registry,
 // decision cache, metrics), and drives it with concurrent clients while
-// firing hot reloads — the deployment-side half of the perf trajectory.
+// firing hot reloads — one arm per wire format, so the trajectory file
+// carries the JSON-vs-binary A/B directly.
 func RunServeBench(opts ServeBenchOptions) (ServeBenchReport, error) {
 	opts.setDefaults()
 	rep := ServeBenchReport{
@@ -106,16 +127,24 @@ func RunServeBench(opts ServeBenchOptions) (ServeBenchReport, error) {
 		DecisionCache: !opts.DisableDecisionCache,
 	}
 	for _, name := range opts.Cases {
-		res, err := runServeCase(name, opts)
+		results, err := runServeCase(name, opts)
 		if err != nil {
 			return rep, fmt.Errorf("serve-bench %s: %w", name, err)
 		}
-		rep.Results = append(rep.Results, res)
+		rep.Results = append(rep.Results, results...)
 	}
 	return rep, nil
 }
 
-func runServeCase(name string, opts ServeBenchOptions) (ServeCaseResult, error) {
+// servedCase is the per-case state shared by every wire arm: the trained
+// model artifact and the precomputed offline ground truth.
+type servedCase struct {
+	c        Case
+	artifact []byte
+	want     []int
+}
+
+func runServeCase(name string, opts ServeBenchOptions) ([]ServeCaseResult, error) {
 	logf := opts.Logf
 	sc := opts.Scale
 	c := BuildCase(name, sc)
@@ -127,40 +156,79 @@ func runServeCase(name string, opts ServeBenchOptions) (ServeCaseResult, error) 
 	})
 	var artifact bytes.Buffer
 	if err := core.SaveModel(model, &artifact); err != nil {
-		return ServeCaseResult{}, err
+		return nil, err
 	}
+	// Precompute the expected labels once; both wire arms are checked
+	// against the same offline ground truth.
+	set := c.Prog.Features()
+	want := make([]int, len(c.Test))
+	for i, in := range c.Test {
+		want[i] = model.Production.ClassifyInput(set, in, nil)
+	}
+	scase := &servedCase{c: c, artifact: artifact.Bytes(), want: want}
 
-	codec, err := serve.LookupCodec(c.Prog.Name())
+	var results []ServeCaseResult
+	for _, wire := range opts.Wires {
+		res, err := runServeArm(name, scase, wire, opts)
+		if err != nil {
+			return nil, fmt.Errorf("%s wire: %w", wire, err)
+		}
+		results = append(results, res)
+	}
+	return results, nil
+}
+
+// encodeBodies renders every test input as one request body in the given
+// wire format, plus the matching Content-Type.
+func encodeBodies(sc *servedCase, wire serve.Wire) (bodies [][]byte, contentType string, err error) {
+	codec, err := serve.LookupCodec(sc.c.Prog.Name())
+	if err != nil {
+		return nil, "", err
+	}
+	bodies = make([][]byte, len(sc.c.Test))
+	for i, in := range sc.c.Test {
+		var buf bytes.Buffer
+		switch wire {
+		case serve.WireJSON:
+			raw, err := codec.EncodeJSON(in)
+			if err != nil {
+				return nil, "", err
+			}
+			bodies[i], err = json.Marshal(struct {
+				Benchmark string          `json:"benchmark"`
+				Input     json.RawMessage `json:"input"`
+			}{sc.c.Prog.Name(), raw})
+			if err != nil {
+				return nil, "", err
+			}
+		case serve.WireBinary:
+			if err := codec.Encode(serve.WireBinary, &buf, in); err != nil {
+				return nil, "", err
+			}
+			bodies[i] = buf.Bytes()
+		}
+	}
+	return bodies, wire.ContentType(), nil
+}
+
+// runServeArm serves one case over one wire format with a fresh service,
+// so cache statistics, metrics and pool warmup never leak across arms.
+func runServeArm(name string, sc *servedCase, wire serve.Wire, opts ServeBenchOptions) (ServeCaseResult, error) {
+	logf := opts.Logf
+	bodies, contentType, err := encodeBodies(sc, wire)
 	if err != nil {
 		return ServeCaseResult{}, err
 	}
-	// Pre-encode the request bodies and precompute the expected labels so
-	// the measured loop is pure serving work plus client-side bookkeeping.
-	bodies := make([][]byte, len(c.Test))
-	want := make([]int, len(c.Test))
-	set := c.Prog.Features()
-	for i, in := range c.Test {
-		raw, err := codec.Encode(in)
-		if err != nil {
-			return ServeCaseResult{}, err
-		}
-		bodies[i], err = json.Marshal(struct {
-			Benchmark string          `json:"benchmark"`
-			Input     json.RawMessage `json:"input"`
-		}{c.Prog.Name(), raw})
-		if err != nil {
-			return ServeCaseResult{}, err
-		}
-		want[i] = model.Production.ClassifyInput(set, in, nil)
-	}
 
 	reg := serve.NewRegistry()
-	if err := reg.Register(c.Prog); err != nil {
+	if err := reg.Register(sc.c.Prog); err != nil {
 		return ServeCaseResult{}, err
 	}
-	svc := serve.NewService(reg, serve.Options{DisableDecisionCache: opts.DisableDecisionCache})
+	svc := serve.NewService(reg, serve.Options{
+		Cache: serve.CacheOptions{Disable: opts.DisableDecisionCache},
+	})
 	defer svc.Close()
-	if _, err := svc.Load(artifact.Bytes()); err != nil {
+	if _, err := svc.Load(sc.artifact); err != nil {
 		return ServeCaseResult{}, err
 	}
 	srv := httptest.NewServer(serve.NewHandler(svc))
@@ -173,14 +241,17 @@ func runServeCase(name string, opts ServeBenchOptions) (ServeCaseResult, error) 
 		perClient = 1
 	}
 	total := perClient * opts.Clients
-	logf("[serve-bench %s] %d clients x %d requests, %d hot reloads mid-run",
-		name, opts.Clients, perClient, opts.Reloads)
+	logf("[serve-bench %s/%s] %d clients x %d requests, %d hot reloads mid-run",
+		name, wire, opts.Clients, perClient, opts.Reloads)
 
 	latencies := make([][]time.Duration, opts.Clients)
 	var failed atomic.Uint64
 	var issued atomic.Uint64
 	var completed atomic.Uint64 // every attempt, success or not
 	var wg sync.WaitGroup
+	runtime.GC()
+	var m0 runtime.MemStats
+	runtime.ReadMemStats(&m0)
 	start := time.Now()
 	for g := 0; g < opts.Clients; g++ {
 		wg.Add(1)
@@ -190,7 +261,7 @@ func runServeCase(name string, opts ServeBenchOptions) (ServeCaseResult, error) 
 			for r := 0; r < perClient; r++ {
 				i := (g*perClient + r) % len(bodies)
 				t0 := time.Now()
-				resp, err := client.Post(srv.URL+"/v1/classify", "application/json", bytes.NewReader(bodies[i]))
+				resp, err := client.Post(srv.URL+"/v1/classify", contentType, bytes.NewReader(bodies[i]))
 				if err != nil {
 					failed.Add(1)
 					completed.Add(1)
@@ -202,7 +273,7 @@ func runServeCase(name string, opts ServeBenchOptions) (ServeCaseResult, error) 
 				lat = append(lat, time.Since(t0))
 				issued.Add(1)
 				completed.Add(1)
-				if err != nil || resp.StatusCode != http.StatusOK || d.Landmark != want[i] {
+				if err != nil || resp.StatusCode != http.StatusOK || d.Landmark != sc.want[i] {
 					failed.Add(1)
 				}
 			}
@@ -220,7 +291,7 @@ func runServeCase(name string, opts ServeBenchOptions) (ServeCaseResult, error) 
 		for completed.Load() < target {
 			time.Sleep(500 * time.Microsecond)
 		}
-		resp, err := client.Post(srv.URL+"/v1/reload", "application/json", bytes.NewReader(artifact.Bytes()))
+		resp, err := client.Post(srv.URL+"/v1/reload", "application/json", bytes.NewReader(sc.artifact))
 		if err != nil {
 			return ServeCaseResult{}, fmt.Errorf("hot reload %d: %w", r, err)
 		}
@@ -232,6 +303,8 @@ func runServeCase(name string, opts ServeBenchOptions) (ServeCaseResult, error) 
 	}
 	wg.Wait()
 	wall := time.Since(start)
+	var m1 runtime.MemStats
+	runtime.ReadMemStats(&m1)
 
 	var all []time.Duration
 	for _, lat := range latencies {
@@ -254,41 +327,58 @@ func runServeCase(name string, opts ServeBenchOptions) (ServeCaseResult, error) 
 		mean = float64(sum.Nanoseconds()) / 1e3 / float64(len(all))
 	}
 	cs := svc.CacheStats()
-	snap, _ := reg.Get(c.Prog.Name())
+	snap, _ := reg.Get(sc.c.Prog.Name())
 	res := ServeCaseResult{
-		Case:           name,
-		Benchmark:      c.Prog.Name(),
-		Requests:       total,
-		FailedRequests: int(failed.Load()),
-		Reloads:        reloadsDone,
-		GenerationEnd:  snap.Generation,
-		WallSeconds:    wall.Seconds(),
-		ThroughputRPS:  float64(issued.Load()) / wall.Seconds(),
-		P50Micros:      q(0.50),
-		P90Micros:      q(0.90),
-		P99Micros:      q(0.99),
-		MeanMicros:     mean,
-		CacheHits:      cs.Hits,
-		CacheMisses:    cs.Misses,
-		CacheHitRate:   cs.HitRate(),
+		Case:             name,
+		Benchmark:        sc.c.Prog.Name(),
+		Wire:             wire.String(),
+		Requests:         total,
+		FailedRequests:   int(failed.Load()),
+		Reloads:          reloadsDone,
+		GenerationEnd:    snap.Generation,
+		WallSeconds:      wall.Seconds(),
+		ThroughputRPS:    float64(issued.Load()) / wall.Seconds(),
+		P50Micros:        q(0.50),
+		P90Micros:        q(0.90),
+		P99Micros:        q(0.99),
+		MeanMicros:       mean,
+		AllocsPerRequest: float64(m1.Mallocs-m0.Mallocs) / float64(total),
+		RequestBytes:     medianLen(bodies),
+		CacheHits:        cs.Hits,
+		CacheMisses:      cs.Misses,
+		CacheHitRate:     cs.HitRate(),
 	}
-	logf("[serve-bench %s] %.0f req/s, p50 %.0fµs p99 %.0fµs, %d failed, cache hit %.1f%%",
-		name, res.ThroughputRPS, res.P50Micros, res.P99Micros, res.FailedRequests, 100*res.CacheHitRate)
+	logf("[serve-bench %s/%s] %.0f req/s, p50 %.0fµs p99 %.0fµs, %.0f allocs/req, %d failed, cache hit %.1f%%",
+		name, wire, res.ThroughputRPS, res.P50Micros, res.P99Micros,
+		res.AllocsPerRequest, res.FailedRequests, 100*res.CacheHitRate)
 	return res, nil
+}
+
+// medianLen returns the median byte length across request bodies.
+func medianLen(bodies [][]byte) int {
+	if len(bodies) == 0 {
+		return 0
+	}
+	lens := make([]int, len(bodies))
+	for i, b := range bodies {
+		lens[i] = len(b)
+	}
+	sort.Ints(lens)
+	return lens[len(lens)/2]
 }
 
 // RenderServeBench formats the report as a human-readable table.
 func RenderServeBench(r ServeBenchReport) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "serve-bench: %d clients, %d requests/case, decision cache %v\n",
+	fmt.Fprintf(&b, "serve-bench: %d clients, %d requests/case/wire, decision cache %v\n",
 		r.Clients, r.Requests, r.DecisionCache)
-	fmt.Fprintf(&b, "%-12s %9s %10s %9s %9s %9s %7s %8s %9s\n",
-		"Case", "req", "thru(r/s)", "p50(µs)", "p90(µs)", "p99(µs)", "failed", "reloads", "cacheHit%")
-	fmt.Fprintln(&b, strings.Repeat("-", 92))
+	fmt.Fprintf(&b, "%-12s %-6s %8s %10s %9s %9s %9s %10s %7s %8s %9s\n",
+		"Case", "wire", "req", "thru(r/s)", "p50(µs)", "p90(µs)", "p99(µs)", "allocs/req", "failed", "reloads", "cacheHit%")
+	fmt.Fprintln(&b, strings.Repeat("-", 110))
 	for _, res := range r.Results {
-		fmt.Fprintf(&b, "%-12s %9d %10.0f %9.0f %9.0f %9.0f %7d %8d %8.1f%%\n",
-			res.Case, res.Requests, res.ThroughputRPS, res.P50Micros, res.P90Micros,
-			res.P99Micros, res.FailedRequests, res.Reloads, 100*res.CacheHitRate)
+		fmt.Fprintf(&b, "%-12s %-6s %8d %10.0f %9.0f %9.0f %9.0f %10.0f %7d %8d %8.1f%%\n",
+			res.Case, res.Wire, res.Requests, res.ThroughputRPS, res.P50Micros, res.P90Micros,
+			res.P99Micros, res.AllocsPerRequest, res.FailedRequests, res.Reloads, 100*res.CacheHitRate)
 	}
 	return b.String()
 }

@@ -5,6 +5,8 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"inputtune/internal/serve"
 )
 
 // TestRunServeBenchSmoke drives the full serving stack at a tiny scale:
@@ -24,21 +26,31 @@ func TestRunServeBenchSmoke(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rep.Results) != 1 {
-		t.Fatalf("expected 1 result, got %d", len(rep.Results))
+	// The default wire set is the JSON-vs-binary A/B: one arm per format.
+	if len(rep.Results) != 2 {
+		t.Fatalf("expected 2 results (json + binary arms), got %d", len(rep.Results))
 	}
-	res := rep.Results[0]
-	if res.FailedRequests != 0 {
-		t.Fatalf("%d failed requests under hot reload", res.FailedRequests)
+	wires := map[string]bool{}
+	for _, res := range rep.Results {
+		wires[res.Wire] = true
+		if res.FailedRequests != 0 {
+			t.Fatalf("%s arm: %d failed requests under hot reload", res.Wire, res.FailedRequests)
+		}
+		if res.Requests != 80 || res.Reloads != 2 {
+			t.Fatalf("result shape off: %+v", res)
+		}
+		if res.GenerationEnd < 3 { // initial load + 2 reloads
+			t.Fatalf("%s arm: generation %d after 2 reloads", res.Wire, res.GenerationEnd)
+		}
+		if res.ThroughputRPS <= 0 || res.P50Micros <= 0 || res.P99Micros < res.P50Micros {
+			t.Fatalf("latency/throughput malformed: %+v", res)
+		}
+		if res.AllocsPerRequest <= 0 || res.RequestBytes <= 0 {
+			t.Fatalf("wire-cost metrics missing: %+v", res)
+		}
 	}
-	if res.Requests != 80 || res.Reloads != 2 {
-		t.Fatalf("result shape off: %+v", res)
-	}
-	if res.GenerationEnd < 3 { // initial load + 2 reloads
-		t.Fatalf("generation %d after 2 reloads", res.GenerationEnd)
-	}
-	if res.ThroughputRPS <= 0 || res.P50Micros <= 0 || res.P99Micros < res.P50Micros {
-		t.Fatalf("latency/throughput malformed: %+v", res)
+	if !wires["json"] || !wires["binary"] {
+		t.Fatalf("arms ran %v, want both json and binary", wires)
 	}
 	if out := RenderServeBench(rep); out == "" {
 		t.Fatal("empty render")
@@ -55,7 +67,8 @@ func TestServeBenchCacheOnOffLabelsIdentical(t *testing.T) {
 	sc := tinyScale()
 	for _, disable := range []bool{false, true} {
 		rep, err := RunServeBench(ServeBenchOptions{
-			Cases: []string{"sort2"}, Clients: 2, Requests: 64, Reloads: 1,
+			Cases: []string{"sort2"}, Wires: []serve.Wire{serve.WireJSON},
+			Clients: 2, Requests: 64, Reloads: 1,
 			DisableDecisionCache: disable, Scale: sc,
 		})
 		if err != nil {
@@ -75,7 +88,8 @@ func TestServeBenchCacheOnOffLabelsIdentical(t *testing.T) {
 // zero: no reload fires and the generation stays at the initial load.
 func TestRunServeBenchNoReloadBaseline(t *testing.T) {
 	rep, err := RunServeBench(ServeBenchOptions{
-		Cases: []string{"sort2"}, Clients: 2, Requests: 16, Reloads: 0,
+		Cases: []string{"sort2"}, Wires: []serve.Wire{serve.WireBinary},
+		Clients: 2, Requests: 16, Reloads: 0,
 		Scale: tinyScale(),
 	})
 	if err != nil {

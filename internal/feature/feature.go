@@ -81,19 +81,26 @@ func (s *Set) FeatureName(f int) string {
 // Index returns the flat feature index of (property, level).
 func (s *Set) Index(property, level int) int { return property*s.z + level }
 
+// extractOne computes feature f on in, charging its work to m. It is THE
+// single extraction routine: every caller — the training-side Dataset
+// builder (ExtractAll), offline inference and the serving runtime
+// (ExtractSubset / ExtractSubsetInto) — lands here, so the feature bits a
+// deployed classifier sees are bit-identical to the ones it was trained on
+// by construction, not by parallel-implementation discipline.
+func (s *Set) extractOne(f int, in Input, m *cost.Meter) float64 {
+	return s.Extractors[f/s.z].Levels[f%s.z](in, m)
+}
+
 // ExtractAll computes every feature of in, returning the M-vector of values
 // and the M-vector of per-feature extraction costs in virtual time units.
 func (s *Set) ExtractAll(in Input) (vals, costs []float64) {
 	M := s.NumFeatures()
 	vals = make([]float64, M)
 	costs = make([]float64, M)
-	for p, e := range s.Extractors {
-		for l, fn := range e.Levels {
-			m := cost.NewMeter()
-			f := s.Index(p, l)
-			vals[f] = fn(in, m)
-			costs[f] = m.Elapsed()
-		}
+	for f := 0; f < M; f++ {
+		m := cost.NewMeter()
+		vals[f] = s.extractOne(f, in, m)
+		costs[f] = m.Elapsed()
 	}
 	return vals, costs
 }
@@ -102,16 +109,25 @@ func (s *Set) ExtractAll(in Input) (vals, costs []float64) {
 // their combined cost to meter (which may be nil). Unlisted entries of the
 // returned vector are zero; callers use the same indices to slice it.
 func (s *Set) ExtractSubset(in Input, indices []int, meter *cost.Meter) []float64 {
-	vals := make([]float64, s.NumFeatures())
+	return s.ExtractSubsetInto(make([]float64, s.NumFeatures()), in, indices, meter)
+}
+
+// ExtractSubsetInto is ExtractSubset writing into a caller-provided row of
+// length NumFeatures (the serving runtime passes pooled rows so the hot
+// request path allocates nothing here). dst is zeroed first; the same
+// values land in it that ExtractSubset would return.
+func (s *Set) ExtractSubsetInto(dst []float64, in Input, indices []int, meter *cost.Meter) []float64 {
+	for i := range dst {
+		dst[i] = 0
+	}
 	m := meter
 	if m == nil {
 		m = cost.NewMeter()
 	}
 	for _, f := range indices {
-		p, l := f/s.z, f%s.z
-		vals[f] = s.Extractors[p].Levels[l](in, m)
+		dst[f] = s.extractOne(f, in, m)
 	}
-	return vals
+	return dst
 }
 
 // Subset encodes a per-property level selection: entry p is the chosen

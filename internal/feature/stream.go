@@ -1,0 +1,141 @@
+package feature
+
+import "sync"
+
+// This file is the incremental side of feature extraction: wire decoders
+// assemble an input's numeric payload chunk by chunk into pooled buffers
+// (Accumulator), and the completed buffer becomes the input's backing array
+// with no second materialization. Extraction itself then runs through the
+// one shared routine (Set.extractOne), so a streamed request computes
+// bit-identical feature values to an offline, fully materialized one.
+
+// Buffer size classes are powers of two from 1<<minPoolShift to
+// 1<<maxPoolShift float64s (256 .. 2M elements, 2 KB .. 16 MB). Requests
+// outside the classes fall back to plain allocation.
+const (
+	minPoolShift = 8
+	maxPoolShift = 21
+)
+
+// bufPools[i] holds []float64 slices with capacity 1<<(minPoolShift+i).
+var bufPools = func() []*sync.Pool {
+	ps := make([]*sync.Pool, maxPoolShift-minPoolShift+1)
+	for i := range ps {
+		ps[i] = &sync.Pool{}
+	}
+	return ps
+}()
+
+// classFor returns the pool index of the smallest class holding n
+// elements, or -1 when n exceeds the largest class.
+func classFor(n int) int {
+	for i := 0; i <= maxPoolShift-minPoolShift; i++ {
+		if n <= 1<<(minPoolShift+i) {
+			return i
+		}
+	}
+	return -1
+}
+
+// GetBuffer returns a zero-length float64 slice with capacity at least
+// capacityHint, drawn from a size-classed pool when possible. The slice's
+// contents beyond its length are unspecified; callers append into it.
+func GetBuffer(capacityHint int) []float64 {
+	if capacityHint < 0 {
+		capacityHint = 0
+	}
+	cls := classFor(capacityHint)
+	if cls < 0 {
+		return make([]float64, 0, capacityHint)
+	}
+	if v := bufPools[cls].Get(); v != nil {
+		return v.([]float64)[:0]
+	}
+	return make([]float64, 0, 1<<(minPoolShift+cls))
+}
+
+// PutBuffer returns a buffer obtained from GetBuffer (or anywhere else) to
+// the pool. The caller must not touch buf afterwards: a later GetBuffer
+// may hand the same backing array to another goroutine. Small or oversized
+// buffers are dropped for the garbage collector.
+func PutBuffer(buf []float64) {
+	c := cap(buf)
+	if c < 1<<minPoolShift {
+		return
+	}
+	// File under the largest class the capacity fully covers, so a pooled
+	// buffer always satisfies its class's capacity promise.
+	cls := -1
+	for i := maxPoolShift - minPoolShift; i >= 0; i-- {
+		if c >= 1<<(minPoolShift+i) {
+			cls = i
+			break
+		}
+	}
+	if cls < 0 {
+		return
+	}
+	bufPools[cls].Put(buf[:0])
+}
+
+// Accumulator assembles one vector field of an input from a chunked
+// producer — typically a wire decoder converting network bytes to float64s
+// a block at a time. The zero Accumulator is usable; Grow pre-sizes it
+// when the producer knows the final length (length-prefixed wire formats
+// do), drawing the backing from the shared buffer pool.
+type Accumulator struct {
+	vals []float64
+}
+
+// Grow ensures capacity for n total elements, preserving accumulated data.
+func (a *Accumulator) Grow(n int) {
+	if cap(a.vals) >= n {
+		return
+	}
+	next := GetBuffer(n)
+	next = append(next, a.vals...)
+	PutBuffer(a.vals)
+	a.vals = next
+}
+
+// ensure makes room for n more values, doubling through the pool — a
+// plain append would abandon the pooled backing for GC-owned doublings
+// once a producer outgrows its pre-allocation.
+func (a *Accumulator) ensure(n int) {
+	need := len(a.vals) + n
+	if need <= cap(a.vals) {
+		return
+	}
+	target := 2 * cap(a.vals)
+	if target < need {
+		target = need
+	}
+	a.Grow(target)
+}
+
+// Append feeds one chunk of decoded values.
+func (a *Accumulator) Append(chunk []float64) {
+	a.ensure(len(chunk))
+	a.vals = append(a.vals, chunk...)
+}
+
+// AppendOne feeds a single decoded value.
+func (a *Accumulator) AppendOne(v float64) {
+	a.ensure(1)
+	a.vals = append(a.vals, v)
+}
+
+// Len returns the number of accumulated values.
+func (a *Accumulator) Len() int { return len(a.vals) }
+
+// Finish hands over the accumulated slice and resets the accumulator. The
+// caller owns the slice (and should PutBuffer it when the input's lifetime
+// ends — the serving runtime does, via its codec release path).
+func (a *Accumulator) Finish() []float64 {
+	out := a.vals
+	a.vals = nil
+	if out == nil {
+		out = []float64{}
+	}
+	return out
+}

@@ -1,0 +1,119 @@
+package feature
+
+import (
+	"testing"
+
+	"inputtune/internal/cost"
+)
+
+func TestAccumulatorChunksMatchWhole(t *testing.T) {
+	vals := make([]float64, 1000)
+	for i := range vals {
+		vals[i] = float64(i) * 1.25
+	}
+	var acc Accumulator
+	acc.Grow(len(vals))
+	for i := 0; i < len(vals); i += 37 {
+		end := i + 37
+		if end > len(vals) {
+			end = len(vals)
+		}
+		acc.Append(vals[i:end])
+	}
+	got := acc.Finish()
+	if len(got) != len(vals) {
+		t.Fatalf("accumulated %d values, want %d", len(got), len(vals))
+	}
+	for i := range vals {
+		if got[i] != vals[i] {
+			t.Fatalf("value %d: %v != %v", i, got[i], vals[i])
+		}
+	}
+	if acc.Len() != 0 {
+		t.Fatalf("Finish did not reset the accumulator")
+	}
+	PutBuffer(got)
+}
+
+// TestAccumulatorOutgrowsPreAllocation feeds far more values than the
+// initial Grow reserved — the lying-length-prefix defence path — and
+// checks the data survives the pooled re-growths intact.
+func TestAccumulatorOutgrowsPreAllocation(t *testing.T) {
+	var acc Accumulator
+	acc.Grow(64)
+	const n = 100_000
+	for i := 0; i < n; i++ {
+		acc.AppendOne(float64(i) * 0.5)
+	}
+	got := acc.Finish()
+	if len(got) != n {
+		t.Fatalf("accumulated %d values, want %d", len(got), n)
+	}
+	for i := 0; i < n; i += 997 {
+		if got[i] != float64(i)*0.5 {
+			t.Fatalf("value %d corrupted across growth: %v", i, got[i])
+		}
+	}
+	PutBuffer(got)
+}
+
+func TestAccumulatorAppendOneAndEmptyFinish(t *testing.T) {
+	var acc Accumulator
+	acc.AppendOne(3.5)
+	acc.AppendOne(-1)
+	got := acc.Finish()
+	if len(got) != 2 || got[0] != 3.5 || got[1] != -1 {
+		t.Fatalf("AppendOne sequence wrong: %v", got)
+	}
+	var empty Accumulator
+	if out := empty.Finish(); out == nil || len(out) != 0 {
+		t.Fatalf("empty Finish should return a non-nil empty slice, got %v", out)
+	}
+}
+
+func TestBufferPoolRoundTrip(t *testing.T) {
+	for _, n := range []int{0, 1, 255, 256, 257, 5000, 1 << 21, 1<<21 + 1} {
+		buf := GetBuffer(n)
+		if len(buf) != 0 {
+			t.Fatalf("GetBuffer(%d) returned non-empty slice", n)
+		}
+		if cap(buf) < n {
+			t.Fatalf("GetBuffer(%d) capacity %d too small", n, cap(buf))
+		}
+		PutBuffer(buf)
+	}
+	// A recycled buffer must satisfy its class capacity again.
+	a := GetBuffer(1024)
+	PutBuffer(a)
+	b := GetBuffer(1024)
+	if cap(b) < 1024 {
+		t.Fatalf("recycled buffer capacity %d < 1024", cap(b))
+	}
+}
+
+// TestExtractSubsetIntoMatchesExtractSubset pins the pooled-row serving
+// entry point to the allocating one, including the zeroing of unlisted
+// entries when a dirty row is reused.
+func TestExtractSubsetIntoMatchesExtractSubset(t *testing.T) {
+	set := makeSet()
+	in := sliceInput{9, 1, 8, 2, 7, 3, 6, 4, 5, 0}
+	indices := []int{set.Index(0, 1), set.Index(1, 2)}
+	want := set.ExtractSubset(in, indices, nil)
+
+	dst := make([]float64, set.NumFeatures())
+	for i := range dst {
+		dst[i] = 99 // dirt that must be cleared
+	}
+	m1 := cost.NewMeter()
+	m2 := cost.NewMeter()
+	set.ExtractSubset(in, indices, m1)
+	got := set.ExtractSubsetInto(dst, in, indices, m2)
+	for f := range want {
+		if got[f] != want[f] {
+			t.Fatalf("feature %d: into=%v subset=%v", f, got[f], want[f])
+		}
+	}
+	if m1.Elapsed() != m2.Elapsed() {
+		t.Fatalf("meters diverged: %v vs %v", m1.Elapsed(), m2.Elapsed())
+	}
+}

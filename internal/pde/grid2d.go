@@ -322,12 +322,14 @@ func MGCycle2D(u, f *Grid2D, opt MGOptions2D, w *Work) {
 
 // DirectPoisson2D solves -Δu = f exactly via the 2-D discrete sine
 // transform (the matrix decomposition method): O(N³) with dense 1-D
-// transforms, no FFT needed at benchmark sizes.
+// transforms, no FFT needed at benchmark sizes. The sine basis and
+// eigenvalues come from the per-size cache (util.go), so repeated solves
+// at one problem size pay for them once.
 func DirectPoisson2D(f *Grid2D, w *Work) *Grid2D {
 	n := f.N
 	h := f.h()
-	s := sineMatrix(n)
-	lam := sineEigenvalues(n, h)
+	basis := sineBasisFor(n, h)
+	s, lam := basis.s, basis.lam
 	// F̂ = S f S (two dense multiplications).
 	fh := dstApply2D(s, f.Data, n)
 	w.Flops += 4 * n * n * n

@@ -499,8 +499,8 @@ func DirectHelmholtz3D(op *Helmholtz3D, f *Grid3D, w *Work) *Grid3D {
 		abar += v
 	}
 	abar /= float64(len(op.A.Data))
-	s := sineMatrix(n)
-	lam := sineEigenvalues(n, h)
+	basis := sineBasisFor(n, h)
+	s, lam := basis.s, basis.lam
 	fh := dstApply3D(s, f.Data, n)
 	w.Flops += 3 * n * n * n * n
 	norm := math.Pow(2.0/float64(n+1), 3)

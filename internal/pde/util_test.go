@@ -1,0 +1,97 @@
+package pde
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// TestSineBasisCacheBitIdentical pins the satellite invariant: the cached
+// basis holds exactly the floats a fresh computation produces, and a
+// direct solve is bit-identical whether its basis came from the cache or
+// not (the first call populates, the second hits).
+func TestSineBasisCacheBitIdentical(t *testing.T) {
+	for _, n := range []int{7, 15, 31} {
+		h := 1.0 / float64(n+1)
+		b := sineBasisFor(n, h)
+		s := computeSineMatrix(n)
+		lam := computeSineEigenvalues(n, h)
+		for j := range s {
+			for k := range s[j] {
+				if math.Float64bits(b.s[j][k]) != math.Float64bits(s[j][k]) {
+					t.Fatalf("n=%d: cached S[%d][%d] differs", n, j, k)
+				}
+			}
+		}
+		for j := range lam {
+			if math.Float64bits(b.lam[j]) != math.Float64bits(lam[j]) {
+				t.Fatalf("n=%d: cached lambda[%d] differs", n, j)
+			}
+		}
+		if again := sineBasisFor(n, h); again != b {
+			t.Fatalf("n=%d: second lookup did not hit the cache", n)
+		}
+	}
+
+	// Solve twice at one size: first call may populate, second must hit,
+	// and the grids (plus charged flops) must match exactly.
+	n := 15
+	f := NewGrid2D(n)
+	for i := range f.Data {
+		f.Data[i] = math.Sin(float64(3*i)) * 0.7
+	}
+	var w1, w2 Work
+	u1 := DirectPoisson2D(f, &w1)
+	u2 := DirectPoisson2D(f, &w2)
+	for i := range u1.Data {
+		if math.Float64bits(u1.Data[i]) != math.Float64bits(u2.Data[i]) {
+			t.Fatalf("direct solve diverged at %d across cache hit", i)
+		}
+	}
+	if w1 != w2 {
+		t.Fatalf("work accounting diverged: %+v vs %+v", w1, w2)
+	}
+}
+
+// TestSineBasisCacheBounded sweeps more sizes than the cache holds and
+// checks the bound holds while results stay correct.
+func TestSineBasisCacheBounded(t *testing.T) {
+	for n := 3; n < 3+2*sineCacheCap; n++ {
+		sineBasisFor(n, 1.0/float64(n+1))
+	}
+	sineCache.Lock()
+	entries, fifo := len(sineCache.entries), len(sineCache.fifo)
+	sineCache.Unlock()
+	if entries > sineCacheCap || fifo > sineCacheCap {
+		t.Fatalf("cache grew past its bound: %d entries, %d fifo", entries, fifo)
+	}
+	// An evicted size recomputes to the same bits.
+	n := 3
+	h := 1.0 / float64(n+1)
+	b := sineBasisFor(n, h)
+	s := computeSineMatrix(n)
+	if math.Float64bits(b.s[0][0]) != math.Float64bits(s[0][0]) {
+		t.Fatal("recomputed basis differs after eviction")
+	}
+}
+
+// TestSineBasisCacheConcurrent hammers the cache from many goroutines
+// under mixed sizes; the race detector does the real work here.
+func TestSineBasisCacheConcurrent(t *testing.T) {
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				n := 3 + (g+i)%12
+				b := sineBasisFor(n, 1.0/float64(n+1))
+				if len(b.s) != n || len(b.lam) != n {
+					t.Errorf("basis for n=%d has wrong shape", n)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

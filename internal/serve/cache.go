@@ -2,6 +2,7 @@ package serve
 
 import (
 	"container/list"
+	"math"
 	"sync"
 )
 
@@ -9,6 +10,54 @@ import (
 // Entries are a ~50-byte key plus an int, so the default costs well under
 // a megabyte while covering a large working set of distinct inputs.
 const DefaultDecisionCacheCapacity = 8192
+
+// CacheOptions configures the decision cache.
+type CacheOptions struct {
+	// Capacity bounds the cache (entries; <= 0 selects
+	// DefaultDecisionCacheCapacity).
+	Capacity int
+	// Disable turns the decision cache off — the A/B escape hatch; labels
+	// are identical either way (test-enforced).
+	Disable bool
+	// QuantizeBits, when in 1..52, zeroes that many low mantissa bits of
+	// each feature value before the cache key is fingerprinted, bucketing
+	// near-duplicate inputs onto one entry so they share its label. This
+	// raises hit rates on workloads whose inputs differ only in noise, BUT
+	// it is an explicit opt-in that trades away the bit-identical
+	// guarantee: a hit may return the label computed for a bucket
+	// neighbour, which a decision-boundary-straddling bucket can make
+	// differ from the label the exact walk would produce. 0 (the default)
+	// keys on exact feature bits and never changes an answer.
+	QuantizeBits int
+}
+
+// maxQuantizeBits is the widest meaningful bucket: zeroing all 52 mantissa
+// bits keys on sign+exponent alone.
+const maxQuantizeBits = 52
+
+// clampQuantizeBits normalizes a requested mantissa truncation.
+func clampQuantizeBits(bits int) int {
+	if bits <= 0 {
+		return 0
+	}
+	if bits > maxQuantizeBits {
+		return maxQuantizeBits
+	}
+	return bits
+}
+
+// quantizeRow buckets feature values in place by zeroing the low bits of
+// their float64 representations. bits == 0 is the identity (the exact,
+// bit-identical default path).
+func quantizeRow(bits int, vals []float64) {
+	if bits <= 0 {
+		return
+	}
+	mask := ^uint64(0) << uint(bits)
+	for i, v := range vals {
+		vals[i] = math.Float64frombits(math.Float64bits(v) & mask)
+	}
+}
 
 // DecisionCache is a bounded LRU from feature-vector fingerprints to
 // predicted landmarks. Keys are built by the Service with

@@ -1,8 +1,9 @@
 package serve
 
 import (
-	"encoding/json"
+	"bytes"
 	"fmt"
+	"io"
 
 	"inputtune/internal/benchmarks/binpack"
 	"inputtune/internal/benchmarks/clustering"
@@ -15,39 +16,46 @@ import (
 	"inputtune/internal/pde"
 )
 
-// Codec is one benchmark's wire format: how the JSON API decodes request
-// inputs into the program's concrete input type, and how the serve-bench
-// load generator encodes generated inputs back into request bodies (so
-// the bench exercises the same decode path real traffic does).
+// Codec is one benchmark's wire format, symmetric across the negotiated
+// encodings: Decode parses a request body into the program's concrete
+// input type and Encode renders an input back onto the wire, for both
+// WireJSON (the PR-4 format, kept bit-compatible) and WireBinary (the
+// length-prefixed format of wire.go). Per benchmark only the schema —
+// field names plus the payload↔input conversions — is specific; all
+// serialization is generic, so the two formats carry identical content by
+// construction and served labels cannot depend on the format (enforced by
+// TestServedLabelsBitIdenticalAcrossWires).
 //
-// The wire format carries only what classification needs — the raw data
-// feature extractors read. Execution-only details (e.g. the clustering
-// inputs' internal decorrelation seed) are deliberately not part of it:
-// the serving runtime classifies, it does not run the workload.
+// The wire carries only what classification needs — the raw data feature
+// extractors read. Execution-only details (e.g. the clustering inputs'
+// internal decorrelation seed) are deliberately not part of it: the
+// serving runtime classifies, it does not run the workload.
 type Codec struct {
 	// Name is the program name (Program.Name()) the codec serves.
 	Name string
 	// NewProgram constructs the benchmark program.
 	NewProgram func() core.Program
-	// Decode parses a wire input.
-	Decode func(raw json.RawMessage) (core.Input, error)
-	// Encode renders an input in wire form.
-	Encode func(in core.Input) (json.RawMessage, error)
+
+	sch *schema
 }
 
+// maxDimField bounds scalar dimension fields (n, rows, cols) so that
+// element-count arithmetic (n², n³, rows·cols) can never overflow before
+// validation compares it against the actual vector lengths.
+const maxDimField = 1 << 20
+
 // codecByName indexes builtinCodecs once for the per-request lookup.
-var codecByName = func() map[string]Codec {
-	m := make(map[string]Codec, len(builtinCodecs))
+var codecByName = func() map[string]*Codec {
+	m := make(map[string]*Codec, len(builtinCodecs))
 	for _, c := range builtinCodecs {
 		m[c.Name] = c
 	}
 	return m
 }()
 
-// Codecs returns a copy of the builtin benchmark codecs keyed by program
-// name.
-func Codecs() map[string]Codec {
-	out := make(map[string]Codec, len(codecByName))
+// Codecs returns the builtin benchmark codecs keyed by program name.
+func Codecs() map[string]*Codec {
+	out := make(map[string]*Codec, len(codecByName))
 	for name, c := range codecByName {
 		out[name] = c
 	}
@@ -55,10 +63,10 @@ func Codecs() map[string]Codec {
 }
 
 // LookupCodec returns the codec for a program name.
-func LookupCodec(name string) (Codec, error) {
+func LookupCodec(name string) (*Codec, error) {
 	c, ok := codecByName[name]
 	if !ok {
-		return Codec{}, fmt.Errorf("serve: no codec for benchmark %q", name)
+		return nil, fmt.Errorf("serve: no codec for benchmark %q", name)
 	}
 	return c, nil
 }
@@ -76,167 +84,284 @@ func BuiltinRegistry() *Registry {
 	return r
 }
 
-type sortWire struct {
-	Data []float64 `json:"data"`
+// Decode parses one wire body into the benchmark's input type. For
+// WireJSON, r carries the input object (the "input" value of the request
+// envelope); for WireBinary it carries a full frame, whose benchmark name
+// must match the codec's.
+func (c *Codec) Decode(wire Wire, r io.Reader) (core.Input, error) {
+	switch wire {
+	case WireJSON:
+		raw, err := io.ReadAll(r)
+		if err != nil {
+			return nil, err
+		}
+		return c.DecodeJSON(raw)
+	case WireBinary:
+		name, err := readBinaryHeader(r)
+		if err != nil {
+			return nil, err
+		}
+		if name != c.Name {
+			return nil, fmt.Errorf("serve: binary frame is for benchmark %q, codec serves %q", name, c.Name)
+		}
+		return c.decodeBinaryBody(r)
+	default:
+		return nil, fmt.Errorf("serve: unknown wire format %d", int(wire))
+	}
 }
 
-type clusteringWire struct {
-	X []float64 `json:"x"`
-	Y []float64 `json:"y"`
+// DecodeJSON parses the benchmark's JSON input object.
+func (c *Codec) DecodeJSON(raw []byte) (core.Input, error) {
+	p, err := c.sch.decodeJSON(raw)
+	if err != nil {
+		return nil, err
+	}
+	return c.buildInput(p)
 }
 
-type binpackWire struct {
-	Sizes []float64 `json:"sizes"`
+// decodeBinaryBody parses a binary frame whose header has been consumed.
+func (c *Codec) decodeBinaryBody(r io.Reader) (core.Input, error) {
+	p, err := decodeBinaryPayload(r, c.sch)
+	if err != nil {
+		return nil, err
+	}
+	return c.buildInput(p)
 }
 
-type svdWire struct {
-	Rows int       `json:"rows"`
-	Cols int       `json:"cols"`
-	Data []float64 `json:"data"` // row-major Rows×Cols
+// buildInput assembles the validated input, returning payload buffers to
+// the pool on rejection.
+func (c *Codec) buildInput(p *payload) (core.Input, error) {
+	in, err := c.sch.build(p)
+	if err != nil {
+		p.release()
+		return nil, err
+	}
+	return in, nil
 }
 
-type poissonWire struct {
-	N int       `json:"n"`
-	F []float64 `json:"f"` // row-major N×N right-hand side
+// Encode renders an input onto w in the chosen wire format: the JSON input
+// object for WireJSON, a full self-describing frame for WireBinary.
+func (c *Codec) Encode(wire Wire, w io.Writer, in core.Input) error {
+	p, err := c.sch.split(in)
+	if err != nil {
+		return err
+	}
+	switch wire {
+	case WireJSON:
+		data, err := c.sch.encodeJSON(p)
+		if err != nil {
+			return err
+		}
+		_, err = w.Write(data)
+		return err
+	case WireBinary:
+		frame, err := c.sch.appendBinary(nil, c.Name, p)
+		if err != nil {
+			return err
+		}
+		_, err = w.Write(frame)
+		return err
+	default:
+		return fmt.Errorf("serve: unknown wire format %d", int(wire))
+	}
 }
 
-type helmholtzWire struct {
-	N int       `json:"n"`
-	F []float64 `json:"f"` // N³ right-hand side, index (i*N+j)*N+k
-	A []float64 `json:"a"` // N³ coefficient field
-	C float64   `json:"c"`
+// EncodeJSON is Encode(WireJSON) returning the bytes.
+func (c *Codec) EncodeJSON(in core.Input) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := c.Encode(WireJSON, &buf, in); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
 }
 
-var builtinCodecs = []Codec{
+// Release returns a decoded input's vector backings to the shared buffer
+// pool. Only the owner of the input may call it — the serving handler
+// does, once classification has completed — and the input must not be
+// touched afterwards.
+func (c *Codec) Release(in core.Input) {
+	if in == nil {
+		return
+	}
+	p, err := c.sch.split(in)
+	if err != nil {
+		return
+	}
+	p.release()
+}
+
+// DecodeBinaryRequest reads one full binary classify request — the frame
+// names its benchmark, so no envelope is needed — and returns the codec it
+// resolved along with the decoded input.
+func DecodeBinaryRequest(r io.Reader) (*Codec, core.Input, error) {
+	name, err := readBinaryHeader(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	c, err := LookupCodec(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	in, err := c.decodeBinaryBody(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	return c, in, nil
+}
+
+// EncodeBinaryRequest renders one full binary classify request for the
+// named benchmark (the client-side counterpart of DecodeBinaryRequest).
+func EncodeBinaryRequest(w io.Writer, benchmark string, in core.Input) error {
+	c, err := LookupCodec(benchmark)
+	if err != nil {
+		return err
+	}
+	return c.Encode(WireBinary, w, in)
+}
+
+var builtinCodecs = []*Codec{
 	{
 		Name:       "sort",
 		NewProgram: func() core.Program { return sortbench.New() },
-		Decode: func(raw json.RawMessage) (core.Input, error) {
-			var w sortWire
-			if err := json.Unmarshal(raw, &w); err != nil {
-				return nil, err
-			}
-			if len(w.Data) == 0 {
-				return nil, fmt.Errorf("sort input needs a non-empty \"data\" array")
-			}
-			return &sortbench.List{Data: w.Data}, nil
-		},
-		Encode: func(in core.Input) (json.RawMessage, error) {
-			l, ok := in.(*sortbench.List)
-			if !ok {
-				return nil, fmt.Errorf("sort codec: input is %T", in)
-			}
-			return json.Marshal(sortWire{Data: l.Data})
-		},
+		sch: (&schema{
+			vecFields: []string{"data"},
+			build: func(p *payload) (core.Input, error) {
+				if len(p.vecs[0]) == 0 {
+					return nil, fmt.Errorf("sort input needs a non-empty \"data\" array")
+				}
+				return &sortbench.List{Data: p.vecs[0]}, nil
+			},
+			split: func(in core.Input) (*payload, error) {
+				l, ok := in.(*sortbench.List)
+				if !ok {
+					return nil, fmt.Errorf("sort codec: input is %T", in)
+				}
+				return &payload{vecs: [][]float64{l.Data}}, nil
+			},
+		}).finalize(),
 	},
 	{
 		Name:       "clustering",
 		NewProgram: func() core.Program { return clustering.New() },
-		Decode: func(raw json.RawMessage) (core.Input, error) {
-			var w clusteringWire
-			if err := json.Unmarshal(raw, &w); err != nil {
-				return nil, err
-			}
-			if len(w.X) == 0 || len(w.X) != len(w.Y) {
-				return nil, fmt.Errorf("clustering input needs equal-length non-empty \"x\" and \"y\" arrays")
-			}
-			return &clustering.Points{X: w.X, Y: w.Y}, nil
-		},
-		Encode: func(in core.Input) (json.RawMessage, error) {
-			p, ok := in.(*clustering.Points)
-			if !ok {
-				return nil, fmt.Errorf("clustering codec: input is %T", in)
-			}
-			return json.Marshal(clusteringWire{X: p.X, Y: p.Y})
-		},
+		sch: (&schema{
+			vecFields: []string{"x", "y"},
+			build: func(p *payload) (core.Input, error) {
+				x, y := p.vecs[0], p.vecs[1]
+				if len(x) == 0 || len(x) != len(y) {
+					return nil, fmt.Errorf("clustering input needs equal-length non-empty \"x\" and \"y\" arrays")
+				}
+				return &clustering.Points{X: x, Y: y}, nil
+			},
+			split: func(in core.Input) (*payload, error) {
+				pt, ok := in.(*clustering.Points)
+				if !ok {
+					return nil, fmt.Errorf("clustering codec: input is %T", in)
+				}
+				return &payload{vecs: [][]float64{pt.X, pt.Y}}, nil
+			},
+		}).finalize(),
 	},
 	{
 		Name:       "binpacking",
 		NewProgram: func() core.Program { return binpack.New() },
-		Decode: func(raw json.RawMessage) (core.Input, error) {
-			var w binpackWire
-			if err := json.Unmarshal(raw, &w); err != nil {
-				return nil, err
-			}
-			if len(w.Sizes) == 0 {
-				return nil, fmt.Errorf("binpacking input needs a non-empty \"sizes\" array")
-			}
-			return &binpack.Items{Sizes: w.Sizes}, nil
-		},
-		Encode: func(in core.Input) (json.RawMessage, error) {
-			it, ok := in.(*binpack.Items)
-			if !ok {
-				return nil, fmt.Errorf("binpacking codec: input is %T", in)
-			}
-			return json.Marshal(binpackWire{Sizes: it.Sizes})
-		},
+		sch: (&schema{
+			vecFields: []string{"sizes"},
+			build: func(p *payload) (core.Input, error) {
+				if len(p.vecs[0]) == 0 {
+					return nil, fmt.Errorf("binpacking input needs a non-empty \"sizes\" array")
+				}
+				return &binpack.Items{Sizes: p.vecs[0]}, nil
+			},
+			split: func(in core.Input) (*payload, error) {
+				it, ok := in.(*binpack.Items)
+				if !ok {
+					return nil, fmt.Errorf("binpacking codec: input is %T", in)
+				}
+				return &payload{vecs: [][]float64{it.Sizes}}, nil
+			},
+		}).finalize(),
 	},
 	{
 		Name:       "svd",
 		NewProgram: func() core.Program { return svd.New() },
-		Decode: func(raw json.RawMessage) (core.Input, error) {
-			var w svdWire
-			if err := json.Unmarshal(raw, &w); err != nil {
-				return nil, err
-			}
-			if w.Rows <= 0 || w.Cols <= 0 || len(w.Data) != w.Rows*w.Cols {
-				return nil, fmt.Errorf("svd input needs rows*cols == len(data), both positive")
-			}
-			return &svd.MatrixInput{A: &linalg.Matrix{Rows: w.Rows, Cols: w.Cols, Data: w.Data}}, nil
-		},
-		Encode: func(in core.Input) (json.RawMessage, error) {
-			m, ok := in.(*svd.MatrixInput)
-			if !ok {
-				return nil, fmt.Errorf("svd codec: input is %T", in)
-			}
-			return json.Marshal(svdWire{Rows: m.A.Rows, Cols: m.A.Cols, Data: m.A.Data})
-		},
+		sch: (&schema{
+			intFields: []string{"rows", "cols"},
+			vecFields: []string{"data"},
+			build: func(p *payload) (core.Input, error) {
+				rows, cols := p.ints[0], p.ints[1]
+				if rows <= 0 || cols <= 0 || rows > maxDimField || cols > maxDimField ||
+					int64(len(p.vecs[0])) != rows*cols {
+					return nil, fmt.Errorf("svd input needs rows*cols == len(data), both positive")
+				}
+				return &svd.MatrixInput{A: &linalg.Matrix{Rows: int(rows), Cols: int(cols), Data: p.vecs[0]}}, nil
+			},
+			split: func(in core.Input) (*payload, error) {
+				m, ok := in.(*svd.MatrixInput)
+				if !ok {
+					return nil, fmt.Errorf("svd codec: input is %T", in)
+				}
+				return &payload{
+					ints: []int64{int64(m.A.Rows), int64(m.A.Cols)},
+					vecs: [][]float64{m.A.Data},
+				}, nil
+			},
+		}).finalize(),
 	},
 	{
 		Name:       "poisson2d",
 		NewProgram: func() core.Program { return poisson2d.New() },
-		Decode: func(raw json.RawMessage) (core.Input, error) {
-			var w poissonWire
-			if err := json.Unmarshal(raw, &w); err != nil {
-				return nil, err
-			}
-			if w.N <= 0 || len(w.F) != w.N*w.N {
-				return nil, fmt.Errorf("poisson2d input needs len(f) == n*n, n positive")
-			}
-			return &poisson2d.Problem{N: w.N, F: &pde.Grid2D{N: w.N, Data: w.F}}, nil
-		},
-		Encode: func(in core.Input) (json.RawMessage, error) {
-			p, ok := in.(*poisson2d.Problem)
-			if !ok {
-				return nil, fmt.Errorf("poisson2d codec: input is %T", in)
-			}
-			return json.Marshal(poissonWire{N: p.N, F: p.F.Data})
-		},
+		sch: (&schema{
+			intFields: []string{"n"},
+			vecFields: []string{"f"},
+			build: func(p *payload) (core.Input, error) {
+				n := p.ints[0]
+				if n <= 0 || n > maxDimField || int64(len(p.vecs[0])) != n*n {
+					return nil, fmt.Errorf("poisson2d input needs len(f) == n*n, n positive")
+				}
+				return &poisson2d.Problem{N: int(n), F: &pde.Grid2D{N: int(n), Data: p.vecs[0]}}, nil
+			},
+			split: func(in core.Input) (*payload, error) {
+				pr, ok := in.(*poisson2d.Problem)
+				if !ok {
+					return nil, fmt.Errorf("poisson2d codec: input is %T", in)
+				}
+				return &payload{ints: []int64{int64(pr.N)}, vecs: [][]float64{pr.F.Data}}, nil
+			},
+		}).finalize(),
 	},
 	{
 		Name:       "helmholtz3d",
 		NewProgram: func() core.Program { return helmholtz3d.New() },
-		Decode: func(raw json.RawMessage) (core.Input, error) {
-			var w helmholtzWire
-			if err := json.Unmarshal(raw, &w); err != nil {
-				return nil, err
-			}
-			n3 := w.N * w.N * w.N
-			if w.N <= 0 || len(w.F) != n3 || len(w.A) != n3 {
-				return nil, fmt.Errorf("helmholtz3d input needs len(f) == len(a) == n³, n positive")
-			}
-			return &helmholtz3d.Problem{
-				N:  w.N,
-				Op: &pde.Helmholtz3D{A: &pde.Grid3D{N: w.N, Data: w.A}, C: w.C},
-				F:  &pde.Grid3D{N: w.N, Data: w.F},
-			}, nil
-		},
-		Encode: func(in core.Input) (json.RawMessage, error) {
-			p, ok := in.(*helmholtz3d.Problem)
-			if !ok {
-				return nil, fmt.Errorf("helmholtz3d codec: input is %T", in)
-			}
-			return json.Marshal(helmholtzWire{N: p.N, F: p.F.Data, A: p.Op.A.Data, C: p.Op.C})
-		},
+		sch: (&schema{
+			intFields:   []string{"n"},
+			floatFields: []string{"c"},
+			vecFields:   []string{"f", "a"},
+			build: func(p *payload) (core.Input, error) {
+				n := p.ints[0]
+				if n <= 0 || n > maxDimField {
+					return nil, fmt.Errorf("helmholtz3d input needs len(f) == len(a) == n³, n positive")
+				}
+				n3 := n * n * n
+				if int64(len(p.vecs[0])) != n3 || int64(len(p.vecs[1])) != n3 {
+					return nil, fmt.Errorf("helmholtz3d input needs len(f) == len(a) == n³, n positive")
+				}
+				return &helmholtz3d.Problem{
+					N:  int(n),
+					Op: &pde.Helmholtz3D{A: &pde.Grid3D{N: int(n), Data: p.vecs[1]}, C: p.floats[0]},
+					F:  &pde.Grid3D{N: int(n), Data: p.vecs[0]},
+				}, nil
+			},
+			split: func(in core.Input) (*payload, error) {
+				pr, ok := in.(*helmholtz3d.Problem)
+				if !ok {
+					return nil, fmt.Errorf("helmholtz3d codec: input is %T", in)
+				}
+				return &payload{
+					ints:   []int64{int64(pr.N)},
+					floats: []float64{pr.Op.C},
+					vecs:   [][]float64{pr.F.Data, pr.Op.A.Data},
+				}, nil
+			},
+		}).finalize(),
 	},
 }

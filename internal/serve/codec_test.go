@@ -1,7 +1,8 @@
 package serve
 
 import (
-	"encoding/json"
+	"bytes"
+	"encoding/binary"
 	"testing"
 
 	"inputtune/internal/benchmarks/binpack"
@@ -25,9 +26,10 @@ func sampleInputs() map[string]core.Input {
 	}
 }
 
-// TestCodecRoundTripPreservesFeatures encodes each benchmark's input to
-// the wire and back, then checks the decoded input yields bit-identical
-// feature vectors — the only thing classification reads.
+// TestCodecRoundTripPreservesFeatures encodes each benchmark's input onto
+// each wire and back, then checks the decoded input yields bit-identical
+// feature vectors — the only thing classification reads — regardless of
+// the format it traveled in.
 func TestCodecRoundTripPreservesFeatures(t *testing.T) {
 	inputs := sampleInputs()
 	for name, in := range inputs {
@@ -35,23 +37,54 @@ func TestCodecRoundTripPreservesFeatures(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
-		raw, err := codec.Encode(in)
-		if err != nil {
-			t.Fatalf("%s encode: %v", name, err)
-		}
-		back, err := codec.Decode(raw)
-		if err != nil {
-			t.Fatalf("%s decode: %v", name, err)
-		}
 		set := codec.NewProgram().Features()
 		wantV, wantC := set.ExtractAll(in)
-		gotV, gotC := set.ExtractAll(back)
+		for _, wire := range []Wire{WireJSON, WireBinary} {
+			var buf bytes.Buffer
+			if err := codec.Encode(wire, &buf, in); err != nil {
+				t.Fatalf("%s %s encode: %v", name, wire, err)
+			}
+			back, err := codec.Decode(wire, bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatalf("%s %s decode: %v", name, wire, err)
+			}
+			gotV, gotC := set.ExtractAll(back)
+			for f := range wantV {
+				if wantV[f] != gotV[f] || wantC[f] != gotC[f] {
+					t.Fatalf("%s %s: feature %d diverged after round trip: (%v,%v) vs (%v,%v)",
+						name, wire, f, wantV[f], wantC[f], gotV[f], gotC[f])
+				}
+			}
+			codec.Release(back)
+		}
+	}
+}
+
+// TestBinaryRequestRoundTrip exercises the envelope-free framed request
+// path (benchmark name inside the frame) for every benchmark.
+func TestBinaryRequestRoundTrip(t *testing.T) {
+	for name, in := range sampleInputs() {
+		var buf bytes.Buffer
+		if err := EncodeBinaryRequest(&buf, name, in); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		codec, back, err := DecodeBinaryRequest(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if codec.Name != name {
+			t.Fatalf("frame for %s resolved codec %s", name, codec.Name)
+		}
+		set := codec.NewProgram().Features()
+		wantV, _ := set.ExtractAll(in)
+		gotV, _ := set.ExtractAll(back)
 		for f := range wantV {
-			if wantV[f] != gotV[f] || wantC[f] != gotC[f] {
-				t.Fatalf("%s: feature %d diverged after round trip: (%v,%v) vs (%v,%v)",
-					name, f, wantV[f], wantC[f], gotV[f], gotC[f])
+			if wantV[f] != gotV[f] {
+				t.Fatalf("%s: feature %d diverged over binary request: %v vs %v",
+					name, f, wantV[f], gotV[f])
 			}
 		}
+		codec.Release(back)
 	}
 }
 
@@ -76,7 +109,7 @@ func TestCodecCoverage(t *testing.T) {
 	}
 }
 
-func TestCodecDecodeRejectsMalformed(t *testing.T) {
+func TestCodecDecodeRejectsMalformedJSON(t *testing.T) {
 	bad := map[string][]string{
 		"sort":        {`{}`, `{"data": []}`, `[1,2]`},
 		"clustering":  {`{}`, `{"x": [1], "y": []}`},
@@ -91,9 +124,59 @@ func TestCodecDecodeRejectsMalformed(t *testing.T) {
 			t.Fatal(err)
 		}
 		for _, p := range payloads {
-			if _, err := codec.Decode(json.RawMessage(p)); err == nil {
+			if _, err := codec.DecodeJSON([]byte(p)); err == nil {
 				t.Fatalf("%s accepted %s", name, p)
 			}
 		}
+	}
+}
+
+func TestCodecDecodeRejectsMalformedBinary(t *testing.T) {
+	// A valid sort frame to mutate.
+	var good bytes.Buffer
+	in := &sortbench.List{Data: []float64{3, 1, 2}}
+	if err := EncodeBinaryRequest(&good, "sort", in); err != nil {
+		t.Fatal(err)
+	}
+	frame := good.Bytes()
+
+	reject := func(label string, data []byte) {
+		t.Helper()
+		if _, _, err := DecodeBinaryRequest(bytes.NewReader(data)); err == nil {
+			t.Fatalf("binary decode accepted %s", label)
+		}
+	}
+	reject("empty input", nil)
+	reject("bad magic", append([]byte("XXXX"), frame[4:]...))
+	reject("truncated header", frame[:3])
+	reject("truncated name", frame[:6])
+	reject("truncated vector", frame[:len(frame)-5])
+	reject("trailing bytes", append(append([]byte{}, frame...), 0xFF))
+	reject("unknown benchmark", func() []byte {
+		var b bytes.Buffer
+		b.Write(wireMagic[:])
+		b.WriteByte(6)
+		b.WriteString("nosuch")
+		return b.Bytes()
+	}())
+	// A count claiming more elements than any request could carry.
+	reject("oversized count", func() []byte {
+		var b bytes.Buffer
+		b.Write(wireMagic[:])
+		b.WriteByte(4)
+		b.WriteString("sort")
+		var word [8]byte
+		binary.LittleEndian.PutUint64(word[:], uint64(maxVecElems)+1)
+		b.Write(word[:])
+		return b.Bytes()
+	}())
+
+	// A frame for one benchmark must not decode through another's codec.
+	codec, err := LookupCodec("binpacking")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := codec.Decode(WireBinary, bytes.NewReader(frame)); err == nil {
+		t.Fatal("binpacking codec accepted a sort frame")
 	}
 }

@@ -10,11 +10,12 @@
 //     benchmark's Program and swaps it in atomically: in-flight requests
 //     keep the snapshot they started with, new requests see the new one,
 //     and a bad artifact is rejected without disturbing the live model.
-//   - DecisionCache — a bounded LRU from quantized feature vectors
-//     (exact Float64bits, fingerprinted with engine.Fingerprint) to
-//     predicted landmarks. Feature extraction is deterministic, so a hit
-//     returns exactly the label a fresh prediction would; the cache can
-//     only skip work, never change an answer.
+//   - DecisionCache — a bounded LRU from fingerprinted feature vectors
+//     (exact Float64bits by default; CacheOptions.QuantizeBits opts into
+//     bucketed keys) to predicted landmarks. Feature extraction is
+//     deterministic, so with exact keys a hit returns exactly the label a
+//     fresh prediction would; the cache can only skip work, never change
+//     an answer.
 //   - Service — the per-request path: resolve the model snapshot, extract
 //     features on a private cost.Meter (requests never share mutable
 //     state; see core.Model.Infer for the contract), consult the decision
@@ -24,11 +25,16 @@
 //     small batches and classifies them on the shared engine.Pool, so a
 //     flood of HTTP goroutines degrades into bounded, batched work
 //     instead of unbounded concurrency.
-//   - Handler — the stdlib net/http JSON API served by cmd/inputtuned:
-//     POST /v1/classify, POST /v1/reload, GET /v1/models, GET /metrics,
+//   - Handler — the stdlib net/http API served by cmd/inputtuned:
+//     POST /v1/classify (content-negotiated between the JSON envelope and
+//     the binary frame), POST /v1/reload, GET /v1/models, GET /metrics,
 //     GET /healthz.
 //
-// Wire inputs are decoded per benchmark by the codecs in codec.go; the
-// serve-bench load generator (internal/exp) uses the same codecs to
-// encode generated inputs, so the bench drives the real wire path.
+// Wire inputs are decoded per benchmark by the schema-driven codecs in
+// codec.go over the wire layer in wire.go: one schema per benchmark, two
+// negotiated formats (JSON, kept bit-compatible with PR 4, and the
+// length-prefixed binary frame whose vectors stream into pooled buffers —
+// see docs/ARCHITECTURE.md § Wire protocol). The serve-bench load
+// generator (internal/exp) uses the same codecs to encode generated
+// inputs, so the bench drives the real wire path, one arm per format.
 package serve

@@ -1,0 +1,165 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"inputtune/internal/benchmarks/sortbench"
+)
+
+// The wire codecs face arbitrary network bytes; these fuzz targets pin the
+// two properties the stack promises: no input can panic or blow up
+// allocation (declared vector counts are validated before trust), and
+// every value a codec accepts round-trips losslessly. `go test ./...`
+// runs the seed corpus on every CI pass; `go test -fuzz` explores further.
+
+// fuzzSeedFrames returns one valid binary frame per benchmark plus a few
+// deliberately broken ones.
+func fuzzSeedFrames(tb testing.TB) [][]byte {
+	tb.Helper()
+	var seeds [][]byte
+	for name, in := range sampleInputs() {
+		var buf bytes.Buffer
+		if err := EncodeBinaryRequest(&buf, name, in); err != nil {
+			tb.Fatal(err)
+		}
+		seeds = append(seeds, buf.Bytes())
+	}
+	seeds = append(seeds,
+		nil,
+		wireMagic[:],
+		append(append([]byte{}, wireMagic[:]...), 0),
+		func() []byte { // huge declared count
+			var b bytes.Buffer
+			b.Write(wireMagic[:])
+			b.WriteByte(4)
+			b.WriteString("sort")
+			var w [8]byte
+			binary.LittleEndian.PutUint64(w[:], math.MaxUint64)
+			b.Write(w[:])
+			return b.Bytes()
+		}(),
+	)
+	return seeds
+}
+
+// FuzzDecodeBinaryRequest feeds arbitrary bytes to the framed binary
+// decoder. Whatever survives decoding must re-encode and re-decode to
+// bit-identical feature content (the round-trip half of the contract).
+func FuzzDecodeBinaryRequest(f *testing.F) {
+	for _, s := range fuzzSeedFrames(f) {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		codec, in, err := DecodeBinaryRequest(bytes.NewReader(data))
+		if err != nil {
+			return // rejected, and without panicking: fine
+		}
+		var buf bytes.Buffer
+		if err := codec.Encode(WireBinary, &buf, in); err != nil {
+			t.Fatalf("accepted input failed to re-encode: %v", err)
+		}
+		_, back, err := DecodeBinaryRequest(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-encoded frame failed to decode: %v", err)
+		}
+		set := codec.NewProgram().Features()
+		v1, _ := set.ExtractAll(in)
+		v2, _ := set.ExtractAll(back)
+		for i := range v1 {
+			b1, b2 := math.Float64bits(v1[i]), math.Float64bits(v2[i])
+			if b1 != b2 {
+				t.Fatalf("feature %d changed across binary round trip: %x vs %x", i, b1, b2)
+			}
+		}
+		codec.Release(in)
+		codec.Release(back)
+	})
+}
+
+// FuzzDecodeJSONInputs feeds arbitrary bytes to every benchmark's JSON
+// input decoder (the payload under the envelope): decoding may fail, but
+// must never panic, and accepted inputs must round-trip.
+func FuzzDecodeJSONInputs(f *testing.F) {
+	f.Add([]byte(`{"data": [3, 1, 2]}`))
+	f.Add([]byte(`{"x": [1, 2], "y": [3, 4]}`))
+	f.Add([]byte(`{"sizes": [0.5, 0.25]}`))
+	f.Add([]byte(`{"rows": 2, "cols": 2, "data": [1, 2, 3, 4]}`))
+	f.Add([]byte(`{"n": 1, "f": [0.5]}`))
+	f.Add([]byte(`{"n": 1, "f": [1], "a": [2], "c": 0.5}`))
+	f.Add([]byte(`{"n": 1e99}`))
+	f.Add([]byte(`{"data": "not an array"}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for name := range codecByName {
+			codec := codecByName[name]
+			in, err := codec.DecodeJSON(data)
+			if err != nil {
+				continue
+			}
+			reencoded, err := codec.EncodeJSON(in)
+			if err != nil {
+				t.Fatalf("%s: accepted input failed to re-encode: %v", name, err)
+			}
+			back, err := codec.DecodeJSON(reencoded)
+			if err != nil {
+				t.Fatalf("%s: re-encoded input failed to decode: %v", name, err)
+			}
+			set := codec.NewProgram().Features()
+			v1, _ := set.ExtractAll(in)
+			v2, _ := set.ExtractAll(back)
+			for i := range v1 {
+				if math.Float64bits(v1[i]) != math.Float64bits(v2[i]) {
+					t.Fatalf("%s: feature %d changed across JSON round trip", name, i)
+				}
+			}
+		}
+	})
+}
+
+// FuzzSortListBothWires generates sort inputs from raw bytes and checks
+// the strongest cross-format property: the JSON wire, the binary wire and
+// the original input all extract bit-identical features.
+func FuzzSortListBothWires(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 8 {
+			return
+		}
+		vals := make([]float64, 0, len(data)/8)
+		for i := 0; i+8 <= len(data); i += 8 {
+			v := math.Float64frombits(binary.LittleEndian.Uint64(data[i:]))
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				// JSON cannot carry these; the feature extractors never
+				// see them from either wire.
+				return
+			}
+			vals = append(vals, v)
+		}
+		in := &sortbench.List{Data: vals}
+		codec, err := LookupCodec("sort")
+		if err != nil {
+			t.Fatal(err)
+		}
+		set := codec.NewProgram().Features()
+		want, _ := set.ExtractAll(in)
+		for _, wire := range []Wire{WireJSON, WireBinary} {
+			var buf bytes.Buffer
+			if err := codec.Encode(wire, &buf, in); err != nil {
+				t.Fatalf("%s encode: %v", wire, err)
+			}
+			back, err := codec.Decode(wire, bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatalf("%s decode: %v", wire, err)
+			}
+			got, _ := set.ExtractAll(back)
+			for i := range want {
+				if math.Float64bits(want[i]) != math.Float64bits(got[i]) {
+					t.Fatalf("%s: feature %d diverged", wire, i)
+				}
+			}
+			codec.Release(back)
+		}
+	})
+}

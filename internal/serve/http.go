@@ -1,10 +1,15 @@
 package serve
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
+	"strings"
+	"sync"
+
+	"inputtune/internal/core"
 )
 
 // MaxRequestBytes bounds request bodies (inputs and artifacts alike) so a
@@ -12,7 +17,8 @@ import (
 // benchmark sizes are a few MB of JSON; 64 MB leaves ample headroom.
 const MaxRequestBytes = 64 << 20
 
-// classifyRequest is the POST /v1/classify body.
+// classifyRequest is the POST /v1/classify JSON envelope. The binary wire
+// needs no envelope: its frame names the benchmark itself.
 type classifyRequest struct {
 	Benchmark string          `json:"benchmark"`
 	Input     json.RawMessage `json:"input"`
@@ -42,45 +48,114 @@ type modelInfo struct {
 type healthResponse struct {
 	Status string `json:"status"`
 	Models int    `json:"models"`
+	// Wires lists the accepted request formats.
+	Wires []string `json:"wires"`
+}
+
+// bufPool recycles the per-request byte buffers (request bodies on the
+// JSON path, response encodings on every path).
+var bufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// maxPooledBuf caps what goes back in the pool, so one oversized request
+// cannot pin megabytes for the rest of the process lifetime.
+const maxPooledBuf = 1 << 20
+
+func getBuf() *bytes.Buffer {
+	b := bufPool.Get().(*bytes.Buffer)
+	b.Reset()
+	return b
+}
+
+func putBuf(b *bytes.Buffer) {
+	if b.Cap() <= maxPooledBuf {
+		bufPool.Put(b)
+	}
+}
+
+// mediaType extracts the media type of a Content-Type header, dropping
+// parameters (charset etc.) and normalizing case.
+func mediaType(ct string) string {
+	if i := strings.IndexByte(ct, ';'); i >= 0 {
+		ct = ct[:i]
+	}
+	return strings.ToLower(strings.TrimSpace(ct))
 }
 
 // NewHandler builds the serving API over a service:
 //
-//	POST /v1/classify  {"benchmark": "...", "input": {...}}  → Decision
-//	POST /v1/reload    <SaveModel artifact JSON>             → generation
-//	GET  /v1/models                                          → loaded models
-//	GET  /metrics                  Prometheus text (?format=json for JSON)
-//	GET  /healthz                                            → liveness
+//	POST /v1/classify  content-negotiated on Content-Type:
+//	                   application/json (default):
+//	                     {"benchmark": "...", "input": {...}}    → Decision
+//	                   application/x-inputtune:
+//	                     binary frame (see wire.go)              → Decision
+//	POST /v1/reload    <SaveModel artifact JSON>                 → generation
+//	GET  /v1/models                                              → loaded models
+//	GET  /metrics                      Prometheus text (?format=json for JSON)
+//	GET  /healthz                                                → liveness
 //
-// Input wire formats are the per-benchmark codecs (codec.go).
+// Responses are always JSON; negotiation covers the request input payload,
+// where the bytes are. Input wire formats are the per-benchmark codecs
+// (codec.go) over the shared wire layer (wire.go).
 func NewHandler(svc *Service) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/classify", func(w http.ResponseWriter, r *http.Request) {
-		body, err := io.ReadAll(io.LimitReader(r.Body, MaxRequestBytes))
-		if err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("reading body: %w", err))
-			return
+		var benchmark string
+		var in core.Input
+		var codec *Codec
+		switch ct := mediaType(r.Header.Get("Content-Type")); ct {
+		case ContentTypeBinary:
+			if !svc.AcceptsWire(WireBinary) {
+				writeError(w, http.StatusUnsupportedMediaType,
+					fmt.Errorf("this deployment does not accept %s", ContentTypeBinary))
+				return
+			}
+			// The frame streams straight off the socket: vectors land in
+			// pooled buffers exactly once, with no intermediate envelope.
+			c, decoded, err := DecodeBinaryRequest(io.LimitReader(r.Body, MaxRequestBytes))
+			if err != nil {
+				writeError(w, http.StatusBadRequest, fmt.Errorf("decoding binary request: %w", err))
+				return
+			}
+			codec, in, benchmark = c, decoded, c.Name
+		default:
+			if !svc.AcceptsWire(WireJSON) {
+				writeError(w, http.StatusUnsupportedMediaType,
+					fmt.Errorf("this deployment does not accept %s", ContentTypeJSON))
+				return
+			}
+			body := getBuf()
+			if _, err := body.ReadFrom(io.LimitReader(r.Body, MaxRequestBytes)); err != nil {
+				putBuf(body)
+				writeError(w, http.StatusBadRequest, fmt.Errorf("reading body: %w", err))
+				return
+			}
+			var req classifyRequest
+			err := json.Unmarshal(body.Bytes(), &req)
+			putBuf(body) // req.Input is a copy; the raw body is done
+			if err != nil {
+				writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+				return
+			}
+			if req.Benchmark == "" || len(req.Input) == 0 {
+				writeError(w, http.StatusBadRequest, fmt.Errorf("request needs \"benchmark\" and \"input\""))
+				return
+			}
+			c, err := LookupCodec(req.Benchmark)
+			if err != nil {
+				writeError(w, http.StatusNotFound, err)
+				return
+			}
+			decoded, err := c.DecodeJSON(req.Input)
+			if err != nil {
+				writeError(w, http.StatusBadRequest, fmt.Errorf("decoding %s input: %w", req.Benchmark, err))
+				return
+			}
+			codec, in, benchmark = c, decoded, req.Benchmark
 		}
-		var req classifyRequest
-		if err := json.Unmarshal(body, &req); err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
-			return
-		}
-		if req.Benchmark == "" || len(req.Input) == 0 {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("request needs \"benchmark\" and \"input\""))
-			return
-		}
-		codec, err := LookupCodec(req.Benchmark)
-		if err != nil {
-			writeError(w, http.StatusNotFound, err)
-			return
-		}
-		in, err := codec.Decode(req.Input)
-		if err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("decoding %s input: %w", req.Benchmark, err))
-			return
-		}
-		d, err := svc.Classify(req.Benchmark, in)
+		d, err := svc.Classify(benchmark, in)
+		// The decision carries no reference to the input, so its buffers
+		// can rejoin the pool before the response is even written.
+		codec.Release(in)
 		if err != nil {
 			writeError(w, http.StatusServiceUnavailable, err)
 			return
@@ -129,21 +204,34 @@ func NewHandler(svc *Service) http.Handler {
 		io.WriteString(w, snap.RenderPrometheus())
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		wires := []string{}
+		for _, wire := range []Wire{WireJSON, WireBinary} {
+			if svc.AcceptsWire(wire) {
+				wires = append(wires, wire.String())
+			}
+		}
 		writeJSON(w, http.StatusOK, healthResponse{
 			Status: "ok",
 			Models: len(svc.Registry().Snapshots()),
+			Wires:  wires,
 		})
 	})
 	return mux
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
+	buf := getBuf()
+	if err := json.NewEncoder(buf).Encode(v); err != nil {
+		putBuf(buf)
+		http.Error(w, `{"error": "encoding response"}`, http.StatusInternalServerError)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	// Encoding errors past the header are unrecoverable mid-stream; the
+	// Write errors past the header are unrecoverable mid-stream; the
 	// client sees a truncated body and retries.
-	_ = enc.Encode(v)
+	_, _ = w.Write(buf.Bytes())
+	putBuf(buf)
 }
 
 func writeError(w http.ResponseWriter, status int, err error) {

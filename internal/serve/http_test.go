@@ -41,7 +41,7 @@ func TestHTTPClassify(t *testing.T) {
 	want := offlineLabels(testModels.sortModel, testModels.sortInputs)
 	codec, _ := LookupCodec("sort")
 	for i, in := range testModels.sortInputs[:8] {
-		raw, err := codec.Encode(in)
+		raw, err := codec.EncodeJSON(in)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -127,7 +127,7 @@ func TestHTTPReloadAndModels(t *testing.T) {
 func TestHTTPMetricsAndHealth(t *testing.T) {
 	srv, _ := newTestServer(t)
 	codec, _ := LookupCodec("sort")
-	raw, _ := codec.Encode(testModels.sortInputs[0])
+	raw, _ := codec.EncodeJSON(testModels.sortInputs[0])
 	body, _ := json.Marshal(classifyRequest{Benchmark: "sort", Input: raw})
 	postJSON(t, srv.URL+"/v1/classify", body)
 
@@ -172,7 +172,7 @@ func TestHTTPConcurrentClassifyDuringReload(t *testing.T) {
 	codec, _ := LookupCodec("sort")
 	bodies := make([][]byte, len(testModels.sortInputs))
 	for i, in := range testModels.sortInputs {
-		raw, err := codec.Encode(in)
+		raw, err := codec.EncodeJSON(in)
 		if err != nil {
 			t.Fatal(err)
 		}

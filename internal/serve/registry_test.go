@@ -128,16 +128,20 @@ func TestHotReloadUnderConcurrentRequests(t *testing.T) {
 		}()
 	}
 	// Reloader: keep swapping (valid and invalid artifacts interleaved)
-	// until the readers finish.
+	// until the readers finish — but never fewer than two live swaps, so
+	// the generation assertion below cannot flake when a loaded 1-CPU
+	// runner lets the readers drain before this goroutine is scheduled.
 	reloaderWg.Add(1)
 	go func() {
 		defer reloaderWg.Done()
 		bad := []byte("junk")
 		for i := 0; ; i++ {
-			select {
-			case <-stop:
-				return
-			default:
+			if i >= 3 {
+				select {
+				case <-stop:
+					return
+				default:
+				}
 			}
 			if i%3 == 2 {
 				if _, err := reg.Load(bad); err == nil {

@@ -8,6 +8,7 @@ import (
 	"inputtune/internal/core"
 	"inputtune/internal/cost"
 	"inputtune/internal/engine"
+	"inputtune/internal/feature"
 )
 
 // Decision is the service's answer to one classification request.
@@ -28,18 +29,16 @@ type Decision struct {
 	// this decision.
 	FeatureUnits float64 `json:"feature_units"`
 	// CacheHit reports whether the decision cache answered the predict
-	// step (feature extraction still ran; hits cannot change answers).
+	// step (feature extraction still ran; with exact keys, hits cannot
+	// change answers).
 	CacheHit bool `json:"cache_hit"`
 }
 
 // Options configures a Service.
 type Options struct {
-	// DecisionCacheCapacity bounds the decision cache (entries; <= 0
-	// selects DefaultDecisionCacheCapacity).
-	DecisionCacheCapacity int
-	// DisableDecisionCache turns the decision cache off — the A/B escape
-	// hatch; labels are identical either way (test-enforced).
-	DisableDecisionCache bool
+	// Cache configures the decision cache (capacity, the disable escape
+	// hatch, and the opt-in quantized key).
+	Cache CacheOptions
 	// Shards and MaxBatch configure the batching layer; Shards <= 0
 	// disables batching and classifies inline on the request goroutine.
 	Shards int
@@ -48,28 +47,50 @@ type Options struct {
 	MaxBatch int
 	// Pool is the worker pool batches run on (nil selects engine.Default).
 	Pool *engine.Pool
+	// Wires restricts which request wire formats the HTTP layer accepts
+	// (nil or empty = all). A deployment pinned to -wire json keeps the
+	// PR-4 surface exactly.
+	Wires []Wire
 }
 
 // Service is the classification runtime: registry resolution, per-request
 // feature extraction on a private meter, decision caching, and metrics.
 // One Service is safe for any number of concurrent callers.
 type Service struct {
-	reg     *Registry
-	cache   *DecisionCache
-	metrics *Metrics
-	batcher *Batcher
+	reg          *Registry
+	cache        *DecisionCache
+	quantizeBits int
+	metrics      *Metrics
+	batcher      *Batcher
+	wires        [2]bool
 }
 
 // NewService assembles a service over a registry.
 func NewService(reg *Registry, opts Options) *Service {
 	s := &Service{reg: reg, metrics: NewMetrics()}
-	if !opts.DisableDecisionCache {
-		s.cache = NewDecisionCache(opts.DecisionCacheCapacity)
+	if !opts.Cache.Disable {
+		s.cache = NewDecisionCache(opts.Cache.Capacity)
+		s.quantizeBits = clampQuantizeBits(opts.Cache.QuantizeBits)
+	}
+	if len(opts.Wires) == 0 {
+		s.wires = [2]bool{true, true}
+	} else {
+		for _, w := range opts.Wires {
+			if w == WireJSON || w == WireBinary {
+				s.wires[w] = true
+			}
+		}
 	}
 	if opts.Shards > 0 {
 		s.batcher = NewBatcher(s, opts.Shards, opts.MaxBatch, opts.Pool)
 	}
 	return s
+}
+
+// AcceptsWire reports whether the deployment negotiates the given request
+// format.
+func (s *Service) AcceptsWire(w Wire) bool {
+	return w == WireJSON && s.wires[WireJSON] || w == WireBinary && s.wires[WireBinary]
 }
 
 // Registry returns the service's registry (for reload endpoints).
@@ -108,7 +129,8 @@ func (s *Service) Classify(benchmark string, in core.Input) (*Decision, error) {
 
 // classifyNow is the inline classification path (the batcher's workers
 // call it too). All per-request mutable state — the meter, the feature
-// row — is private to the call; the model snapshot is resolved once and
+// row (drawn from the shared buffer pool and returned before the call
+// ends) — is private to the call; the model snapshot is resolved once and
 // used throughout, so a concurrent hot-reload never splits a request
 // across two models.
 func (s *Service) classifyNow(benchmark string, in core.Input) (*Decision, error) {
@@ -129,12 +151,17 @@ func (s *Service) classifyNow(benchmark string, in core.Input) (*Decision, error
 		// fingerprint those and let the cache skip the tree walk. The
 		// extraction itself (the dominant cost, charged to the meter)
 		// runs either way, so cached and uncached requests report the
-		// same feature units and, by determinism, the same label.
-		row := set.ExtractSubset(in, prod.Static, meter)
-		vals := make([]float64, len(prod.Static))
+		// same feature units and, by determinism, the same label. With
+		// QuantizeBits > 0 the key is bucketed first — see CacheOptions.
+		M := set.NumFeatures()
+		scratch := feature.GetBuffer(M + len(prod.Static))
+		scratch = scratch[:M+len(prod.Static)]
+		row := set.ExtractSubsetInto(scratch[:M], in, prod.Static, meter)
+		vals := scratch[M:]
 		for i, f := range prod.Static {
 			vals[i] = row[f]
 		}
+		quantizeRow(s.quantizeBits, vals)
 		key := engine.Fingerprint([]uint64{snap.Generation}, vals)
 		if cached, hit := s.cache.Get(key); hit {
 			label, cacheHit = cached, true
@@ -142,6 +169,7 @@ func (s *Service) classifyNow(benchmark string, in core.Input) (*Decision, error
 			label, _ = prod.PredictRow(row)
 			s.cache.Put(key, label)
 		}
+		feature.PutBuffer(scratch)
 	} else {
 		// Max-a-priori extracts nothing; the incremental classifier
 		// chooses its features adaptively per input — both classify

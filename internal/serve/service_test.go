@@ -36,7 +36,7 @@ func TestServedLabelsBitIdenticalCacheOnOff(t *testing.T) {
 				if _, err := reg.Install(tc.model); err != nil {
 					t.Fatal(err)
 				}
-				svc := NewService(reg, Options{DisableDecisionCache: disable})
+				svc := NewService(reg, Options{Cache: CacheOptions{Disable: disable}})
 				// Two passes: the second hits the cache (when enabled and
 				// the production classifier is cacheable).
 				for pass := 0; pass < 2; pass++ {

@@ -1,0 +1,341 @@
+package serve
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"reflect"
+	"sync"
+
+	"inputtune/internal/core"
+	"inputtune/internal/feature"
+)
+
+// This file is the wire layer under the per-benchmark codecs: the
+// negotiated format identifiers, the generic JSON serializer (bit-
+// compatible with the PR-4 wire structs), and the length-prefixed binary
+// format, whose decoder streams vector payloads straight from the request
+// body into pooled buffers — the zero-allocation request path.
+//
+// Binary frame layout (all integers little-endian):
+//
+//	offset  size      field
+//	0       4         magic "ITW1"
+//	4       1         benchmark-name length L (1..64)
+//	5       L         benchmark name (the codec key)
+//	then, in schema order:
+//	  each int scalar    8   uint64 (two's complement)
+//	  each float scalar  8   IEEE-754 float64 bits
+//	  each vector        8   element count n, then n×8 float64 bits
+//
+// The frame is self-delimiting (every vector is length-prefixed) and
+// self-describing down to the benchmark, whose schema fixes the field
+// sequence; trailing bytes after the last field are an error.
+
+// Wire identifies a negotiated wire format for classification inputs.
+type Wire int
+
+const (
+	// WireJSON is the PR-4 JSON format, kept bit-compatible: requests are
+	// {"benchmark": ..., "input": {...}} with per-benchmark input objects.
+	WireJSON Wire = iota
+	// WireBinary is the length-prefixed binary format
+	// (Content-Type: application/x-inputtune).
+	WireBinary
+)
+
+// Content types the classify endpoint negotiates on.
+const (
+	ContentTypeJSON   = "application/json"
+	ContentTypeBinary = "application/x-inputtune"
+)
+
+func (w Wire) String() string {
+	switch w {
+	case WireJSON:
+		return "json"
+	case WireBinary:
+		return "binary"
+	default:
+		return fmt.Sprintf("wire(%d)", int(w))
+	}
+}
+
+// ContentType returns the HTTP content type announcing the format.
+func (w Wire) ContentType() string {
+	if w == WireBinary {
+		return ContentTypeBinary
+	}
+	return ContentTypeJSON
+}
+
+// ParseWire resolves a -wire flag value.
+func ParseWire(s string) (Wire, error) {
+	switch s {
+	case "json":
+		return WireJSON, nil
+	case "binary":
+		return WireBinary, nil
+	default:
+		return 0, fmt.Errorf("serve: unknown wire format %q (want json or binary)", s)
+	}
+}
+
+var wireMagic = [4]byte{'I', 'T', 'W', '1'}
+
+const (
+	// maxWireName bounds the benchmark-name field.
+	maxWireName = 64
+	// maxVecElems bounds a single vector's declared element count: no
+	// well-formed request can carry more than MaxRequestBytes of payload.
+	maxVecElems = MaxRequestBytes / 8
+	// vecPreAlloc caps how much a decoder pre-allocates on the strength of
+	// a declared count alone; a lying header therefore costs at most this
+	// many elements before the stream runs dry and errors.
+	vecPreAlloc = 1 << 16
+)
+
+// scratchPool holds the byte blocks binary decode/encode streams through.
+var scratchPool = sync.Pool{New: func() any { b := make([]byte, 32<<10); return &b }}
+
+// payload is the flat decoded content of one request: every wire format
+// reduces to it, and every input builds from it, so the two formats cannot
+// diverge in what they carry.
+type payload struct {
+	ints   []int64
+	floats []float64
+	vecs   [][]float64
+}
+
+// release returns the payload's vector backings to the shared buffer pool.
+func (p *payload) release() {
+	if p == nil {
+		return
+	}
+	for _, v := range p.vecs {
+		feature.PutBuffer(v)
+	}
+	p.vecs = nil
+}
+
+// schema describes one benchmark's wire content: named scalar and vector
+// fields (the names double as the JSON keys, the order is the binary field
+// sequence) plus the two conversions between payload and the benchmark's
+// concrete input type. Everything else — JSON, binary, negotiation,
+// pooling — is generic over it.
+type schema struct {
+	intFields   []string
+	floatFields []string
+	vecFields   []string
+	// build validates a payload and assembles the input, taking ownership
+	// of the vector backings.
+	build func(p *payload) (core.Input, error)
+	// split is build's inverse: it exposes an input's wire content. The
+	// returned payload aliases the input's slices (no copies).
+	split func(in core.Input) (*payload, error)
+
+	// jsonT is the reflect-built struct type whose json tags reproduce the
+	// benchmark's wire object; computed once by finalize.
+	jsonT reflect.Type
+}
+
+// finalize precomputes the generic JSON carrier type.
+func (sch *schema) finalize() *schema {
+	var fields []reflect.StructField
+	add := func(name string, t reflect.Type) {
+		fields = append(fields, reflect.StructField{
+			Name: fmt.Sprintf("F%d", len(fields)),
+			Type: t,
+			Tag:  reflect.StructTag(`json:"` + name + `"`),
+		})
+	}
+	for _, n := range sch.intFields {
+		add(n, reflect.TypeOf(int64(0)))
+	}
+	for _, n := range sch.floatFields {
+		add(n, reflect.TypeOf(float64(0)))
+	}
+	for _, n := range sch.vecFields {
+		add(n, reflect.TypeOf([]float64(nil)))
+	}
+	sch.jsonT = reflect.StructOf(fields)
+	return sch
+}
+
+// numFields returns the total scalar+vector field count.
+func (sch *schema) numFields() int {
+	return len(sch.intFields) + len(sch.floatFields) + len(sch.vecFields)
+}
+
+// decodeJSON parses one wire object (the "input" value of a JSON request)
+// into a payload. Unknown keys are ignored and missing fields decode to
+// zero values, exactly like the PR-4 wire structs.
+func (sch *schema) decodeJSON(raw []byte) (*payload, error) {
+	pv := reflect.New(sch.jsonT)
+	if err := json.Unmarshal(raw, pv.Interface()); err != nil {
+		return nil, err
+	}
+	v := pv.Elem()
+	p := &payload{}
+	i := 0
+	for range sch.intFields {
+		p.ints = append(p.ints, v.Field(i).Int())
+		i++
+	}
+	for range sch.floatFields {
+		p.floats = append(p.floats, v.Field(i).Float())
+		i++
+	}
+	for range sch.vecFields {
+		p.vecs = append(p.vecs, v.Field(i).Interface().([]float64))
+		i++
+	}
+	return p, nil
+}
+
+// encodeJSON renders a payload as the benchmark's JSON wire object.
+func (sch *schema) encodeJSON(p *payload) ([]byte, error) {
+	pv := reflect.New(sch.jsonT)
+	v := pv.Elem()
+	i := 0
+	for _, x := range p.ints {
+		v.Field(i).SetInt(x)
+		i++
+	}
+	for _, x := range p.floats {
+		v.Field(i).SetFloat(x)
+		i++
+	}
+	for _, x := range p.vecs {
+		v.Field(i).Set(reflect.ValueOf(x))
+		i++
+	}
+	return json.Marshal(pv.Interface())
+}
+
+// appendBinary renders the full binary frame (header + payload) for the
+// named benchmark into dst.
+func (sch *schema) appendBinary(dst []byte, name string, p *payload) ([]byte, error) {
+	if len(name) == 0 || len(name) > maxWireName {
+		return nil, fmt.Errorf("serve: benchmark name %q does not fit the wire header", name)
+	}
+	dst = append(dst, wireMagic[:]...)
+	dst = append(dst, byte(len(name)))
+	dst = append(dst, name...)
+	var buf [8]byte
+	putU64 := func(x uint64) {
+		binary.LittleEndian.PutUint64(buf[:], x)
+		dst = append(dst, buf[:]...)
+	}
+	for _, x := range p.ints {
+		putU64(uint64(x))
+	}
+	for _, x := range p.floats {
+		putU64(math.Float64bits(x))
+	}
+	for _, vec := range p.vecs {
+		putU64(uint64(len(vec)))
+		for _, x := range vec {
+			putU64(math.Float64bits(x))
+		}
+	}
+	return dst, nil
+}
+
+// readBinaryHeader consumes the magic and benchmark name.
+func readBinaryHeader(r io.Reader) (string, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return "", fmt.Errorf("serve: binary header: %w", err)
+	}
+	if [4]byte(hdr[:4]) != wireMagic {
+		return "", fmt.Errorf("serve: bad binary magic %q", hdr[:4])
+	}
+	n := int(hdr[4])
+	if n == 0 || n > maxWireName {
+		return "", fmt.Errorf("serve: binary name length %d out of range", n)
+	}
+	name := make([]byte, n)
+	if _, err := io.ReadFull(r, name); err != nil {
+		return "", fmt.Errorf("serve: binary name: %w", err)
+	}
+	return string(name), nil
+}
+
+// decodeBinaryPayload streams the schema's fields from r. Vector contents
+// are converted block-at-a-time through a pooled byte scratch into pooled
+// float64 buffers, so a large input is materialized exactly once — as the
+// slice the feature extractors will read.
+func decodeBinaryPayload(r io.Reader, sch *schema) (*payload, error) {
+	var word [8]byte
+	readU64 := func() (uint64, error) {
+		if _, err := io.ReadFull(r, word[:]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint64(word[:]), nil
+	}
+	p := &payload{}
+	fail := func(field string, err error) (*payload, error) {
+		p.release()
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			err = fmt.Errorf("truncated frame: %w", err)
+		}
+		return nil, fmt.Errorf("serve: binary field %q: %w", field, err)
+	}
+	for _, name := range sch.intFields {
+		u, err := readU64()
+		if err != nil {
+			return fail(name, err)
+		}
+		p.ints = append(p.ints, int64(u))
+	}
+	for _, name := range sch.floatFields {
+		u, err := readU64()
+		if err != nil {
+			return fail(name, err)
+		}
+		p.floats = append(p.floats, math.Float64frombits(u))
+	}
+	scratch := scratchPool.Get().(*[]byte)
+	defer scratchPool.Put(scratch)
+	block := *scratch
+	for _, name := range sch.vecFields {
+		count, err := readU64()
+		if err != nil {
+			return fail(name, err)
+		}
+		if count > maxVecElems {
+			return fail(name, fmt.Errorf("vector of %d elements exceeds the request limit", count))
+		}
+		var acc feature.Accumulator
+		if count < vecPreAlloc {
+			acc.Grow(int(count))
+		} else {
+			acc.Grow(vecPreAlloc)
+		}
+		remaining := int(count)
+		for remaining > 0 {
+			n := remaining * 8
+			if n > len(block) {
+				n = len(block)
+			}
+			if _, err := io.ReadFull(r, block[:n]); err != nil {
+				feature.PutBuffer(acc.Finish())
+				return fail(name, err)
+			}
+			for off := 0; off < n; off += 8 {
+				acc.AppendOne(math.Float64frombits(binary.LittleEndian.Uint64(block[off:])))
+			}
+			remaining -= n / 8
+		}
+		p.vecs = append(p.vecs, acc.Finish())
+	}
+	// A frame carries exactly its schema's fields: trailing bytes mean a
+	// client/server schema mismatch, which must fail loudly, not silently.
+	if _, err := io.ReadFull(r, word[:1]); err != io.EOF {
+		return fail("frame end", fmt.Errorf("trailing bytes after the last field"))
+	}
+	return p, nil
+}
