@@ -317,11 +317,35 @@ func runClassify(addr, benchmark, wireName, data string) error {
 		}
 		body.Write(env)
 	}
-	resp, err := http.Post("http://"+addr+"/v1/classify", w.ContentType(), &body)
+	req, err := http.NewRequest(http.MethodPost, "http://"+addr+"/v1/classify", &body)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", w.ContentType())
+	if w == serve.WireBinary {
+		// Binary means binary both ways: ask for the ITD1 response frame
+		// too (the server falls back to JSON if its deployment pinned the
+		// json wire), then decode and print the Decision as JSON so the
+		// output shape matches the JSON wire's.
+		req.Header.Set("Accept", serve.ContentTypeBinary)
+	}
+	resp, err := http.DefaultClient.Do(req)
 	if err != nil {
 		return err
 	}
 	defer resp.Body.Close()
+	if resp.Header.Get("Content-Type") == serve.ContentTypeBinary {
+		d, err := serve.DecodeBinaryDecision(resp.Body)
+		if err != nil {
+			return fmt.Errorf("decoding binary decision frame: %w", err)
+		}
+		out, err := json.Marshal(d)
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(out))
+		return nil
+	}
 	out, err := io.ReadAll(resp.Body)
 	if err != nil {
 		return err
@@ -378,7 +402,9 @@ flags:
                          run exits nonzero
   -wire FORMAT           serve-bench: json, binary, or both (default both —
                          one load arm per format, the JSON-vs-binary A/B);
-                         classify: the request format to send
+                         classify: the wire format — binary sends a binary
+                         request frame AND negotiates the ITD1 binary
+                         response, decoded and printed as Decision JSON
   -addr HOST:PORT        classify: inputtuned address (default localhost:8077)
   -benchmark NAME        classify: sort or binpacking (default sort)
   -data FLOATS           classify: comma-separated input vector, e.g.

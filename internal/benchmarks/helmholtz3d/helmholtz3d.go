@@ -28,10 +28,20 @@ const (
 	SolverSOR
 	SolverDirect
 	numSolvers
+
+	// SolverFastDirect is the O(N³ log N) sine-transform direct solve of
+	// the constant-coefficient surrogate (pde.FastDirectHelmholtz3D) —
+	// same surrogate semantics as SolverDirect, different asymptotics.
+	// Opt-in via NewWithFastDirect, for the same trajectory-preservation
+	// reason as poisson2d.SolverFastDirect.
+	SolverFastDirect = numSolvers
 )
 
-// SolverNames lists the solvers in site order.
+// SolverNames lists the default solvers in site order.
 var SolverNames = []string{"multigrid", "jacobi", "gauss-seidel", "sor", "direct"}
+
+// FastDirectName names the opt-in sixth alternative.
+const FastDirectName = "fast-direct"
 
 // Problem is a Helmholtz instance: operator (a, c) and right-hand side f.
 type Problem struct {
@@ -95,11 +105,24 @@ type Program struct {
 	memoOff bool
 }
 
-// New constructs the Helmholtz 3D program.
-func New() *Program {
+// New constructs the Helmholtz 3D program with the paper's five solver
+// alternatives.
+func New() *Program { return newProgram(false) }
+
+// NewWithFastDirect constructs the program with the sixth "fast-direct"
+// alternative, letting the autotuner weigh the DST-backed surrogate
+// solve against the dense one and multigrid per input. Opt-in so default
+// trajectories and artifacts stay byte-identical.
+func NewWithFastDirect() *Program { return newProgram(true) }
+
+func newProgram(fastDirect bool) *Program {
 	p := &Program{}
 	p.space = choice.NewSpace()
-	p.space.AddSite("solver", SolverNames...)
+	names := SolverNames
+	if fastDirect {
+		names = append(append([]string(nil), SolverNames...), FastDirectName)
+	}
+	p.space.AddSite("solver", names...)
 	p.itersIdx = p.space.AddInt("iterations", 1, 150, 40)
 	p.omegaIdx = p.space.AddFloat("omega", 1.0, 1.9, 1.4)
 	p.cycIdx = p.space.AddInt("mgCycles", 1, 12, 5)
@@ -145,6 +168,8 @@ func (p *Program) Run(cfg *choice.Config, in feature.Input, meter *cost.Meter) f
 	switch solver {
 	case SolverDirect:
 		u = pde.DirectHelmholtz3D(prob.Op, prob.F, &w)
+	case SolverFastDirect:
+		u = pde.FastDirectHelmholtz3D(prob.Op, prob.F, &w)
 	case SolverJacobi:
 		u = p.smoothSolve(prob, smootherJacobi, 0.8, cfg.Int(p.itersIdx), &w)
 	case SolverGaussSeidel:

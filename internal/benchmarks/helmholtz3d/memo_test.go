@@ -88,6 +88,68 @@ func TestSolverMemoBitIdentical(t *testing.T) {
 	}
 }
 
+// TestSolverMemoCrossGenomeSharing exercises the phase checkpoints that
+// let genomes of DIFFERENT solver families share state: a multigrid run
+// seeds the plain-SOR stem with its fine-level pre-smooth, which a later
+// Gauss-Seidel genome resumes; a multigrid genome differing only in
+// post-sweeps resumes the half-cycle checkpoint. Every measurement must
+// stay bit-identical to a memo-off run.
+func TestSolverMemoCrossGenomeSharing(t *testing.T) {
+	r := rng.New(11)
+	// N=7 coarsens straight to the ≤3 base case (two-level ladder): the
+	// half-cycle checkpoint is sound and active. N=15 is three levels:
+	// Post reaches the coarse cycles, so only the SOR-stem and
+	// full-cycle-prefix sharing apply — and must stay bit-identical.
+	probs := []*Problem{GenVaryingCoeff(7, r), GenVaryingCoeff(15, r)}
+	cold := New()
+	cold.memoOff = true
+	warm := New()
+
+	mkMG := func(p *Program, pre, post, cycles int) *choice.Config {
+		c := cfgSolver(p, SolverMultigrid)
+		c.Values[p.preIdx] = float64(pre)
+		c.Values[p.postIdx] = float64(post)
+		c.Values[p.cycIdx] = float64(cycles)
+		return c
+	}
+	mkGS := func(p *Program, iters int) *choice.Config {
+		c := cfgSolver(p, SolverGaussSeidel)
+		c.Values[p.itersIdx] = float64(iters)
+		return c
+	}
+	steps := []struct {
+		name string
+		cfg  func(p *Program) *choice.Config
+	}{
+		// Seeds: mg stem steps {1,3}, half stem (Pre=2,γ=1,ω=1) on the
+		// two-level problem, sor stem step 2.
+		{"mg 2/2 x3", func(p *Program) *choice.Config { return mkMG(p, 2, 2, 3) }},
+		// Resumes the sor stem the multigrid pre-smooth stored.
+		{"gauss-seidel x20", func(p *Program) *choice.Config { return mkGS(p, 20) }},
+		// Same Pre/Gamma, different Post: resumes the half-cycle state on
+		// N=7; recomputes (bit-identically) on N=15.
+		{"mg 2/1 x2", func(p *Program) *choice.Config { return mkMG(p, 2, 1, 2) }},
+		// Same shape, more cycles: resumes the full-cycle prefix.
+		{"mg 2/2 x5", func(p *Program) *choice.Config { return mkMG(p, 2, 2, 5) }},
+	}
+	for _, prob := range probs {
+		for _, st := range steps {
+			mc, mw := cost.NewMeter(), cost.NewMeter()
+			accC := cold.Run(st.cfg(cold), prob, mc)
+			accW := warm.Run(st.cfg(warm), prob, mw)
+			if accC != accW || mc.Elapsed() != mw.Elapsed() {
+				t.Fatalf("N=%d %s: memo-warm (time %v, acc %v) != cold (time %v, acc %v)",
+					prob.N, st.name, mw.Elapsed(), accW, mc.Elapsed(), accC)
+			}
+		}
+	}
+	// Per problem: the GS genome, the full-cycle prefix, and (on N=7)
+	// the half-cycle checkpoint must all resume.
+	if st := warm.SolverMemoStats(); st.Hits < 5 {
+		t.Fatalf("expected sor-stem, half-cycle and full-cycle resumes to hit; stats %+v", st)
+	}
+}
+
 // TestTrainModelMemoParity proves end-to-end training serialises to the
 // exact same bytes with the solver memo on and off.
 func TestTrainModelMemoParity(t *testing.T) {

@@ -26,10 +26,20 @@ const (
 	SolverSOR
 	SolverDirect
 	numSolvers
+
+	// SolverFastDirect is the O(N² log N) sine-transform direct solver
+	// (pde.FastDirectPoisson2D). It sits AFTER numSolvers because it is
+	// opt-in (NewWithFastDirect): extending the default solver site would
+	// shift every r.Intn(nAlts) draw in RandomConfig and silently change
+	// all established GA trajectories and saved artifacts.
+	SolverFastDirect = numSolvers
 )
 
-// SolverNames lists the solvers in site order.
+// SolverNames lists the default solvers in site order.
 var SolverNames = []string{"multigrid", "jacobi", "gauss-seidel", "sor", "direct"}
+
+// FastDirectName names the opt-in sixth alternative.
+const FastDirectName = "fast-direct"
 
 // Problem is a Poisson instance: the right-hand side on an N×N grid.
 type Problem struct {
@@ -80,11 +90,25 @@ type Program struct {
 	memoOff bool
 }
 
-// New constructs the Poisson 2D program.
-func New() *Program {
+// New constructs the Poisson 2D program with the paper's five solver
+// alternatives.
+func New() *Program { return newProgram(false) }
+
+// NewWithFastDirect constructs the program with a sixth "fast-direct"
+// alternative: the O(N² log N) DST-backed direct solver. The autotuner
+// then weighs it against dense direct and multigrid per input size —
+// the raw-speed experiment arm. Kept out of New so default trajectories
+// and artifacts stay byte-identical.
+func NewWithFastDirect() *Program { return newProgram(true) }
+
+func newProgram(fastDirect bool) *Program {
 	p := &Program{}
 	p.space = choice.NewSpace()
-	p.space.AddSite("solver", SolverNames...)
+	names := SolverNames
+	if fastDirect {
+		names = append(append([]string(nil), SolverNames...), FastDirectName)
+	}
+	p.space.AddSite("solver", names...)
 	p.itersIdx = p.space.AddInt("iterations", 1, 300, 60)
 	p.omegaIdx = p.space.AddFloat("omega", 1.0, 1.95, 1.5)
 	p.cycIdx = p.space.AddInt("mgCycles", 1, 16, 6)
@@ -120,6 +144,8 @@ func (p *Program) Run(cfg *choice.Config, in feature.Input, meter *cost.Meter) f
 	switch solver {
 	case SolverDirect:
 		u = pde.DirectPoisson2D(prob.F, &w)
+	case SolverFastDirect:
+		u = pde.FastDirectPoisson2D(prob.F, &w)
 	case SolverJacobi:
 		u = p.smoothSolve(prob, smootherJacobi, 0.8, cfg.Int(p.itersIdx), &w)
 	case SolverGaussSeidel:

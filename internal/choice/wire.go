@@ -1,0 +1,107 @@
+package choice
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Binary Config codec: the same injective layout Key() fingerprints —
+// uvarint-counted selectors (each a uvarint-counted level list of varint
+// cutoff/choice pairs plus a varint else-choice) followed by a
+// uvarint-counted value list of big-endian float64 bits — packaged as a
+// readable/appendable wire encoding. A decoded config is structurally
+// identical to the encoded one: Key() round-trips bit-exactly, which is
+// what lets a binary Decision response carry the selected landmark
+// losslessly.
+
+// maxConfigElems bounds decoded slice lengths so a hostile frame cannot
+// make the decoder allocate unboundedly. Real spaces have a handful of
+// sites and tunables.
+const maxConfigElems = 1 << 16
+
+// AppendBinary appends c's binary encoding to buf and returns the
+// extended slice.
+func (c *Config) AppendBinary(buf []byte) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(c.Selectors)))
+	for _, sel := range c.Selectors {
+		buf = binary.AppendUvarint(buf, uint64(len(sel.Levels)))
+		for _, l := range sel.Levels {
+			buf = binary.AppendVarint(buf, int64(l.Cutoff))
+			buf = binary.AppendVarint(buf, int64(l.Choice))
+		}
+		buf = binary.AppendVarint(buf, int64(sel.Else))
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(c.Values)))
+	for _, v := range c.Values {
+		buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(v))
+	}
+	return buf
+}
+
+// DecodeConfig reads one binary-encoded Config from r.
+func DecodeConfig(r io.ByteReader) (*Config, error) {
+	nSel, err := readCount(r, "selector")
+	if err != nil {
+		return nil, err
+	}
+	c := &Config{Selectors: make([]Selector, nSel)}
+	for i := range c.Selectors {
+		nLev, err := readCount(r, "level")
+		if err != nil {
+			return nil, err
+		}
+		sel := &c.Selectors[i]
+		if nLev > 0 {
+			sel.Levels = make([]Level, nLev)
+		}
+		for j := range sel.Levels {
+			cutoff, err := binary.ReadVarint(r)
+			if err != nil {
+				return nil, fmt.Errorf("choice: decoding cutoff: %w", err)
+			}
+			ch, err := binary.ReadVarint(r)
+			if err != nil {
+				return nil, fmt.Errorf("choice: decoding choice: %w", err)
+			}
+			sel.Levels[j] = Level{Cutoff: int(cutoff), Choice: int(ch)}
+		}
+		els, err := binary.ReadVarint(r)
+		if err != nil {
+			return nil, fmt.Errorf("choice: decoding else-choice: %w", err)
+		}
+		sel.Else = int(els)
+	}
+	nVal, err := readCount(r, "value")
+	if err != nil {
+		return nil, err
+	}
+	if nVal > 0 {
+		c.Values = make([]float64, nVal)
+	}
+	var word [8]byte
+	for i := range c.Values {
+		for k := range word {
+			b, err := r.ReadByte()
+			if err != nil {
+				return nil, fmt.Errorf("choice: decoding value: %w", err)
+			}
+			word[k] = b
+		}
+		c.Values[i] = math.Float64frombits(binary.BigEndian.Uint64(word[:]))
+	}
+	return c, nil
+}
+
+// readCount reads a uvarint element count and bounds it.
+func readCount(r io.ByteReader, what string) (int, error) {
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return 0, fmt.Errorf("choice: decoding %s count: %w", what, err)
+	}
+	if n > maxConfigElems {
+		return 0, fmt.Errorf("choice: %s count %d exceeds limit %d", what, n, maxConfigElems)
+	}
+	return int(n), nil
+}

@@ -1,0 +1,85 @@
+package choice
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"inputtune/internal/rng"
+)
+
+// testSpace builds a space with a couple of sites and mixed tunables.
+func testSpace() *Space {
+	s := NewSpace()
+	s.AddSite("solver", "a", "b", "c", "d", "e")
+	s.AddSite("order", "x", "y")
+	s.AddInt("iters", 1, 300, 60)
+	s.AddFloat("omega", 1.0, 1.95, 1.5)
+	return s
+}
+
+// TestConfigBinaryRoundTrip: decode(encode(c)) is structurally identical
+// to c — enforced via Key(), whose injectivity makes it a sound equality
+// oracle — across random configurations.
+func TestConfigBinaryRoundTrip(t *testing.T) {
+	s := testSpace()
+	r := rng.New(99)
+	for trial := 0; trial < 200; trial++ {
+		c := s.RandomConfig(r)
+		enc := c.AppendBinary(nil)
+		rest := enc
+		got, err := DecodeConfig(&sliceReader{b: &rest})
+		if err != nil {
+			t.Fatalf("trial %d: decode: %v", trial, err)
+		}
+		if len(rest) != 0 {
+			t.Fatalf("trial %d: %d trailing bytes", trial, len(rest))
+		}
+		if got.Key() != c.Key() {
+			t.Fatalf("trial %d: round trip changed config:\n in: %s\nout: %s", trial, c, got)
+		}
+		if err := s.Validate(got); err != nil {
+			t.Fatalf("trial %d: decoded config invalid: %v", trial, err)
+		}
+	}
+}
+
+// TestConfigBinaryMatchesKey: the binary encoding IS the Key() encoding,
+// byte for byte, so the two can never drift apart.
+func TestConfigBinaryMatchesKey(t *testing.T) {
+	s := testSpace()
+	r := rng.New(7)
+	for trial := 0; trial < 50; trial++ {
+		c := s.RandomConfig(r)
+		if !bytes.Equal(c.AppendBinary(nil), []byte(c.Key())) {
+			t.Fatalf("trial %d: AppendBinary and Key diverge", trial)
+		}
+	}
+}
+
+// TestConfigBinaryTruncated: every strict prefix of a valid encoding
+// fails to decode (never succeeds with wrong content or panics).
+func TestConfigBinaryTruncated(t *testing.T) {
+	s := testSpace()
+	c := s.RandomConfig(rng.New(3))
+	enc := c.AppendBinary(nil)
+	for cut := 0; cut < len(enc); cut++ {
+		rest := enc[:cut]
+		if _, err := DecodeConfig(&sliceReader{b: &rest}); err == nil && cut < len(enc) {
+			// A prefix can only decode successfully if it happens to form a
+			// complete encoding, which the injective layout rules out.
+			t.Fatalf("prefix of %d/%d bytes decoded without error", cut, len(enc))
+		}
+	}
+}
+
+type sliceReader struct{ b *[]byte }
+
+func (s *sliceReader) ReadByte() (byte, error) {
+	b := *s.b
+	if len(b) == 0 {
+		return 0, io.EOF
+	}
+	*s.b = b[1:]
+	return b[0], nil
+}

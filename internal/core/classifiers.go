@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync/atomic"
 
 	"inputtune/internal/cost"
 	"inputtune/internal/feature"
@@ -67,6 +68,24 @@ type Candidate struct {
 	apriori int
 	tree    *dtree.Tree
 	inc     *bayes.Classifier
+
+	// compiled is the flat array form of tree (dtree.CompiledTree), built
+	// by Compile for serving deployments and consulted by the predict
+	// paths when present. Atomic because Install-time compilation may run
+	// while other goroutines are already classifying on the model; labels
+	// are identical either way (differential-test enforced), so readers
+	// racing the store just take the pointer walk once more. Never
+	// serialized: SaveModel artifacts are byte-identical with or without.
+	compiled atomic.Pointer[dtree.CompiledTree]
+}
+
+// Compile lowers a subset-tree classifier's pointer tree into the flat
+// branch-free form the serving hot path walks. Idempotent; a no-op for
+// classifier kinds without a tree.
+func (c *Candidate) Compile() {
+	if c.Kind == SubsetTree && c.tree != nil && c.compiled.Load() == nil {
+		c.compiled.Store(c.tree.Compile())
+	}
 }
 
 // PredictRow classifies a fully extracted raw feature row, returning the
@@ -77,6 +96,9 @@ func (c *Candidate) PredictRow(row []float64) (label int, used []int) {
 	case MaxAPriori:
 		return c.apriori, nil
 	case SubsetTree:
+		if ct := c.compiled.Load(); ct != nil {
+			return ct.Predict(row), c.Static
+		}
 		return c.tree.Predict(row), c.Static
 	case Incremental:
 		return c.inc.Classify(func(f int) float64 { return row[f] })
@@ -93,6 +115,9 @@ func (c *Candidate) ClassifyInput(set *feature.Set, in Input, meter *cost.Meter)
 		return c.apriori
 	case SubsetTree:
 		row := set.ExtractSubset(in, c.Static, meter)
+		if ct := c.compiled.Load(); ct != nil {
+			return ct.Predict(row)
+		}
 		return c.tree.Predict(row)
 	case Incremental:
 		extracted := map[int]float64{}

@@ -35,6 +35,18 @@ type Decision struct {
 	FeatureUnits float64
 }
 
+// CompileClassifiers lowers the production classifier's decision tree
+// into its flat branch-free form (dtree.Compile), so every subsequent
+// Infer/ClassifyInput walks the contiguous node array instead of the
+// pointer tree. Serving registries call it once per Load/Install, before
+// the snapshot goes live; it is idempotent, concurrency-safe (the
+// compiled form is published atomically), and invisible to SaveModel.
+func (m *Model) CompileClassifiers() {
+	if m.Production != nil {
+		m.Production.Compile()
+	}
+}
+
 // Infer classifies a fresh input and returns the full decision. Unlike
 // Classify it takes no meter: a private meter is created per call, making
 // Infer safe to invoke concurrently on one shared *Model — the race-free

@@ -65,6 +65,13 @@ type BenchReport struct {
 	// -nocache report can never be mistaken for the real trajectory.
 	CacheDisabled bool          `json:"cache_disabled"`
 	Results       []BenchResult `json:"results"`
+	// DirectSolver is the dense-vs-FFT direct solver microbenchmark and
+	// FastDirect the PDE retraining arm with the opt-in fast-direct
+	// alternative (see fastdirect.go). Both are populated whenever a PDE
+	// case is among the bench's names; the sections are additive, so the
+	// shared results stay comparable across trajectory snapshots.
+	DirectSolver []DirectSolverRow `json:"direct_solver,omitempty"`
+	FastDirect   []FastDirectCase  `json:"fast_direct,omitempty"`
 	// Serve is the deployment-side half of the trajectory: throughput and
 	// latency of the classification server under concurrent load, written
 	// by `experiments serve-bench` (which merges into an existing bench
@@ -117,6 +124,16 @@ func RunBench(names []string, scaleName string, sc Scale, logf func(string, ...a
 			Satisfaction:      row.TwoLevelAccuracy,
 		})
 	}
+	hasPDE := false
+	for _, name := range names {
+		if name == "poisson2d" || name == "helmholtz3d" {
+			hasPDE = true
+		}
+	}
+	if hasPDE {
+		rep.DirectSolver = RunDirectSolverBench(sc)
+		rep.FastDirect = RunFastDirectArm(names, sc, logf)
+	}
 	return rep
 }
 
@@ -139,6 +156,14 @@ func RenderBench(r BenchReport) string {
 		fmt.Fprintf(&b, "%-12s %9.3f %9.3f %8.3f %10d %10d %9s %8.1f%% %8.2fx\n",
 			res.Benchmark, res.WallSeconds, res.TrainSeconds, res.TrainPhaseSeconds["classifiers"],
 			res.TunerEvaluations, res.TunerCacheHits, solv, 100*res.CacheHitRate, res.TwoLevelSpeedup)
+	}
+	if len(r.DirectSolver) > 0 {
+		b.WriteString("\ndirect-solver microbench (dense vs FFT sine transform):\n")
+		b.WriteString(RenderDirectSolver(r.DirectSolver))
+	}
+	if len(r.FastDirect) > 0 {
+		b.WriteString("\nfast-direct retraining arm (opt-in sixth solver alternative):\n")
+		b.WriteString(RenderFastDirect(r.FastDirect))
 	}
 	return b.String()
 }

@@ -1,0 +1,62 @@
+package exp
+
+import "testing"
+
+// TestDirectSolverBench checks the microbench's deterministic half: the
+// metered flops must show the crossover the tuner exploits (every 2D
+// size is past it, 3D only from n=63 — the dense 3D apply's 1-flop/MAC
+// charge understates it), and the FFT path's error against the dense
+// reference must respect the pde package's 1e-12 contract.
+func TestDirectSolverBench(t *testing.T) {
+	rows := RunDirectSolverBench(QuickScale())
+	if len(rows) != len(directSolver2DSizes)+len(directSolver3DSizes) {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		wantFaster := r.Benchmark == "poisson2d" || r.N >= 63
+		if wantFaster && r.FastFlops >= r.DenseFlops {
+			t.Errorf("%s n=%d: fast flops %d not below dense %d",
+				r.Benchmark, r.N, r.FastFlops, r.DenseFlops)
+		}
+		if !wantFaster && r.FastFlops < r.DenseFlops {
+			t.Errorf("%s n=%d: expected the pre-crossover size to cost more metered flops (fast %d, dense %d)",
+				r.Benchmark, r.N, r.FastFlops, r.DenseFlops)
+		}
+		if r.MaxRelErr > 1e-12 {
+			t.Errorf("%s n=%d: max rel err %g exceeds the 1e-12 contract",
+				r.Benchmark, r.N, r.MaxRelErr)
+		}
+		if r.DenseSeconds <= 0 || r.FastSeconds <= 0 {
+			t.Errorf("%s n=%d: non-positive timing (%g, %g)",
+				r.Benchmark, r.N, r.DenseSeconds, r.FastSeconds)
+		}
+	}
+}
+
+// TestFastDirectArmDispatch trains the poisson2d arm at a tiny budget and
+// checks the report is self-consistent; with every poisson2d size past
+// the virtual-cost crossover, the tuner should route test inputs to the
+// fast solver.
+func TestFastDirectArmDispatch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model")
+	}
+	sc := Scale{TrainInputs: 18, TestInputs: 18, K1: 3, TunerPop: 6, TunerGens: 4, Seed: 42, Parallel: true}
+	cases := RunFastDirectArm([]string{"poisson2d", "sort1"}, sc, nil)
+	if len(cases) != 1 || cases[0].Benchmark != "poisson2d" {
+		t.Fatalf("expected just the poisson2d arm, got %+v", cases)
+	}
+	c := cases[0]
+	if c.TestInputsFastDirect < 0 || c.TestInputsFastDirect > c.TestInputs {
+		t.Fatalf("dispatch count %d out of range (%d test inputs)", c.TestInputsFastDirect, c.TestInputs)
+	}
+	if c.TestInputsFastDirect > 0 && c.LandmarksFastDirect == 0 {
+		t.Fatalf("inputs dispatched to fast-direct but no landmark counted")
+	}
+	if c.TestInputsFastDirect == 0 {
+		t.Logf("tuner declined fast-direct at this tiny budget (valid, but unexpected): %+v", c)
+	}
+	if c.TwoLevelSpeedup <= 0 {
+		t.Fatalf("bad speedup %g", c.TwoLevelSpeedup)
+	}
+}

@@ -73,7 +73,9 @@ func (o *ServeBenchOptions) setDefaults() {
 type ServeCaseResult struct {
 	Case      string `json:"case"`
 	Benchmark string `json:"benchmark"`
-	// Wire is the request format this arm ran ("json" or "binary").
+	// Wire is the format this arm ran ("json" or "binary") — the binary
+	// arm sends binary request frames AND negotiates ITD1 binary
+	// responses, so it measures the full binary round trip.
 	Wire string `json:"wire"`
 	// Requests actually issued; FailedRequests MUST be zero (non-200, a
 	// transport error, or a label differing from the offline
@@ -261,14 +263,33 @@ func runServeArm(name string, sc *servedCase, wire serve.Wire, opts ServeBenchOp
 			for r := 0; r < perClient; r++ {
 				i := (g*perClient + r) % len(bodies)
 				t0 := time.Now()
-				resp, err := client.Post(srv.URL+"/v1/classify", contentType, bytes.NewReader(bodies[i]))
+				req, err := http.NewRequest(http.MethodPost, srv.URL+"/v1/classify", bytes.NewReader(bodies[i]))
+				if err != nil {
+					failed.Add(1)
+					completed.Add(1)
+					continue
+				}
+				req.Header.Set("Content-Type", contentType)
+				if wire == serve.WireBinary {
+					// The binary arm measures the full binary round trip:
+					// negotiate the ITD1 response frame too.
+					req.Header.Set("Accept", serve.ContentTypeBinary)
+				}
+				resp, err := client.Do(req)
 				if err != nil {
 					failed.Add(1)
 					completed.Add(1)
 					continue
 				}
 				var d serve.Decision
-				err = json.NewDecoder(resp.Body).Decode(&d)
+				if resp.Header.Get("Content-Type") == serve.ContentTypeBinary {
+					var bd *serve.Decision
+					if bd, err = serve.DecodeBinaryDecision(resp.Body); err == nil {
+						d = *bd
+					}
+				} else {
+					err = json.NewDecoder(resp.Body).Decode(&d)
+				}
 				resp.Body.Close()
 				lat = append(lat, time.Since(t0))
 				issued.Add(1)

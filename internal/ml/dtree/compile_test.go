@@ -1,0 +1,174 @@
+package dtree
+
+import (
+	"sync"
+	"testing"
+
+	"inputtune/internal/rng"
+)
+
+// randTree builds a random pointer tree directly (not via training), so
+// the differential test covers shapes training would rarely produce:
+// degenerate spines, equal thresholds at different depths, single leaves.
+func randTree(r *rng.RNG, maxDepth, numFeatures, numClasses int) *Tree {
+	var build func(depth int) *node
+	build = func(depth int) *node {
+		if depth >= maxDepth || r.Coin(0.3) {
+			return &node{leaf: true, class: r.Intn(numClasses)}
+		}
+		return &node{
+			feature:   r.Intn(numFeatures),
+			threshold: r.Range(-2, 2),
+			left:      build(depth + 1),
+			right:     build(depth + 1),
+		}
+	}
+	return &Tree{root: build(0), opts: Options{NumClasses: numClasses}, usedSet: map[int]bool{}}
+}
+
+// randRow draws a feature vector; with probability ~1/2 one coordinate is
+// copied from a threshold in the tree, so the < vs >= boundary is hit.
+func randRow(r *rng.RNG, t *Tree, numFeatures int) []float64 {
+	x := make([]float64, numFeatures)
+	for i := range x {
+		x[i] = r.Range(-2.5, 2.5)
+	}
+	if r.Coin(0.5) {
+		n := t.root
+		for !n.leaf {
+			if r.Coin(0.3) {
+				x[n.feature] = n.threshold
+				break
+			}
+			if r.Coin(0.5) {
+				n = n.left
+			} else {
+				n = n.right
+			}
+		}
+	}
+	return x
+}
+
+// TestCompiledTreeDifferentialRandomized: labels from the compiled walk
+// must equal the pointer walk on randomized trees and inputs, including
+// inputs that land exactly on split thresholds.
+func TestCompiledTreeDifferentialRandomized(t *testing.T) {
+	r := rng.New(42)
+	for trial := 0; trial < 200; trial++ {
+		numFeatures := 1 + r.Intn(10)
+		tree := randTree(r, 1+r.Intn(8), numFeatures, 2+r.Intn(6))
+		ct := tree.Compile()
+		for q := 0; q < 50; q++ {
+			x := randRow(r, tree, numFeatures)
+			want := tree.Predict(x)
+			if got := ct.Predict(x); got != want {
+				t.Fatalf("trial %d query %d: compiled %d, pointer %d (x=%v)\n%s",
+					trial, q, got, want, x, tree.String())
+			}
+		}
+	}
+}
+
+// TestCompiledTreeDifferentialTrained runs the same check against trees
+// produced by the actual trainer, where thresholds are data midpoints.
+func TestCompiledTreeDifferentialTrained(t *testing.T) {
+	r := rng.New(7)
+	for trial := 0; trial < 20; trial++ {
+		nRows, nFeat, k := 40+r.Intn(60), 2+r.Intn(5), 2+r.Intn(4)
+		X := make([][]float64, nRows)
+		y := make([]int, nRows)
+		for i := range X {
+			X[i] = make([]float64, nFeat)
+			for j := range X[i] {
+				X[i][j] = r.Range(-1, 1)
+			}
+			y[i] = r.Intn(k)
+		}
+		tree := Train(X, y, Options{NumClasses: k, MinLeaf: 1 + r.Intn(4)})
+		ct := tree.Compile()
+		for _, x := range X {
+			if got, want := ct.Predict(x), tree.Predict(x); got != want {
+				t.Fatalf("trial %d: compiled %d, pointer %d", trial, got, want)
+			}
+		}
+		for q := 0; q < 100; q++ {
+			x := make([]float64, nFeat)
+			for j := range x {
+				x[j] = r.Range(-1.2, 1.2)
+			}
+			if got, want := ct.Predict(x), tree.Predict(x); got != want {
+				t.Fatalf("trial %d: compiled %d, pointer %d", trial, got, want)
+			}
+		}
+	}
+}
+
+// TestCompiledTreeLeafOnly: a tree that is a single leaf compiles to an
+// empty node array with the class folded into the root reference.
+func TestCompiledTreeLeafOnly(t *testing.T) {
+	tree := &Tree{root: &node{leaf: true, class: 3}, opts: Options{NumClasses: 5}, usedSet: map[int]bool{}}
+	ct := tree.Compile()
+	if ct.NumNodes() != 0 {
+		t.Fatalf("leaf-only tree compiled to %d nodes", ct.NumNodes())
+	}
+	if got := ct.Predict([]float64{1, 2, 3}); got != 3 {
+		t.Fatalf("leaf-only predict = %d, want 3", got)
+	}
+}
+
+// TestCompiledTreeConcurrentHammer: one compiled tree, many goroutines,
+// label-identical output throughout — the shape the serving path runs
+// under, exercised with -race in CI.
+func TestCompiledTreeConcurrentHammer(t *testing.T) {
+	r := rng.New(1234)
+	const numFeatures = 8
+	tree := randTree(r, 10, numFeatures, 5)
+	ct := tree.Compile()
+	rows := make([][]float64, 512)
+	want := make([]int, len(rows))
+	for i := range rows {
+		rows[i] = randRow(r, tree, numFeatures)
+		want[i] = tree.Predict(rows[i])
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for rep := 0; rep < 50; rep++ {
+				for i, x := range rows {
+					if got := ct.Predict(x); got != want[i] {
+						t.Errorf("goroutine %d: row %d: compiled %d, want %d", g, i, got, want[i])
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestCompiledTreeFrequencyLayout: the breadth-first heavier-first layout
+// places the root at index 0 and keeps every child reference pointing
+// forward (no back-edges), the property the walk's locality relies on.
+func TestCompiledTreeFrequencyLayout(t *testing.T) {
+	r := rng.New(5)
+	for trial := 0; trial < 50; trial++ {
+		tree := randTree(r, 8, 6, 3)
+		ct := tree.Compile()
+		if len(ct.nodes) == 0 {
+			continue
+		}
+		if ct.root != 0 {
+			t.Fatalf("root placed at %d, want 0", ct.root)
+		}
+		for i, n := range ct.nodes {
+			for _, c := range n.child {
+				if c >= 0 && c <= int32(i) {
+					t.Fatalf("node %d has non-forward child ref %d", i, c)
+				}
+			}
+		}
+	}
+}

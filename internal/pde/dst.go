@@ -1,0 +1,391 @@
+package pde
+
+import (
+	"math"
+	"sync"
+)
+
+// This file is the fast direct-solver substrate: a real DST-I (discrete
+// sine transform, type I) that replaces the dense O(N³)/O(N⁴) sine
+// transforms of DirectPoisson2D/DirectHelmholtz3D with an O(N² log N)/
+// O(N³ log N) FFT-backed path. The dense solvers stay untouched as the
+// differential reference (the same role reference.go plays for the
+// stencil kernels), and the numerical contract is documented per path:
+//
+//   - Sizes where N+1 is a power of two (every multigrid ladder size:
+//     7, 15, 31, 63, 127, 255, …) run a radix-2 complex FFT over the odd
+//     extension of length M = 2(N+1). The FFT reassociates the sine sums,
+//     so results agree with the dense transform only to rounding: the
+//     package tests enforce a max relative error of 1e-12 against the
+//     dense solve (observed ~1e-15 at benchmark sizes).
+//   - Every other size falls back to a dense matvec against the shared
+//     sine basis with the SAME accumulation order as dstApply2D/3D, so
+//     the fast solvers are BIT-identical to the dense ones there — and
+//     charge the same flop totals.
+//
+// Plans are cached per problem size like the sineBasis cache (util.go)
+// and own a sync.Pool of scratch workspaces, mirroring how the benchmark
+// programs pool Hierarchy2D/3D: concurrent solves at one size share the
+// read-only plan and check out private FFT buffers.
+
+// dstPlan is one problem size's DST-I plan: either FFT tables (twiddles +
+// bit-reversal permutation) or the dense fallback basis. Immutable after
+// construction except for the workspace pool and the eigenvalue cache,
+// which dstPlanFor guards with the cache mutex.
+type dstPlan struct {
+	n int
+
+	// FFT path (n+1 a power of two); nil basis marks it active.
+	m    int   // odd-extension / FFT length, 2(n+1)
+	logM int   // log2(m)
+	rev  []int // bit-reversal permutation
+	wre  []float64
+	wim  []float64 // wre[k] + i·wim[k] = e^{-2πik/m}, k < m/2
+	// flops1D is the virtual cost charged per FFT-backed 1-D transform.
+	// Fibers are processed two per complex FFT (transformPair packs one
+	// real-odd vector in the real lane and one in the imaginary lane), so
+	// the per-fiber charge is half of ~10 flops per butterfly across
+	// (m/2)·log2(m) butterflies, plus the pack/unpack pass. The dense
+	// fallback charges 2n² (2-D convention) or n² (3-D convention) —
+	// exactly what the dense solvers charge.
+	flops1D int
+
+	// Dense fallback: the shared symmetric sine matrix.
+	basis [][]float64
+
+	// Eigenvalue cache for the grid spacing first seen at this size
+	// (callers derive h from n, so one per size); guarded by dstCache.
+	h   float64
+	lam []float64
+
+	pool sync.Pool // *dstScratch
+}
+
+// dstScratch is one solve's private workspace: FFT buffers plus the
+// fiber gather/scatter vectors.
+type dstScratch struct {
+	re, im []float64 // length m (FFT path only)
+	vin    []float64 // length n
+	vout   []float64 // length n
+	vin2   []float64 // second fiber of a transformPair
+	vout2  []float64
+}
+
+// dstCache mirrors sineCache: a small FIFO keyed by problem size.
+var dstCache struct {
+	sync.Mutex
+	entries map[int]*dstPlan
+	fifo    []int
+}
+
+// dstPlanFor returns the cached plan and eigenvalues for size n and
+// spacing h, building them on first sight. Like sineBasisFor, a repeat
+// size with a different spacing reuses the plan but recomputes the
+// eigenvalues without caching them.
+func dstPlanFor(n int, h float64) (*dstPlan, []float64) {
+	dstCache.Lock()
+	defer dstCache.Unlock()
+	if dstCache.entries == nil {
+		dstCache.entries = make(map[int]*dstPlan, sineCacheCap)
+	}
+	p := dstCache.entries[n]
+	if p == nil {
+		p = newDSTPlan(n)
+		dstCache.entries[n] = p
+		dstCache.fifo = append(dstCache.fifo, n)
+		for len(dstCache.entries) > sineCacheCap {
+			victim := dstCache.fifo[0]
+			dstCache.fifo = dstCache.fifo[1:]
+			delete(dstCache.entries, victim)
+		}
+	}
+	if p.lam == nil {
+		p.h, p.lam = h, computeSineEigenvalues(n, h)
+	}
+	if p.h == h {
+		return p, p.lam
+	}
+	return p, computeSineEigenvalues(n, h)
+}
+
+// newDSTPlan builds the per-size tables.
+func newDSTPlan(n int) *dstPlan {
+	p := &dstPlan{n: n}
+	if m := 2 * (n + 1); m&(m-1) == 0 && m >= 4 {
+		p.m = m
+		for 1<<p.logM < m {
+			p.logM++
+		}
+		p.rev = make([]int, m)
+		for i := 1; i < m; i++ {
+			p.rev[i] = p.rev[i>>1]>>1 | (i&1)<<(p.logM-1)
+		}
+		half := m / 2
+		p.wre = make([]float64, half)
+		p.wim = make([]float64, half)
+		for k := 0; k < half; k++ {
+			ang := -2 * math.Pi * float64(k) / float64(m)
+			p.wre[k] = math.Cos(ang)
+			p.wim[k] = math.Sin(ang)
+		}
+		p.flops1D = 5*m*p.logM/2 + 2*m
+	} else {
+		p.basis = computeSineMatrix(n)
+	}
+	p.pool.New = func() any {
+		sc := &dstScratch{
+			vin:   make([]float64, n),
+			vout:  make([]float64, n),
+			vin2:  make([]float64, n),
+			vout2: make([]float64, n),
+		}
+		if p.basis == nil {
+			sc.re = make([]float64, p.m)
+			sc.im = make([]float64, p.m)
+		}
+		return sc
+	}
+	return p
+}
+
+// fft runs the iterative radix-2 decimation-in-time transform in place.
+func (p *dstPlan) fft(re, im []float64) {
+	for i, j := range p.rev {
+		if i < j {
+			re[i], re[j] = re[j], re[i]
+			im[i], im[j] = im[j], im[i]
+		}
+	}
+	m := p.m
+	for size := 2; size <= m; size <<= 1 {
+		half := size >> 1
+		step := m / size
+		for start := 0; start < m; start += size {
+			tw := 0
+			for k := start; k < start+half; k++ {
+				wr, wi := p.wre[tw], p.wim[tw]
+				xr, xi := re[k+half], im[k+half]
+				tr := xr*wr - xi*wi
+				ti := xr*wi + xi*wr
+				re[k+half] = re[k] - tr
+				im[k+half] = im[k] - ti
+				re[k] += tr
+				im[k] += ti
+				tw += step
+			}
+		}
+	}
+}
+
+// transform1D computes the DST-I of in into out (both length n). in and
+// out must not alias. The dense fallback accumulates in ascending index
+// order — the exact sum dstApply2D/3D compute — so fallback solves are
+// bit-identical to the dense reference.
+func (p *dstPlan) transform1D(in, out []float64, sc *dstScratch) {
+	if p.basis != nil {
+		n := p.n
+		for i := 0; i < n; i++ {
+			row := p.basis[i]
+			sum := 0.0
+			for k := 0; k < n; k++ {
+				sum += row[k] * in[k]
+			}
+			out[i] = sum
+		}
+		return
+	}
+	// Odd extension y of length m: y[0] = y[n+1] = 0, y[i] = x[i-1],
+	// y[m-i] = -x[i-1]. Then DFT(y)[j] = -2i · DST(x)[j-1], so the
+	// transform is the negated halved imaginary part of bins 1..n.
+	m, n := p.m, p.n
+	re, im := sc.re, sc.im
+	re[0], im[0] = 0, 0
+	re[n+1], im[n+1] = 0, 0
+	for i := 1; i <= n; i++ {
+		v := in[i-1]
+		re[i], im[i] = v, 0
+		re[m-i], im[m-i] = -v, 0
+	}
+	p.fft(re, im)
+	for j := 1; j <= n; j++ {
+		out[j-1] = -0.5 * im[j]
+	}
+}
+
+// transformPair computes the DST-I of two fibers with ONE complex FFT:
+// inA rides the real lane, inB the imaginary lane. Because each odd-real
+// extension transforms to a purely imaginary spectrum, the two interleave
+// without mixing: DFT(yA + i·yB)[j] = -2i·XA[j-1] + 2·XB[j-1], so XA is
+// read off the imaginary parts and XB off the real parts. This halves the
+// FFT work per fiber — the savings flops1D charges for.
+func (p *dstPlan) transformPair(inA, inB, outA, outB []float64, sc *dstScratch) {
+	if p.basis != nil {
+		p.transform1D(inA, outA, sc)
+		p.transform1D(inB, outB, sc)
+		return
+	}
+	m, n := p.m, p.n
+	re, im := sc.re, sc.im
+	re[0], im[0] = 0, 0
+	re[n+1], im[n+1] = 0, 0
+	for i := 1; i <= n; i++ {
+		va, vb := inA[i-1], inB[i-1]
+		re[i], im[i] = va, vb
+		re[m-i], im[m-i] = -va, -vb
+	}
+	p.fft(re, im)
+	for j := 1; j <= n; j++ {
+		outA[j-1] = -0.5 * im[j]
+		outB[j-1] = 0.5 * re[j]
+	}
+}
+
+// gatherFiber copies the strided fiber at base into v.
+func gatherFiber(dst []float64, v []float64, base, stride, n int) {
+	for k := 0; k < n; k++ {
+		v[k] = dst[base+k*stride]
+	}
+}
+
+// scatterFiber writes v back over the strided fiber at base.
+func scatterFiber(dst []float64, v []float64, base, stride, n int) {
+	for k := 0; k < n; k++ {
+		dst[base+k*stride] = v[k]
+	}
+}
+
+// transformFibers runs the DST-I over every fiber whose base offsets are
+// enumerated by next (returning -1 when done), pairing fibers two per
+// complex FFT; a trailing unpaired fiber takes the single path.
+func (p *dstPlan) transformFibers(dst []float64, stride int, next func() int, sc *dstScratch) {
+	n := p.n
+	for {
+		a := next()
+		if a < 0 {
+			return
+		}
+		b := next()
+		if b < 0 {
+			gatherFiber(dst, sc.vin, a, stride, n)
+			p.transform1D(sc.vin, sc.vout, sc)
+			scatterFiber(dst, sc.vout, a, stride, n)
+			return
+		}
+		gatherFiber(dst, sc.vin, a, stride, n)
+		gatherFiber(dst, sc.vin2, b, stride, n)
+		p.transformPair(sc.vin, sc.vin2, sc.vout, sc.vout2, sc)
+		scatterFiber(dst, sc.vout, a, stride, n)
+		scatterFiber(dst, sc.vout2, b, stride, n)
+	}
+}
+
+// baseEnum enumerates count fiber bases, base(i) for i < count.
+func baseEnum(count int, base func(i int) int) func() int {
+	i := 0
+	return func() int {
+		if i >= count {
+			return -1
+		}
+		b := base(i)
+		i++
+		return b
+	}
+}
+
+// apply2D computes the two-sided sine transform S·X·S of the n×n array
+// src into dst (dst may alias src), charging w for the work.
+func (p *dstPlan) apply2D(src, dst []float64, w *Work) {
+	n := p.n
+	sc := p.pool.Get().(*dstScratch)
+	if &dst[0] != &src[0] {
+		copy(dst, src)
+	}
+	// Axis 0 (columns, stride n), then axis 1 (rows, contiguous).
+	p.transformFibers(dst, n, baseEnum(n, func(j int) int { return j }), sc)
+	p.transformFibers(dst, 1, baseEnum(n, func(i int) int { return i * n }), sc)
+	p.pool.Put(sc)
+	if p.basis != nil {
+		w.Flops += 4 * n * n * n // the dense charge, for bit-parity
+	} else {
+		w.Flops += 2 * n * p.flops1D
+	}
+}
+
+// apply3D computes the three-axis sine transform of the n×n×n array src
+// into dst (dst may alias src), charging w for the work.
+func (p *dstPlan) apply3D(src, dst []float64, w *Work) {
+	n := p.n
+	sc := p.pool.Get().(*dstScratch)
+	if &dst[0] != &src[0] {
+		copy(dst, src)
+	}
+	// Axis 0 (stride n²), axis 1 (stride n), axis 2 (contiguous).
+	p.transformFibers(dst, n*n, baseEnum(n*n, func(i int) int { return i }), sc)
+	p.transformFibers(dst, n, baseEnum(n*n, func(i int) int {
+		return (i/n)*n*n + i%n
+	}), sc)
+	p.transformFibers(dst, 1, baseEnum(n*n, func(i int) int { return i * n }), sc)
+	p.pool.Put(sc)
+	if p.basis != nil {
+		w.Flops += 3 * n * n * n * n // the dense charge, for bit-parity
+	} else {
+		w.Flops += 3 * n * n * p.flops1D
+	}
+}
+
+// FastDirectPoisson2D solves -Δu = f exactly like DirectPoisson2D but via
+// the FFT-backed DST-I: O(N² log N) at multigrid sizes instead of O(N³).
+// At sizes where N+1 is not a power of two it is bit-identical to
+// DirectPoisson2D (same sums, same order, same flop charge); at FFT sizes
+// it agrees to rounding (documented contract at the top of this file) and
+// charges the FFT's asymptotic cost, which is what makes it a genuinely
+// different point in the autotuner's choice space.
+func FastDirectPoisson2D(f *Grid2D, w *Work) *Grid2D {
+	n := f.N
+	h := f.h()
+	plan, lam := dstPlanFor(n, h)
+	fh := make([]float64, n*n)
+	plan.apply2D(f.Data, fh, w)
+	// Scale by 1/(λi + λj) and the DST normalisation (2/(N+1))² — the
+	// same expression, in the same order, as DirectPoisson2D.
+	norm := 4.0 / (float64(n+1) * float64(n+1))
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			fh[i*n+j] *= norm / (lam[i] + lam[j])
+		}
+	}
+	w.Flops += 2 * n * n
+	out := NewGrid2D(n)
+	plan.apply2D(fh, out.Data, w)
+	return out
+}
+
+// FastDirectHelmholtz3D solves the constant-coefficient surrogate exactly
+// like DirectHelmholtz3D (same ā averaging, same spectral scaling) but via
+// the FFT-backed DST-I: O(N³ log N) at multigrid sizes instead of O(N⁴).
+// The fallback/FFT contract matches FastDirectPoisson2D.
+func FastDirectHelmholtz3D(op *Helmholtz3D, f *Grid3D, w *Work) *Grid3D {
+	n := f.N
+	h := f.h()
+	abar := 0.0
+	for _, v := range op.A.Data {
+		abar += v
+	}
+	abar /= float64(len(op.A.Data))
+	plan, lam := dstPlanFor(n, h)
+	fh := make([]float64, n*n*n)
+	plan.apply3D(f.Data, fh, w)
+	norm := math.Pow(2.0/float64(n+1), 3)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			for k := 0; k < n; k++ {
+				den := abar*(lam[i]+lam[j]+lam[k]) + op.C
+				fh[(i*n+j)*n+k] *= norm / den
+			}
+		}
+	}
+	w.Flops += 3 * n * n * n
+	out := NewGrid3D(n)
+	plan.apply3D(fh, out.Data, w)
+	return out
+}

@@ -1,0 +1,254 @@
+package pde
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"inputtune/internal/rng"
+)
+
+// Tests for the fast DST-I solvers (dst.go). The numerical contract under
+// test is the one the file documents: BIT-identical to the dense direct
+// solvers (and their flop charges) at fallback sizes, and within 1e-12
+// relative error at FFT sizes, where the transform reassociates sums.
+
+const dstFFTRelTol = 1e-12
+
+func maxRelErr(t *testing.T, got, want []float64) float64 {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("length mismatch: %d vs %d", len(got), len(want))
+	}
+	scale := 0.0
+	for _, v := range want {
+		if a := math.Abs(v); a > scale {
+			scale = a
+		}
+	}
+	if scale == 0 {
+		scale = 1
+	}
+	worst := 0.0
+	for i := range got {
+		if e := math.Abs(got[i]-want[i]) / scale; e > worst {
+			worst = e
+		}
+	}
+	return worst
+}
+
+// TestFastDirectPoisson2DFallbackBitIdentical: at sizes where N+1 is not a
+// power of two the fast solver IS the dense solver — same bits, same flop
+// charge.
+func TestFastDirectPoisson2DFallbackBitIdentical(t *testing.T) {
+	for _, n := range []int{2, 5, 6, 10, 12, 21} {
+		f := randGrid2D(n, rng.New(uint64(1000+n)))
+		var wd, wf Work
+		dense := DirectPoisson2D(f, &wd)
+		fast := FastDirectPoisson2D(f, &wf)
+		for i := range dense.Data {
+			if dense.Data[i] != fast.Data[i] {
+				t.Fatalf("n=%d: bit mismatch at %d: dense %v fast %v", n, i, dense.Data[i], fast.Data[i])
+			}
+		}
+		if wd.Flops != wf.Flops {
+			t.Fatalf("n=%d: flop charge mismatch: dense %d fast %d", n, wd.Flops, wf.Flops)
+		}
+	}
+}
+
+// TestFastDirectHelmholtz3DFallbackBitIdentical mirrors the 2-D fallback
+// contract for the Helmholtz surrogate solver.
+func TestFastDirectHelmholtz3DFallbackBitIdentical(t *testing.T) {
+	for _, n := range []int{2, 5, 6, 9} {
+		f := randGrid3D(n, rng.New(uint64(2000+n)))
+		a := randGrid3D(n, rng.New(uint64(3000+n)))
+		for i := range a.Data {
+			a.Data[i] = 1 + 0.3*math.Abs(a.Data[i])
+		}
+		op := &Helmholtz3D{A: a, C: 0.7}
+		var wd, wf Work
+		dense := DirectHelmholtz3D(op, f, &wd)
+		fast := FastDirectHelmholtz3D(op, f, &wf)
+		for i := range dense.Data {
+			if dense.Data[i] != fast.Data[i] {
+				t.Fatalf("n=%d: bit mismatch at %d: dense %v fast %v", n, i, dense.Data[i], fast.Data[i])
+			}
+		}
+		if wd.Flops != wf.Flops {
+			t.Fatalf("n=%d: flop charge mismatch: dense %d fast %d", n, wd.Flops, wf.Flops)
+		}
+	}
+}
+
+// TestFastDirectPoisson2DFFTAccuracy: at multigrid sizes the FFT path must
+// agree with the dense solve within the documented tolerance, and charge
+// asymptotically fewer flops once N is past the crossover.
+func TestFastDirectPoisson2DFFTAccuracy(t *testing.T) {
+	for _, n := range []int{3, 7, 15, 31, 63, 127} {
+		f := randGrid2D(n, rng.New(uint64(4000+n)))
+		var wd, wf Work
+		dense := DirectPoisson2D(f, &wd)
+		fast := FastDirectPoisson2D(f, &wf)
+		if err := maxRelErr(t, fast.Data, dense.Data); err > dstFFTRelTol {
+			t.Fatalf("n=%d: max rel err %.3e exceeds %.0e", n, err, dstFFTRelTol)
+		}
+		if n >= 63 && wf.Flops >= wd.Flops {
+			t.Fatalf("n=%d: fast path charged %d flops, dense %d", n, wf.Flops, wd.Flops)
+		}
+	}
+}
+
+// TestFastDirectHelmholtz3DFFTAccuracy mirrors the 2-D FFT contract.
+func TestFastDirectHelmholtz3DFFTAccuracy(t *testing.T) {
+	for _, n := range []int{3, 7, 15, 31, 63} {
+		f := randGrid3D(n, rng.New(uint64(5000+n)))
+		a := randGrid3D(n, rng.New(uint64(6000+n)))
+		for i := range a.Data {
+			a.Data[i] = 1 + 0.3*math.Abs(a.Data[i])
+		}
+		op := &Helmholtz3D{A: a, C: 0.7}
+		var wd, wf Work
+		dense := DirectHelmholtz3D(op, f, &wd)
+		fast := FastDirectHelmholtz3D(op, f, &wf)
+		if err := maxRelErr(t, fast.Data, dense.Data); err > dstFFTRelTol {
+			t.Fatalf("n=%d: max rel err %.3e exceeds %.0e", n, err, dstFFTRelTol)
+		}
+		// The 3-D dense path charges one (understated) flop per MAC, so
+		// the fast path's honest FFT charge only undercuts it past n=63.
+		if n >= 63 && wf.Flops >= wd.Flops {
+			t.Fatalf("n=%d: fast path charged %d flops, dense %d", n, wf.Flops, wd.Flops)
+		}
+	}
+}
+
+// TestDSTRoundTripProperty: DST-I is its own inverse up to the factor
+// (N+1)/2, so transforming twice and rescaling must reproduce the input —
+// across odd, even, power-of-two-adjacent and arbitrary sizes, on both the
+// FFT and dense paths.
+func TestDSTRoundTripProperty(t *testing.T) {
+	r := rng.New(99)
+	sizes := []int{1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 24, 31, 32, 63}
+	for trial := 0; trial < 40; trial++ {
+		sizes = append(sizes, 1+r.Intn(50))
+	}
+	for _, n := range sizes {
+		in := make([]float64, n)
+		for i := range in {
+			in[i] = r.Range(-10, 10)
+		}
+		plan, _ := dstPlanFor(n, 1.0/float64(n+1))
+		sc := plan.pool.Get().(*dstScratch)
+		mid := make([]float64, n)
+		out := make([]float64, n)
+		plan.transform1D(in, mid, sc)
+		plan.transform1D(mid, out, sc)
+		plan.pool.Put(sc)
+		scale := 2.0 / float64(n+1)
+		worst := 0.0
+		for i := range out {
+			if e := math.Abs(out[i]*scale - in[i]); e > worst {
+				worst = e
+			}
+		}
+		if worst > 1e-10 {
+			t.Fatalf("n=%d: round-trip error %.3e", n, worst)
+		}
+	}
+}
+
+// TestDSTMatchesDenseTransform: the 1-D transform must agree with an
+// explicit evaluation of the sine sum at every size class.
+func TestDSTMatchesDenseTransform(t *testing.T) {
+	r := rng.New(7)
+	for _, n := range []int{1, 2, 3, 6, 7, 10, 15, 20, 31, 33} {
+		in := make([]float64, n)
+		for i := range in {
+			in[i] = r.Range(-5, 5)
+		}
+		s := computeSineMatrix(n)
+		want := make([]float64, n)
+		for i := 0; i < n; i++ {
+			sum := 0.0
+			for k := 0; k < n; k++ {
+				sum += s[i][k] * in[k]
+			}
+			want[i] = sum
+		}
+		plan, _ := dstPlanFor(n, 1.0/float64(n+1))
+		sc := plan.pool.Get().(*dstScratch)
+		got := make([]float64, n)
+		plan.transform1D(in, got, sc)
+		plan.pool.Put(sc)
+		if err := maxRelErr(t, got, want); err > dstFFTRelTol {
+			t.Fatalf("n=%d: transform err %.3e", n, err)
+		}
+	}
+}
+
+// FuzzDSTRoundTrip drives the round-trip property from fuzzed inputs:
+// arbitrary sizes (odd, even, non-power-of-two) and arbitrary finite
+// values must survive transform∘transform rescaling.
+func FuzzDSTRoundTrip(f *testing.F) {
+	f.Add(uint8(7), int64(1), int64(-2), int64(3))
+	f.Add(uint8(8), int64(1000), int64(0), int64(-1000))
+	f.Add(uint8(12), int64(-7), int64(7), int64(123456))
+	f.Add(uint8(1), int64(42), int64(0), int64(0))
+	f.Fuzz(func(t *testing.T, sz uint8, a, b, c int64) {
+		n := 1 + int(sz)%64
+		in := make([]float64, n)
+		seeds := []int64{a, b, c}
+		for i := range in {
+			in[i] = float64(seeds[i%3]%1000) / 7 * float64(i+1)
+		}
+		plan, _ := dstPlanFor(n, 1.0/float64(n+1))
+		sc := plan.pool.Get().(*dstScratch)
+		mid := make([]float64, n)
+		out := make([]float64, n)
+		plan.transform1D(in, mid, sc)
+		plan.transform1D(mid, out, sc)
+		plan.pool.Put(sc)
+		scale := 2.0 / float64(n+1)
+		norm := 0.0
+		for _, v := range in {
+			if av := math.Abs(v); av > norm {
+				norm = av
+			}
+		}
+		tol := 1e-10 * (1 + norm)
+		for i := range out {
+			if math.Abs(out[i]*scale-in[i]) > tol {
+				t.Fatalf("n=%d: round-trip mismatch at %d: got %v want %v", n, i, out[i]*scale, in[i])
+			}
+		}
+	})
+}
+
+// TestFastDirectConcurrentDeterministic: plans are shared, workspaces are
+// pooled; concurrent solves must still be bitwise equal to a serial solve
+// (the determinism invariant the whole pipeline rests on).
+func TestFastDirectConcurrentDeterministic(t *testing.T) {
+	n := 31
+	f := randGrid2D(n, rng.New(77))
+	var w Work
+	want := FastDirectPoisson2D(f, &w)
+	var wg sync.WaitGroup
+	results := make([]*Grid2D, 8)
+	for g := range results {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			var w Work
+			results[g] = FastDirectPoisson2D(f, &w)
+		}(g)
+	}
+	wg.Wait()
+	for g, got := range results {
+		for i := range got.Data {
+			if got.Data[i] != want.Data[i] {
+				t.Fatalf("goroutine %d: nondeterministic result at %d", g, i)
+			}
+		}
+	}
+}

@@ -211,6 +211,41 @@ func (h *Hierarchy3D) cycle(l int, u, f *Grid3D, opt MGOptions3D, w *Work) {
 	}
 }
 
+// CoarseCorrect performs the coarse-grid correction phase of one fine-
+// level cycle — residual, restrict, Gamma recursive coarse cycles,
+// prolong — without the fine-level pre/post smooths. A full cycle on a
+// fine grid larger than the coarsest level decomposes bitwise as
+//
+//	Pre × SOR(omega);  CoarseCorrect;  Post × SOR(omega)
+//
+// which is what lets callers checkpoint and share the intermediate
+// states (the phases run the same arithmetic Cycle runs, in the same
+// order, on the same scratch). Requires N() > 3: on a coarsest-size fine
+// grid Cycle is pure smoothing and has no correction phase to split out.
+func (h *Hierarchy3D) CoarseCorrect(u, f *Grid3D, opt MGOptions3D, w *Work) {
+	if u.N != h.sizes[0] {
+		panic(fmt.Sprintf("pde: Hierarchy3D built for N=%d used with N=%d", h.sizes[0], u.N))
+	}
+	if u.N <= 3 {
+		panic("pde: CoarseCorrect on a coarsest-level grid (Cycle is pure smoothing there)")
+	}
+	if opt.Gamma < 1 {
+		opt.Gamma = 1
+	}
+	if opt.Omega <= 0 {
+		opt.Omega = 1
+	}
+	r := h.res[0]
+	Residual3D(h.chain.ops[0], u, f, r, w)
+	cu, cf := h.cu[1], h.cf[1]
+	Restrict3DInto(r, cf, w)
+	zeroFloats(cu.Data)
+	for g := 0; g < opt.Gamma; g++ {
+		h.cycle(1, cu, cf, opt, w)
+	}
+	Prolong3D(cu, u, w)
+}
+
 // Jacobi performs one weighted Jacobi sweep with the chain's fine operator
 // using the hierarchy's scratch buffer.
 func (h *Hierarchy3D) Jacobi(u, f *Grid3D, omega float64, w *Work) {

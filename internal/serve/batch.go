@@ -2,6 +2,7 @@ package serve
 
 import (
 	"fmt"
+	"io"
 	"sync"
 	"sync/atomic"
 
@@ -18,12 +19,23 @@ const DefaultMaxBatch = 16
 type task struct {
 	benchmark string
 	in        core.Input
-	done      chan taskResult
+	// frame, when non-nil, is an undecoded binary request: the shard
+	// worker decodes it itself, so frame decode rides the same bounded
+	// workers as classification instead of paying a decode-then-channel
+	// hop on the request goroutine. The enqueueing goroutine blocks on
+	// done for the task's whole lifetime, which is what keeps the reader
+	// (typically an http.Request body) valid while the worker reads it.
+	frame io.Reader
+	done  chan taskResult
 }
 
 type taskResult struct {
-	d   *Decision
-	err error
+	d *Decision
+	// benchmark is the resolved benchmark name, for metrics attribution:
+	// frame tasks only learn it during decode (empty when the frame's
+	// header never decoded).
+	benchmark string
+	err       error
 }
 
 // Batcher is the sharded worker/batching layer. Incoming requests are
@@ -89,6 +101,38 @@ func (b *Batcher) Classify(benchmark string, in core.Input) (d *Decision, err er
 	return res.d, res.err
 }
 
+// ClassifyFrame enqueues an undecoded binary frame on a shard and waits
+// for its result; the shard worker performs the decode. The returned
+// benchmark name is the one the frame resolved to ("" when the frame
+// never decoded), so the caller can attribute metrics.
+func (b *Batcher) ClassifyFrame(r io.Reader) (d *Decision, benchmark string, err error) {
+	if b.closed.Load() {
+		return nil, "", fmt.Errorf("serve: batcher is shut down")
+	}
+	t := &task{frame: r, done: make(chan taskResult, 1)}
+	shard := b.shards[b.next.Add(1)%uint64(len(b.shards))]
+	defer func() {
+		if recover() != nil {
+			d, benchmark, err = nil, "", fmt.Errorf("serve: batcher is shut down")
+		}
+	}()
+	shard <- t
+	res := <-t.done
+	return res.d, res.benchmark, res.err
+}
+
+// exec performs one task on whatever goroutine the shard scheduled it
+// on: frame tasks decode-then-classify in one pass, decoded tasks go
+// straight to classification.
+func (b *Batcher) exec(t *task) taskResult {
+	if t.frame != nil {
+		d, benchmark, err := b.svc.classifyFrame(t.frame)
+		return taskResult{d: d, benchmark: benchmark, err: err}
+	}
+	d, err := b.svc.classifyNow(t.benchmark, t.in)
+	return taskResult{d: d, benchmark: t.benchmark, err: err}
+}
+
 // run is one shard worker: block for the first task, opportunistically
 // drain more up to maxBatch, classify the batch on the pool.
 func (b *Batcher) run(queue chan *task) {
@@ -109,14 +153,12 @@ func (b *Batcher) run(queue chan *task) {
 		}
 		if len(batch) == 1 {
 			t := batch[0]
-			d, err := b.svc.classifyNow(t.benchmark, t.in)
-			t.done <- taskResult{d: d, err: err}
+			t.done <- b.exec(t)
 			continue
 		}
 		b.pool.ForEach(len(batch), func(i int) {
 			t := batch[i]
-			d, err := b.svc.classifyNow(t.benchmark, t.in)
-			t.done <- taskResult{d: d, err: err}
+			t.done <- b.exec(t)
 		})
 	}
 }

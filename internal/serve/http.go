@@ -3,13 +3,12 @@ package serve
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"strings"
 	"sync"
-
-	"inputtune/internal/core"
 )
 
 // MaxRequestBytes bounds request bodies (inputs and artifacts alike) so a
@@ -93,15 +92,15 @@ func mediaType(ct string) string {
 //	GET  /metrics                      Prometheus text (?format=json for JSON)
 //	GET  /healthz                                                → liveness
 //
-// Responses are always JSON; negotiation covers the request input payload,
-// where the bytes are. Input wire formats are the per-benchmark codecs
-// (codec.go) over the shared wire layer (wire.go).
+// Classify responses are JSON by default; a client that sends
+// Accept: application/x-inputtune (on a deployment that negotiates the
+// binary wire) receives the Decision as an ITD1 binary frame instead
+// (response.go). Every other response stays JSON. Input wire formats are
+// the per-benchmark codecs (codec.go) over the shared wire layer
+// (wire.go).
 func NewHandler(svc *Service) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/classify", func(w http.ResponseWriter, r *http.Request) {
-		var benchmark string
-		var in core.Input
-		var codec *Codec
 		switch ct := mediaType(r.Header.Get("Content-Type")); ct {
 		case ContentTypeBinary:
 			if !svc.AcceptsWire(WireBinary) {
@@ -109,14 +108,21 @@ func NewHandler(svc *Service) http.Handler {
 					fmt.Errorf("this deployment does not accept %s", ContentTypeBinary))
 				return
 			}
-			// The frame streams straight off the socket: vectors land in
-			// pooled buffers exactly once, with no intermediate envelope.
-			c, decoded, err := DecodeBinaryRequest(io.LimitReader(r.Body, MaxRequestBytes))
+			// The frame streams straight off the socket: on sharded
+			// deployments all the way into the shard worker, which decodes
+			// and classifies in one pass — vectors land in pooled buffers
+			// exactly once, with no decode-then-channel hop.
+			d, err := svc.ClassifyBinary(io.LimitReader(r.Body, MaxRequestBytes))
 			if err != nil {
-				writeError(w, http.StatusBadRequest, fmt.Errorf("decoding binary request: %w", err))
+				status := http.StatusServiceUnavailable
+				var reqErr *RequestError
+				if errors.As(err, &reqErr) {
+					status = http.StatusBadRequest
+				}
+				writeError(w, status, err)
 				return
 			}
-			codec, in, benchmark = c, decoded, c.Name
+			writeDecision(w, r, svc, d)
 		default:
 			if !svc.AcceptsWire(WireJSON) {
 				writeError(w, http.StatusUnsupportedMediaType,
@@ -150,17 +156,16 @@ func NewHandler(svc *Service) http.Handler {
 				writeError(w, http.StatusBadRequest, fmt.Errorf("decoding %s input: %w", req.Benchmark, err))
 				return
 			}
-			codec, in, benchmark = c, decoded, req.Benchmark
+			d, err := svc.Classify(req.Benchmark, decoded)
+			// The decision carries no reference to the input, so its
+			// buffers can rejoin the pool before the response is written.
+			c.Release(decoded)
+			if err != nil {
+				writeError(w, http.StatusServiceUnavailable, err)
+				return
+			}
+			writeDecision(w, r, svc, d)
 		}
-		d, err := svc.Classify(benchmark, in)
-		// The decision carries no reference to the input, so its buffers
-		// can rejoin the pool before the response is even written.
-		codec.Release(in)
-		if err != nil {
-			writeError(w, http.StatusServiceUnavailable, err)
-			return
-		}
-		writeJSON(w, http.StatusOK, d)
 	})
 	mux.HandleFunc("POST /v1/reload", func(w http.ResponseWriter, r *http.Request) {
 		artifact, err := io.ReadAll(io.LimitReader(r.Body, MaxRequestBytes))
@@ -217,6 +222,24 @@ func NewHandler(svc *Service) http.Handler {
 		})
 	})
 	return mux
+}
+
+// writeDecision writes d in the representation the client's Accept
+// header asks for: application/x-inputtune (on a deployment negotiating
+// the binary wire) yields the ITD1 binary frame, anything else the JSON
+// Decision object. Request and response formats negotiate independently,
+// so a JSON request may ask for a binary answer and vice versa.
+func writeDecision(w http.ResponseWriter, r *http.Request, svc *Service, d *Decision) {
+	if mediaType(r.Header.Get("Accept")) == ContentTypeBinary && svc.AcceptsWire(WireBinary) {
+		buf := getBuf()
+		buf.Write(AppendBinaryDecision(buf.AvailableBuffer(), d))
+		w.Header().Set("Content-Type", ContentTypeBinary)
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(buf.Bytes())
+		putBuf(buf)
+		return
+	}
+	writeJSON(w, http.StatusOK, d)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -109,6 +109,10 @@ func (r *Registry) Load(artifact []byte) (*Snapshot, error) {
 	if err != nil {
 		return nil, fmt.Errorf("serve: rejecting artifact for %q: %w", hdr.Benchmark, err)
 	}
+	// Lower the production classifier into its compiled (flat-array) form
+	// before the snapshot goes live, so every request served from it walks
+	// the branch-free path.
+	model.CompileClassifiers()
 	snap := &Snapshot{
 		Benchmark:     hdr.Benchmark,
 		Model:         model,
@@ -140,6 +144,7 @@ func (r *Registry) Install(m *core.Model) (*Snapshot, error) {
 	e := r.ensure(m.Program)
 	e.loadMu.Lock()
 	defer e.loadMu.Unlock()
+	m.CompileClassifiers()
 	snap := &Snapshot{Benchmark: m.Program.Name(), Model: m, Generation: r.gen.Add(1)}
 	e.cur.Store(snap)
 	return snap, nil

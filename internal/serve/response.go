@@ -1,0 +1,180 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"inputtune/internal/choice"
+)
+
+// Binary Decision response frame: the response-side counterpart of the
+// ITW1 request frame, negotiated via the Accept header on POST
+// /v1/classify. It carries every field of Decision losslessly — the
+// selected landmark configuration travels in the injective binary Config
+// encoding (choice.AppendBinary), not as re-parsed JSON — so a binary
+// round trip reproduces exactly the Decision the JSON wire would have
+// reported.
+//
+// Frame layout (integers little-endian, lengths uvarint):
+//
+//	offset  size        field
+//	0       4           magic "ITD1"
+//	then, in order:
+//	  uvarint L, L bytes  benchmark name
+//	  8                   generation (uint64)
+//	  varint              landmark index
+//	  uvarint L, L bytes  config (binary Config encoding)
+//	  uvarint L, L bytes  config description
+//	  uvarint L, L bytes  classifier name
+//	  8                   feature units (IEEE-754 float64 bits)
+//	  1                   cache hit (0 or 1)
+//
+// The frame is self-delimiting; trailing bytes are a schema mismatch and
+// an error, matching the request decoder's strictness.
+
+var decisionMagic = [4]byte{'I', 'T', 'D', '1'}
+
+// maxDecisionField bounds any single variable-length field of a decision
+// frame, so a hostile stream cannot make the decoder allocate
+// unboundedly. Descriptions are a few hundred bytes in practice.
+const maxDecisionField = 1 << 20
+
+// AppendBinaryDecision appends d's binary response frame to dst.
+func AppendBinaryDecision(dst []byte, d *Decision) []byte {
+	appendStr := func(s string) {
+		dst = binary.AppendUvarint(dst, uint64(len(s)))
+		dst = append(dst, s...)
+	}
+	appendU64 := func(x uint64) {
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], x)
+		dst = append(dst, buf[:]...)
+	}
+	dst = append(dst, decisionMagic[:]...)
+	appendStr(d.Benchmark)
+	appendU64(d.Generation)
+	dst = binary.AppendVarint(dst, int64(d.Landmark))
+	var cfg []byte
+	if d.Config != nil {
+		cfg = d.Config.AppendBinary(nil)
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(cfg)))
+	dst = append(dst, cfg...)
+	appendStr(d.ConfigDescription)
+	appendStr(d.Classifier)
+	appendU64(math.Float64bits(d.FeatureUnits))
+	if d.CacheHit {
+		dst = append(dst, 1)
+	} else {
+		dst = append(dst, 0)
+	}
+	return dst
+}
+
+// DecodeBinaryDecision reads one binary decision frame from r, verifying
+// the magic and that the stream ends exactly at the frame boundary.
+func DecodeBinaryDecision(r io.Reader) (*Decision, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("serve: decision header: %w", err)
+	}
+	if magic != decisionMagic {
+		return nil, fmt.Errorf("serve: bad decision magic %q", magic[:])
+	}
+	readBytes := func(field string) ([]byte, error) {
+		n, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("serve: decision field %q length: %w", field, err)
+		}
+		if n > maxDecisionField {
+			return nil, fmt.Errorf("serve: decision field %q of %d bytes exceeds limit", field, n)
+		}
+		b := make([]byte, n)
+		if _, err := io.ReadFull(br, b); err != nil {
+			return nil, fmt.Errorf("serve: decision field %q: %w", field, err)
+		}
+		return b, nil
+	}
+	readU64 := func(field string) (uint64, error) {
+		var buf [8]byte
+		if _, err := io.ReadFull(br, buf[:]); err != nil {
+			return 0, fmt.Errorf("serve: decision field %q: %w", field, err)
+		}
+		return binary.LittleEndian.Uint64(buf[:]), nil
+	}
+	d := &Decision{}
+	b, err := readBytes("benchmark")
+	if err != nil {
+		return nil, err
+	}
+	d.Benchmark = string(b)
+	gen, err := readU64("generation")
+	if err != nil {
+		return nil, err
+	}
+	d.Generation = gen
+	lm, err := binary.ReadVarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("serve: decision field \"landmark\": %w", err)
+	}
+	d.Landmark = int(lm)
+	cfg, err := readBytes("config")
+	if err != nil {
+		return nil, err
+	}
+	if len(cfg) > 0 {
+		c, err := choice.DecodeConfig(byteSliceReader{rest: &cfg})
+		if err != nil {
+			return nil, fmt.Errorf("serve: decision config: %w", err)
+		}
+		if len(cfg) != 0 {
+			return nil, fmt.Errorf("serve: decision config has %d trailing bytes", len(cfg))
+		}
+		d.Config = c
+	}
+	if b, err = readBytes("config_description"); err != nil {
+		return nil, err
+	}
+	d.ConfigDescription = string(b)
+	if b, err = readBytes("classifier"); err != nil {
+		return nil, err
+	}
+	d.Classifier = string(b)
+	fu, err := readU64("feature_units")
+	if err != nil {
+		return nil, err
+	}
+	d.FeatureUnits = math.Float64frombits(fu)
+	hit, err := br.ReadByte()
+	if err != nil {
+		return nil, fmt.Errorf("serve: decision field \"cache_hit\": %w", err)
+	}
+	switch hit {
+	case 0:
+	case 1:
+		d.CacheHit = true
+	default:
+		return nil, fmt.Errorf("serve: decision cache_hit byte %d is not 0 or 1", hit)
+	}
+	if _, err := br.ReadByte(); err != io.EOF {
+		return nil, fmt.Errorf("serve: trailing bytes after decision frame")
+	}
+	return d, nil
+}
+
+// byteSliceReader is an io.ByteReader over a shrinking slice, so the
+// caller can verify the config blob was consumed exactly.
+type byteSliceReader struct{ rest *[]byte }
+
+func (s byteSliceReader) ReadByte() (byte, error) {
+	b := *s.rest
+	if len(b) == 0 {
+		return 0, io.EOF
+	}
+	*s.rest = b[1:]
+	return b[0], nil
+}

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"fmt"
+	"io"
 	"time"
 
 	"inputtune/internal/choice"
@@ -10,6 +11,16 @@ import (
 	"inputtune/internal/engine"
 	"inputtune/internal/feature"
 )
+
+// RequestError marks an error as the client's fault (a malformed or
+// unsupported request), so transports can map it to a 4xx status instead
+// of the 5xx reserved for serving failures. It matters on the binary
+// path, where decode happens inside the service (possibly on a shard
+// worker) rather than in the HTTP handler.
+type RequestError struct{ Err error }
+
+func (e *RequestError) Error() string { return e.Err.Error() }
+func (e *RequestError) Unwrap() error { return e.Err }
 
 // Decision is the service's answer to one classification request.
 type Decision struct {
@@ -125,6 +136,47 @@ func (s *Service) Classify(benchmark string, in core.Input) (*Decision, error) {
 	hit := d != nil && d.CacheHit
 	s.metrics.ObserveRequest(benchmark, time.Since(start), hit, err)
 	return d, err
+}
+
+// ClassifyBinary answers one binary-framed request, streaming the frame
+// off r directly. When batching is configured, the UNDECODED frame rides
+// the shard queue and the shard worker performs the decode — vectors land
+// in pooled buffers exactly once, on the goroutine that consumes them,
+// with no decode-then-channel hop on the request goroutine. That is
+// sound because the request goroutine blocks right here until its result
+// lands, keeping r (typically an http.Request body) valid for the
+// worker's whole read. Decode failures come back wrapped in
+// *RequestError; metrics are attributed to the decoded benchmark name
+// and skipped when the frame never identified one.
+func (s *Service) ClassifyBinary(r io.Reader) (*Decision, error) {
+	start := time.Now()
+	var d *Decision
+	var benchmark string
+	var err error
+	if s.batcher != nil {
+		d, benchmark, err = s.batcher.ClassifyFrame(r)
+	} else {
+		d, benchmark, err = s.classifyFrame(r)
+	}
+	if benchmark != "" {
+		hit := d != nil && d.CacheHit
+		s.metrics.ObserveRequest(benchmark, time.Since(start), hit, err)
+	}
+	return d, err
+}
+
+// classifyFrame decodes one binary frame and classifies it in the same
+// pass (the batcher's shard workers call it too). The benchmark name is
+// returned even when classification fails — it is known once the header
+// decodes — so callers can attribute metrics.
+func (s *Service) classifyFrame(r io.Reader) (*Decision, string, error) {
+	c, in, err := DecodeBinaryRequest(r)
+	if err != nil {
+		return nil, "", &RequestError{Err: fmt.Errorf("decoding binary request: %w", err)}
+	}
+	d, cerr := s.classifyNow(c.Name, in)
+	c.Release(in)
+	return d, c.Name, cerr
 }
 
 // classifyNow is the inline classification path (the batcher's workers
