@@ -17,6 +17,14 @@
 //	                                 binary A/B) — and merge throughput/
 //	                                 p50/p99/allocs into the bench JSON's
 //	                                 "serve" section
+//	experiments cluster-bench        multi-replica fleet arm: stand up a
+//	                                 replicas x clients grid behind the
+//	                                 consistent-hash router, kill and
+//	                                 restart a replica mid-run (zero failed
+//	                                 requests enforced), and merge scaling,
+//	                                 fault counters and per-replica cache
+//	                                 stats into the bench JSON's "fleet"
+//	                                 section
 //	experiments classify             wire-level client for a running
 //	                                 inputtuned: encode -data in -wire
 //	                                 json|binary and POST /v1/classify
@@ -68,6 +76,9 @@ func main() {
 	requests := fs.Int("requests", 2000, "serve-bench: total requests per case and wire")
 	reloads := fs.Int("reloads", 2, "serve-bench: hot reloads fired mid-run")
 	wire := fs.String("wire", "both", "serve-bench: wire formats to drive (json, binary, or both); classify: request format")
+	replicasFlag := fs.String("replicas", "1,2,4", "cluster-bench: comma-separated fleet-size grid")
+	kill := fs.Bool("kill", true, "cluster-bench: inject a replica kill+restart mid-run on multi-replica arms")
+	shardQuantize := fs.Int("shard-quantize", 8, "cluster-bench: fingerprint quantization bits for consistent-hash sharding")
 	addr := fs.String("addr", "localhost:8077", "classify: inputtuned address")
 	benchmark := fs.String("benchmark", "sort", "classify: benchmark name (sort or binpacking)")
 	data := fs.String("data", "", "classify: comma-separated float input vector")
@@ -174,6 +185,40 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "merged serve section into %s\n", path)
+	case "cluster-bench":
+		path := *benchJSON
+		if path == "" {
+			path = "BENCH_latest.json"
+		}
+		grid, err := parseReplicas(*replicasFlag)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cluster-bench: %v\n", err)
+			os.Exit(2)
+		}
+		fb, err := exp.RunClusterBench(exp.ClusterBenchOptions{
+			Case:         *caseName,
+			Replicas:     grid,
+			Clients:      *clients,
+			Requests:     *requests,
+			Kill:         *kill,
+			QuantizeBits: *shardQuantize,
+			Scale:        sc,
+			Logf:         logf,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cluster-bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(exp.RenderClusterBench(fb))
+		if fb.Failed() {
+			fmt.Fprintln(os.Stderr, "cluster-bench: failed requests or label mismatches — the fleet did not absorb the fault")
+			os.Exit(1)
+		}
+		if err := exp.MergeFleetIntoBench(path, fb); err != nil {
+			fmt.Fprintf(os.Stderr, "merge into %s: %v\n", path, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "merged fleet section into %s\n", path)
 	case "all":
 		rows := runTable1(names, sc, logf, *outDir, true)
 		fmt.Println(exp.RenderFig7())
@@ -248,6 +293,19 @@ func runAblation(names []string, sc exp.Scale, logf func(string, ...any)) {
 			exp.AblationTuneSamples(exp.BuildCase(name, sc), sc, []int{1, 3}, logf)...)
 	}
 	fmt.Println(exp.RenderTuneSamples(tsResults))
+}
+
+// parseReplicas resolves the cluster-bench -replicas grid flag.
+func parseReplicas(s string) ([]int, error) {
+	var grid []int
+	for _, fld := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(fld))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad -replicas element %q (want positive integers)", fld)
+		}
+		grid = append(grid, n)
+	}
+	return grid, nil
 }
 
 // parseWires resolves the serve-bench -wire flag.
@@ -374,7 +432,7 @@ func writeFile(dir, name, content string) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: experiments <table1|fig6|fig7|fig8|ablation|bench|serve-bench|classify|all> [flags]
+	fmt.Fprintln(os.Stderr, `usage: experiments <table1|fig6|fig7|fig8|ablation|bench|serve-bench|cluster-bench|classify|all> [flags]
 flags:
   -scale quick|default   workload scale (default "default")
   -case NAME             single test: sort1 sort2 clustering1 clustering2
@@ -405,6 +463,16 @@ flags:
                          classify: the wire format — binary sends a binary
                          request frame AND negotiates the ITD1 binary
                          response, decoded and printed as Decision JSON
+  -replicas LIST         cluster-bench: comma-separated fleet-size grid
+                         (default "1,2,4"; the 1-replica arm is the
+                         scaling baseline)
+  -kill BOOL             cluster-bench: inject a replica kill at ~35% and
+                         a restart at ~70% of the run on every
+                         multi-replica arm (default true); zero failed
+                         requests through the outage or exit nonzero
+  -shard-quantize N      cluster-bench: feature-fingerprint quantization
+                         bits for consistent-hash sharding (default 8);
+                         replica decision caches stay exact regardless
   -addr HOST:PORT        classify: inputtuned address (default localhost:8077)
   -benchmark NAME        classify: sort or binpacking (default sort)
   -data FLOATS           classify: comma-separated input vector, e.g.

@@ -13,8 +13,16 @@
 // started with). For a dependency-free demo, -train CASE trains a
 // quick-scale model in-process instead of loading an artifact.
 //
-// Endpoints: POST /v1/classify, POST /v1/reload, GET /v1/models,
-// GET /metrics (?format=json), GET /healthz.
+// -fleet N runs a multi-replica fleet behind one listener: N independent
+// serving stacks (each with its own registry and decision cache) behind a
+// consistent-hash router that shards requests on the quantized input
+// fingerprint (-shard-quantize), health-checks its replicas, and rolls
+// /v1/reload artifacts across them one at a time. SIGTERM drains
+// gracefully in either mode: new requests are rejected while in-flight
+// ones finish.
+//
+// Endpoints: POST /v1/classify, POST /v1/reload, GET /v1/models (single
+// mode), GET /metrics (?format=json), GET /healthz.
 //
 // /v1/classify negotiates the request format on Content-Type: the JSON
 // envelope above, or the length-prefixed binary frame
@@ -25,6 +33,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"flag"
@@ -38,6 +47,7 @@ import (
 
 	"inputtune/internal/core"
 	"inputtune/internal/exp"
+	"inputtune/internal/fleet"
 	"inputtune/internal/serve"
 )
 
@@ -50,6 +60,8 @@ func main() {
 	shards := flag.Int("shards", 0, "batching shards (0 = classify inline per request)")
 	maxBatch := flag.Int("batch", 0, "max requests per shard batch (0 = default)")
 	trainCase := flag.String("train", "", "train a quick-scale model for this case in-process (e.g. sort2)")
+	fleetN := flag.Int("fleet", 0, "run N in-process replicas behind a consistent-hash router (0/1 = single service)")
+	shardQuantize := flag.Int("shard-quantize", 8, "fleet: fingerprint quantization bits for request sharding (replica caches stay exact)")
 	verbose := flag.Bool("v", false, "log requests setup progress")
 	var modelPaths []string
 	flag.Func("model", "model artifact to serve (repeatable)", func(path string) error {
@@ -76,32 +88,17 @@ func main() {
 		wires = append(wires, w)
 	}
 
-	reg := serve.BuiltinRegistry()
-	svc := serve.NewService(reg, serve.Options{
-		Cache: serve.CacheOptions{
-			Capacity:     *cacheCap,
-			Disable:      *noCache,
-			QuantizeBits: *quantize,
-		},
-		Shards:   *shards,
-		MaxBatch: *maxBatch,
-		Wires:    wires,
-	})
-	defer svc.Close()
-
+	// Collect every artifact first: files, then the optional in-process
+	// training run. Fleet mode loads the same bytes into every replica, so
+	// all replicas start at the same model version (same artifact hash).
+	var artifacts [][]byte
 	for _, path := range modelPaths {
 		artifact, err := os.ReadFile(path)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "read %s: %v\n", path, err)
 			os.Exit(1)
 		}
-		snap, err := svc.Load(artifact)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "load %s: %v\n", path, err)
-			os.Exit(1)
-		}
-		logf("loaded %s: benchmark %s, production %s, generation %d",
-			path, snap.Benchmark, snap.Model.Production.Name, snap.Generation)
+		artifacts = append(artifacts, artifact)
 	}
 	if *trainCase != "" {
 		sc := exp.QuickScale()
@@ -115,16 +112,73 @@ func main() {
 			K1: sc.K1, Seed: sc.Seed, TunerPopulation: sc.TunerPop,
 			TunerGenerations: sc.TunerGens, Parallel: true, Logf: trainLogf,
 		})
-		snap, err := reg.Install(model)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "install trained model: %v\n", err)
+		var buf bytes.Buffer
+		if err := core.SaveModel(model, &buf); err != nil {
+			fmt.Fprintf(os.Stderr, "serialise trained model: %v\n", err)
 			os.Exit(1)
 		}
-		logf("trained %s: benchmark %s, production %s, generation %d",
-			*trainCase, snap.Benchmark, model.Production.Name, snap.Generation)
+		artifacts = append(artifacts, buf.Bytes())
 	}
 
-	handler := serve.NewHandler(svc)
+	svcOpts := serve.Options{
+		Cache: serve.CacheOptions{
+			Capacity:     *cacheCap,
+			Disable:      *noCache,
+			QuantizeBits: *quantize,
+		},
+		Shards:   *shards,
+		MaxBatch: *maxBatch,
+		Wires:    wires,
+	}
+	// newService builds one full serving stack with every artifact loaded —
+	// the single daemon, or one fleet replica.
+	newService := func(tag string) *serve.Service {
+		reg := serve.BuiltinRegistry()
+		svc := serve.NewService(reg, svcOpts)
+		for _, artifact := range artifacts {
+			snap, err := svc.Load(artifact)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "%s: load artifact: %v\n", tag, err)
+				os.Exit(1)
+			}
+			logf("%s: loaded benchmark %s, production %s, generation %d",
+				tag, snap.Benchmark, snap.Model.Production.Name, snap.Generation)
+		}
+		return svc
+	}
+
+	var handler http.Handler
+	var drain func(context.Context) error
+	var serving string
+	if *fleetN > 1 {
+		replicas := make([]fleet.Replica, *fleetN)
+		for i := range replicas {
+			name := fmt.Sprintf("replica-%d", i)
+			replicas[i] = fleet.NewLocalReplica(name, newService(name))
+		}
+		fleetLogf := func(string, ...any) {}
+		if *verbose {
+			fleetLogf = logf
+		}
+		rt := fleet.NewRouter(replicas, fleet.Options{
+			QuantizeBits:   *shardQuantize,
+			HealthInterval: 500 * time.Millisecond,
+			Logf:           fleetLogf,
+		})
+		handler = fleet.NewHandler(rt)
+		drain = rt.Close
+		serving = fmt.Sprintf("%d-replica fleet (shard quantize %d bits)", *fleetN, *shardQuantize)
+	} else {
+		svc := newService("inputtuned")
+		handler = serve.NewHandler(svc)
+		drain = func(ctx context.Context) error {
+			svc.BeginDrain()
+			err := svc.Drain(ctx)
+			svc.Close()
+			return err
+		}
+		serving = "single service"
+	}
 	if *verbose {
 		handler = logRequests(handler, logf)
 	}
@@ -138,7 +192,7 @@ func main() {
 	defer stop()
 	errCh := make(chan error, 1)
 	go func() { errCh <- server.ListenAndServe() }()
-	logf("inputtuned serving %v on http://%s", reg.Names(), *addr)
+	logf("inputtuned serving %s on http://%s", serving, *addr)
 
 	select {
 	case err := <-errCh:
@@ -146,9 +200,14 @@ func main() {
 		os.Exit(1)
 	case <-ctx.Done():
 	}
-	logf("shutting down...")
+	logf("draining...")
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
+	// Drain first — /healthz flips to 503 and new classifies are rejected
+	// while in-flight requests finish — then close the listener.
+	if err := drain(shutdownCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "drain: %v\n", err)
+	}
 	if err := server.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		fmt.Fprintf(os.Stderr, "shutdown: %v\n", err)
 		os.Exit(1)

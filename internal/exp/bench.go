@@ -77,6 +77,10 @@ type BenchReport struct {
 	// by `experiments serve-bench` (which merges into an existing bench
 	// file). Omitted until that runs.
 	Serve *ServeBenchReport `json:"serve,omitempty"`
+	// Fleet is the multi-replica arm of the serving trajectory: scaling
+	// and fault tolerance of the consistent-hash fleet under load with an
+	// injected replica kill, written by `experiments cluster-bench`.
+	Fleet *FleetBenchReport `json:"fleet,omitempty"`
 }
 
 // RunBench runs the named cases once each and collects the perf trajectory.

@@ -146,11 +146,13 @@ type servedCase struct {
 	want     []int
 }
 
-func runServeCase(name string, opts ServeBenchOptions) ([]ServeCaseResult, error) {
-	logf := opts.Logf
-	sc := opts.Scale
+// newServedCase trains one Table-1 case's model, serialises it to the
+// artifact every replica loads, and precomputes the offline ground-truth
+// labels every serving arm (serve-bench wires, cluster-bench fleets) is
+// checked against.
+func newServedCase(tag, name string, sc Scale, logf func(string, ...any)) (*servedCase, error) {
 	c := BuildCase(name, sc)
-	logf("[serve-bench %s] training model (%d inputs, K1=%d)", name, len(c.Train), sc.K1)
+	logf("[%s %s] training model (%d inputs, K1=%d)", tag, name, len(c.Train), sc.K1)
 	model := core.TrainModel(c.Prog, c.Train, core.Options{
 		K1: sc.K1, Seed: sc.Seed, TunerPopulation: sc.TunerPop,
 		TunerGenerations: sc.TunerGens, H2: h2, Parallel: sc.Parallel,
@@ -160,14 +162,20 @@ func runServeCase(name string, opts ServeBenchOptions) ([]ServeCaseResult, error
 	if err := core.SaveModel(model, &artifact); err != nil {
 		return nil, err
 	}
-	// Precompute the expected labels once; both wire arms are checked
-	// against the same offline ground truth.
 	set := c.Prog.Features()
 	want := make([]int, len(c.Test))
 	for i, in := range c.Test {
 		want[i] = model.Production.ClassifyInput(set, in, nil)
 	}
-	scase := &servedCase{c: c, artifact: artifact.Bytes(), want: want}
+	return &servedCase{c: c, artifact: artifact.Bytes(), want: want}, nil
+}
+
+func runServeCase(name string, opts ServeBenchOptions) ([]ServeCaseResult, error) {
+	logf := opts.Logf
+	scase, err := newServedCase("serve-bench", name, opts.Scale, logf)
+	if err != nil {
+		return nil, err
+	}
 
 	var results []ServeCaseResult
 	for _, wire := range opts.Wires {

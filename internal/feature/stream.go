@@ -139,3 +139,66 @@ func (a *Accumulator) Finish() []float64 {
 	}
 	return out
 }
+
+// Raw byte blocks get the same treatment as float64 buffers: the wire
+// layer reads whole request bodies (binary frames the fleet router
+// fingerprints in place, JSON envelopes it normalizes) before any
+// decoding, and per-request io.ReadAll growth was the one allocation left
+// on that path. Classes are powers of two from 512 B to 16 MB; requests
+// outside fall back to plain allocation.
+const (
+	minBytePoolShift = 9
+	maxBytePoolShift = 24
+)
+
+// bytePools[i] holds []byte slices with capacity 1<<(minBytePoolShift+i).
+var bytePools = func() []*sync.Pool {
+	ps := make([]*sync.Pool, maxBytePoolShift-minBytePoolShift+1)
+	for i := range ps {
+		ps[i] = &sync.Pool{}
+	}
+	return ps
+}()
+
+// GetBytes returns a zero-length byte slice with capacity at least
+// capacityHint, drawn from a size-classed pool when possible.
+func GetBytes(capacityHint int) []byte {
+	if capacityHint < 0 {
+		capacityHint = 0
+	}
+	cls := -1
+	for i := 0; i <= maxBytePoolShift-minBytePoolShift; i++ {
+		if capacityHint <= 1<<(minBytePoolShift+i) {
+			cls = i
+			break
+		}
+	}
+	if cls < 0 {
+		return make([]byte, 0, capacityHint)
+	}
+	if v := bytePools[cls].Get(); v != nil {
+		return v.([]byte)[:0]
+	}
+	return make([]byte, 0, 1<<(minBytePoolShift+cls))
+}
+
+// PutBytes returns a buffer obtained from GetBytes (or anywhere else) to
+// the pool. The caller must not touch buf afterwards. Small or oversized
+// buffers are dropped for the garbage collector.
+func PutBytes(buf []byte) {
+	c := cap(buf)
+	if c < 1<<minBytePoolShift {
+		return
+	}
+	cls := -1
+	for i := maxBytePoolShift - minBytePoolShift; i >= 0; i-- {
+		if c >= 1<<(minBytePoolShift+i) {
+			cls = i
+			break
+		}
+	}
+	if cls < 0 {
+		return
+	}
+	bytePools[cls].Put(buf[:0])
+}

@@ -91,6 +91,26 @@ func TestBufferPoolRoundTrip(t *testing.T) {
 	}
 }
 
+func TestBytePoolRoundTrip(t *testing.T) {
+	for _, n := range []int{0, 1, 511, 512, 513, 70_000, 1 << 24, 1<<24 + 1} {
+		buf := GetBytes(n)
+		if len(buf) != 0 {
+			t.Fatalf("GetBytes(%d) returned non-empty slice", n)
+		}
+		if cap(buf) < n {
+			t.Fatalf("GetBytes(%d) capacity %d too small", n, cap(buf))
+		}
+		PutBytes(buf)
+	}
+	// A recycled block must satisfy its class capacity again.
+	a := GetBytes(4096)
+	PutBytes(a)
+	b := GetBytes(4096)
+	if cap(b) < 4096 {
+		t.Fatalf("recycled block capacity %d < 4096", cap(b))
+	}
+}
+
 // TestExtractSubsetIntoMatchesExtractSubset pins the pooled-row serving
 // entry point to the allocating one, including the zeroing of unlisted
 // entries when a dirty row is reused.

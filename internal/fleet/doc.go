@@ -1,0 +1,16 @@
+// Package fleet is the multi-replica serving tier: N inputtuned replicas
+// (in-process serve.Service instances or remote processes reached over
+// HTTP) fronted by a router that speaks the binary wire.
+//
+// The router consistent-hash routes on the quantized fingerprint of the
+// request frame (serve.InspectBinaryFrame) — the same quantization the
+// decision cache keys on — so near-duplicate inputs land on the replica
+// whose cache is already warm. Replicas are health-checked over the ITH1
+// binary frame, ejected from the ring after consecutive failures and
+// readmitted when they recover; requests retry across ring successors so
+// a replica dying mid-run costs retries, not failed requests. Rolling
+// hot reload walks the fleet one replica at a time, tracking
+// per-benchmark generation skew; graceful drain finishes in-flight
+// requests before shutdown. Per-replica metrics roll up into one
+// fleet-level /metrics surface.
+package fleet

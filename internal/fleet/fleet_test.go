@@ -1,0 +1,90 @@
+package fleet
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"inputtune/internal/benchmarks/sortbench"
+	"inputtune/internal/core"
+	"inputtune/internal/serve"
+)
+
+// Shared test fixtures: two genuinely different sort models (different
+// K1, so even their landmark vocabularies differ) trained once per test
+// binary, the artifact bytes for both, the input set, each model's
+// offline labels, and one encoded binary frame per input.
+var fixtures struct {
+	once      sync.Once
+	inputs    []core.Input
+	frames    [][]byte
+	artifactA []byte // generation 1 everywhere
+	artifactB []byte // what rolling reloads push
+	labelsA   []int  // offline ground truth under model A
+	labelsB   []int
+}
+
+func loadFixtures(t *testing.T) {
+	t.Helper()
+	fixtures.once.Do(func() {
+		lists := sortbench.GenerateMix(sortbench.MixOptions{Count: 48, Seed: 5, MaxSize: 512})
+		fixtures.inputs = make([]core.Input, len(lists))
+		for i, l := range lists {
+			fixtures.inputs[i] = l
+		}
+		train := func(opts core.Options) (*core.Model, []byte, []int) {
+			m := core.TrainModel(sortbench.New(), fixtures.inputs, opts)
+			var buf bytes.Buffer
+			if err := core.SaveModel(m, &buf); err != nil {
+				panic(err)
+			}
+			set := m.Program.Features()
+			labels := make([]int, len(fixtures.inputs))
+			for i, in := range fixtures.inputs {
+				labels[i] = m.Production.ClassifyInput(set, in, nil)
+			}
+			return m, buf.Bytes(), labels
+		}
+		_, fixtures.artifactA, fixtures.labelsA = train(core.Options{
+			K1: 4, Seed: 19, TunerPopulation: 6, TunerGenerations: 4, Parallel: true})
+		_, fixtures.artifactB, fixtures.labelsB = train(core.Options{
+			K1: 3, Seed: 23, TunerPopulation: 6, TunerGenerations: 4, Parallel: true})
+		fixtures.frames = make([][]byte, len(fixtures.inputs))
+		for i, in := range fixtures.inputs {
+			var buf bytes.Buffer
+			if err := serve.EncodeBinaryRequest(&buf, "sort", in); err != nil {
+				panic(err)
+			}
+			fixtures.frames[i] = buf.Bytes()
+		}
+	})
+}
+
+// newLocalFleet builds n local replicas, each a fresh service over its
+// own registry with artifact A loaded (generation 1), plus the router.
+func newLocalFleet(t *testing.T, n int, opts Options) (*Router, []*LocalReplica) {
+	t.Helper()
+	loadFixtures(t)
+	replicas := make([]*LocalReplica, n)
+	ifaces := make([]Replica, n)
+	for i := range replicas {
+		reg := serve.NewRegistry()
+		if err := reg.Register(sortbench.New()); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := reg.Load(fixtures.artifactA); err != nil {
+			t.Fatal(err)
+		}
+		svc := serve.NewService(reg, serve.Options{Cache: serve.CacheOptions{Capacity: 4096}})
+		replicas[i] = NewLocalReplica(fmt.Sprintf("replica-%d", i), svc)
+		ifaces[i] = replicas[i]
+	}
+	rt := NewRouter(ifaces, opts)
+	t.Cleanup(func() {
+		for _, r := range replicas {
+			r.SetDown(false)
+		}
+	})
+	return rt, replicas
+}

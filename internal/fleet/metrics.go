@@ -1,0 +1,154 @@
+package fleet
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"inputtune/internal/serve"
+)
+
+// ReplicaSnapshot is one replica's row in the fleet metrics roll-up.
+type ReplicaSnapshot struct {
+	Name     string `json:"name"`
+	Healthy  bool   `json:"healthy"`
+	Draining bool   `json:"draining,omitempty"`
+	// Metrics is the replica's own serving snapshot; zero-valued when the
+	// replica was unreachable at scrape time.
+	Metrics serve.MetricsSnapshot `json:"metrics"`
+	// Reachable reports whether the scrape got through.
+	Reachable bool `json:"reachable"`
+}
+
+// Snapshot is the fleet-level observability surface: the router's own
+// counters plus every replica's serving metrics, rolled up so the
+// per-replica cache-hit/latency interaction with the input distribution
+// (the thing sharding on the quantized fingerprint exists to exploit) is
+// observable in one scrape.
+type Snapshot struct {
+	Router          RouterStats       `json:"router"`
+	HealthyReplicas int               `json:"healthy_replicas"`
+	TotalReplicas   int               `json:"total_replicas"`
+	GenerationSkew  map[string]int    `json:"generation_skew,omitempty"`
+	Replicas        []ReplicaSnapshot `json:"replicas"`
+	// Fleet-wide totals across reachable replicas.
+	TotalRequests  uint64  `json:"total_requests"`
+	TotalErrors    uint64  `json:"total_errors"`
+	TotalCacheHits uint64  `json:"total_cache_hits"`
+	TotalCacheMiss uint64  `json:"total_cache_misses"`
+	FleetHitRate   float64 `json:"fleet_cache_hit_rate"`
+	MeanLatencyUs  float64 `json:"latency_mean_us"`
+	WorstP99Micros float64 `json:"latency_worst_p99_us"`
+}
+
+// Snapshot assembles the fleet metrics: router counters, health/skew
+// state, and a best-effort scrape of every replica (an unreachable
+// replica contributes an empty row, never an error — metrics must stay
+// scrapeable mid-outage).
+func (rt *Router) Snapshot() Snapshot {
+	rt.mu.Lock()
+	states := make([]*replicaState, 0, len(rt.replicas))
+	for _, st := range rt.replicas {
+		states = append(states, st)
+	}
+	rt.mu.Unlock()
+	sort.Slice(states, func(i, j int) bool { return states[i].r.Name() < states[j].r.Name() })
+
+	snap := Snapshot{
+		Router:         rt.Stats(),
+		TotalReplicas:  len(states),
+		GenerationSkew: rt.GenerationSkew(),
+	}
+	var latWeight float64
+	for _, st := range states {
+		rt.mu.Lock()
+		row := ReplicaSnapshot{Name: st.r.Name(), Healthy: st.healthy, Draining: st.draining}
+		rt.mu.Unlock()
+		if row.Healthy {
+			snap.HealthyReplicas++
+		}
+		if m, err := st.r.Metrics(); err == nil {
+			row.Reachable = true
+			row.Metrics = m
+			snap.TotalRequests += m.Requests
+			snap.TotalErrors += m.Errors
+			snap.TotalCacheHits += m.DecisionCache.Hits
+			snap.TotalCacheMiss += m.DecisionCache.Misses
+			latWeight += float64(m.Requests) * m.MeanMicros
+			if m.P99Micros > snap.WorstP99Micros {
+				snap.WorstP99Micros = m.P99Micros
+			}
+		}
+		snap.Replicas = append(snap.Replicas, row)
+	}
+	if total := snap.TotalCacheHits + snap.TotalCacheMiss; total > 0 {
+		snap.FleetHitRate = float64(snap.TotalCacheHits) / float64(total)
+	}
+	if snap.TotalRequests > 0 {
+		snap.MeanLatencyUs = latWeight / float64(snap.TotalRequests)
+	}
+	return snap
+}
+
+// RenderPrometheus renders the fleet snapshot in Prometheus text format,
+// fleet-level series first, then per-replica series labeled by replica.
+func (s Snapshot) RenderPrometheus() string {
+	var b strings.Builder
+	gauge := func(name string, help string, v any) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %v\n", name, help, name, name, v)
+	}
+	counter := func(name string, help string, v uint64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	counter("inputtuned_fleet_router_requests_total", "Requests admitted by the fleet router.", s.Router.Requests)
+	counter("inputtuned_fleet_router_errors_total", "Requests the router could not answer.", s.Router.Errors)
+	counter("inputtuned_fleet_router_retries_total", "Attempts past the first replica.", s.Router.Retries)
+	counter("inputtuned_fleet_router_ejections_total", "Replicas ejected from the ring.", s.Router.Ejections)
+	counter("inputtuned_fleet_router_readmissions_total", "Ejected replicas readmitted.", s.Router.Readmissions)
+	counter("inputtuned_fleet_rollouts_total", "Rolling reloads completed.", s.Router.Rollouts)
+	gauge("inputtuned_fleet_replicas", "Total replicas.", s.TotalReplicas)
+	gauge("inputtuned_fleet_replicas_healthy", "Replicas currently in the ring.", s.HealthyReplicas)
+	counter("inputtuned_fleet_requests_total", "Requests served across all replicas.", s.TotalRequests)
+	counter("inputtuned_fleet_cache_hits_total", "Decision-cache hits across all replicas.", s.TotalCacheHits)
+	counter("inputtuned_fleet_cache_misses_total", "Decision-cache misses across all replicas.", s.TotalCacheMiss)
+	gauge("inputtuned_fleet_cache_hit_rate", "Fleet-wide decision-cache hit rate.", s.FleetHitRate)
+	gauge("inputtuned_fleet_latency_mean_us", "Request-weighted mean latency across replicas.", s.MeanLatencyUs)
+	gauge("inputtuned_fleet_latency_worst_p99_us", "Worst per-replica p99 latency.", s.WorstP99Micros)
+	if len(s.GenerationSkew) > 0 {
+		b.WriteString("# HELP inputtuned_fleet_generation_skew Distinct live model generations per benchmark.\n")
+		b.WriteString("# TYPE inputtuned_fleet_generation_skew gauge\n")
+		benches := make([]string, 0, len(s.GenerationSkew))
+		for bench := range s.GenerationSkew {
+			benches = append(benches, bench)
+		}
+		sort.Strings(benches)
+		for _, bench := range benches {
+			fmt.Fprintf(&b, "inputtuned_fleet_generation_skew{benchmark=%q} %d\n", bench, s.GenerationSkew[bench])
+		}
+	}
+	b.WriteString("# HELP inputtuned_fleet_replica_requests_total Requests served per replica.\n")
+	b.WriteString("# TYPE inputtuned_fleet_replica_requests_total counter\n")
+	for _, r := range s.Replicas {
+		fmt.Fprintf(&b, "inputtuned_fleet_replica_requests_total{replica=%q} %d\n", r.Name, r.Metrics.Requests)
+	}
+	b.WriteString("# HELP inputtuned_fleet_replica_healthy Replica ring membership (1 = in the ring).\n")
+	b.WriteString("# TYPE inputtuned_fleet_replica_healthy gauge\n")
+	for _, r := range s.Replicas {
+		v := 0
+		if r.Healthy {
+			v = 1
+		}
+		fmt.Fprintf(&b, "inputtuned_fleet_replica_healthy{replica=%q} %d\n", r.Name, v)
+	}
+	b.WriteString("# HELP inputtuned_fleet_replica_cache_hits_total Decision-cache hits per replica.\n")
+	b.WriteString("# TYPE inputtuned_fleet_replica_cache_hits_total counter\n")
+	for _, r := range s.Replicas {
+		fmt.Fprintf(&b, "inputtuned_fleet_replica_cache_hits_total{replica=%q} %d\n", r.Name, r.Metrics.DecisionCache.Hits)
+	}
+	b.WriteString("# HELP inputtuned_fleet_replica_latency_p99_us Per-replica p99 latency.\n")
+	b.WriteString("# TYPE inputtuned_fleet_replica_latency_p99_us gauge\n")
+	for _, r := range s.Replicas {
+		fmt.Fprintf(&b, "inputtuned_fleet_replica_latency_p99_us{replica=%q} %g\n", r.Name, r.Metrics.P99Micros)
+	}
+	return b.String()
+}

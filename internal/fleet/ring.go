@@ -1,0 +1,155 @@
+package fleet
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+)
+
+// DefaultVnodes is the per-member virtual-node count. 128 points per
+// member keeps the largest/smallest ownership ratio within ~±20% for
+// small fleets (ring_test.go pins the exact tolerance) while a full
+// rebuild stays microseconds.
+const DefaultVnodes = 128
+
+// Ring is a consistent-hash ring with virtual nodes. Each member owns
+// the arc preceding each of its points; a key hashes to a position and
+// is owned by the next point clockwise. Removing a member hands its arcs
+// to the respective successors and moves no other key — the
+// minimal-disruption property the fleet leans on when a replica is
+// ejected.
+//
+// Ring is not goroutine-safe; the router guards it with its own mutex.
+type Ring struct {
+	vnodes  int
+	members map[string]bool
+	points  []ringPoint // sorted by hash
+}
+
+type ringPoint struct {
+	hash   uint64
+	member string
+}
+
+// NewRing builds an empty ring; vnodes <= 0 selects DefaultVnodes.
+func NewRing(vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVnodes
+	}
+	return &Ring{vnodes: vnodes, members: make(map[string]bool)}
+}
+
+// fnv1a64 is the ring's point/key hash.
+func fnv1a64(s string) uint64 {
+	const offset64, prime64 = 0xcbf29ce484222325, 0x100000001b3
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * prime64
+	}
+	return h
+}
+
+// mix64 is the splitmix64 finalizer. Ring points come from FNV over
+// short, near-identical strings ("replica-3#17"), whose low avalanche
+// leaves visible arc-length clumping at small fleets; the finalizer
+// spreads the points uniformly (ring_test.go pins the tolerance).
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Add inserts a member (idempotent).
+func (r *Ring) Add(member string) {
+	if r.members[member] {
+		return
+	}
+	r.members[member] = true
+	for i := 0; i < r.vnodes; i++ {
+		r.points = append(r.points, ringPoint{
+			hash:   mix64(fnv1a64(member + "#" + strconv.Itoa(i))),
+			member: member,
+		})
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Hash ties break on the member name so ownership is independent
+		// of insertion order.
+		return r.points[i].member < r.points[j].member
+	})
+}
+
+// Remove deletes a member (idempotent). Keys the member owned move to
+// their arc successors; every other key keeps its owner.
+func (r *Ring) Remove(member string) {
+	if !r.members[member] {
+		return
+	}
+	delete(r.members, member)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.member != member {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+}
+
+// Len reports the member count.
+func (r *Ring) Len() int { return len(r.members) }
+
+// Members returns the member names, sorted.
+func (r *Ring) Members() []string {
+	out := make([]string, 0, len(r.members))
+	for m := range r.members {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Lookup returns the member owning key, or "" on an empty ring.
+func (r *Ring) Lookup(key uint64) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= key })
+	if i == len(r.points) {
+		i = 0 // wrap: the first point owns the arc past the last hash
+	}
+	return r.points[i].member
+}
+
+// Successors returns up to n distinct members in ring order starting at
+// key's owner — the request's preference list: the owner first, then the
+// members that would inherit its keys, so a retry after a failure lands
+// where the key would hash next anyway.
+func (r *Ring) Successors(key uint64, n int) []string {
+	if len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(r.members) {
+		n = len(r.members)
+	}
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= key })
+	out := make([]string, 0, n)
+	seen := make(map[string]bool, n)
+	for i := 0; i < len(r.points) && len(out) < n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.member] {
+			seen[p.member] = true
+			out = append(out, p.member)
+		}
+	}
+	return out
+}
+
+// String renders a compact summary for logs.
+func (r *Ring) String() string {
+	return fmt.Sprintf("ring(%d members, %d points)", len(r.members), len(r.points))
+}

@@ -1,0 +1,151 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+)
+
+// ringKeys returns a deterministic pseudo-random key set (hashes of a
+// counter — exactly how real routing keys are produced).
+func ringKeys(n int) []uint64 {
+	keys := make([]uint64, n)
+	for i := range keys {
+		keys[i] = fnv1a64(fmt.Sprintf("key-%d", i))
+	}
+	return keys
+}
+
+// TestRingDistribution pins the load-balance tolerance: with the default
+// vnode count, every member's key share stays within a constant factor
+// of the fair 1/N share for the fleet sizes the cluster-bench grid runs.
+func TestRingDistribution(t *testing.T) {
+	const numKeys = 100000
+	keys := ringKeys(numKeys)
+	for _, n := range []int{2, 4, 8} {
+		t.Run(fmt.Sprintf("replicas=%d", n), func(t *testing.T) {
+			r := NewRing(0)
+			for i := 0; i < n; i++ {
+				r.Add(fmt.Sprintf("replica-%d", i))
+			}
+			counts := make(map[string]int, n)
+			for _, k := range keys {
+				counts[r.Lookup(k)]++
+			}
+			if len(counts) != n {
+				t.Fatalf("keys landed on %d members, want %d", len(counts), n)
+			}
+			fair := float64(numKeys) / float64(n)
+			for member, c := range counts {
+				share := float64(c) / fair
+				if share < 0.55 || share > 1.55 {
+					t.Errorf("member %s owns %d keys (%.2f× fair share), outside [0.55, 1.55]",
+						member, c, share)
+				}
+			}
+		})
+	}
+}
+
+// TestRingMinimalDisruption verifies the property the router's ejection
+// path depends on: removing one member remaps ONLY the keys that member
+// owned (every other key keeps its owner — exact, not approximate), and
+// the moved fraction is the removed member's ~1/N share.
+func TestRingMinimalDisruption(t *testing.T) {
+	const numKeys = 100000
+	keys := ringKeys(numKeys)
+	for _, n := range []int{2, 4, 8} {
+		for victim := 0; victim < n; victim++ {
+			t.Run(fmt.Sprintf("replicas=%d/remove=%d", n, victim), func(t *testing.T) {
+				r := NewRing(0)
+				for i := 0; i < n; i++ {
+					r.Add(fmt.Sprintf("replica-%d", i))
+				}
+				before := make([]string, len(keys))
+				for i, k := range keys {
+					before[i] = r.Lookup(k)
+				}
+				removed := fmt.Sprintf("replica-%d", victim)
+				r.Remove(removed)
+				moved := 0
+				for i, k := range keys {
+					after := r.Lookup(k)
+					if after == removed {
+						t.Fatalf("key %d still routes to removed member", i)
+					}
+					if before[i] != after {
+						if before[i] != removed {
+							t.Fatalf("key %d moved %s→%s though %s was removed",
+								i, before[i], after, removed)
+						}
+						moved++
+					}
+				}
+				movedShare := float64(moved) * float64(n) / float64(numKeys)
+				if movedShare < 0.55 || movedShare > 1.55 {
+					t.Errorf("removing 1 of %d members moved %d keys (%.2f× the 1/N share)",
+						n, moved, movedShare)
+				}
+			})
+		}
+	}
+}
+
+// TestRingAddReadmission verifies re-adding a member restores exactly
+// its prior ownership (points are name-derived, so membership is a set,
+// not a history).
+func TestRingAddReadmission(t *testing.T) {
+	keys := ringKeys(10000)
+	r := NewRing(0)
+	for i := 0; i < 4; i++ {
+		r.Add(fmt.Sprintf("replica-%d", i))
+	}
+	before := make([]string, len(keys))
+	for i, k := range keys {
+		before[i] = r.Lookup(k)
+	}
+	r.Remove("replica-2")
+	r.Add("replica-2")
+	for i, k := range keys {
+		if got := r.Lookup(k); got != before[i] {
+			t.Fatalf("key %d: owner %s after remove+readd, want %s", i, got, before[i])
+		}
+	}
+}
+
+// TestRingSuccessors pins the retry preference list: it starts at the
+// key's owner, holds distinct members, and is capped by the member count.
+func TestRingSuccessors(t *testing.T) {
+	r := NewRing(0)
+	for i := 0; i < 4; i++ {
+		r.Add(fmt.Sprintf("replica-%d", i))
+	}
+	for _, k := range ringKeys(1000) {
+		succ := r.Successors(k, 4)
+		if len(succ) != 4 {
+			t.Fatalf("got %d successors, want 4", len(succ))
+		}
+		if succ[0] != r.Lookup(k) {
+			t.Fatalf("successor list starts at %s, Lookup gives %s", succ[0], r.Lookup(k))
+		}
+		seen := map[string]bool{}
+		for _, m := range succ {
+			if seen[m] {
+				t.Fatalf("duplicate member %s in successor list", m)
+			}
+			seen[m] = true
+		}
+	}
+	if got := r.Successors(42, 10); len(got) != 4 {
+		t.Fatalf("asking for 10 successors of a 4-member ring gave %d", len(got))
+	}
+	if got := r.Successors(42, 0); got != nil {
+		t.Fatalf("asking for 0 successors gave %v", got)
+	}
+	empty := NewRing(0)
+	if got := empty.Lookup(42); got != "" {
+		t.Fatalf("empty ring Lookup gave %q", got)
+	}
+	if got := empty.Successors(42, 3); got != nil {
+		t.Fatalf("empty ring Successors gave %v", got)
+	}
+}

@@ -1,0 +1,467 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"inputtune/internal/serve"
+)
+
+// Options configures a Router.
+type Options struct {
+	// QuantizeBits is the sharding key's quantization: the low mantissa
+	// bits zeroed from the frame's float payload before hashing, so
+	// near-duplicate inputs route to the same replica (whose decision
+	// cache they warm). 0 routes on exact bits.
+	QuantizeBits int
+	// Vnodes is the consistent-hash ring's virtual-node count per
+	// replica (<= 0 selects DefaultVnodes).
+	Vnodes int
+	// HealthInterval enables the background health loop; 0 disables it
+	// (tests drive CheckHealth explicitly).
+	HealthInterval time.Duration
+	// EjectAfter is how many consecutive failures eject a replica from
+	// the ring (default 1: the first transport failure reroutes traffic;
+	// readmission is cheap because health checks keep probing).
+	EjectAfter int
+	// MaxAttempts bounds how many replicas one request tries (<= 0 tries
+	// every replica once).
+	MaxAttempts int
+	// Logf receives routing events (ejections, readmissions, rollouts);
+	// nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// RouterStats are the router's own counters (the replicas' serving
+// metrics roll up separately; see Snapshot).
+type RouterStats struct {
+	Requests     uint64 `json:"requests"`
+	Errors       uint64 `json:"errors"`
+	Retries      uint64 `json:"retries"`
+	Ejections    uint64 `json:"ejections"`
+	Readmissions uint64 `json:"readmissions"`
+	Rollouts     uint64 `json:"rollouts"`
+}
+
+// replicaState is the router's view of one replica.
+type replicaState struct {
+	r        Replica
+	healthy  bool
+	draining bool
+	failures int // consecutive, reset on success
+}
+
+// Router fronts a set of replicas: consistent-hash routing on the
+// quantized frame fingerprint, health-checked membership with ejection
+// and readmission, retry across ring successors, rolling reload, and
+// graceful drain. Safe for any number of concurrent callers.
+type Router struct {
+	opts Options
+
+	mu       sync.Mutex
+	replicas map[string]*replicaState
+	ring     *Ring
+
+	draining atomic.Bool
+	inflight atomic.Int64
+
+	requests     atomic.Uint64
+	errors       atomic.Uint64
+	retries      atomic.Uint64
+	ejections    atomic.Uint64
+	readmissions atomic.Uint64
+	rollouts     atomic.Uint64
+
+	healthStop chan struct{}
+	healthDone chan struct{}
+}
+
+// NewRouter assembles a router over the given replicas (all initially
+// healthy) and starts the health loop when Options.HealthInterval > 0.
+func NewRouter(replicas []Replica, opts Options) *Router {
+	if opts.EjectAfter <= 0 {
+		opts.EjectAfter = 1
+	}
+	rt := &Router{
+		opts:     opts,
+		replicas: make(map[string]*replicaState, len(replicas)),
+		ring:     NewRing(opts.Vnodes),
+	}
+	for _, r := range replicas {
+		rt.replicas[r.Name()] = &replicaState{r: r, healthy: true}
+		rt.ring.Add(r.Name())
+	}
+	if opts.HealthInterval > 0 {
+		rt.healthStop = make(chan struct{})
+		rt.healthDone = make(chan struct{})
+		go rt.healthLoop()
+	}
+	return rt
+}
+
+func (rt *Router) logf(format string, args ...any) {
+	if rt.opts.Logf != nil {
+		rt.opts.Logf(format, args...)
+	}
+}
+
+// Stats returns the router's counters.
+func (rt *Router) Stats() RouterStats {
+	return RouterStats{
+		Requests:     rt.requests.Load(),
+		Errors:       rt.errors.Load(),
+		Retries:      rt.retries.Load(),
+		Ejections:    rt.ejections.Load(),
+		Readmissions: rt.readmissions.Load(),
+		Rollouts:     rt.rollouts.Load(),
+	}
+}
+
+// Replicas returns the replica names, sorted.
+func (rt *Router) Replicas() []string {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	names := make([]string, 0, len(rt.replicas))
+	for n := range rt.replicas {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// HealthyReplicas returns the names currently in the ring, sorted.
+func (rt *Router) HealthyReplicas() []string {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.ring.Members()
+}
+
+// Owner reports which healthy replica the frame would route to first —
+// the sticky-routing contract the cache-warming tests pin down.
+func (rt *Router) Owner(frame []byte) (string, error) {
+	_, fp, err := serve.InspectBinaryFrame(frame, rt.opts.QuantizeBits)
+	if err != nil {
+		return "", err
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.ring.Lookup(fp), nil
+}
+
+// attemptOrder builds a request's preference list: healthy replicas in
+// ring-successor order from the key's owner, then (as a last resort, so
+// a fleet whose every member was ejected still probes rather than
+// instantly failing) the unhealthy ones in name order.
+func (rt *Router) attemptOrder(fp uint64) []*replicaState {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	order := make([]*replicaState, 0, len(rt.replicas))
+	for _, name := range rt.ring.Successors(fp, len(rt.replicas)) {
+		order = append(order, rt.replicas[name])
+	}
+	if len(order) < len(rt.replicas) {
+		rest := make([]string, 0, len(rt.replicas)-len(order))
+		for name, st := range rt.replicas {
+			if !st.healthy {
+				rest = append(rest, name)
+			}
+		}
+		sort.Strings(rest)
+		for _, name := range rest {
+			order = append(order, rt.replicas[name])
+		}
+	}
+	return order
+}
+
+// markFailure records a transport failure, ejecting the replica from the
+// ring once failures reach EjectAfter.
+func (rt *Router) markFailure(st *replicaState, cause error) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	st.failures++
+	if st.healthy && st.failures >= rt.opts.EjectAfter {
+		st.healthy = false
+		rt.ring.Remove(st.r.Name())
+		rt.ejections.Add(1)
+		rt.logf("fleet: ejected replica %s after %d failures: %v", st.r.Name(), st.failures, cause)
+	}
+}
+
+// markSuccess resets the failure streak and readmits an ejected replica.
+func (rt *Router) markSuccess(st *replicaState) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	st.failures = 0
+	if !st.healthy && !st.draining {
+		st.healthy = true
+		rt.ring.Add(st.r.Name())
+		rt.readmissions.Add(1)
+		rt.logf("fleet: readmitted replica %s", st.r.Name())
+	}
+}
+
+// Route answers one ITW1 binary frame: fingerprint, consistent-hash to
+// the owning replica, retry across ring successors on transport failure
+// or drain. Malformed frames fail immediately with *serve.RequestError
+// (the client's fault — no replica would answer differently); transport
+// failures eject and retry; any other replica error retries without
+// ejection. The zero-failed-requests guarantee cluster-bench enforces
+// rests here: as long as one replica stays up, every well-formed request
+// gets an answer.
+func (rt *Router) Route(frame []byte) (*serve.Decision, error) {
+	rt.inflight.Add(1)
+	defer rt.inflight.Add(-1)
+	if rt.draining.Load() {
+		return nil, serve.ErrDraining
+	}
+	rt.requests.Add(1)
+	_, fp, err := serve.InspectBinaryFrame(frame, rt.opts.QuantizeBits)
+	if err != nil {
+		rt.errors.Add(1)
+		return nil, err
+	}
+	order := rt.attemptOrder(fp)
+	if len(order) == 0 {
+		rt.errors.Add(1)
+		return nil, errors.New("fleet: no replicas")
+	}
+	attempts := rt.opts.MaxAttempts
+	if attempts <= 0 || attempts > len(order) {
+		attempts = len(order)
+	}
+	var lastErr error
+	for i := 0; i < attempts; i++ {
+		st := order[i]
+		if i > 0 {
+			rt.retries.Add(1)
+		}
+		d, err := st.r.ClassifyFrame(frame)
+		switch {
+		case err == nil:
+			rt.markSuccess(st)
+			return d, nil
+		case errors.Is(err, serve.ErrDraining):
+			// Healthy but leaving: reroute without holding it against the
+			// replica.
+			lastErr = err
+		case IsDown(err):
+			rt.markFailure(st, err)
+			lastErr = err
+		default:
+			var reqErr *serve.RequestError
+			if errors.As(err, &reqErr) {
+				// The frame itself is bad; no other replica would accept it.
+				rt.errors.Add(1)
+				return nil, err
+			}
+			// A serving-side error (e.g. model not loaded on this replica
+			// mid-rollout): retry elsewhere, the replica is not down.
+			lastErr = err
+		}
+	}
+	rt.errors.Add(1)
+	return nil, fmt.Errorf("fleet: all %d attempts failed: %w", attempts, lastErr)
+}
+
+// CheckHealth performs one health pass over every replica: failures
+// eject, recoveries readmit, and a replica reporting Draining leaves the
+// ring without counting as ejected (it is healthy, just finishing up).
+func (rt *Router) CheckHealth() {
+	rt.mu.Lock()
+	states := make([]*replicaState, 0, len(rt.replicas))
+	for _, st := range rt.replicas {
+		states = append(states, st)
+	}
+	rt.mu.Unlock()
+	for _, st := range states {
+		h, err := st.r.Health()
+		if err != nil {
+			rt.markFailure(st, err)
+			continue
+		}
+		rt.mu.Lock()
+		st.draining = h.Draining
+		if h.Draining && st.healthy {
+			st.healthy = false
+			rt.ring.Remove(st.r.Name())
+			rt.logf("fleet: replica %s draining, removed from ring", st.r.Name())
+		}
+		rt.mu.Unlock()
+		if !h.Draining {
+			rt.markSuccess(st)
+		}
+	}
+}
+
+func (rt *Router) healthLoop() {
+	defer close(rt.healthDone)
+	t := time.NewTicker(rt.opts.HealthInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-rt.healthStop:
+			return
+		case <-t.C:
+			rt.CheckHealth()
+		}
+	}
+}
+
+// Rollout reports one rolling reload across the fleet.
+type Rollout struct {
+	Benchmark string `json:"benchmark"`
+	// Generations maps replica name to the generation it now serves.
+	Generations map[string]uint64 `json:"generations"`
+	// Skew is the number of distinct model versions live across the
+	// reachable fleet for this benchmark at the end of the rollout — 1
+	// means converged (see Router.GenerationSkew for how versions are
+	// identified).
+	// During the rollout the fleet intentionally serves mixed
+	// generations; each replica's decision cache is generation-keyed, so
+	// skew can never mix cache entries (serve/drain_test.go pins that).
+	Skew int `json:"skew"`
+	// Failed names the replicas the rollout could not reach, if any.
+	Failed []string `json:"failed,omitempty"`
+}
+
+// RollingReload loads a model artifact onto every replica, one at a
+// time in name order — at any instant at most one replica is mid-load,
+// the rest keep serving their generation. Replicas that fail to load
+// are recorded and skipped (an unreachable replica will pick up the
+// artifact operator-side on restart); the rollout continues so the
+// healthy fleet converges. Returns the rollout record; error only when
+// the artifact is invalid (first replica rejects it with a non-transport
+// error) or no replica accepted it.
+func (rt *Router) RollingReload(artifact []byte) (*Rollout, error) {
+	var hdr struct {
+		Benchmark string `json:"benchmark"`
+	}
+	if err := json.Unmarshal(artifact, &hdr); err != nil || hdr.Benchmark == "" {
+		return nil, &serve.RequestError{Err: fmt.Errorf("fleet: artifact has no benchmark header")}
+	}
+	ro := &Rollout{Benchmark: hdr.Benchmark, Generations: make(map[string]uint64)}
+	rt.mu.Lock()
+	names := make([]string, 0, len(rt.replicas))
+	for n := range rt.replicas {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	rt.mu.Unlock()
+	var lastErr error
+	for _, name := range names {
+		rt.mu.Lock()
+		st := rt.replicas[name]
+		rt.mu.Unlock()
+		gen, err := st.r.Reload(artifact)
+		if err != nil {
+			if !IsDown(err) && len(ro.Generations) == 0 {
+				// The first reachable replica rejected the artifact: it is
+				// bad, stop before poisoning anything else. (Replicas reject
+				// atomically — the prior model keeps serving.)
+				return nil, err
+			}
+			ro.Failed = append(ro.Failed, name)
+			lastErr = err
+			rt.logf("fleet: rollout of %s skipped replica %s: %v", hdr.Benchmark, name, err)
+			continue
+		}
+		ro.Generations[name] = gen
+		rt.logf("fleet: rollout of %s: replica %s now at generation %d", hdr.Benchmark, name, gen)
+	}
+	if len(ro.Generations) == 0 {
+		return nil, fmt.Errorf("fleet: rollout of %s reached no replicas: %w", hdr.Benchmark, lastErr)
+	}
+	ro.Skew = rt.GenerationSkew()[hdr.Benchmark]
+	rt.rollouts.Add(1)
+	return ro, nil
+}
+
+// GenerationSkew reports, per benchmark, how many distinct model
+// VERSIONS are live across the reachable fleet right now — the
+// observable a rolling reload is expected to return to 1. Versions are
+// identified by artifact content hash (registry generation numbers are
+// per-replica counters, so two replicas at different generations may
+// serve the identical artifact — that is not skew); models installed
+// in-process carry no hash and fall back to their generation number.
+func (rt *Router) GenerationSkew() map[string]int {
+	rt.mu.Lock()
+	states := make([]*replicaState, 0, len(rt.replicas))
+	for _, st := range rt.replicas {
+		states = append(states, st)
+	}
+	rt.mu.Unlock()
+	versions := make(map[string]map[string]bool)
+	for _, st := range states {
+		h, err := st.r.Health()
+		if err != nil {
+			continue
+		}
+		for _, m := range h.Models {
+			key := fmt.Sprintf("hash:%x", m.ArtifactHash)
+			if m.ArtifactHash == 0 {
+				key = fmt.Sprintf("gen:%d", m.Generation)
+			}
+			if versions[m.Benchmark] == nil {
+				versions[m.Benchmark] = make(map[string]bool)
+			}
+			versions[m.Benchmark][key] = true
+		}
+	}
+	out := make(map[string]int, len(versions))
+	for b, v := range versions {
+		out[b] = len(v)
+	}
+	return out
+}
+
+// BeginDrain stops admitting new requests (in-flight ones complete).
+func (rt *Router) BeginDrain() { rt.draining.Store(true) }
+
+// Draining reports whether the router is draining.
+func (rt *Router) Draining() bool { return rt.draining.Load() }
+
+// Inflight reports requests currently being routed.
+func (rt *Router) Inflight() int64 { return rt.inflight.Load() }
+
+// Drain begins a graceful drain and waits for in-flight requests.
+func (rt *Router) Drain(ctx context.Context) error {
+	rt.BeginDrain()
+	for rt.inflight.Load() != 0 {
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("fleet: drain: %d requests still in flight: %w", rt.inflight.Load(), ctx.Err())
+		case <-time.After(200 * time.Microsecond):
+		}
+	}
+	return nil
+}
+
+// Close drains the router, stops the health loop, and closes every
+// replica.
+func (rt *Router) Close(ctx context.Context) error {
+	err := rt.Drain(ctx)
+	if rt.healthStop != nil {
+		close(rt.healthStop)
+		<-rt.healthDone
+		rt.healthStop = nil
+	}
+	rt.mu.Lock()
+	states := make([]*replicaState, 0, len(rt.replicas))
+	for _, st := range rt.replicas {
+		states = append(states, st)
+	}
+	rt.mu.Unlock()
+	for _, st := range states {
+		if cerr := st.r.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	return err
+}

@@ -1,0 +1,476 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"inputtune/internal/benchmarks/sortbench"
+	"inputtune/internal/serve"
+)
+
+// TestRouterLabelsMatchOffline is the fleet half of the offline-vs-served
+// differential: every label served through the router is bit-identical to
+// what the offline classifier computes for the same input.
+func TestRouterLabelsMatchOffline(t *testing.T) {
+	rt, _ := newLocalFleet(t, 4, Options{QuantizeBits: 8})
+	defer rt.Close(context.Background())
+	for i, frame := range fixtures.frames {
+		d, err := rt.Route(frame)
+		if err != nil {
+			t.Fatalf("input %d: %v", i, err)
+		}
+		if d.Landmark != fixtures.labelsA[i] {
+			t.Fatalf("input %d: served label %d, offline label %d", i, d.Landmark, fixtures.labelsA[i])
+		}
+	}
+	stats := rt.Stats()
+	if stats.Requests != uint64(len(fixtures.frames)) || stats.Errors != 0 {
+		t.Fatalf("router stats %+v, want %d requests and 0 errors", stats, len(fixtures.frames))
+	}
+}
+
+// TestRouterStickyRouting pins the point of fingerprint sharding: the
+// same frame always routes to the same replica, so a repeat request
+// finds that replica's decision cache warm.
+func TestRouterStickyRouting(t *testing.T) {
+	rt, replicas := newLocalFleet(t, 4, Options{QuantizeBits: 8})
+	defer rt.Close(context.Background())
+	owners := make([]string, len(fixtures.frames))
+	for i, frame := range fixtures.frames {
+		owner, err := rt.Owner(frame)
+		if err != nil {
+			t.Fatal(err)
+		}
+		owners[i] = owner
+		if _, err := rt.Route(frame); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Second pass: same owners, and every request hits a warm cache.
+	for i, frame := range fixtures.frames {
+		if owner, _ := rt.Owner(frame); owner != owners[i] {
+			t.Fatalf("input %d: owner changed %s→%s between passes", i, owners[i], owner)
+		}
+		d, err := rt.Route(frame)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !d.CacheHit {
+			t.Fatalf("input %d: repeat request missed the decision cache", i)
+		}
+	}
+	// The traffic must actually have spread over the fleet.
+	used := 0
+	for _, r := range replicas {
+		if r.Service().MetricsSnapshot().Requests > 0 {
+			used++
+		}
+	}
+	if used < 2 {
+		t.Fatalf("48 inputs landed on %d of 4 replicas; sharding is not spreading", used)
+	}
+}
+
+// TestRouterKillRestartUnderLoad is the fault-injection suite's core: a
+// replica dies mid-load and later restarts, while concurrent clients
+// hammer the fleet. Contract: zero failed requests, every label matches
+// the offline classifier, the dead replica is ejected and — after its
+// restart — readmitted. Run under -race this also shakes the router's
+// locking.
+func TestRouterKillRestartUnderLoad(t *testing.T) {
+	rt, replicas := newLocalFleet(t, 4, Options{QuantizeBits: 8, HealthInterval: time.Millisecond})
+	defer rt.Close(context.Background())
+
+	const clients = 8
+	const perClient = 150
+	var failed, served atomic.Uint64
+	var wrong atomic.Uint64
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			<-start
+			for i := 0; i < perClient; i++ {
+				idx := (c*perClient + i) % len(fixtures.frames)
+				d, err := rt.Route(fixtures.frames[idx])
+				if err != nil {
+					failed.Add(1)
+					t.Errorf("client %d request %d: %v", c, i, err)
+					continue
+				}
+				served.Add(1)
+				if d.Landmark != fixtures.labelsA[idx] {
+					wrong.Add(1)
+				}
+			}
+		}(c)
+	}
+	close(start)
+	// Kill one replica while the load is in flight, restart it later.
+	victim := replicas[1]
+	time.Sleep(5 * time.Millisecond)
+	victim.SetDown(true)
+	time.Sleep(20 * time.Millisecond)
+	victim.SetDown(false)
+	wg.Wait()
+
+	if failed.Load() != 0 {
+		t.Fatalf("%d failed requests; the fleet must absorb a replica kill", failed.Load())
+	}
+	if wrong.Load() != 0 {
+		t.Fatalf("%d served labels diverged from the offline classifier", wrong.Load())
+	}
+	if served.Load() != clients*perClient {
+		t.Fatalf("served %d of %d requests", served.Load(), clients*perClient)
+	}
+	stats := rt.Stats()
+	if stats.Ejections == 0 {
+		t.Fatalf("the killed replica was never ejected (stats %+v)", stats)
+	}
+	// The health loop readmits the restarted replica.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if len(rt.HealthyReplicas()) == 4 {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if got := rt.HealthyReplicas(); len(got) != 4 {
+		t.Fatalf("restarted replica never readmitted; healthy = %v", got)
+	}
+	if rt.Stats().Readmissions == 0 {
+		t.Fatal("readmission counter stayed zero")
+	}
+}
+
+// TestRouterAllDownThenRecover pins the last-resort path: with every
+// replica ejected, requests fail (with an error, not a hang), and the
+// first request after a replica returns succeeds and readmits it.
+func TestRouterAllDownThenRecover(t *testing.T) {
+	rt, replicas := newLocalFleet(t, 2, Options{QuantizeBits: 8})
+	defer rt.Close(context.Background())
+	for _, r := range replicas {
+		r.SetDown(true)
+	}
+	if _, err := rt.Route(fixtures.frames[0]); err == nil {
+		t.Fatal("routing succeeded with every replica down")
+	}
+	if len(rt.HealthyReplicas()) != 0 {
+		t.Fatalf("healthy = %v after total outage", rt.HealthyReplicas())
+	}
+	replicas[0].SetDown(false)
+	// No health loop here: the request path itself must probe the ejected
+	// replicas as a last resort and readmit the recovered one.
+	d, err := rt.Route(fixtures.frames[0])
+	if err != nil {
+		t.Fatalf("routing after recovery: %v", err)
+	}
+	if d.Landmark != fixtures.labelsA[0] {
+		t.Fatalf("label %d after recovery, want %d", d.Landmark, fixtures.labelsA[0])
+	}
+	if got := rt.HealthyReplicas(); len(got) != 1 || got[0] != "replica-0" {
+		t.Fatalf("healthy = %v, want the recovered replica", got)
+	}
+}
+
+// TestRouterRejectsMalformedFrames pins the no-retry client-fault path: a
+// bad frame fails once, immediately, without ejecting anyone.
+func TestRouterRejectsMalformedFrames(t *testing.T) {
+	rt, _ := newLocalFleet(t, 2, Options{QuantizeBits: 8})
+	defer rt.Close(context.Background())
+	var reqErr *serve.RequestError
+	if _, err := rt.Route([]byte("garbage")); !errors.As(err, &reqErr) {
+		t.Fatalf("got %v, want a RequestError", err)
+	}
+	if _, err := rt.Route(fixtures.frames[0][:10]); !errors.As(err, &reqErr) {
+		t.Fatalf("truncated frame: got %v, want a RequestError", err)
+	}
+	if st := rt.Stats(); st.Retries != 0 || st.Ejections != 0 {
+		t.Fatalf("malformed frames caused retries/ejections: %+v", st)
+	}
+	if len(rt.HealthyReplicas()) != 2 {
+		t.Fatal("a client fault cost a replica its ring membership")
+	}
+}
+
+// TestRouterDrainingReplicaReroutes: a draining replica refuses with
+// ErrDraining; the router reroutes without ejecting it, and the health
+// loop takes it out of the ring without counting an ejection.
+func TestRouterDrainingReplicaReroutes(t *testing.T) {
+	rt, replicas := newLocalFleet(t, 2, Options{QuantizeBits: 8})
+	defer rt.Close(context.Background())
+	replicas[0].Service().BeginDrain()
+	for i, frame := range fixtures.frames {
+		d, err := rt.Route(frame)
+		if err != nil {
+			t.Fatalf("input %d: %v", i, err)
+		}
+		if d.Landmark != fixtures.labelsA[i] {
+			t.Fatalf("input %d: label %d, want %d", i, d.Landmark, fixtures.labelsA[i])
+		}
+	}
+	if st := rt.Stats(); st.Ejections != 0 {
+		t.Fatalf("draining replica was ejected: %+v", st)
+	}
+	rt.CheckHealth()
+	if got := rt.HealthyReplicas(); len(got) != 1 || got[0] != "replica-1" {
+		t.Fatalf("healthy = %v, want only the non-draining replica", got)
+	}
+	if st := rt.Stats(); st.Ejections != 0 {
+		t.Fatal("drain removal was miscounted as an ejection")
+	}
+	// Drain ends → health loop puts it back.
+	replicas[0].Service().EndDrain()
+	rt.CheckHealth()
+	if got := rt.HealthyReplicas(); len(got) != 2 {
+		t.Fatalf("healthy = %v after drain ended, want both", got)
+	}
+}
+
+// TestRollingReload pins the reload path: generations advance on every
+// replica, skew converges to 1, and the rollout is recorded.
+func TestRollingReload(t *testing.T) {
+	rt, _ := newLocalFleet(t, 3, Options{QuantizeBits: 8})
+	defer rt.Close(context.Background())
+	ro, err := rt.RollingReload(fixtures.artifactB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ro.Benchmark != "sort" || len(ro.Generations) != 3 || ro.Skew != 1 || len(ro.Failed) != 0 {
+		t.Fatalf("rollout %+v, want all 3 replicas at one generation", ro)
+	}
+	for name, gen := range ro.Generations {
+		if gen != 2 {
+			t.Fatalf("replica %s at generation %d, want 2", name, gen)
+		}
+	}
+	if skew := rt.GenerationSkew(); skew["sort"] != 1 {
+		t.Fatalf("generation skew %v after rollout, want sort=1", skew)
+	}
+	if rt.Stats().Rollouts != 1 {
+		t.Fatal("rollout counter not bumped")
+	}
+}
+
+// TestRollingReloadSkipsDeadReplica: an unreachable replica is recorded
+// and skipped; the healthy fleet converges; skew observably reflects the
+// partial rollout once the dead replica returns.
+func TestRollingReloadSkipsDeadReplica(t *testing.T) {
+	rt, replicas := newLocalFleet(t, 3, Options{QuantizeBits: 8})
+	defer rt.Close(context.Background())
+	replicas[2].SetDown(true)
+	ro, err := rt.RollingReload(fixtures.artifactB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ro.Generations) != 2 || len(ro.Failed) != 1 || ro.Failed[0] != "replica-2" {
+		t.Fatalf("rollout %+v, want 2 loaded + replica-2 failed", ro)
+	}
+	// The dead replica comes back still serving generation 1: skew = 2.
+	replicas[2].SetDown(false)
+	if skew := rt.GenerationSkew(); skew["sort"] != 2 {
+		t.Fatalf("generation skew %v with a stale replica, want sort=2", skew)
+	}
+	// A repeat rollout converges it.
+	if _, err := rt.RollingReload(fixtures.artifactB); err != nil {
+		t.Fatal(err)
+	}
+	if skew := rt.GenerationSkew(); skew["sort"] != 1 {
+		t.Fatalf("generation skew %v after repair rollout, want sort=1", skew)
+	}
+}
+
+// TestRollingReloadRejectsBadArtifact: a bad artifact is rejected by the
+// first replica and poisons nothing.
+func TestRollingReloadRejectsBadArtifact(t *testing.T) {
+	rt, _ := newLocalFleet(t, 2, Options{QuantizeBits: 8})
+	defer rt.Close(context.Background())
+	if _, err := rt.RollingReload([]byte("garbage")); err == nil {
+		t.Fatal("garbage artifact accepted")
+	}
+	if _, err := rt.RollingReload([]byte(`{"benchmark": "sort", "nonsense": true}`)); err == nil {
+		t.Fatal("structurally bad artifact accepted")
+	}
+	if skew := rt.GenerationSkew(); skew["sort"] != 1 {
+		t.Fatalf("bad artifact disturbed the fleet: skew %v", skew)
+	}
+	d, err := rt.Route(fixtures.frames[0])
+	if err != nil || d.Generation != 1 {
+		t.Fatalf("fleet not serving generation 1 after rejected artifacts: d=%+v err=%v", d, err)
+	}
+}
+
+// TestRollingReloadMixedGenerationDifferential is the generation-skew
+// regression at fleet scope: while a rolling reload is mid-flight the
+// fleet intentionally serves two generations, and every decision must
+// carry a label consistent with the generation it reports — never a
+// stale cache entry, never a mix. Clients hammer the fleet (under -race)
+// while the rollout walks replica by replica.
+func TestRollingReloadMixedGenerationDifferential(t *testing.T) {
+	rt, _ := newLocalFleet(t, 3, Options{QuantizeBits: 8})
+	defer rt.Close(context.Background())
+	// Warm every cache under generation 1 so stale entries exist to leak.
+	for _, frame := range fixtures.frames {
+		if _, err := rt.Route(frame); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var mixed, failed atomic.Uint64
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				idx := (c + i) % len(fixtures.frames)
+				d, err := rt.Route(fixtures.frames[idx])
+				if err != nil {
+					failed.Add(1)
+					t.Errorf("client %d: %v", c, err)
+					continue
+				}
+				var want int
+				switch d.Generation {
+				case 1:
+					want = fixtures.labelsA[idx]
+				case 2:
+					want = fixtures.labelsB[idx]
+				default:
+					t.Errorf("decision reports generation %d", d.Generation)
+					continue
+				}
+				if d.Landmark != want {
+					mixed.Add(1)
+					t.Errorf("input %d: generation %d served label %d, offline label %d",
+						idx, d.Generation, d.Landmark, want)
+				}
+			}
+		}(c)
+	}
+	time.Sleep(2 * time.Millisecond)
+	ro, err := rt.RollingReload(fixtures.artifactB)
+	time.Sleep(5 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ro.Skew != 1 || len(ro.Generations) != 3 {
+		t.Fatalf("rollout did not converge: %+v", ro)
+	}
+	if failed.Load() != 0 || mixed.Load() != 0 {
+		t.Fatalf("%d failures, %d mixed-generation labels", failed.Load(), mixed.Load())
+	}
+	// Settled fleet serves generation 2 with model B's labels.
+	for i, frame := range fixtures.frames {
+		d, err := rt.Route(frame)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Generation != 2 || d.Landmark != fixtures.labelsB[i] {
+			t.Fatalf("input %d post-rollout: generation %d label %d, want generation 2 label %d",
+				i, d.Generation, d.Landmark, fixtures.labelsB[i])
+		}
+	}
+}
+
+// TestRouterDrain pins the router-level graceful drain: new requests are
+// refused, and Close completes with all replicas released.
+func TestRouterDrain(t *testing.T) {
+	rt, _ := newLocalFleet(t, 2, Options{QuantizeBits: 8})
+	rt.BeginDrain()
+	if _, err := rt.Route(fixtures.frames[0]); !errors.Is(err, serve.ErrDraining) {
+		t.Fatalf("got %v, want ErrDraining", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := rt.Close(ctx); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+// TestHTTPReplicaFleet runs the same differential through HTTPReplica —
+// real inputtuned HTTP surfaces behind httptest — including a mid-run
+// server kill (transport-level DownError path) with zero failed requests.
+func TestHTTPReplicaFleet(t *testing.T) {
+	loadFixtures(t)
+	newServer := func() (*httptest.Server, *serve.Service) {
+		reg := serve.NewRegistry()
+		if err := reg.Register(sortbench.New()); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := reg.Load(fixtures.artifactA); err != nil {
+			t.Fatal(err)
+		}
+		svc := serve.NewService(reg, serve.Options{Cache: serve.CacheOptions{Capacity: 4096}})
+		return httptest.NewServer(serve.NewHandler(svc)), svc
+	}
+	srv0, _ := newServer()
+	defer srv0.Close()
+	srv1, _ := newServer()
+	rep0 := NewHTTPReplica("replica-0", srv0.URL, srv0.Client())
+	rep1 := NewHTTPReplica("replica-1", srv1.URL, srv1.Client())
+	rt := NewRouter([]Replica{rep0, rep1}, Options{QuantizeBits: 8})
+	defer rt.Close(context.Background())
+
+	// Health over the wire (ITH1).
+	h, err := rep0.Health()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Models) != 1 || h.Models[0].Benchmark != "sort" || h.Models[0].Generation != 1 {
+		t.Fatalf("HTTP health = %+v", h)
+	}
+
+	for i, frame := range fixtures.frames {
+		d, err := rt.Route(frame)
+		if err != nil {
+			t.Fatalf("input %d: %v", i, err)
+		}
+		if d.Landmark != fixtures.labelsA[i] {
+			t.Fatalf("input %d: label %d, want %d", i, d.Landmark, fixtures.labelsA[i])
+		}
+	}
+	// Kill one backing server outright: transport errors, ejection, and
+	// still zero failed requests.
+	srv1.Close()
+	for i, frame := range fixtures.frames {
+		d, err := rt.Route(frame)
+		if err != nil {
+			t.Fatalf("input %d after server kill: %v", i, err)
+		}
+		if d.Landmark != fixtures.labelsA[i] {
+			t.Fatalf("input %d after server kill: label %d, want %d", i, d.Landmark, fixtures.labelsA[i])
+		}
+	}
+	if rt.Stats().Ejections == 0 {
+		t.Fatal("dead HTTP replica never ejected")
+	}
+	// Rolling reload over HTTP skips the dead replica, loads the live one.
+	ro, err := rt.RollingReload(fixtures.artifactB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ro.Generations) != 1 || ro.Generations["replica-0"] != 2 || len(ro.Failed) != 1 {
+		t.Fatalf("HTTP rollout %+v", ro)
+	}
+	// A malformed frame still comes back as a client fault, not a retry
+	// storm: the HTTP replica maps 4xx to RequestError.
+	var reqErr *serve.RequestError
+	if _, err := rt.Route([]byte("garbage")); !errors.As(err, &reqErr) {
+		t.Fatalf("got %v, want RequestError through HTTP", err)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/binary"
 	"math"
+	"reflect"
 	"testing"
 
 	"inputtune/internal/benchmarks/sortbench"
@@ -114,6 +115,104 @@ func FuzzDecodeJSONInputs(f *testing.F) {
 					t.Fatalf("%s: feature %d changed across JSON round trip", name, i)
 				}
 			}
+		}
+	})
+}
+
+// FuzzDecodeHealthFrame feeds arbitrary bytes to the ITH1 decoder the
+// fleet router's health loop runs on replica responses. Accepted frames
+// must round-trip: re-encoding the decoded report and decoding again
+// yields the identical report (uvarint lengths are non-canonical, so the
+// bytes may differ; the value may not).
+func FuzzDecodeHealthFrame(f *testing.F) {
+	f.Add(AppendHealthFrame(nil, Health{}))
+	f.Add(AppendHealthFrame(nil, Health{Draining: true, Wires: []Wire{WireJSON, WireBinary}}))
+	f.Add(AppendHealthFrame(nil, Health{Wires: []Wire{WireBinary}, Models: []ModelHealth{
+		{Benchmark: "sort", Generation: 3},
+		{Benchmark: "poisson2d", Generation: 1 << 40},
+	}}))
+	f.Add(healthMagic[:])
+	f.Add([]byte("ITH1\xff\xff"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, err := DecodeHealthFrame(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		back, err := DecodeHealthFrame(bytes.NewReader(AppendHealthFrame(nil, h)))
+		if err != nil {
+			t.Fatalf("accepted health report failed to re-decode: %v", err)
+		}
+		if !reflect.DeepEqual(h, back) {
+			t.Fatalf("health report changed across round trip: %+v vs %+v", h, back)
+		}
+	})
+}
+
+// FuzzInspectBinaryFrame pins the router's frame walk against the full
+// decoder: inspection never panics, and every frame the decoder accepts
+// the inspector accepts too, attributing it to the same benchmark with a
+// fingerprint that is deterministic and insensitive to which quantization
+// the fleet shards on being applied twice. (The reverse implication does
+// not hold: the inspector checks frame structure only, while the decoder
+// also validates cross-field consistency like rows·cols == len(data).)
+func FuzzInspectBinaryFrame(f *testing.F) {
+	for _, s := range fuzzSeedFrames(f) {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, bits := range []int{0, 8, 52, 64} {
+			name, fp, err := InspectBinaryFrame(data, bits)
+			if err != nil {
+				continue
+			}
+			name2, fp2, err2 := InspectBinaryFrame(data, bits)
+			if err2 != nil || name2 != name || fp2 != fp {
+				t.Fatalf("inspection not deterministic at bits=%d", bits)
+			}
+		}
+		codec, in, err := DecodeBinaryRequest(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		defer codec.Release(in)
+		name, _, ierr := InspectBinaryFrame(data, 8)
+		if ierr != nil {
+			t.Fatalf("decoder accepted a frame the inspector rejects: %v", ierr)
+		}
+		if name != codec.Name {
+			t.Fatalf("inspector attributed frame to %q, decoder to %q", name, codec.Name)
+		}
+	})
+}
+
+// FuzzDecodeBinaryDecision feeds arbitrary bytes to the ITD1 decoder
+// (what the fleet router runs on proxied replica responses). Accepted
+// decisions must reach an encode fixed point: encode(decode(x)) decodes
+// to a value that re-encodes to the same bytes (varint fields make the
+// first encoding non-canonical, so x itself need not be reproduced).
+func FuzzDecodeBinaryDecision(f *testing.F) {
+	codec, err := LookupCodec("sort")
+	if err != nil {
+		f.Fatal(err)
+	}
+	cfg := codec.NewProgram().Space().DefaultConfig()
+	f.Add(AppendBinaryDecision(nil, &Decision{
+		Benchmark: "sort", Generation: 2, Landmark: 1, Config: cfg,
+		ConfigDescription: "x", Classifier: "tree", FeatureUnits: 12.5, CacheHit: true,
+	}))
+	f.Add([]byte("ITD1"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := DecodeBinaryDecision(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		enc := AppendBinaryDecision(nil, d)
+		back, err := DecodeBinaryDecision(bytes.NewReader(enc))
+		if err != nil {
+			t.Fatalf("accepted decision failed to re-decode: %v", err)
+		}
+		if again := AppendBinaryDecision(nil, back); !bytes.Equal(enc, again) {
+			t.Fatalf("decision encoding did not reach a fixed point")
 		}
 	})
 }

@@ -1,0 +1,167 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// ITH1 health/handshake frame: the binary-wire counterpart of the JSON
+// /healthz body, negotiated via the Accept header. The fleet router
+// health-checks its replicas over this frame — one compact read tells it
+// whether the replica is accepting traffic, which wire formats it
+// negotiates, and the generation of every loaded model (the input to the
+// rolling-reload skew accounting) — without a JSON parse on the health
+// hot loop.
+//
+// Frame layout (integers little-endian, lengths uvarint):
+//
+//	offset  size        field
+//	0       4           magic "ITH1"
+//	4       1           status byte: bit 0 = draining
+//	5       1           wires bitmask: bit 0 = json, bit 1 = binary
+//	then:
+//	  uvarint             model count
+//	  per model:
+//	    uvarint L, L bytes  benchmark name
+//	    8                   generation (uint64)
+//	    8                   artifact content hash (uint64, 0 = in-process)
+//
+// The frame is self-delimiting; trailing bytes are a schema mismatch and
+// an error, matching the ITW1/ITD1 decoders' strictness.
+
+var healthMagic = [4]byte{'I', 'T', 'H', '1'}
+
+// maxHealthModels bounds the declared model count so a hostile frame
+// cannot make the decoder allocate unboundedly; a registry holds one
+// entry per builtin benchmark, so real frames carry a handful.
+const maxHealthModels = 1024
+
+// ModelHealth is one loaded model as reported by a health check.
+type ModelHealth struct {
+	Benchmark  string `json:"benchmark"`
+	Generation uint64 `json:"generation"`
+	// ArtifactHash identifies the model version across replicas (the
+	// registry generation is a local counter); 0 when the model was
+	// installed in-process rather than loaded from an artifact.
+	ArtifactHash uint64 `json:"artifact_hash,omitempty"`
+}
+
+// Health is a service's liveness report: what the /healthz endpoint
+// carries in either representation, and what the fleet router's replica
+// health checks consume.
+type Health struct {
+	// Draining reports that the service has begun a graceful drain: it is
+	// finishing in-flight requests but rejecting new ones, so routers
+	// should stop sending traffic without counting it as a failure.
+	Draining bool `json:"draining,omitempty"`
+	// Wires lists the accepted request formats.
+	Wires []Wire `json:"-"`
+	// Models lists every loaded model with its registry generation.
+	Models []ModelHealth `json:"models"`
+}
+
+// Health assembles the service's current liveness report.
+func (s *Service) Health() Health {
+	h := Health{Draining: s.Draining()}
+	for _, w := range []Wire{WireJSON, WireBinary} {
+		if s.AcceptsWire(w) {
+			h.Wires = append(h.Wires, w)
+		}
+	}
+	for _, snap := range s.reg.Snapshots() {
+		h.Models = append(h.Models, ModelHealth{
+			Benchmark:    snap.Benchmark,
+			Generation:   snap.Generation,
+			ArtifactHash: snap.ArtifactHash,
+		})
+	}
+	return h
+}
+
+// AppendHealthFrame appends h's ITH1 binary frame to dst.
+func AppendHealthFrame(dst []byte, h Health) []byte {
+	dst = append(dst, healthMagic[:]...)
+	var status byte
+	if h.Draining {
+		status |= 1
+	}
+	dst = append(dst, status)
+	var wires byte
+	for _, w := range h.Wires {
+		if w == WireJSON || w == WireBinary {
+			wires |= 1 << uint(w)
+		}
+	}
+	dst = append(dst, wires)
+	dst = binary.AppendUvarint(dst, uint64(len(h.Models)))
+	var buf [8]byte
+	for _, m := range h.Models {
+		dst = binary.AppendUvarint(dst, uint64(len(m.Benchmark)))
+		dst = append(dst, m.Benchmark...)
+		binary.LittleEndian.PutUint64(buf[:], m.Generation)
+		dst = append(dst, buf[:]...)
+		binary.LittleEndian.PutUint64(buf[:], m.ArtifactHash)
+		dst = append(dst, buf[:]...)
+	}
+	return dst
+}
+
+// DecodeHealthFrame reads one ITH1 frame from r, verifying the magic and
+// that the stream ends exactly at the frame boundary.
+func DecodeHealthFrame(r io.Reader) (Health, error) {
+	br := bufio.NewReader(r)
+	var hdr [6]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return Health{}, fmt.Errorf("serve: health header: %w", err)
+	}
+	if [4]byte(hdr[:4]) != healthMagic {
+		return Health{}, fmt.Errorf("serve: bad health magic %q", hdr[:4])
+	}
+	if hdr[4] > 1 {
+		return Health{}, fmt.Errorf("serve: health status byte %d out of range", hdr[4])
+	}
+	if hdr[5] > 3 {
+		return Health{}, fmt.Errorf("serve: health wires bitmask %d out of range", hdr[5])
+	}
+	h := Health{Draining: hdr[4]&1 != 0}
+	for _, w := range []Wire{WireJSON, WireBinary} {
+		if hdr[5]&(1<<uint(w)) != 0 {
+			h.Wires = append(h.Wires, w)
+		}
+	}
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return Health{}, fmt.Errorf("serve: health model count: %w", err)
+	}
+	if count > maxHealthModels {
+		return Health{}, fmt.Errorf("serve: health frame declares %d models, limit %d", count, maxHealthModels)
+	}
+	for i := uint64(0); i < count; i++ {
+		n, err := binary.ReadUvarint(br)
+		if err != nil {
+			return Health{}, fmt.Errorf("serve: health model %d name length: %w", i, err)
+		}
+		if n == 0 || n > maxWireName {
+			return Health{}, fmt.Errorf("serve: health model %d name length %d out of range", i, n)
+		}
+		name := make([]byte, n)
+		if _, err := io.ReadFull(br, name); err != nil {
+			return Health{}, fmt.Errorf("serve: health model %d name: %w", i, err)
+		}
+		var fixed [16]byte
+		if _, err := io.ReadFull(br, fixed[:]); err != nil {
+			return Health{}, fmt.Errorf("serve: health model %d generation/hash: %w", i, err)
+		}
+		h.Models = append(h.Models, ModelHealth{
+			Benchmark:    string(name),
+			Generation:   binary.LittleEndian.Uint64(fixed[:8]),
+			ArtifactHash: binary.LittleEndian.Uint64(fixed[8:]),
+		})
+	}
+	if _, err := br.ReadByte(); err != io.EOF {
+		return Health{}, fmt.Errorf("serve: trailing bytes after health frame")
+	}
+	return h, nil
+}

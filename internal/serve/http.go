@@ -49,6 +49,9 @@ type healthResponse struct {
 	Models int    `json:"models"`
 	// Wires lists the accepted request formats.
 	Wires []string `json:"wires"`
+	// Draining reports a graceful drain in progress (the endpoint also
+	// answers 503 so load balancers stop routing without a body parse).
+	Draining bool `json:"draining,omitempty"`
 }
 
 // bufPool recycles the per-request byte buffers (request bodies on the
@@ -209,16 +212,37 @@ func NewHandler(svc *Service) http.Handler {
 		io.WriteString(w, snap.RenderPrometheus())
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		wires := []string{}
-		for _, wire := range []Wire{WireJSON, WireBinary} {
-			if svc.AcceptsWire(wire) {
-				wires = append(wires, wire.String())
-			}
+		h := svc.Health()
+		status := http.StatusOK
+		if h.Draining {
+			// A draining replica is alive but leaving: 503 tells load
+			// balancers and the fleet router to stop routing here.
+			status = http.StatusServiceUnavailable
 		}
-		writeJSON(w, http.StatusOK, healthResponse{
-			Status: "ok",
-			Models: len(svc.Registry().Snapshots()),
-			Wires:  wires,
+		// The binary health frame (ITH1) is negotiated like decisions:
+		// the fleet router's health loop asks for it to skip JSON parses.
+		if mediaType(r.Header.Get("Accept")) == ContentTypeBinary {
+			buf := getBuf()
+			buf.Write(AppendHealthFrame(buf.AvailableBuffer(), h))
+			w.Header().Set("Content-Type", ContentTypeBinary)
+			w.WriteHeader(status)
+			_, _ = w.Write(buf.Bytes())
+			putBuf(buf)
+			return
+		}
+		wires := make([]string, 0, len(h.Wires))
+		for _, wire := range h.Wires {
+			wires = append(wires, wire.String())
+		}
+		st := "ok"
+		if h.Draining {
+			st = "draining"
+		}
+		writeJSON(w, status, healthResponse{
+			Status:   st,
+			Models:   len(h.Models),
+			Wires:    wires,
+			Draining: h.Draining,
 		})
 	})
 	return mux

@@ -1,0 +1,104 @@
+package serve
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// InspectBinaryFrame walks one complete ITW1 frame held in buf without
+// decoding it into an input: it validates the header, resolves the
+// benchmark's codec, checks that the field sequence matches the schema
+// exactly (including the trailing-byte rule), and returns the benchmark
+// name plus a routing fingerprint over the payload.
+//
+// The fingerprint is FNV-1a 64 over the benchmark name, the raw int
+// words, and the float/vector words with their low `bits` mantissa bits
+// zeroed — the same quantization CacheOptions.QuantizeBits applies to
+// decision-cache keys. A fleet router shards on this value: two
+// near-duplicate inputs whose features would collide in a replica's
+// quantized decision cache also collide here, so they land on the same
+// replica and the second one finds the cache warm. The router never
+// extracts model features — the fingerprint is a pure function of the
+// frame bytes, so routing is stable across hot reloads that change the
+// production classifier's feature subset.
+//
+// buf must hold exactly one frame; the walk never allocates.
+func InspectBinaryFrame(buf []byte, bits int) (benchmark string, fingerprint uint64, err error) {
+	if len(buf) < 5 {
+		return "", 0, &RequestError{Err: fmt.Errorf("serve: binary header: frame of %d bytes too short", len(buf))}
+	}
+	if [4]byte(buf[:4]) != wireMagic {
+		return "", 0, &RequestError{Err: fmt.Errorf("serve: bad binary magic %q", buf[:4])}
+	}
+	n := int(buf[4])
+	if n == 0 || n > maxWireName {
+		return "", 0, &RequestError{Err: fmt.Errorf("serve: binary name length %d out of range", n)}
+	}
+	if len(buf) < 5+n {
+		return "", 0, &RequestError{Err: fmt.Errorf("serve: binary name: frame truncated")}
+	}
+	name := string(buf[5 : 5+n])
+	c, err := LookupCodec(name)
+	if err != nil {
+		return "", 0, &RequestError{Err: err}
+	}
+
+	// FNV-1a 64 (inlined: hash/fnv would force an interface allocation).
+	const offset64, prime64 = 0xcbf29ce484222325, 0x100000001b3
+	h := uint64(offset64)
+	for i := 0; i < len(name); i++ {
+		h = (h ^ uint64(name[i])) * prime64
+	}
+	mask := ^uint64(0) << uint(clampQuantizeBits(bits))
+
+	rest := buf[5+n:]
+	word := func() (uint64, bool) {
+		if len(rest) < 8 {
+			return 0, false
+		}
+		u := binary.LittleEndian.Uint64(rest)
+		rest = rest[8:]
+		return u, true
+	}
+	mix := func(u uint64) {
+		for s := 0; s < 64; s += 8 {
+			h = (h ^ (u >> uint(s) & 0xff)) * prime64
+		}
+	}
+	sch := c.sch
+	for _, f := range sch.intFields {
+		u, ok := word()
+		if !ok {
+			return name, 0, &RequestError{Err: fmt.Errorf("serve: binary field %q: truncated frame", f)}
+		}
+		mix(u)
+	}
+	for _, f := range sch.floatFields {
+		u, ok := word()
+		if !ok {
+			return name, 0, &RequestError{Err: fmt.Errorf("serve: binary field %q: truncated frame", f)}
+		}
+		mix(u & mask)
+	}
+	for _, f := range sch.vecFields {
+		count, ok := word()
+		if !ok {
+			return name, 0, &RequestError{Err: fmt.Errorf("serve: binary field %q: truncated frame", f)}
+		}
+		if count > maxVecElems {
+			return name, 0, &RequestError{Err: fmt.Errorf("serve: binary field %q: vector of %d elements exceeds the request limit", f, count)}
+		}
+		if uint64(len(rest)) < count*8 {
+			return name, 0, &RequestError{Err: fmt.Errorf("serve: binary field %q: truncated frame", f)}
+		}
+		mix(count)
+		for i := uint64(0); i < count; i++ {
+			mix(binary.LittleEndian.Uint64(rest[i*8:]) & mask)
+		}
+		rest = rest[count*8:]
+	}
+	if len(rest) != 0 {
+		return name, 0, &RequestError{Err: fmt.Errorf("serve: %d trailing bytes after the last field", len(rest))}
+	}
+	return name, h, nil
+}

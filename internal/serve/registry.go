@@ -28,6 +28,22 @@ type Snapshot struct {
 	// ArtifactBytes is the size of the JSON artifact this snapshot was
 	// loaded from (0 for models registered in-process).
 	ArtifactBytes int
+	// ArtifactHash is a content hash of the artifact bytes (0 for models
+	// installed in-process). Unlike Generation — which is a per-registry
+	// counter — it identifies the model VERSION across replicas, which is
+	// what fleet generation-skew accounting needs: two replicas at
+	// different generation numbers may well serve the same artifact.
+	ArtifactHash uint64
+}
+
+// hashArtifact is FNV-1a 64 over the artifact bytes.
+func hashArtifact(artifact []byte) uint64 {
+	const offset64, prime64 = 0xcbf29ce484222325, 0x100000001b3
+	h := uint64(offset64)
+	for _, b := range artifact {
+		h = (h ^ uint64(b)) * prime64
+	}
+	return h
 }
 
 // entry is one named benchmark slot.
@@ -118,6 +134,7 @@ func (r *Registry) Load(artifact []byte) (*Snapshot, error) {
 		Model:         model,
 		Generation:    r.gen.Add(1),
 		ArtifactBytes: len(artifact),
+		ArtifactHash:  hashArtifact(artifact),
 	}
 	e.cur.Store(snap)
 	return snap, nil

@@ -1,8 +1,11 @@
 package serve
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
+	"sync/atomic"
 	"time"
 
 	"inputtune/internal/choice"
@@ -11,6 +14,11 @@ import (
 	"inputtune/internal/engine"
 	"inputtune/internal/feature"
 )
+
+// ErrDraining rejects new requests once a graceful drain has begun.
+// Routers treat it as a routing signal (try another replica), not a
+// replica fault: a draining replica is healthy, just leaving.
+var ErrDraining = errors.New("serve: service is draining")
 
 // RequestError marks an error as the client's fault (a malformed or
 // unsupported request), so transports can map it to a 4xx status instead
@@ -74,6 +82,9 @@ type Service struct {
 	metrics      *Metrics
 	batcher      *Batcher
 	wires        [2]bool
+
+	draining atomic.Bool
+	inflight atomic.Int64
 }
 
 // NewService assembles a service over a registry.
@@ -122,9 +133,60 @@ func (s *Service) Close() {
 	}
 }
 
+// BeginDrain flips the service into draining mode: requests already past
+// admission run to completion, new ones are rejected with ErrDraining.
+// Idempotent and reversible via EndDrain (used by fault-injection tests
+// to model a replica leaving and rejoining).
+func (s *Service) BeginDrain() { s.draining.Store(true) }
+
+// EndDrain returns a draining service to normal admission.
+func (s *Service) EndDrain() { s.draining.Store(false) }
+
+// Draining reports whether a graceful drain is in progress.
+func (s *Service) Draining() bool { return s.draining.Load() }
+
+// Inflight reports the number of requests currently past admission.
+func (s *Service) Inflight() int64 { return s.inflight.Load() }
+
+// Drain begins a graceful drain and blocks until every in-flight request
+// has completed or ctx expires. On success the service is idle and can be
+// Closed without cutting off a response mid-write.
+func (s *Service) Drain(ctx context.Context) error {
+	s.BeginDrain()
+	for s.inflight.Load() != 0 {
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("serve: drain: %d requests still in flight: %w", s.inflight.Load(), ctx.Err())
+		case <-time.After(200 * time.Microsecond):
+		}
+	}
+	return nil
+}
+
+// enter admits one request into the in-flight set, refusing when a drain
+// is in progress. The counter is raised BEFORE the draining check so that
+// a concurrent Drain observing inflight==0 cannot race with a request
+// that passed the check but had not yet registered; a request that loses
+// that race sees draining=true, deregisters, and is rejected.
+func (s *Service) enter() error {
+	s.inflight.Add(1)
+	if s.draining.Load() {
+		s.inflight.Add(-1)
+		return ErrDraining
+	}
+	return nil
+}
+
+// exit deregisters a request admitted by enter.
+func (s *Service) exit() { s.inflight.Add(-1) }
+
 // Classify answers one request, routing through the batching layer when
 // configured. It records request metrics including latency.
 func (s *Service) Classify(benchmark string, in core.Input) (*Decision, error) {
+	if err := s.enter(); err != nil {
+		return nil, err
+	}
+	defer s.exit()
 	start := time.Now()
 	var d *Decision
 	var err error
@@ -149,6 +211,10 @@ func (s *Service) Classify(benchmark string, in core.Input) (*Decision, error) {
 // *RequestError; metrics are attributed to the decoded benchmark name
 // and skipped when the frame never identified one.
 func (s *Service) ClassifyBinary(r io.Reader) (*Decision, error) {
+	if err := s.enter(); err != nil {
+		return nil, err
+	}
+	defer s.exit()
 	start := time.Now()
 	var d *Decision
 	var benchmark string
