@@ -25,6 +25,15 @@
 //	                                 fault counters and per-replica cache
 //	                                 stats into the bench JSON's "fleet"
 //	                                 section
+//	experiments drift-bench          online-adaptivity arm: serve
+//	                                 in-distribution traffic, shift the
+//	                                 live input distribution mid-run, and
+//	                                 require the drift detector to fire, a
+//	                                 background retrain to hot-publish with
+//	                                 zero failed requests, and decision
+//	                                 quality to recover; merges phase
+//	                                 latency/quality into the bench JSON's
+//	                                 "drift" section
 //	experiments classify             wire-level client for a running
 //	                                 inputtuned: encode -data in -wire
 //	                                 json|binary and POST /v1/classify
@@ -79,6 +88,10 @@ func main() {
 	replicasFlag := fs.String("replicas", "1,2,4", "cluster-bench: comma-separated fleet-size grid")
 	kill := fs.Bool("kill", true, "cluster-bench: inject a replica kill+restart mid-run on multi-replica arms")
 	shardQuantize := fs.Int("shard-quantize", 8, "cluster-bench: fingerprint quantization bits for consistent-hash sharding")
+	preReq := fs.Int("pre", 0, "drift-bench: pre-shift in-distribution requests (0 = default 512)")
+	shiftReq := fs.Int("shift", 0, "drift-bench: shifted-traffic request budget (0 = default 2048)")
+	postReq := fs.Int("post", 0, "drift-bench: post-retrain requests (0 = default 512)")
+	driftWindow := fs.Int("drift-window", 0, "drift-bench: detector window (0 = calibrated default)")
 	addr := fs.String("addr", "localhost:8077", "classify: inputtuned address")
 	benchmark := fs.String("benchmark", "sort", "classify: benchmark name (sort or binpacking)")
 	data := fs.String("data", "", "classify: comma-separated float input vector")
@@ -219,6 +232,38 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "merged fleet section into %s\n", path)
+	case "drift-bench":
+		path := *benchJSON
+		if path == "" {
+			path = "BENCH_latest.json"
+		}
+		db, err := exp.RunDriftBench(exp.DriftBenchOptions{
+			Clients:       *clients,
+			PreRequests:   *preReq,
+			ShiftRequests: *shiftReq,
+			PostRequests:  *postReq,
+			Window:        *driftWindow,
+			Scale:         sc,
+			Logf:          logf,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "drift-bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(exp.RenderDriftBench(db))
+		if db.Failed() {
+			fmt.Fprintln(os.Stderr, "drift-bench: failed requests or label mismatches — the reload was not seamless")
+			os.Exit(1)
+		}
+		if !db.DetectorFired || db.Retrains == 0 {
+			fmt.Fprintln(os.Stderr, "drift-bench: the drift loop never closed")
+			os.Exit(1)
+		}
+		if err := exp.MergeDriftIntoBench(path, db); err != nil {
+			fmt.Fprintf(os.Stderr, "merge into %s: %v\n", path, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "merged drift section into %s\n", path)
 	case "all":
 		rows := runTable1(names, sc, logf, *outDir, true)
 		fmt.Println(exp.RenderFig7())
@@ -432,7 +477,7 @@ func writeFile(dir, name, content string) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: experiments <table1|fig6|fig7|fig8|ablation|bench|serve-bench|cluster-bench|classify|all> [flags]
+	fmt.Fprintln(os.Stderr, `usage: experiments <table1|fig6|fig7|fig8|ablation|bench|serve-bench|cluster-bench|drift-bench|classify|all> [flags]
 flags:
   -scale quick|default   workload scale (default "default")
   -case NAME             single test: sort1 sort2 clustering1 clustering2
@@ -473,6 +518,16 @@ flags:
   -shard-quantize N      cluster-bench: feature-fingerprint quantization
                          bits for consistent-hash sharding (default 8);
                          replica decision caches stay exact regardless
+  -pre N                 drift-bench: pre-shift in-distribution requests
+                         (default 512); the detector must stay quiet here
+  -shift N               drift-bench: shifted-traffic budget (default 2048);
+                         the detector must fire and a background retrain
+                         must hot-publish with zero failed requests, or the
+                         run exits nonzero
+  -post N                drift-bench: post-retrain requests on the new
+                         model (default 512)
+  -drift-window N        drift-bench: detector window in requests (default:
+                         the calibrated 256; smaller fires sooner, noisier)
   -addr HOST:PORT        classify: inputtuned address (default localhost:8077)
   -benchmark NAME        classify: sort or binpacking (default sort)
   -data FLOATS           classify: comma-separated input vector, e.g.

@@ -21,6 +21,12 @@
 // gracefully in either mode: new requests are rejected while in-flight
 // ones finish.
 //
+// -drift enables the adaptive retraining loop in either mode (models
+// must carry a distribution summary): served traffic is watched for
+// input-distribution drift, and a detected shift triggers a background
+// retrain on retained served inputs, published through the hot-reload
+// path — svc reload in single mode, a rolling reload across the fleet.
+//
 // Endpoints: POST /v1/classify, POST /v1/reload, GET /v1/models (single
 // mode), GET /metrics (?format=json), GET /healthz.
 //
@@ -46,6 +52,7 @@ import (
 	"time"
 
 	"inputtune/internal/core"
+	"inputtune/internal/drift"
 	"inputtune/internal/exp"
 	"inputtune/internal/fleet"
 	"inputtune/internal/serve"
@@ -62,6 +69,10 @@ func main() {
 	trainCase := flag.String("train", "", "train a quick-scale model for this case in-process (e.g. sort2)")
 	fleetN := flag.Int("fleet", 0, "run N in-process replicas behind a consistent-hash router (0/1 = single service)")
 	shardQuantize := flag.Int("shard-quantize", 8, "fleet: fingerprint quantization bits for request sharding (replica caches stay exact)")
+	driftOn := flag.Bool("drift", false, "watch served traffic for input-distribution drift and retrain + hot-reload automatically (models must carry a distribution summary)")
+	driftWindow := flag.Int("drift-window", 0, "drift: detector window in requests (0 = calibrated default)")
+	driftCapacity := flag.Int("drift-capacity", 0, "drift: retention reservoir capacity (0 = default)")
+	driftMinRetain := flag.Int("drift-min-retain", 0, "drift: minimum retained inputs before a retrain may start (0 = default)")
 	verbose := flag.Bool("v", false, "log requests setup progress")
 	var modelPaths []string
 	flag.Func("model", "model artifact to serve (repeatable)", func(path string) error {
@@ -131,8 +142,9 @@ func main() {
 		Wires:    wires,
 	}
 	// newService builds one full serving stack with every artifact loaded —
-	// the single daemon, or one fleet replica.
-	newService := func(tag string) *serve.Service {
+	// the single daemon, or one fleet replica. The registry is returned too
+	// so the drift controller can resolve baselines from it.
+	newService := func(tag string) (*serve.Service, *serve.Registry) {
 		reg := serve.BuiltinRegistry()
 		svc := serve.NewService(reg, svcOpts)
 		for _, artifact := range artifacts {
@@ -144,23 +156,65 @@ func main() {
 			logf("%s: loaded benchmark %s, production %s, generation %d",
 				tag, snap.Benchmark, snap.Model.Production.Name, snap.Generation)
 		}
-		return svc
+		return svc, reg
+	}
+	// newDriftController wires the adaptive-retraining loop: retrains run
+	// at the quick training scale (the same budget -train uses), and
+	// publish goes through the given hot-reload path.
+	newDriftController := func(reg *serve.Registry, publish func(string, []byte) error) *drift.Controller {
+		sc := exp.QuickScale()
+		return drift.NewController(drift.Options{
+			Registry: reg,
+			Train: core.Options{
+				K1: sc.K1, Seed: sc.Seed, TunerPopulation: sc.TunerPop,
+				TunerGenerations: sc.TunerGens, Parallel: true,
+			},
+			Detector:  drift.DetectorOptions{Window: *driftWindow},
+			Capacity:  *driftCapacity,
+			MinRetain: *driftMinRetain,
+			Publish:   publish,
+			Logf:      logf,
+		})
 	}
 
 	var handler http.Handler
 	var drain func(context.Context) error
 	var serving string
+	var driftCtrl *drift.Controller
 	if *fleetN > 1 {
 		replicas := make([]fleet.Replica, *fleetN)
+		services := make([]*serve.Service, *fleetN)
+		regs := make([]*serve.Registry, *fleetN)
 		for i := range replicas {
 			name := fmt.Sprintf("replica-%d", i)
-			replicas[i] = fleet.NewLocalReplica(name, newService(name))
+			services[i], regs[i] = newService(name)
+			replicas[i] = fleet.NewLocalReplica(name, services[i])
 		}
 		fleetLogf := func(string, ...any) {}
 		if *verbose {
 			fleetLogf = logf
 		}
-		rt := fleet.NewRouter(replicas, fleet.Options{
+		var rt *fleet.Router
+		if *driftOn {
+			// One shared controller: the router shards traffic, so every
+			// replica's sample tap feeds the same detector and reservoir,
+			// and a triggered retrain publishes through the rolling reload
+			// (replica by replica, zero dropped requests). Baselines
+			// resolve from replica 0's registry — the rollout keeps every
+			// replica on the same artifact, and samples racing a rollout
+			// are dropped by the controller's generation check. Only
+			// replica 0 reports the loop's status, so the fleet roll-up
+			// counts the shared loop once, not once per replica.
+			driftCtrl = newDriftController(regs[0], func(_ string, artifact []byte) error {
+				_, err := rt.RollingReload(artifact)
+				return err
+			})
+			for _, svc := range services {
+				svc.SetObserver(driftCtrl)
+			}
+			services[0].SetDriftProvider(driftCtrl.Status)
+		}
+		rt = fleet.NewRouter(replicas, fleet.Options{
 			QuantizeBits:   *shardQuantize,
 			HealthInterval: 500 * time.Millisecond,
 			Logf:           fleetLogf,
@@ -169,7 +223,14 @@ func main() {
 		drain = rt.Close
 		serving = fmt.Sprintf("%d-replica fleet (shard quantize %d bits)", *fleetN, *shardQuantize)
 	} else {
-		svc := newService("inputtuned")
+		svc, reg := newService("inputtuned")
+		if *driftOn {
+			driftCtrl = newDriftController(reg, func(_ string, artifact []byte) error {
+				_, err := svc.Load(artifact)
+				return err
+			})
+			driftCtrl.Bind(svc)
+		}
 		handler = serve.NewHandler(svc)
 		drain = func(ctx context.Context) error {
 			svc.BeginDrain()
@@ -178,6 +239,17 @@ func main() {
 			return err
 		}
 		serving = "single service"
+	}
+	if *driftOn {
+		serving += " + drift-adaptive retraining"
+		// A drain must also let any in-flight background retrain finish —
+		// killing the process mid-TrainModel would just lose the work.
+		inner := drain
+		drain = func(ctx context.Context) error {
+			err := inner(ctx)
+			driftCtrl.Wait()
+			return err
+		}
 	}
 	if *verbose {
 		handler = logRequests(handler, logf)

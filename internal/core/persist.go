@@ -36,7 +36,11 @@ type modelJSON struct {
 	Production candidateJSON    `json:"production"`
 	Means      []float64        `json:"scaler_means"`
 	Stds       []float64        `json:"scaler_stds"`
-	Report     Report           `json:"report"`
+	// Summary is the training-distribution fingerprint for drift
+	// detection. omitempty keeps artifacts saved before this section
+	// loadable (a nil summary just disables drift detection).
+	Summary *Summary `json:"summary,omitempty"`
+	Report  Report   `json:"report"`
 }
 
 // SaveModel writes the deployable parts of the model as JSON.
@@ -65,6 +69,7 @@ func SaveModel(m *Model, w io.Writer) error {
 		Production: cj,
 		Means:      m.Scaler.Means,
 		Stds:       m.Scaler.Stds,
+		Summary:    m.Summary,
 		Report:     m.Report,
 	})
 }
@@ -117,12 +122,16 @@ func LoadModel(prog Program, r io.Reader) (*Model, error) {
 	default:
 		return nil, fmt.Errorf("core: unknown classifier kind %q", mj.Production.Kind)
 	}
+	if err := mj.Summary.Validate(len(mj.Means)); err != nil {
+		return nil, err
+	}
 	scaler := stats.NewZScorer(mj.Means, mj.Stds)
 	return &Model{
 		Program:    prog,
 		Landmarks:  mj.Landmarks,
 		Production: cand,
 		Scaler:     scaler,
+		Summary:    mj.Summary,
 		Report:     mj.Report,
 	}, nil
 }

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// Summary is the compact statistical fingerprint of the training input
+// distribution that a deployed model carries along in its artifact: the
+// z-scored Level-1 centroids and the fraction of training inputs assigned
+// to each cluster. Together with the scaler moments (already persisted as
+// scaler_means/scaler_stds) this is everything a serving process needs to
+// ask "does live traffic still look like the distribution this model was
+// trained on?" — the input-sensitivity core of the paper — without
+// shipping the training set itself.
+type Summary struct {
+	// Centroids are the Level-1 cluster centres in z-scored feature space
+	// (the space kmeans ran in), one row per cluster.
+	Centroids [][]float64 `json:"centroids"`
+	// Weights[c] is the fraction of training inputs nearest to centroid c
+	// under the SAME restricted-dims assignment rule serving applies (see
+	// SummarizeTraining). Non-negative, sums to 1.
+	Weights []float64 `json:"weights"`
+	// NumInputs is the training-set size the weights were estimated from.
+	NumInputs int `json:"num_inputs"`
+}
+
+// SummarizeTraining builds the distribution summary a drift detector can
+// actually compare live traffic against. The assignment histogram is NOT
+// the k-means label distribution: serving observes only the production
+// classifier's static feature subset, and nearest-centroid assignment
+// restricted to those dims differs systematically from the full-space
+// assignment. Computing the stored weights with the identical restricted
+// rule (dims = the production static subset; nil = all features) makes
+// the live-vs-training comparison apples-to-apples, so in-distribution
+// traffic sits at zero expected total-variation distance and any residual
+// is multinomial window noise.
+func SummarizeTraining(centroids [][]float64, zrows [][]float64, dims []int) *Summary {
+	s := &Summary{Centroids: centroids, Weights: make([]float64, len(centroids)), NumInputs: len(zrows)}
+	for _, row := range zrows {
+		best, _, _, _ := s.Nearest2(row, dims)
+		s.Weights[best]++
+	}
+	if n := float64(len(zrows)); n > 0 {
+		for c := range s.Weights {
+			s.Weights[c] /= n
+		}
+	}
+	return s
+}
+
+// Validate checks the summary's internal shape against the model's feature
+// dimensionality. Old artifacts carry no summary at all (nil is fine and
+// means "drift detection unavailable"); a present summary must be
+// well-formed or the artifact is rejected.
+func (s *Summary) Validate(numFeatures int) error {
+	if s == nil {
+		return nil
+	}
+	if len(s.Centroids) == 0 {
+		return fmt.Errorf("core: summary has no centroids")
+	}
+	if len(s.Weights) != len(s.Centroids) {
+		return fmt.Errorf("core: summary has %d weights for %d centroids", len(s.Weights), len(s.Centroids))
+	}
+	if s.NumInputs < 0 {
+		return fmt.Errorf("core: summary num_inputs %d negative", s.NumInputs)
+	}
+	total := 0.0
+	for c, w := range s.Weights {
+		if math.IsNaN(w) || math.IsInf(w, 0) || w < 0 {
+			return fmt.Errorf("core: summary weight %d is %v", c, w)
+		}
+		total += w
+	}
+	if total > 1+1e-6 {
+		return fmt.Errorf("core: summary weights sum to %v > 1", total)
+	}
+	for c, row := range s.Centroids {
+		if len(row) != numFeatures {
+			return fmt.Errorf("core: summary centroid %d has %d dims, model has %d features", c, len(row), numFeatures)
+		}
+		for d, v := range row {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("core: summary centroid %d dim %d is %v", c, d, v)
+			}
+		}
+	}
+	return nil
+}
+
+// Nearest2 returns the nearest and second-nearest centroid to the z-scored
+// point, restricted to the feature indices in dims (nil means all dims),
+// with their squared distances. With a single centroid, second == first
+// and d2 == d1. The restriction exists because serving extracts only the
+// production classifier's feature subset; comparing on those dims keeps
+// the request-path sampling free of extra extraction work.
+func (s *Summary) Nearest2(point []float64, dims []int) (best, second int, d1, d2 float64) {
+	d1, d2 = math.Inf(1), math.Inf(1)
+	best, second = 0, 0
+	for c, cent := range s.Centroids {
+		d := 0.0
+		if dims == nil {
+			for i := range cent {
+				diff := point[i] - cent[i]
+				d += diff * diff
+			}
+		} else {
+			for _, i := range dims {
+				diff := point[i] - cent[i]
+				d += diff * diff
+			}
+		}
+		if d < d1 {
+			second, d2 = best, d1
+			best, d1 = c, d
+		} else if d < d2 {
+			second, d2 = c, d
+		}
+	}
+	if math.IsInf(d2, 1) {
+		second, d2 = best, d1
+	}
+	return best, second, d1, d2
+}

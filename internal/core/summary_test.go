@@ -1,0 +1,156 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestTrainModelBuildsSummary(t *testing.T) {
+	_, model := trainSynth(t)
+	s := model.Summary
+	if s == nil {
+		t.Fatal("trained model carries no summary")
+	}
+	if len(s.Centroids) != len(model.Clusters.Centroids) {
+		t.Fatalf("summary has %d centroids, clustering produced %d", len(s.Centroids), len(model.Clusters.Centroids))
+	}
+	if s.NumInputs != model.Report.NumInputs {
+		t.Fatalf("summary num_inputs %d, report says %d", s.NumInputs, model.Report.NumInputs)
+	}
+	total := 0.0
+	for _, w := range s.Weights {
+		total += w
+	}
+	if total < 0.999 || total > 1.001 {
+		t.Fatalf("summary weights sum to %v, want 1", total)
+	}
+	if err := s.Validate(len(model.Scaler.Means)); err != nil {
+		t.Fatalf("fresh summary fails its own validation: %v", err)
+	}
+}
+
+func TestArtifactSummaryRoundTrip(t *testing.T) {
+	prog, model := trainSynth(t)
+	var buf bytes.Buffer
+	if err := SaveModel(model, &buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadModel(prog, bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Summary == nil {
+		t.Fatal("summary lost in round trip")
+	}
+	if !reflect.DeepEqual(loaded.Summary, model.Summary) {
+		t.Fatalf("summary changed in round trip:\n%+v\nvs\n%+v", loaded.Summary, model.Summary)
+	}
+}
+
+// TestLoadModelAcceptsLegacySummarylessArtifact pins backward
+// compatibility: artifacts saved before the summary section existed must
+// still load (with drift detection unavailable, not with an error).
+func TestLoadModelAcceptsLegacySummarylessArtifact(t *testing.T) {
+	prog, model := trainSynth(t)
+	var buf bytes.Buffer
+	if err := SaveModel(model, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(buf.Bytes(), &raw); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := raw["summary"]; !ok {
+		t.Fatal("fresh artifact carries no summary section to strip")
+	}
+	delete(raw, "summary")
+	legacy, err := json.Marshal(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadModel(prog, bytes.NewReader(legacy))
+	if err != nil {
+		t.Fatalf("legacy artifact rejected: %v", err)
+	}
+	if loaded.Summary != nil {
+		t.Fatal("summaryless artifact loaded with a summary")
+	}
+	// The model still deploys.
+	for _, in := range synthInputs(10, 99) {
+		if model.Classify(in, nil) != loaded.Classify(in, nil) {
+			t.Fatal("legacy-loaded model classification diverged")
+		}
+	}
+}
+
+func TestLoadModelRejectsCorruptSummary(t *testing.T) {
+	prog, model := trainSynth(t)
+	var buf bytes.Buffer
+	if err := SaveModel(model, &buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.String()
+	cases := map[string]func() string{
+		"weights/centroids mismatch": func() string {
+			return strings.Replace(good, `"weights": [`, `"weights": [0.125, `, 1)
+		},
+		"NaN weight": func() string {
+			s := strings.Replace(good, `"weights": [`, `"weights": ["x", `, 1)
+			return strings.Replace(s, `"x"`, `null`, 1)
+		},
+		"negative num_inputs": func() string {
+			return strings.Replace(good, `"num_inputs":`, `"num_inputs": -`, 1)
+		},
+	}
+	for name, mutate := range cases {
+		payload := mutate()
+		if payload == good {
+			t.Fatalf("%s: mutation did not apply", name)
+		}
+		if _, err := LoadModel(prog, strings.NewReader(payload)); err == nil {
+			t.Fatalf("%s: corrupt summary accepted", name)
+		}
+	}
+}
+
+// FuzzDecodeSummary pins the artifact-summary decoder the drift loop
+// trusts: any JSON the decoder accepts AND validation passes must re-
+// encode to a value-identical summary (decode→re-encode fixed point,
+// matching the serve codec fuzz conventions).
+func FuzzDecodeSummary(f *testing.F) {
+	f.Add([]byte(`{"centroids": [[0.5, -1.25]], "weights": [1], "num_inputs": 7}`))
+	f.Add([]byte(`{"centroids": [[0, 0], [1, 1]], "weights": [0.25, 0.75], "num_inputs": 90}`))
+	f.Add([]byte(`{"centroids": [], "weights": [], "num_inputs": 0}`))
+	f.Add([]byte(`{"centroids": [[1e308]], "weights": [2], "num_inputs": -4}`))
+	f.Add([]byte(`{"centroids": [[0.1], [0.2, 0.3]], "weights": [0.5, 0.5], "num_inputs": 2}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var s Summary
+		if err := json.Unmarshal(data, &s); err != nil {
+			return
+		}
+		dims := 0
+		if len(s.Centroids) > 0 {
+			dims = len(s.Centroids[0])
+		}
+		if err := s.Validate(dims); err != nil {
+			return
+		}
+		re, err := json.Marshal(&s)
+		if err != nil {
+			t.Fatalf("validated summary failed to re-encode: %v", err)
+		}
+		var back Summary
+		if err := json.Unmarshal(re, &back); err != nil {
+			t.Fatalf("re-encoded summary failed to decode: %v", err)
+		}
+		if err := back.Validate(dims); err != nil {
+			t.Fatalf("re-decoded summary fails validation: %v", err)
+		}
+		if !reflect.DeepEqual(s, back) {
+			t.Fatalf("summary changed across round trip:\n%+v\nvs\n%+v", s, back)
+		}
+	})
+}

@@ -185,7 +185,11 @@ type Model struct {
 	Clusters *kmeans.Result
 	Scaler   *stats.ZScorer
 	Train    *Dataset
-	Report   Report
+	// Summary is the persisted training-distribution fingerprint the drift
+	// detector compares live traffic against (nil on artifacts saved
+	// before the summary section existed).
+	Summary *Summary
+	Report  Report
 }
 
 // TrainModel runs the full two-level pipeline of Section 3 on the training
@@ -443,6 +447,17 @@ func TrainModel(prog Program, inputs []Input, opts Options) *Model {
 		selected = append(selected, set.FeatureName(f))
 	}
 
+	// The drift summary's assignment weights use the production
+	// classifier's observable feature subset (nil = all features when the
+	// production extracts none), so the serving-side detector compares
+	// like with like. Pure arithmetic over already-computed rows: no RNG,
+	// so adding the summary leaves every trained artifact's landmarks,
+	// classifier and report bit-identical.
+	var summaryDims []int
+	if len(prod.Static) > 0 {
+		summaryDims = prod.Static
+	}
+
 	return &Model{
 		Program:    prog,
 		Landmarks:  landmarks,
@@ -450,6 +465,7 @@ func TrainModel(prog Program, inputs []Input, opts Options) *Model {
 		Clusters:   km,
 		Scaler:     scaler,
 		Train:      d,
+		Summary:    SummarizeTraining(km.Centroids, Fn, summaryDims),
 		Report: Report{
 			Benchmark:        prog.Name(),
 			NumInputs:        len(inputs),
@@ -468,6 +484,17 @@ func TrainModel(prog Program, inputs []Input, opts Options) *Model {
 			NumCandidates:    len(cands),
 		},
 	}
+}
+
+// Retrain runs the full two-level pipeline again on a fresh input set —
+// the entry point the online drift loop uses with its retained reservoir.
+// It is deliberately nothing more than TrainModel on the same Program:
+// given identical inputs, options and seed, the retrained artifact is
+// byte-identical to an offline TrainModel+SaveModel run (the differential
+// the drift tests enforce), so online retraining never forks the training
+// semantics.
+func (m *Model) Retrain(inputs []Input, opts Options) *Model {
+	return TrainModel(m.Program, inputs, opts)
 }
 
 // Classify selects the landmark for a fresh input, charging feature-

@@ -1,0 +1,315 @@
+package drift
+
+import (
+	"bytes"
+	"fmt"
+	"hash/fnv"
+	"sync"
+
+	"inputtune/internal/core"
+	"inputtune/internal/serve"
+)
+
+// Options configures a Controller.
+type Options struct {
+	// Registry resolves benchmark names to live model snapshots — the
+	// same registry the serving path reads, so the controller's baseline
+	// (summary + scaler) always matches the model that served a sample.
+	Registry *serve.Registry
+	// Train are the core training options a drift-triggered retrain runs
+	// with (seed and all — retrains are as deterministic as offline
+	// training; the byte-parity differential test depends on it).
+	Train core.Options
+	// Detector tunes the drift test.
+	Detector DetectorOptions
+	// Capacity bounds the per-benchmark retention reservoir (default 256).
+	Capacity int
+	// MinRetain is the smallest reservoir occupancy a retrain may start
+	// from (default 32, floor 2 — TrainModel needs two inputs).
+	MinRetain int
+	// Publish ships a retrained artifact: serve.Service.Load for a single
+	// replica, fleet.Router.RollingReload fleet-wide. Required for the
+	// loop to close; nil means detect-only (status surfaces still work).
+	Publish func(benchmark string, artifact []byte) error
+	// OnRetrain, when non-nil, observes every retrain attempt after it
+	// completes (test hook: carries the exact retained frames and the
+	// published artifact bytes for the offline differential).
+	OnRetrain func(RetrainEvent)
+	// Seed derives the per-benchmark reservoir RNG streams.
+	Seed uint64
+	// Logf, when non-nil, receives progress lines.
+	Logf func(format string, args ...any)
+}
+
+// RetrainEvent reports one completed retrain attempt.
+type RetrainEvent struct {
+	Benchmark string
+	// Frames are the retained binary wire frames the retrain trained on,
+	// in arrival order.
+	Frames [][]byte
+	// Artifact is the serialized retrained model (nil when Err != nil).
+	Artifact []byte
+	Err      error
+}
+
+// benchState is one benchmark's drift-loop state. Its mutex serializes
+// the observe path with status reads and retrain completion; the
+// background retrain itself runs outside the lock.
+type benchState struct {
+	mu         sync.Mutex
+	generation uint64
+	disabled   bool // model carries no summary (pre-drift artifact)
+	det        *Detector
+	res        *Reservoir
+	samples    uint64
+	drifted    bool
+	retraining bool
+	retrains   uint64
+}
+
+// Controller implements serve.SampleObserver: it watches served feature
+// rows, retains the informative ones, and closes the drift → retrain →
+// hot-reload loop in the background. One Controller serves any number of
+// benchmarks concurrently.
+type Controller struct {
+	opts Options
+
+	mu     sync.Mutex
+	states map[string]*benchState
+
+	wg sync.WaitGroup
+}
+
+// NewController builds a controller. Registry is required.
+func NewController(opts Options) *Controller {
+	if opts.Registry == nil {
+		panic("drift: Options.Registry is required")
+	}
+	if opts.Capacity <= 0 {
+		opts.Capacity = 256
+	}
+	if opts.MinRetain <= 0 {
+		opts.MinRetain = 32
+	}
+	if opts.MinRetain < 2 {
+		opts.MinRetain = 2
+	}
+	if opts.Logf == nil {
+		opts.Logf = func(string, ...any) {}
+	}
+	return &Controller{opts: opts, states: make(map[string]*benchState)}
+}
+
+func (c *Controller) state(benchmark string) *benchState {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.states[benchmark]
+	if st == nil {
+		st = &benchState{}
+		c.states[benchmark] = st
+	}
+	return st
+}
+
+// seedFor derives a stable per-benchmark reservoir seed.
+func (c *Controller) seedFor(benchmark string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(benchmark))
+	return c.opts.Seed ^ h.Sum64()
+}
+
+// ObserveSample is the serve.SampleObserver hook: one call per served
+// request on the static-subset path. Row and Input are borrowed — any
+// retention encodes a private copy before returning.
+func (c *Controller) ObserveSample(s serve.Sample) {
+	st := c.state(s.Benchmark)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+
+	if st.det == nil && !st.disabled || st.generation != s.Generation {
+		// New baseline: the first sample ever, or the first sample served
+		// by a new model generation (a retrain or an operator reload just
+		// published). Start the detector fresh against the new model's
+		// summary and drop the old reservoir — retained inputs described
+		// the previous baseline's traffic.
+		snap, ok := c.opts.Registry.Get(s.Benchmark)
+		if !ok || snap.Generation != s.Generation {
+			// The sample raced a reload; the next request will carry the
+			// live generation.
+			return
+		}
+		st.generation = s.Generation
+		st.samples = 0
+		st.drifted = false
+		st.disabled = snap.Model.Summary == nil
+		if st.disabled {
+			st.det = nil
+			c.opts.Logf("[drift] %s: artifact has no distribution summary; drift detection disabled", s.Benchmark)
+			return
+		}
+		st.det = NewDetector(snap.Model.Summary, snap.Model.Scaler.Means, snap.Model.Scaler.Stds, c.opts.Detector)
+		if st.res == nil {
+			st.res = NewReservoir(c.opts.Capacity, c.seedFor(s.Benchmark))
+		} else {
+			st.res.Reset()
+		}
+	}
+	if st.disabled {
+		return
+	}
+
+	st.samples++
+	weight := st.det.Observe(s.Row, s.Indices)
+	st.res.Offer(weight, func() []byte {
+		var buf bytes.Buffer
+		if err := serve.EncodeBinaryRequest(&buf, s.Benchmark, s.Input); err != nil {
+			return nil
+		}
+		return buf.Bytes()
+	})
+
+	if st.det.Fired() {
+		st.drifted = true
+		if !st.retraining && st.res.Len() >= c.opts.MinRetain {
+			st.retraining = true
+			frames := st.res.Snapshot()
+			effect, tv := st.det.Stats()
+			c.opts.Logf("[drift] %s: detector fired (effect %.2f, assignment TV %.2f); retraining on %d retained inputs",
+				s.Benchmark, effect, tv, len(frames))
+			c.wg.Add(1)
+			go c.retrain(s.Benchmark, st, frames)
+		}
+	}
+}
+
+// retrain runs the background half of the loop: decode the retained
+// frames, re-run the full two-level pipeline, publish the artifact.
+// Serving is never paused — the publish path is the same hot reload an
+// operator would use.
+func (c *Controller) retrain(benchmark string, st *benchState, frames [][]byte) {
+	defer c.wg.Done()
+	artifact, err := RetrainArtifact(benchmark, frames, c.opts.Train)
+	if err == nil && c.opts.Publish != nil {
+		err = c.opts.Publish(benchmark, artifact)
+	}
+
+	st.mu.Lock()
+	st.retraining = false
+	if err != nil {
+		// Leave drifted set (status keeps reporting the condition) but
+		// reset the detector window: the next retry needs a freshly fired
+		// window, which bounds the retry rate to one per Window samples.
+		c.opts.Logf("[drift] %s: retrain failed: %v", benchmark, err)
+		if st.det != nil {
+			st.det.Reset()
+		}
+	} else {
+		st.retrains++
+		c.opts.Logf("[drift] %s: retrained model published", benchmark)
+		// The publish bumped the registry generation; the next observed
+		// sample rebaselines against the new artifact's summary.
+	}
+	st.mu.Unlock()
+
+	if c.opts.OnRetrain != nil {
+		ev := RetrainEvent{Benchmark: benchmark, Frames: frames, Err: err}
+		if err == nil {
+			ev.Artifact = artifact
+		}
+		c.opts.OnRetrain(ev)
+	}
+}
+
+// RetrainArtifact decodes retained wire frames back into benchmark inputs
+// and runs the full offline training pipeline on them, returning the
+// serialized artifact. It is deliberately nothing but decode + TrainModel
+// + SaveModel: an offline run over the same frames produces the identical
+// bytes (the differential the drift tests enforce).
+func RetrainArtifact(benchmark string, frames [][]byte, trainOpts core.Options) (_ []byte, err error) {
+	defer func() {
+		// TrainModel panics on contract violations (e.g. too few inputs);
+		// a background retrain must degrade to an error, not take down
+		// the serving process.
+		if r := recover(); r != nil {
+			err = fmt.Errorf("drift: retrain panicked: %v", r)
+		}
+	}()
+	if len(frames) < 2 {
+		return nil, fmt.Errorf("drift: %d retained inputs, need at least 2", len(frames))
+	}
+	var codec *serve.Codec
+	inputs := make([]core.Input, 0, len(frames))
+	defer func() {
+		for _, in := range inputs {
+			codec.Release(in)
+		}
+	}()
+	for i, frame := range frames {
+		fc, in, derr := serve.DecodeBinaryRequest(bytes.NewReader(frame))
+		if derr != nil {
+			return nil, fmt.Errorf("drift: decoding retained frame %d: %w", i, derr)
+		}
+		if fc.Name != benchmark {
+			fc.Release(in)
+			return nil, fmt.Errorf("drift: retained frame %d is for %q, reservoir is %q", i, fc.Name, benchmark)
+		}
+		codec = fc
+		inputs = append(inputs, in)
+	}
+	model := core.TrainModel(codec.NewProgram(), inputs, trainOpts)
+	var buf bytes.Buffer
+	if serr := core.SaveModel(model, &buf); serr != nil {
+		return nil, serr
+	}
+	return buf.Bytes(), nil
+}
+
+// Status reports the per-benchmark drift-loop state — the provider the
+// serving metrics and health surfaces pull (serve.DriftProvider).
+func (c *Controller) Status() map[string]serve.DriftStatus {
+	c.mu.Lock()
+	states := make(map[string]*benchState, len(c.states))
+	for name, st := range c.states {
+		states[name] = st
+	}
+	c.mu.Unlock()
+	out := make(map[string]serve.DriftStatus, len(states))
+	for name, st := range states {
+		st.mu.Lock()
+		row := serve.DriftStatus{
+			Benchmark:  name,
+			Samples:    st.samples,
+			Drifted:    st.drifted,
+			Retraining: st.retraining,
+			Retrains:   st.retrains,
+		}
+		if st.res != nil {
+			row.Retained = st.res.Len()
+		}
+		if st.det != nil {
+			row.EffectSize, row.AssignTV = st.det.Stats()
+		}
+		st.mu.Unlock()
+		out[name] = row
+	}
+	return out
+}
+
+// Retrains reports the completed retrain count for one benchmark.
+func (c *Controller) Retrains(benchmark string) uint64 {
+	st := c.state(benchmark)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.retrains
+}
+
+// Wait blocks until every in-flight background retrain has completed —
+// clean shutdown for the daemon and determinism for tests.
+func (c *Controller) Wait() { c.wg.Wait() }
+
+// Bind registers the controller on a service: the sample tap feeds the
+// loop and the status provider feeds /metrics and the ITH1 health frame.
+func (c *Controller) Bind(svc *serve.Service) {
+	svc.SetObserver(c)
+	svc.SetDriftProvider(c.Status)
+}

@@ -1,0 +1,31 @@
+// Package drift closes the loop the paper leaves open: a model trained
+// once on landmark inputs keeps serving while production traffic drifts
+// away from the distribution it was tuned for. The package watches served
+// requests through the serve.SampleObserver tap (the feature row is
+// already extracted on the classification path, so observation is free),
+// compares the live feature distribution against the training-
+// distribution Summary persisted in the model artifact, retains the most
+// informative served inputs in a bounded weighted reservoir, and — when
+// the detector fires — retrains the full two-level pipeline on the
+// retained set in the background and publishes the new artifact through
+// the existing hot-reload path, dropping zero requests.
+//
+// Three pieces, separable for testing:
+//
+//   - Detector: windowed two-signal drift test against the artifact
+//     summary — per-feature standardized mean shift (the live mean of
+//     z-scored features; the training mean is 0 by construction) and the
+//     total-variation distance between the live nearest-centroid
+//     assignment histogram and the training cluster weights.
+//   - Reservoir: bounded information-weighted retention (Efraimidis-
+//     Spirakis A-Res) where an input's weight is its proximity to the
+//     Level-1 decision boundary (nearest over second-nearest centroid
+//     distance), per "Adaptive sampling by information maximization"
+//     (PAPERS.md) — inputs near the boundary pin down where landmark
+//     regions meet, which is what retraining needs most.
+//   - Controller: the serve-side glue — implements serve.SampleObserver,
+//     owns per-benchmark detector+reservoir state, runs retrains on a
+//     background goroutine via core's deterministic TrainModel, and
+//     publishes through a pluggable hook (Service.Load for one replica,
+//     fleet.Router.RollingReload fleet-wide).
+package drift

@@ -1,0 +1,113 @@
+package drift
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+
+	"inputtune/internal/rng"
+)
+
+// Reservoir is a bounded weighted sample of served inputs, kept as
+// encoded binary wire frames (the only deep-copyable form of a pooled
+// request input). It implements Efraimidis–Spirakis A-Res: each offered
+// item draws key = u^(1/w) for u ~ U(0,1), and the reservoir keeps the
+// capacity items with the largest keys via a min-heap — a single pass,
+// O(log C) per retained item, where an item's retention probability grows
+// with its weight. With boundary-proximity weights this retains the
+// inputs that say the most about where the landmark regions meet, instead
+// of a uniform sample dominated by easy interior points.
+//
+// The payload is produced lazily: Offer decides acceptance from the
+// weight alone and only then asks for the frame bytes, so rejected
+// requests (the common case once the reservoir is warm) cost one RNG draw
+// and one float compare — nothing on the serving path encodes or copies.
+//
+// Not safe for concurrent use; the Controller serializes access.
+type Reservoir struct {
+	capacity int
+	r        *rng.RNG
+	h        resHeap
+	seq      uint64 // arrival counter, for deterministic snapshot order
+	offered  uint64
+}
+
+type resItem struct {
+	key   float64
+	seq   uint64
+	frame []byte
+}
+
+type resHeap []resItem
+
+func (h resHeap) Len() int           { return len(h) }
+func (h resHeap) Less(i, j int) bool { return h[i].key < h[j].key }
+func (h resHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *resHeap) Push(x any)        { *h = append(*h, x.(resItem)) }
+func (h *resHeap) Pop() any          { old := *h; n := len(old); it := old[n-1]; *h = old[:n-1]; return it }
+
+// NewReservoir builds a reservoir of the given capacity (default 256)
+// with a deterministic RNG.
+func NewReservoir(capacity int, seed uint64) *Reservoir {
+	if capacity <= 0 {
+		capacity = 256
+	}
+	return &Reservoir{capacity: capacity, r: rng.New(seed)}
+}
+
+// Offer considers one input with the given weight (> 0). When the A-Res
+// draw accepts it, encode is called exactly once to materialise the
+// frame; encode returning nil aborts the insertion (an input that cannot
+// be encoded cannot be replayed into a retrain).
+func (s *Reservoir) Offer(weight float64, encode func() []byte) {
+	s.offered++
+	if weight <= 0 || math.IsNaN(weight) {
+		return
+	}
+	u := s.r.Float64()
+	if u <= 0 {
+		u = math.SmallestNonzeroFloat64
+	}
+	key := math.Pow(u, 1/weight)
+	if len(s.h) >= s.capacity && key <= s.h[0].key {
+		return
+	}
+	frame := encode()
+	if frame == nil {
+		return
+	}
+	if len(s.h) >= s.capacity {
+		heap.Pop(&s.h)
+	}
+	heap.Push(&s.h, resItem{key: key, seq: s.seq, frame: frame})
+	s.seq++
+}
+
+// Len reports the current occupancy.
+func (s *Reservoir) Len() int { return len(s.h) }
+
+// Offered reports how many inputs have been considered since the last
+// Reset.
+func (s *Reservoir) Offered() uint64 { return s.offered }
+
+// Snapshot returns the retained frames in arrival order — the stable,
+// schedule-independent-given-the-same-stream ordering the deterministic
+// retrain differential relies on. The returned slices are the retained
+// backing arrays; the caller must not mutate them.
+func (s *Reservoir) Snapshot() [][]byte {
+	items := append([]resItem(nil), s.h...)
+	sort.Slice(items, func(i, j int) bool { return items[i].seq < items[j].seq })
+	frames := make([][]byte, len(items))
+	for i, it := range items {
+		frames[i] = it.frame
+	}
+	return frames
+}
+
+// Reset drops every retained frame and the counters; the RNG stream
+// continues (resetting it would correlate consecutive baselines).
+func (s *Reservoir) Reset() {
+	s.h = s.h[:0]
+	s.seq = 0
+	s.offered = 0
+}

@@ -81,6 +81,10 @@ type BenchReport struct {
 	// and fault tolerance of the consistent-hash fleet under load with an
 	// injected replica kill, written by `experiments cluster-bench`.
 	Fleet *FleetBenchReport `json:"fleet,omitempty"`
+	// Drift is the online-adaptivity arm: a mid-run input-distribution
+	// shift with automatic detection, background retraining and
+	// hot-reload, written by `experiments drift-bench`.
+	Drift *DriftBenchReport `json:"drift,omitempty"`
 }
 
 // RunBench runs the named cases once each and collects the perf trajectory.

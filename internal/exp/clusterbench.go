@@ -127,8 +127,12 @@ type FleetBenchReport struct {
 	// parallel scaling, and values near (or below) 1.0 are expected. The
 	// correctness criteria — zero failed requests, zero label mismatches
 	// through an injected kill — are unaffected.
-	SingleCore bool             `json:"single_core"`
-	Arms       []FleetArmResult `json:"arms"`
+	SingleCore bool `json:"single_core"`
+	// Note makes the single-core caveat self-describing inside the JSON:
+	// a reader of the trajectory file sees why speedup_over_single_x
+	// hovers near 1.0 without having to find this comment.
+	Note string           `json:"note,omitempty"`
+	Arms []FleetArmResult `json:"arms"`
 }
 
 // RunClusterBench trains one model, then for each fleet size stands up
@@ -150,6 +154,9 @@ func RunClusterBench(opts ClusterBenchOptions) (FleetBenchReport, error) {
 		QuantizeBits: opts.QuantizeBits,
 		KillInjected: opts.Kill,
 		SingleCore:   runtime.GOMAXPROCS(0) <= 1,
+	}
+	if rep.SingleCore {
+		rep.Note = "GOMAXPROCS=1: replicas share one core, so speedup_over_single_x measures routing overhead, not parallel scaling"
 	}
 	for _, n := range opts.Replicas {
 		if n < 1 {

@@ -39,6 +39,22 @@ type Snapshot struct {
 	FleetHitRate   float64 `json:"fleet_cache_hit_rate"`
 	MeanLatencyUs  float64 `json:"latency_mean_us"`
 	WorstP99Micros float64 `json:"latency_worst_p99_us"`
+	// Drift rolls up the per-replica drift-loop state by benchmark,
+	// present only when at least one reachable replica runs the loop.
+	Drift map[string]FleetDriftStatus `json:"drift,omitempty"`
+}
+
+// FleetDriftStatus aggregates one benchmark's drift state across the
+// fleet: how many replicas see drift or are mid-retrain right now, and
+// the summed counters. With the coordinated-reload publish path every
+// replica shares one controller, so DetectedReplicas > 0 means the fleet
+// as a whole has drifted, not that one replica's traffic shard is odd.
+type FleetDriftStatus struct {
+	DetectedReplicas   int    `json:"detected_replicas"`
+	RetrainingReplicas int    `json:"retraining_replicas"`
+	TotalRetrains      uint64 `json:"total_retrains"`
+	TotalSamples       uint64 `json:"total_samples"`
+	TotalRetained      int    `json:"total_retained"`
 }
 
 // Snapshot assembles the fleet metrics: router counters, health/skew
@@ -77,6 +93,22 @@ func (rt *Router) Snapshot() Snapshot {
 			latWeight += float64(m.Requests) * m.MeanMicros
 			if m.P99Micros > snap.WorstP99Micros {
 				snap.WorstP99Micros = m.P99Micros
+			}
+			for _, d := range m.Drift {
+				if snap.Drift == nil {
+					snap.Drift = make(map[string]FleetDriftStatus)
+				}
+				agg := snap.Drift[d.Benchmark]
+				if d.Drifted {
+					agg.DetectedReplicas++
+				}
+				if d.Retraining {
+					agg.RetrainingReplicas++
+				}
+				agg.TotalRetrains += d.Retrains
+				agg.TotalSamples += d.Samples
+				agg.TotalRetained += d.Retained
+				snap.Drift[d.Benchmark] = agg
 			}
 		}
 		snap.Replicas = append(snap.Replicas, row)
@@ -124,6 +156,33 @@ func (s Snapshot) RenderPrometheus() string {
 		sort.Strings(benches)
 		for _, bench := range benches {
 			fmt.Fprintf(&b, "inputtuned_fleet_generation_skew{benchmark=%q} %d\n", bench, s.GenerationSkew[bench])
+		}
+	}
+	if len(s.Drift) > 0 {
+		benches := make([]string, 0, len(s.Drift))
+		for bench := range s.Drift {
+			benches = append(benches, bench)
+		}
+		sort.Strings(benches)
+		b.WriteString("# HELP inputtuned_fleet_drift_detected_replicas Replicas whose drift detector has fired.\n")
+		b.WriteString("# TYPE inputtuned_fleet_drift_detected_replicas gauge\n")
+		for _, bench := range benches {
+			fmt.Fprintf(&b, "inputtuned_fleet_drift_detected_replicas{benchmark=%q} %d\n", bench, s.Drift[bench].DetectedReplicas)
+		}
+		b.WriteString("# HELP inputtuned_fleet_drift_retraining_replicas Replicas currently retraining.\n")
+		b.WriteString("# TYPE inputtuned_fleet_drift_retraining_replicas gauge\n")
+		for _, bench := range benches {
+			fmt.Fprintf(&b, "inputtuned_fleet_drift_retraining_replicas{benchmark=%q} %d\n", bench, s.Drift[bench].RetrainingReplicas)
+		}
+		b.WriteString("# HELP inputtuned_fleet_drift_retrains_total Retrain+publish cycles completed across the fleet.\n")
+		b.WriteString("# TYPE inputtuned_fleet_drift_retrains_total counter\n")
+		for _, bench := range benches {
+			fmt.Fprintf(&b, "inputtuned_fleet_drift_retrains_total{benchmark=%q} %d\n", bench, s.Drift[bench].TotalRetrains)
+		}
+		b.WriteString("# HELP inputtuned_fleet_drift_samples_total Served requests observed by drift detectors across the fleet.\n")
+		b.WriteString("# TYPE inputtuned_fleet_drift_samples_total counter\n")
+		for _, bench := range benches {
+			fmt.Fprintf(&b, "inputtuned_fleet_drift_samples_total{benchmark=%q} %d\n", bench, s.Drift[bench].TotalSamples)
 		}
 	}
 	b.WriteString("# HELP inputtuned_fleet_replica_requests_total Requests served per replica.\n")

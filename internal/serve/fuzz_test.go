@@ -131,6 +131,10 @@ func FuzzDecodeHealthFrame(f *testing.F) {
 		{Benchmark: "sort", Generation: 3},
 		{Benchmark: "poisson2d", Generation: 1 << 40},
 	}}))
+	f.Add(AppendHealthFrame(nil, Health{Wires: []Wire{WireJSON}, Models: []ModelHealth{
+		{Benchmark: "sort", Generation: 7, ArtifactHash: 99, DriftDetected: true},
+		{Benchmark: "sort2", Generation: 2, Retraining: true},
+	}}))
 	f.Add(healthMagic[:])
 	f.Add([]byte("ITH1\xff\xff"))
 	f.Fuzz(func(t *testing.T, data []byte) {

@@ -27,9 +27,13 @@ import (
 //	    uvarint L, L bytes  benchmark name
 //	    8                   generation (uint64)
 //	    8                   artifact content hash (uint64, 0 = in-process)
+//	    1                   flags: bit 0 = drift detected, bit 1 = retraining
 //
 // The frame is self-delimiting; trailing bytes are a schema mismatch and
-// an error, matching the ITW1/ITD1 decoders' strictness.
+// an error, matching the ITW1/ITD1 decoders' strictness. The per-model
+// flags byte carries the drift loop's state fleet-wide: the router's
+// health scrape is how the fleet roll-up learns which replicas have
+// detected drift or are mid-retrain, with no extra endpoint.
 
 var healthMagic = [4]byte{'I', 'T', 'H', '1'}
 
@@ -46,6 +50,10 @@ type ModelHealth struct {
 	// registry generation is a local counter); 0 when the model was
 	// installed in-process rather than loaded from an artifact.
 	ArtifactHash uint64 `json:"artifact_hash,omitempty"`
+	// DriftDetected and Retraining mirror the replica's drift-loop state
+	// for this model (the ITH1 per-model flags byte).
+	DriftDetected bool `json:"drift_detected,omitempty"`
+	Retraining    bool `json:"retraining,omitempty"`
 }
 
 // Health is a service's liveness report: what the /healthz endpoint
@@ -62,7 +70,8 @@ type Health struct {
 	Models []ModelHealth `json:"models"`
 }
 
-// Health assembles the service's current liveness report.
+// Health assembles the service's current liveness report, folding in the
+// drift loop's per-benchmark state when a provider is registered.
 func (s *Service) Health() Health {
 	h := Health{Draining: s.Draining()}
 	for _, w := range []Wire{WireJSON, WireBinary} {
@@ -70,11 +79,15 @@ func (s *Service) Health() Health {
 			h.Wires = append(h.Wires, w)
 		}
 	}
+	drift := s.DriftStatuses()
 	for _, snap := range s.reg.Snapshots() {
+		st := drift[snap.Benchmark]
 		h.Models = append(h.Models, ModelHealth{
-			Benchmark:    snap.Benchmark,
-			Generation:   snap.Generation,
-			ArtifactHash: snap.ArtifactHash,
+			Benchmark:     snap.Benchmark,
+			Generation:    snap.Generation,
+			ArtifactHash:  snap.ArtifactHash,
+			DriftDetected: st.Drifted,
+			Retraining:    st.Retraining,
 		})
 	}
 	return h
@@ -104,6 +117,14 @@ func AppendHealthFrame(dst []byte, h Health) []byte {
 		dst = append(dst, buf[:]...)
 		binary.LittleEndian.PutUint64(buf[:], m.ArtifactHash)
 		dst = append(dst, buf[:]...)
+		var flags byte
+		if m.DriftDetected {
+			flags |= 1
+		}
+		if m.Retraining {
+			flags |= 2
+		}
+		dst = append(dst, flags)
 	}
 	return dst
 }
@@ -150,14 +171,19 @@ func DecodeHealthFrame(r io.Reader) (Health, error) {
 		if _, err := io.ReadFull(br, name); err != nil {
 			return Health{}, fmt.Errorf("serve: health model %d name: %w", i, err)
 		}
-		var fixed [16]byte
+		var fixed [17]byte
 		if _, err := io.ReadFull(br, fixed[:]); err != nil {
-			return Health{}, fmt.Errorf("serve: health model %d generation/hash: %w", i, err)
+			return Health{}, fmt.Errorf("serve: health model %d generation/hash/flags: %w", i, err)
+		}
+		if fixed[16] > 3 {
+			return Health{}, fmt.Errorf("serve: health model %d flags byte %d out of range", i, fixed[16])
 		}
 		h.Models = append(h.Models, ModelHealth{
-			Benchmark:    string(name),
-			Generation:   binary.LittleEndian.Uint64(fixed[:8]),
-			ArtifactHash: binary.LittleEndian.Uint64(fixed[8:]),
+			Benchmark:     string(name),
+			Generation:    binary.LittleEndian.Uint64(fixed[:8]),
+			ArtifactHash:  binary.LittleEndian.Uint64(fixed[8:16]),
+			DriftDetected: fixed[16]&1 != 0,
+			Retraining:    fixed[16]&2 != 0,
 		})
 	}
 	if _, err := br.ReadByte(); err != io.EOF {

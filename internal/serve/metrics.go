@@ -149,6 +149,9 @@ type MetricsSnapshot struct {
 	MeanMicros    float64            `json:"latency_mean_us"`
 	DecisionCache DecisionCacheStats `json:"decision_cache"`
 	Benchmarks    []BenchSnapshot    `json:"benchmarks"`
+	// Drift carries the per-benchmark drift-loop status, present only
+	// when a drift provider is registered on the service.
+	Drift []DriftStatus `json:"drift,omitempty"`
 }
 
 // Snapshot assembles the current metrics, folding in the decision-cache
@@ -240,6 +243,39 @@ func (s MetricsSnapshot) RenderPrometheus() string {
 	w("# TYPE inputtuned_benchmark_requests_total counter\n")
 	for _, bs := range s.Benchmarks {
 		w("inputtuned_benchmark_requests_total{benchmark=%q} %d\n", bs.Benchmark, bs.Requests)
+	}
+	if len(s.Drift) > 0 {
+		b01 := func(v bool) int {
+			if v {
+				return 1
+			}
+			return 0
+		}
+		w("# HELP inputtuned_drift_samples_total Served requests observed by the drift detector.\n")
+		w("# TYPE inputtuned_drift_samples_total counter\n")
+		for _, d := range s.Drift {
+			w("inputtuned_drift_samples_total{benchmark=%q} %d\n", d.Benchmark, d.Samples)
+		}
+		w("# HELP inputtuned_drift_retained Inputs currently retained in the drift reservoir.\n")
+		w("# TYPE inputtuned_drift_retained gauge\n")
+		for _, d := range s.Drift {
+			w("inputtuned_drift_retained{benchmark=%q} %d\n", d.Benchmark, d.Retained)
+		}
+		w("# HELP inputtuned_drift_detected Drift detector fired for the current baseline (1 = drifted).\n")
+		w("# TYPE inputtuned_drift_detected gauge\n")
+		for _, d := range s.Drift {
+			w("inputtuned_drift_detected{benchmark=%q} %d\n", d.Benchmark, b01(d.Drifted))
+		}
+		w("# HELP inputtuned_drift_retraining Background retrain in progress (1 = retraining).\n")
+		w("# TYPE inputtuned_drift_retraining gauge\n")
+		for _, d := range s.Drift {
+			w("inputtuned_drift_retraining{benchmark=%q} %d\n", d.Benchmark, b01(d.Retraining))
+		}
+		w("# HELP inputtuned_drift_retrains_total Retrain+publish cycles completed.\n")
+		w("# TYPE inputtuned_drift_retrains_total counter\n")
+		for _, d := range s.Drift {
+			w("inputtuned_drift_retrains_total{benchmark=%q} %d\n", d.Benchmark, d.Retrains)
+		}
 	}
 	return b.String()
 }

@@ -70,6 +70,11 @@ type Options struct {
 	// (nil or empty = all). A deployment pinned to -wire json keeps the
 	// PR-4 surface exactly.
 	Wires []Wire
+	// Observer, when non-nil, receives a Sample per served request on the
+	// static-subset classification path (the feature row is already
+	// extracted there, so sampling is free). See SetObserver for the
+	// lifetime contract.
+	Observer SampleObserver
 }
 
 // Service is the classification runtime: registry resolution, per-request
@@ -85,6 +90,12 @@ type Service struct {
 
 	draining atomic.Bool
 	inflight atomic.Int64
+
+	// observer holds an observerBox (sample tap on the classify path);
+	// driftProv holds a driftProviderBox (status pulled into /metrics and
+	// health frames). Both swap atomically under live traffic.
+	observer  atomic.Value
+	driftProv atomic.Value
 }
 
 // NewService assembles a service over a registry.
@@ -102,6 +113,9 @@ func NewService(reg *Registry, opts Options) *Service {
 				s.wires[w] = true
 			}
 		}
+	}
+	if opts.Observer != nil {
+		s.SetObserver(opts.Observer)
 	}
 	if opts.Shards > 0 {
 		s.batcher = NewBatcher(s, opts.Shards, opts.MaxBatch, opts.Pool)
@@ -121,9 +135,12 @@ func (s *Service) Registry() *Registry { return s.reg }
 // Metrics returns the service's metrics surface.
 func (s *Service) Metrics() *Metrics { return s.metrics }
 
-// MetricsSnapshot assembles the current observability snapshot.
+// MetricsSnapshot assembles the current observability snapshot, folding
+// in the drift-loop status when a provider is registered.
 func (s *Service) MetricsSnapshot() MetricsSnapshot {
-	return s.metrics.Snapshot(s.cache, s.reg)
+	snap := s.metrics.Snapshot(s.cache, s.reg)
+	snap.Drift = driftRows(s.DriftStatuses())
+	return snap
 }
 
 // Close shuts down the batching layer (if any), draining queued requests.
@@ -263,7 +280,8 @@ func (s *Service) classifyNow(benchmark string, in core.Input) (*Decision, error
 
 	var label int
 	var cacheHit bool
-	if s.cache != nil && prod.Kind == core.SubsetTree && len(prod.Static) > 0 {
+	observer := s.sampleObserver()
+	if (s.cache != nil || observer != nil) && prod.Kind == core.SubsetTree && len(prod.Static) > 0 {
 		// Static-subset classifiers extract a fixed feature set, so the
 		// decision is a pure function of (model snapshot, feature bits):
 		// fingerprint those and let the cache skip the tree walk. The
@@ -275,17 +293,34 @@ func (s *Service) classifyNow(benchmark string, in core.Input) (*Decision, error
 		scratch := feature.GetBuffer(M + len(prod.Static))
 		scratch = scratch[:M+len(prod.Static)]
 		row := set.ExtractSubsetInto(scratch[:M], in, prod.Static, meter)
-		vals := scratch[M:]
-		for i, f := range prod.Static {
-			vals[i] = row[f]
-		}
-		quantizeRow(s.quantizeBits, vals)
-		key := engine.Fingerprint([]uint64{snap.Generation}, vals)
-		if cached, hit := s.cache.Get(key); hit {
-			label, cacheHit = cached, true
+		if s.cache != nil {
+			vals := scratch[M:]
+			for i, f := range prod.Static {
+				vals[i] = row[f]
+			}
+			quantizeRow(s.quantizeBits, vals)
+			key := engine.Fingerprint([]uint64{snap.Generation}, vals)
+			if cached, hit := s.cache.Get(key); hit {
+				label, cacheHit = cached, true
+			} else {
+				label, _ = prod.PredictRow(row)
+				s.cache.Put(key, label)
+			}
 		} else {
 			label, _ = prod.PredictRow(row)
-			s.cache.Put(key, label)
+		}
+		if observer != nil {
+			// The row (raw, unquantized — quantizeRow touched only the
+			// vals half of scratch) and the input are lent to the observer
+			// for the duration of the call; PutBuffer below reclaims them.
+			observer.ObserveSample(Sample{
+				Benchmark:  benchmark,
+				Generation: snap.Generation,
+				Input:      in,
+				Row:        row,
+				Indices:    prod.Static,
+				Label:      label,
+			})
 		}
 		feature.PutBuffer(scratch)
 	} else {
