@@ -84,6 +84,7 @@ func main() {
 	clients := fs.Int("clients", 8, "serve-bench: concurrent load-generator clients")
 	requests := fs.Int("requests", 2000, "serve-bench: total requests per case and wire")
 	reloads := fs.Int("reloads", 2, "serve-bench: hot reloads fired mid-run")
+	traceArm := fs.Bool("trace-arm", true, "serve-bench: add a fully-traced binary arm recording tracing's overhead delta")
 	wire := fs.String("wire", "both", "serve-bench: wire formats to drive (json, binary, or both); classify: request format")
 	replicasFlag := fs.String("replicas", "1,2,4", "cluster-bench: comma-separated fleet-size grid")
 	kill := fs.Bool("kill", true, "cluster-bench: inject a replica kill+restart mid-run on multi-replica arms")
@@ -179,6 +180,7 @@ func main() {
 			Requests:             *requests,
 			Reloads:              *reloads,
 			DisableDecisionCache: *noCache,
+			TraceArm:             *traceArm,
 			Scale:                sc,
 			Logf:                 logf,
 		})
@@ -503,6 +505,9 @@ flags:
                          (default 2; 0 = no-reload baseline); every reload
                          must complete with zero failed requests or the
                          run exits nonzero
+  -trace-arm             serve-bench: add a binary arm with every request
+                         traced (default true); the report records the
+                         throughput delta vs the untraced binary arm
   -wire FORMAT           serve-bench: json, binary, or both (default both —
                          one load arm per format, the JSON-vs-binary A/B);
                          classify: the wire format — binary sends a binary

@@ -28,7 +28,11 @@
 // path — svc reload in single mode, a rolling reload across the fleet.
 //
 // Endpoints: POST /v1/classify, POST /v1/reload, GET /v1/models (single
-// mode), GET /metrics (?format=json), GET /healthz.
+// mode), GET /metrics (?format=json), GET /healthz, GET /debug/traces
+// (when tracing is on). -debug-addr starts a second listener with
+// net/http/pprof profiles plus /debug/traces, and implies request
+// tracing (1 in 1) unless -trace-sample overrides it. Logs are
+// structured (log/slog); -log-level and -log-format tune them.
 //
 // /v1/classify negotiates the request format on Content-Type: the JSON
 // envelope above, or the length-prefixed binary frame
@@ -44,7 +48,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -55,6 +61,7 @@ import (
 	"inputtune/internal/drift"
 	"inputtune/internal/exp"
 	"inputtune/internal/fleet"
+	"inputtune/internal/obs"
 	"inputtune/internal/serve"
 )
 
@@ -73,7 +80,11 @@ func main() {
 	driftWindow := flag.Int("drift-window", 0, "drift: detector window in requests (0 = calibrated default)")
 	driftCapacity := flag.Int("drift-capacity", 0, "drift: retention reservoir capacity (0 = default)")
 	driftMinRetain := flag.Int("drift-min-retain", 0, "drift: minimum retained inputs before a retrain may start (0 = default)")
-	verbose := flag.Bool("v", false, "log requests setup progress")
+	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof profiles and /debug/traces on this extra listener (empty = disabled)")
+	traceSample := flag.Int("trace-sample", 0, "trace 1 in N requests (0 = auto: 1 when -debug-addr is set, otherwise off; <0 forces off)")
+	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
+	logFormat := flag.String("log-format", "text", "log output format: text or json")
+	verbose := flag.Bool("v", false, "shorthand for -log-level debug (adds per-request and setup-progress records)")
 	var modelPaths []string
 	flag.Func("model", "model artifact to serve (repeatable)", func(path string) error {
 		modelPaths = append(modelPaths, path)
@@ -81,9 +92,26 @@ func main() {
 	})
 	flag.Parse()
 
-	logf := func(format string, args ...any) {
-		fmt.Fprintf(os.Stderr, format+"\n", args...)
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		fmt.Fprintf(os.Stderr, "-log-level: %v\n", err)
+		os.Exit(2)
 	}
+	if *verbose {
+		level = slog.LevelDebug
+	}
+	var handlerOpts = &slog.HandlerOptions{Level: level}
+	var logHandler slog.Handler
+	switch *logFormat {
+	case "text":
+		logHandler = slog.NewTextHandler(os.Stderr, handlerOpts)
+	case "json":
+		logHandler = slog.NewJSONHandler(os.Stderr, handlerOpts)
+	default:
+		fmt.Fprintf(os.Stderr, "-log-format: unknown format %q (want text or json)\n", *logFormat)
+		os.Exit(2)
+	}
+	logger := slog.New(logHandler)
 	if len(modelPaths) == 0 && *trainCase == "" {
 		fmt.Fprintln(os.Stderr, "need at least one -model artifact or -train CASE")
 		flag.Usage()
@@ -106,7 +134,7 @@ func main() {
 	for _, path := range modelPaths {
 		artifact, err := os.ReadFile(path)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "read %s: %v\n", path, err)
+			logger.Error("reading model artifact failed", "path", path, "error", err)
 			os.Exit(1)
 		}
 		artifacts = append(artifacts, artifact)
@@ -115,20 +143,35 @@ func main() {
 		sc := exp.QuickScale()
 		c := exp.BuildCase(*trainCase, sc)
 		trainLogf := func(string, ...any) {}
-		if *verbose {
-			trainLogf = logf
+		if logger.Enabled(context.Background(), slog.LevelDebug) {
+			trainLogf = func(format string, args ...any) {
+				logger.Debug(fmt.Sprintf(format, args...), "component", "train")
+			}
 		}
-		logf("training quick-scale model for %s (%d inputs)...", *trainCase, len(c.Train))
+		logger.Info("training quick-scale model", "case", *trainCase, "inputs", len(c.Train))
 		model := core.TrainModel(c.Prog, c.Train, core.Options{
 			K1: sc.K1, Seed: sc.Seed, TunerPopulation: sc.TunerPop,
 			TunerGenerations: sc.TunerGens, Parallel: true, Logf: trainLogf,
 		})
 		var buf bytes.Buffer
 		if err := core.SaveModel(model, &buf); err != nil {
-			fmt.Fprintf(os.Stderr, "serialise trained model: %v\n", err)
+			logger.Error("serialising trained model failed", "error", err)
 			os.Exit(1)
 		}
 		artifacts = append(artifacts, buf.Bytes())
+	}
+
+	// One tracer is shared by every participant in the process — router,
+	// replicas, drift loop — so records tagged with different sites merge
+	// under one trace ID at /debug/traces. -trace-sample 0 means "auto":
+	// tracing rides along whenever the debug listener is up.
+	sampleEvery := *traceSample
+	if sampleEvery == 0 && *debugAddr != "" {
+		sampleEvery = 1
+	}
+	var tracer *obs.Tracer
+	if sampleEvery > 0 {
+		tracer = obs.New(obs.Options{SampleEvery: sampleEvery})
 	}
 
 	svcOpts := serve.Options{
@@ -140,21 +183,25 @@ func main() {
 		Shards:   *shards,
 		MaxBatch: *maxBatch,
 		Wires:    wires,
+		Tracer:   tracer,
 	}
 	// newService builds one full serving stack with every artifact loaded —
 	// the single daemon, or one fleet replica. The registry is returned too
-	// so the drift controller can resolve baselines from it.
-	newService := func(tag string) (*serve.Service, *serve.Registry) {
+	// so the drift controller can resolve baselines from it. site names the
+	// service's spans in merged traces ("" = the serve default).
+	newService := func(tag, site string) (*serve.Service, *serve.Registry) {
+		opts := svcOpts
+		opts.TraceSite = site
 		reg := serve.BuiltinRegistry()
-		svc := serve.NewService(reg, svcOpts)
+		svc := serve.NewService(reg, opts)
 		for _, artifact := range artifacts {
 			snap, err := svc.Load(artifact)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "%s: load artifact: %v\n", tag, err)
+				logger.Error("loading artifact failed", "replica", tag, "error", err)
 				os.Exit(1)
 			}
-			logf("%s: loaded benchmark %s, production %s, generation %d",
-				tag, snap.Benchmark, snap.Model.Production.Name, snap.Generation)
+			logger.Info("loaded model", "replica", tag, "benchmark", snap.Benchmark,
+				"production", snap.Model.Production.Name, "generation", snap.Generation)
 		}
 		return svc, reg
 	}
@@ -173,7 +220,8 @@ func main() {
 			Capacity:  *driftCapacity,
 			MinRetain: *driftMinRetain,
 			Publish:   publish,
-			Logf:      logf,
+			Logger:    logger.With("component", "drift"),
+			Tracer:    tracer,
 		})
 	}
 
@@ -187,12 +235,14 @@ func main() {
 		regs := make([]*serve.Registry, *fleetN)
 		for i := range replicas {
 			name := fmt.Sprintf("replica-%d", i)
-			services[i], regs[i] = newService(name)
+			services[i], regs[i] = newService(name, name)
 			replicas[i] = fleet.NewLocalReplica(name, services[i])
 		}
 		fleetLogf := func(string, ...any) {}
-		if *verbose {
-			fleetLogf = logf
+		if logger.Enabled(context.Background(), slog.LevelDebug) {
+			fleetLogf = func(format string, args ...any) {
+				logger.Debug(fmt.Sprintf(format, args...), "component", "fleet")
+			}
 		}
 		var rt *fleet.Router
 		if *driftOn {
@@ -218,12 +268,13 @@ func main() {
 			QuantizeBits:   *shardQuantize,
 			HealthInterval: 500 * time.Millisecond,
 			Logf:           fleetLogf,
+			Tracer:         tracer,
 		})
 		handler = fleet.NewHandler(rt)
 		drain = rt.Close
 		serving = fmt.Sprintf("%d-replica fleet (shard quantize %d bits)", *fleetN, *shardQuantize)
 	} else {
-		svc, reg := newService("inputtuned")
+		svc, reg := newService("inputtuned", "")
 		if *driftOn {
 			driftCtrl = newDriftController(reg, func(_ string, artifact []byte) error {
 				_, err := svc.Load(artifact)
@@ -251,8 +302,8 @@ func main() {
 			return err
 		}
 	}
-	if *verbose {
-		handler = logRequests(handler, logf)
+	if logger.Enabled(context.Background(), slog.LevelDebug) {
+		handler = logRequests(handler, logger)
 	}
 	server := &http.Server{
 		Addr:              *addr,
@@ -260,37 +311,70 @@ func main() {
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
+	// The debug listener is a separate address on purpose: pprof profiles
+	// and trace dumps stay off the serving port, so they can be firewalled
+	// (or bound to localhost) independently of traffic.
+	var debugServer *http.Server
+	if *debugAddr != "" {
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		dmux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+		if tracer != nil {
+			dmux.Handle("GET /debug/traces", obs.Handler(tracer))
+		}
+		debugServer = &http.Server{
+			Addr:              *debugAddr,
+			Handler:           dmux,
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+		go func() {
+			if err := debugServer.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("debug listener failed", "addr", *debugAddr, "error", err)
+			}
+		}()
+		logger.Info("debug endpoints up", "addr", *debugAddr, "tracing", tracer.Enabled())
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errCh := make(chan error, 1)
 	go func() { errCh <- server.ListenAndServe() }()
-	logf("inputtuned serving %s on http://%s", serving, *addr)
+	logger.Info("serving", "mode", serving, "addr", *addr,
+		"trace_sample", sampleEvery, "log_level", level.String())
 
 	select {
 	case err := <-errCh:
-		fmt.Fprintf(os.Stderr, "server: %v\n", err)
+		logger.Error("server failed", "error", err)
 		os.Exit(1)
 	case <-ctx.Done():
 	}
-	logf("draining...")
+	logger.Info("draining")
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	// Drain first — /healthz flips to 503 and new classifies are rejected
 	// while in-flight requests finish — then close the listener.
 	if err := drain(shutdownCtx); err != nil {
-		fmt.Fprintf(os.Stderr, "drain: %v\n", err)
+		logger.Error("drain failed", "error", err)
+	}
+	if debugServer != nil {
+		_ = debugServer.Shutdown(shutdownCtx)
 	}
 	if err := server.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		fmt.Fprintf(os.Stderr, "shutdown: %v\n", err)
+		logger.Error("shutdown failed", "error", err)
 		os.Exit(1)
 	}
 }
 
-// logRequests wraps the handler with one access-log line per request.
-func logRequests(next http.Handler, logf func(string, ...any)) http.Handler {
+// logRequests wraps the handler with one debug-level access record per
+// request (active only when the logger passes debug).
+func logRequests(next http.Handler, logger *slog.Logger) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		next.ServeHTTP(w, r)
-		logf("%s %s %s", r.Method, r.URL.Path, time.Since(start))
+		logger.Debug("request", "method", r.Method, "path", r.URL.Path,
+			"duration", time.Since(start))
 	})
 }

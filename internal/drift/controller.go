@@ -4,9 +4,11 @@ import (
 	"bytes"
 	"fmt"
 	"hash/fnv"
+	"log/slog"
 	"sync"
 
 	"inputtune/internal/core"
+	"inputtune/internal/obs"
 	"inputtune/internal/serve"
 )
 
@@ -37,8 +39,13 @@ type Options struct {
 	OnRetrain func(RetrainEvent)
 	// Seed derives the per-benchmark reservoir RNG streams.
 	Seed uint64
-	// Logf, when non-nil, receives progress lines.
-	Logf func(format string, args ...any)
+	// Logger receives structured progress records (detector fires, retrain
+	// outcomes, disabled baselines). Nil discards them.
+	Logger *slog.Logger
+	// Tracer, when non-nil, records one forced lifecycle trace per
+	// detector fire: a detector_fire event, then retrain and publish spans
+	// from the background goroutine. Nil costs nothing.
+	Tracer *obs.Tracer
 }
 
 // RetrainEvent reports one completed retrain attempt.
@@ -94,8 +101,8 @@ func NewController(opts Options) *Controller {
 	if opts.MinRetain < 2 {
 		opts.MinRetain = 2
 	}
-	if opts.Logf == nil {
-		opts.Logf = func(string, ...any) {}
+	if opts.Logger == nil {
+		opts.Logger = slog.New(slog.DiscardHandler)
 	}
 	return &Controller{opts: opts, states: make(map[string]*benchState)}
 }
@@ -144,7 +151,8 @@ func (c *Controller) ObserveSample(s serve.Sample) {
 		st.disabled = snap.Model.Summary == nil
 		if st.disabled {
 			st.det = nil
-			c.opts.Logf("[drift] %s: artifact has no distribution summary; drift detection disabled", s.Benchmark)
+			c.opts.Logger.Warn("drift detection disabled: artifact has no distribution summary",
+				"benchmark", s.Benchmark, "generation", s.Generation)
 			return
 		}
 		st.det = NewDetector(snap.Model.Summary, snap.Model.Scaler.Means, snap.Model.Scaler.Stds, c.opts.Detector)
@@ -174,10 +182,16 @@ func (c *Controller) ObserveSample(s serve.Sample) {
 			st.retraining = true
 			frames := st.res.Snapshot()
 			effect, tv := st.det.Stats()
-			c.opts.Logf("[drift] %s: detector fired (effect %.2f, assignment TV %.2f); retraining on %d retained inputs",
-				s.Benchmark, effect, tv, len(frames))
+			c.opts.Logger.Info("drift detector fired; retraining",
+				"benchmark", s.Benchmark, "effect_size", effect,
+				"assignment_tv", tv, "retained", len(frames))
+			// The lifecycle trace is forced, never head-sampled: detector
+			// fires are rare and each one is worth a record.
+			t := c.opts.Tracer.StartForced("drift")
+			t.SetBenchmark(s.Benchmark)
+			t.Event("detector_fire")
 			c.wg.Add(1)
-			go c.retrain(s.Benchmark, st, frames)
+			go c.retrain(s.Benchmark, st, frames, t)
 		}
 	}
 }
@@ -186,12 +200,18 @@ func (c *Controller) ObserveSample(s serve.Sample) {
 // frames, re-run the full two-level pipeline, publish the artifact.
 // Serving is never paused — the publish path is the same hot reload an
 // operator would use.
-func (c *Controller) retrain(benchmark string, st *benchState, frames [][]byte) {
+func (c *Controller) retrain(benchmark string, st *benchState, frames [][]byte, t *obs.Trace) {
 	defer c.wg.Done()
+	defer c.opts.Tracer.Finish(t)
+	rt0 := t.Now()
 	artifact, err := RetrainArtifact(benchmark, frames, c.opts.Train)
+	t.Span("retrain", rt0)
 	if err == nil && c.opts.Publish != nil {
+		pt0 := t.Now()
 		err = c.opts.Publish(benchmark, artifact)
+		t.Span("publish", pt0)
 	}
+	t.SetError(err)
 
 	st.mu.Lock()
 	st.retraining = false
@@ -199,13 +219,14 @@ func (c *Controller) retrain(benchmark string, st *benchState, frames [][]byte) 
 		// Leave drifted set (status keeps reporting the condition) but
 		// reset the detector window: the next retry needs a freshly fired
 		// window, which bounds the retry rate to one per Window samples.
-		c.opts.Logf("[drift] %s: retrain failed: %v", benchmark, err)
+		c.opts.Logger.Error("retrain failed", "benchmark", benchmark, "error", err)
 		if st.det != nil {
 			st.det.Reset()
 		}
 	} else {
 		st.retrains++
-		c.opts.Logf("[drift] %s: retrained model published", benchmark)
+		c.opts.Logger.Info("retrained model published",
+			"benchmark", benchmark, "retrains", st.retrains, "inputs", len(frames))
 		// The publish bumped the registry generation; the next observed
 		// sample rebaselines against the new artifact's summary.
 	}

@@ -19,11 +19,12 @@ type BenchResult struct {
 	TrainSeconds float64 `json:"train_seconds"`
 	EvalSeconds  float64 `json:"eval_seconds"`
 
-	// TrainPhaseSeconds breaks TrainSeconds down by pipeline phase
-	// (features / tune / measure / classifiers), so a hot phase — e.g.
-	// classifier-zoo training — is visible in the trajectory file, not just
-	// in aggregate wall-clock.
-	TrainPhaseSeconds map[string]float64 `json:"train_phase_seconds"`
+	// TrainPhases breaks TrainSeconds down by pipeline phase (features /
+	// tune / measure / classifiers), so a hot phase — e.g. classifier-zoo
+	// training — is visible in the trajectory file, not just in aggregate
+	// wall-clock. The slice preserves core.Report.Phases pipeline order,
+	// so the JSON shape is deterministic run to run (a map would permute).
+	TrainPhases []TrainPhase `json:"train_phases"`
 
 	// ZooTrees is the number of distinct subset trees trained;
 	// ZooDedupHits the zoo members served by an identical already-trained
@@ -53,6 +54,24 @@ type BenchResult struct {
 
 	TwoLevelSpeedup float64 `json:"two_level_speedup_x"`
 	Satisfaction    float64 `json:"two_level_satisfaction"`
+}
+
+// TrainPhase is one named slice of the training wall-clock, in pipeline
+// order.
+type TrainPhase struct {
+	Phase   string  `json:"phase"`
+	Seconds float64 `json:"seconds"`
+}
+
+// PhaseSeconds returns the named phase's duration (0 when the phase did
+// not run).
+func (r BenchResult) PhaseSeconds(name string) float64 {
+	for _, ph := range r.TrainPhases {
+		if ph.Phase == name {
+			return ph.Seconds
+		}
+	}
+	return 0
 }
 
 // BenchReport is the BENCH_1.json document.
@@ -108,28 +127,28 @@ func RunBench(names []string, scaleName string, sc Scale, logf func(string, ...a
 		if mr, ok := c.Prog.(interface{ SolverMemoStats() engine.MemoStats }); ok {
 			ms = mr.SolverMemoStats()
 		}
-		phases := make(map[string]float64, len(row.Report.Phases))
+		phases := make([]TrainPhase, 0, len(row.Report.Phases))
 		for _, ph := range row.Report.Phases {
-			phases[ph.Name] = ph.Seconds
+			phases = append(phases, TrainPhase{Phase: ph.Name, Seconds: ph.Seconds})
 		}
 		rep.Results = append(rep.Results, BenchResult{
-			Benchmark:         name,
-			WallSeconds:       row.TrainSeconds + row.EvalSeconds,
-			TrainSeconds:      row.TrainSeconds,
-			EvalSeconds:       row.EvalSeconds,
-			TrainPhaseSeconds: phases,
-			ZooTrees:          row.Report.ZooTrees,
-			ZooDedupHits:      row.Report.ZooDedupHits,
-			TunerEvaluations:  row.Report.TunerEvaluations,
-			TunerCacheHits:    row.Report.TunerCacheHits,
-			CacheHits:         cs.Hits,
-			CacheMisses:       cs.Misses,
-			CacheHitRate:      cs.HitRate(),
-			CacheEvictions:    cs.Evictions,
-			SolverMemoHits:    ms.Hits,
-			SolverMemoMisses:  ms.Misses,
-			TwoLevelSpeedup:   row.TwoLevelFX,
-			Satisfaction:      row.TwoLevelAccuracy,
+			Benchmark:        name,
+			WallSeconds:      row.TrainSeconds + row.EvalSeconds,
+			TrainSeconds:     row.TrainSeconds,
+			EvalSeconds:      row.EvalSeconds,
+			TrainPhases:      phases,
+			ZooTrees:         row.Report.ZooTrees,
+			ZooDedupHits:     row.Report.ZooDedupHits,
+			TunerEvaluations: row.Report.TunerEvaluations,
+			TunerCacheHits:   row.Report.TunerCacheHits,
+			CacheHits:        cs.Hits,
+			CacheMisses:      cs.Misses,
+			CacheHitRate:     cs.HitRate(),
+			CacheEvictions:   cs.Evictions,
+			SolverMemoHits:   ms.Hits,
+			SolverMemoMisses: ms.Misses,
+			TwoLevelSpeedup:  row.TwoLevelFX,
+			Satisfaction:     row.TwoLevelAccuracy,
 		})
 	}
 	hasPDE := false
@@ -162,7 +181,7 @@ func RenderBench(r BenchReport) string {
 			solv = fmt.Sprintf("%d", res.SolverMemoHits)
 		}
 		fmt.Fprintf(&b, "%-12s %9.3f %9.3f %8.3f %10d %10d %9s %8.1f%% %8.2fx\n",
-			res.Benchmark, res.WallSeconds, res.TrainSeconds, res.TrainPhaseSeconds["classifiers"],
+			res.Benchmark, res.WallSeconds, res.TrainSeconds, res.PhaseSeconds("classifiers"),
 			res.TunerEvaluations, res.TunerCacheHits, solv, 100*res.CacheHitRate, res.TwoLevelSpeedup)
 	}
 	if len(r.DirectSolver) > 0 {

@@ -1,0 +1,17 @@
+package exp
+
+import "runtime"
+
+// singleCoreCaveat is the one place every throughput/speedup report
+// section derives its GOMAXPROCS=1 caveat from: it reports whether the
+// run is pinned to a single core and, when it is, returns note verbatim
+// so the caveat lands inside the JSON report itself — a reader of the
+// trajectory file sees why a parallel-scaling number is flat without
+// hunting for a code comment. On multi-core runs both returns are zero
+// values, which `json:",omitempty"` then elides.
+func singleCoreCaveat(note string) (bool, string) {
+	if runtime.GOMAXPROCS(0) > 1 {
+		return false, ""
+	}
+	return true, note
+}

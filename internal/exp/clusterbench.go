@@ -8,7 +8,6 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"os"
-	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -153,11 +152,9 @@ func RunClusterBench(opts ClusterBenchOptions) (FleetBenchReport, error) {
 		Requests:     opts.Requests,
 		QuantizeBits: opts.QuantizeBits,
 		KillInjected: opts.Kill,
-		SingleCore:   runtime.GOMAXPROCS(0) <= 1,
 	}
-	if rep.SingleCore {
-		rep.Note = "GOMAXPROCS=1: replicas share one core, so speedup_over_single_x measures routing overhead, not parallel scaling"
-	}
+	rep.SingleCore, rep.Note = singleCoreCaveat(
+		"GOMAXPROCS=1: replicas share one core, so speedup_over_single_x measures routing overhead, not parallel scaling")
 	for _, n := range opts.Replicas {
 		if n < 1 {
 			return rep, fmt.Errorf("cluster-bench: replica count %d out of range", n)

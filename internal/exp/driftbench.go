@@ -4,10 +4,10 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"os"
-	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -222,7 +222,7 @@ func RunDriftBench(opts DriftBenchOptions) (DriftBenchReport, error) {
 		Capacity:  opts.Capacity,
 		MinRetain: opts.MinRetain,
 		Seed:      sc.Seed,
-		Logf:      logf,
+		Logger:    slogFromLogf(logf),
 		Publish: func(_ string, art []byte) error {
 			snap, err := svc.Load(art)
 			if err != nil {
@@ -253,11 +253,9 @@ func RunDriftBench(opts DriftBenchOptions) (DriftBenchReport, error) {
 		Window:            windowUsed,
 		ReservoirCapacity: opts.Capacity,
 		MinRetain:         opts.MinRetain,
-		SingleCore:        runtime.GOMAXPROCS(0) <= 1,
 	}
-	if rep.SingleCore {
-		rep.Note = "GOMAXPROCS=1: the background retrain shares the core with serving, so shifted-phase latency includes retrain CPU contention"
-	}
+	rep.SingleCore, rep.Note = singleCoreCaveat(
+		"GOMAXPROCS=1: the background retrain shares the core with serving, so shifted-phase latency includes retrain CPU contention")
 
 	// Phase 1 — pre-shift: in-distribution traffic, fresh seed. The
 	// detector must stay quiet.
@@ -610,4 +608,20 @@ func MergeDriftIntoBench(path string, db DriftBenchReport) error {
 		return err
 	}
 	return os.WriteFile(path, data, 0o644)
+}
+
+// slogFromLogf adapts the bench's printf-style progress logger to the
+// structured logger the drift controller expects: each record renders as
+// one slog text line through logf.
+func slogFromLogf(logf func(string, ...any)) *slog.Logger {
+	return slog.New(slog.NewTextHandler(logfWriter(logf), nil))
+}
+
+// logfWriter funnels slog's text-handler output into a printf-style
+// logger, one line per Write.
+type logfWriter func(string, ...any)
+
+func (w logfWriter) Write(p []byte) (int, error) {
+	w("%s", strings.TrimRight(string(p), "\n"))
+	return len(p), nil
 }

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"inputtune/internal/core"
+	"inputtune/internal/obs"
 	"inputtune/internal/serve"
 )
 
@@ -41,6 +42,10 @@ type ServeBenchOptions struct {
 	// DisableDecisionCache runs the server with the decision cache off —
 	// the A/B arm; labels are identical either way.
 	DisableDecisionCache bool
+	// TraceArm adds one extra binary-wire arm with every request traced
+	// (obs sample 1-in-1), so the trajectory records tracing's overhead
+	// delta against the untraced binary arm directly.
+	TraceArm bool
 	// Scale sets the training budget for the served models.
 	Scale Scale
 	// Logf, when non-nil, receives progress lines.
@@ -77,6 +82,11 @@ type ServeCaseResult struct {
 	// arm sends binary request frames AND negotiates ITD1 binary
 	// responses, so it measures the full binary round trip.
 	Wire string `json:"wire"`
+	// Traced marks the trace-overhead arm: same binary round trip, every
+	// request traced end to end. TraceOverheadPct is its throughput loss
+	// versus the untraced binary arm (negative = noise in its favor).
+	Traced           bool    `json:"traced,omitempty"`
+	TraceOverheadPct float64 `json:"trace_overhead_pct,omitempty"`
 	// Requests actually issued; FailedRequests MUST be zero (non-200, a
 	// transport error, or a label differing from the offline
 	// classification all count as failures).
@@ -110,10 +120,14 @@ type ServeCaseResult struct {
 
 // ServeBenchReport is the "serve" section of the BENCH trajectory file.
 type ServeBenchReport struct {
-	Clients       int               `json:"clients"`
-	Requests      int               `json:"requests_per_case"`
-	DecisionCache bool              `json:"decision_cache"`
-	Results       []ServeCaseResult `json:"results"`
+	Clients       int  `json:"clients"`
+	Requests      int  `json:"requests_per_case"`
+	DecisionCache bool `json:"decision_cache"`
+	// SingleCore + Note: the shared GOMAXPROCS=1 caveat (see caveat.go) —
+	// throughput here then measures one core serving and generating load.
+	SingleCore bool              `json:"single_core,omitempty"`
+	Note       string            `json:"note,omitempty"`
+	Results    []ServeCaseResult `json:"results"`
 }
 
 // RunServeBench trains a model per case, serves it over a real loopback
@@ -128,6 +142,8 @@ func RunServeBench(opts ServeBenchOptions) (ServeBenchReport, error) {
 		Requests:      opts.Requests,
 		DecisionCache: !opts.DisableDecisionCache,
 	}
+	rep.SingleCore, rep.Note = singleCoreCaveat(
+		"GOMAXPROCS=1: server and load generator share one core, so throughput measures the combined stack, not serving alone")
 	for _, name := range opts.Cases {
 		results, err := runServeCase(name, opts)
 		if err != nil {
@@ -179,9 +195,23 @@ func runServeCase(name string, opts ServeBenchOptions) ([]ServeCaseResult, error
 
 	var results []ServeCaseResult
 	for _, wire := range opts.Wires {
-		res, err := runServeArm(name, scase, wire, opts)
+		res, err := runServeArm(name, scase, wire, false, opts)
 		if err != nil {
 			return nil, fmt.Errorf("%s wire: %w", wire, err)
+		}
+		results = append(results, res)
+	}
+	if opts.TraceArm {
+		res, err := runServeArm(name, scase, serve.WireBinary, true, opts)
+		if err != nil {
+			return nil, fmt.Errorf("traced binary wire: %w", err)
+		}
+		// The overhead headline compares like with like: the untraced
+		// binary arm from this same run.
+		for _, base := range results {
+			if base.Wire == serve.WireBinary.String() && !base.Traced && base.ThroughputRPS > 0 {
+				res.TraceOverheadPct = 100 * (base.ThroughputRPS - res.ThroughputRPS) / base.ThroughputRPS
+			}
 		}
 		results = append(results, res)
 	}
@@ -223,7 +253,11 @@ func encodeBodies(sc *servedCase, wire serve.Wire) (bodies [][]byte, contentType
 
 // runServeArm serves one case over one wire format with a fresh service,
 // so cache statistics, metrics and pool warmup never leak across arms.
-func runServeArm(name string, sc *servedCase, wire serve.Wire, opts ServeBenchOptions) (ServeCaseResult, error) {
+// Every arm runs with a tracer installed — untraced arms at sample 0, so
+// allocs_per_request measures the disabled-sampling fast path the
+// zero-allocation guarantee covers, not a tracer-free build; the traced
+// arm samples every request.
+func runServeArm(name string, sc *servedCase, wire serve.Wire, traced bool, opts ServeBenchOptions) (ServeCaseResult, error) {
 	logf := opts.Logf
 	bodies, contentType, err := encodeBodies(sc, wire)
 	if err != nil {
@@ -234,8 +268,13 @@ func runServeArm(name string, sc *servedCase, wire serve.Wire, opts ServeBenchOp
 	if err := reg.Register(sc.c.Prog); err != nil {
 		return ServeCaseResult{}, err
 	}
+	sampleEvery := 0
+	if traced {
+		sampleEvery = 1
+	}
 	svc := serve.NewService(reg, serve.Options{
-		Cache: serve.CacheOptions{Disable: opts.DisableDecisionCache},
+		Cache:  serve.CacheOptions{Disable: opts.DisableDecisionCache},
+		Tracer: obs.New(obs.Options{SampleEvery: sampleEvery}),
 	})
 	defer svc.Close()
 	if _, err := svc.Load(sc.artifact); err != nil {
@@ -251,8 +290,12 @@ func runServeArm(name string, sc *servedCase, wire serve.Wire, opts ServeBenchOp
 		perClient = 1
 	}
 	total := perClient * opts.Clients
+	armLabel := wire.String()
+	if traced {
+		armLabel += "+traced"
+	}
 	logf("[serve-bench %s/%s] %d clients x %d requests, %d hot reloads mid-run",
-		name, wire, opts.Clients, perClient, opts.Reloads)
+		name, armLabel, opts.Clients, perClient, opts.Reloads)
 
 	latencies := make([][]time.Duration, opts.Clients)
 	var failed atomic.Uint64
@@ -361,6 +404,7 @@ func runServeArm(name string, sc *servedCase, wire serve.Wire, opts ServeBenchOp
 		Case:             name,
 		Benchmark:        sc.c.Prog.Name(),
 		Wire:             wire.String(),
+		Traced:           traced,
 		Requests:         total,
 		FailedRequests:   int(failed.Load()),
 		Reloads:          reloadsDone,
@@ -378,7 +422,7 @@ func runServeArm(name string, sc *servedCase, wire serve.Wire, opts ServeBenchOp
 		CacheHitRate:     cs.HitRate(),
 	}
 	logf("[serve-bench %s/%s] %.0f req/s, p50 %.0fµs p99 %.0fµs, %.0f allocs/req, %d failed, cache hit %.1f%%",
-		name, wire, res.ThroughputRPS, res.P50Micros, res.P99Micros,
+		name, armLabel, res.ThroughputRPS, res.P50Micros, res.P99Micros,
 		res.AllocsPerRequest, res.FailedRequests, 100*res.CacheHitRate)
 	return res, nil
 }
@@ -401,13 +445,20 @@ func RenderServeBench(r ServeBenchReport) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "serve-bench: %d clients, %d requests/case/wire, decision cache %v\n",
 		r.Clients, r.Requests, r.DecisionCache)
-	fmt.Fprintf(&b, "%-12s %-6s %8s %10s %9s %9s %9s %10s %7s %8s %9s\n",
+	fmt.Fprintf(&b, "%-12s %-9s %8s %10s %9s %9s %9s %10s %7s %8s %9s\n",
 		"Case", "wire", "req", "thru(r/s)", "p50(µs)", "p90(µs)", "p99(µs)", "allocs/req", "failed", "reloads", "cacheHit%")
 	fmt.Fprintln(&b, strings.Repeat("-", 110))
 	for _, res := range r.Results {
-		fmt.Fprintf(&b, "%-12s %-6s %8d %10.0f %9.0f %9.0f %9.0f %10.0f %7d %8d %8.1f%%\n",
-			res.Case, res.Wire, res.Requests, res.ThroughputRPS, res.P50Micros, res.P90Micros,
+		wireLabel := res.Wire
+		if res.Traced {
+			wireLabel += "+tr"
+		}
+		fmt.Fprintf(&b, "%-12s %-9s %8d %10.0f %9.0f %9.0f %9.0f %10.0f %7d %8d %8.1f%%\n",
+			res.Case, wireLabel, res.Requests, res.ThroughputRPS, res.P50Micros, res.P90Micros,
 			res.P99Micros, res.AllocsPerRequest, res.FailedRequests, res.Reloads, 100*res.CacheHitRate)
+		if res.Traced && res.TraceOverheadPct != 0 {
+			fmt.Fprintf(&b, "%-12s %-9s trace overhead vs untraced binary: %+.1f%%\n", "", "", res.TraceOverheadPct)
+		}
 	}
 	return b.String()
 }

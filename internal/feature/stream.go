@@ -1,7 +1,5 @@
 package feature
 
-import "sync"
-
 // This file is the incremental side of feature extraction: wire decoders
 // assemble an input's numeric payload chunk by chunk into pooled buffers
 // (Accumulator), and the completed buffer becomes the input's backing array
@@ -17,66 +15,19 @@ const (
 	maxPoolShift = 21
 )
 
-// bufPools[i] holds []float64 slices with capacity 1<<(minPoolShift+i).
-var bufPools = func() []*sync.Pool {
-	ps := make([]*sync.Pool, maxPoolShift-minPoolShift+1)
-	for i := range ps {
-		ps[i] = &sync.Pool{}
-	}
-	return ps
-}()
-
-// classFor returns the pool index of the smallest class holding n
-// elements, or -1 when n exceeds the largest class.
-func classFor(n int) int {
-	for i := 0; i <= maxPoolShift-minPoolShift; i++ {
-		if n <= 1<<(minPoolShift+i) {
-			return i
-		}
-	}
-	return -1
-}
+// bufPool holds []float64 slices in classes 1<<minPoolShift .. 1<<maxPoolShift.
+var bufPool = NewSlicePool[float64](minPoolShift, maxPoolShift)
 
 // GetBuffer returns a zero-length float64 slice with capacity at least
 // capacityHint, drawn from a size-classed pool when possible. The slice's
 // contents beyond its length are unspecified; callers append into it.
-func GetBuffer(capacityHint int) []float64 {
-	if capacityHint < 0 {
-		capacityHint = 0
-	}
-	cls := classFor(capacityHint)
-	if cls < 0 {
-		return make([]float64, 0, capacityHint)
-	}
-	if v := bufPools[cls].Get(); v != nil {
-		return v.([]float64)[:0]
-	}
-	return make([]float64, 0, 1<<(minPoolShift+cls))
-}
+func GetBuffer(capacityHint int) []float64 { return bufPool.Get(capacityHint) }
 
 // PutBuffer returns a buffer obtained from GetBuffer (or anywhere else) to
 // the pool. The caller must not touch buf afterwards: a later GetBuffer
 // may hand the same backing array to another goroutine. Small or oversized
 // buffers are dropped for the garbage collector.
-func PutBuffer(buf []float64) {
-	c := cap(buf)
-	if c < 1<<minPoolShift {
-		return
-	}
-	// File under the largest class the capacity fully covers, so a pooled
-	// buffer always satisfies its class's capacity promise.
-	cls := -1
-	for i := maxPoolShift - minPoolShift; i >= 0; i-- {
-		if c >= 1<<(minPoolShift+i) {
-			cls = i
-			break
-		}
-	}
-	if cls < 0 {
-		return
-	}
-	bufPools[cls].Put(buf[:0])
-}
+func PutBuffer(buf []float64) { bufPool.Put(buf) }
 
 // Accumulator assembles one vector field of an input from a chunked
 // producer — typically a wire decoder converting network bytes to float64s
@@ -151,54 +102,14 @@ const (
 	maxBytePoolShift = 24
 )
 
-// bytePools[i] holds []byte slices with capacity 1<<(minBytePoolShift+i).
-var bytePools = func() []*sync.Pool {
-	ps := make([]*sync.Pool, maxBytePoolShift-minBytePoolShift+1)
-	for i := range ps {
-		ps[i] = &sync.Pool{}
-	}
-	return ps
-}()
+// bytePool holds []byte slices in classes 1<<minBytePoolShift .. 1<<maxBytePoolShift.
+var bytePool = NewSlicePool[byte](minBytePoolShift, maxBytePoolShift)
 
 // GetBytes returns a zero-length byte slice with capacity at least
 // capacityHint, drawn from a size-classed pool when possible.
-func GetBytes(capacityHint int) []byte {
-	if capacityHint < 0 {
-		capacityHint = 0
-	}
-	cls := -1
-	for i := 0; i <= maxBytePoolShift-minBytePoolShift; i++ {
-		if capacityHint <= 1<<(minBytePoolShift+i) {
-			cls = i
-			break
-		}
-	}
-	if cls < 0 {
-		return make([]byte, 0, capacityHint)
-	}
-	if v := bytePools[cls].Get(); v != nil {
-		return v.([]byte)[:0]
-	}
-	return make([]byte, 0, 1<<(minBytePoolShift+cls))
-}
+func GetBytes(capacityHint int) []byte { return bytePool.Get(capacityHint) }
 
 // PutBytes returns a buffer obtained from GetBytes (or anywhere else) to
 // the pool. The caller must not touch buf afterwards. Small or oversized
 // buffers are dropped for the garbage collector.
-func PutBytes(buf []byte) {
-	c := cap(buf)
-	if c < 1<<minBytePoolShift {
-		return
-	}
-	cls := -1
-	for i := maxBytePoolShift - minBytePoolShift; i >= 0; i-- {
-		if c >= 1<<(minBytePoolShift+i) {
-			cls = i
-			break
-		}
-	}
-	if cls < 0 {
-		return
-	}
-	bytePools[cls].Put(buf[:0])
-}
+func PutBytes(buf []byte) { bytePool.Put(buf) }

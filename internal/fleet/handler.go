@@ -10,6 +10,7 @@ import (
 	"strings"
 
 	"inputtune/internal/feature"
+	"inputtune/internal/obs"
 	"inputtune/internal/serve"
 )
 
@@ -28,6 +29,13 @@ import (
 func NewHandler(rt *Router) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/classify", func(w http.ResponseWriter, r *http.Request) {
+		// The router-side trace starts (or joins, via X-Inputtune-Trace)
+		// at the fleet's front edge; RouteTraced stamps the same ID into
+		// the forwarded frame so replica-side spans merge under it.
+		t := startRouterTrace(rt, r)
+		if t != nil {
+			defer rt.opts.Tracer.Finish(t)
+		}
 		// Bodies land in pooled byte blocks: the binary frame is routed
 		// (fingerprinted in place) and released; the JSON envelope lives
 		// only until it is normalized to a frame.
@@ -76,13 +84,14 @@ func NewHandler(rt *Router) http.Handler {
 			}
 			frame = buf.Bytes()
 		}
-		d, err := rt.Route(frame)
+		d, err := rt.RouteTraced(frame, t)
 		if err != nil {
 			status := http.StatusServiceUnavailable
 			var reqErr *serve.RequestError
 			if errors.As(err, &reqErr) {
 				status = http.StatusBadRequest
 			}
+			t.SetError(err)
 			writeError(w, status, err)
 			return
 		}
@@ -116,6 +125,9 @@ func NewHandler(rt *Router) http.Handler {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		io.WriteString(w, snap.RenderPrometheus())
 	})
+	if tr := rt.opts.Tracer; tr != nil {
+		mux.Handle("GET /debug/traces", obs.Handler(tr))
+	}
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		healthy := rt.HealthyReplicas()
 		status := http.StatusOK
@@ -132,6 +144,23 @@ func NewHandler(rt *Router) http.Handler {
 		})
 	})
 	return mux
+}
+
+// startRouterTrace makes the fleet-edge sampling decision: a request
+// carrying a valid X-Inputtune-Trace header joins that trace, anything
+// else head-samples. Returns nil — at zero allocation — when tracing is
+// off or unsampled.
+func startRouterTrace(rt *Router, r *http.Request) *obs.Trace {
+	tr := rt.opts.Tracer
+	if tr == nil {
+		return nil
+	}
+	if h := r.Header.Get(obs.TraceHeader); h != "" {
+		if id, ok := obs.ParseID(h); ok {
+			return tr.Join("router", id)
+		}
+	}
+	return tr.Start("router")
 }
 
 // readBody reads the whole request body (bounded by MaxRequestBytes) into

@@ -10,6 +10,7 @@ import (
 	"strings"
 	"sync/atomic"
 
+	"inputtune/internal/obs"
 	"inputtune/internal/serve"
 )
 
@@ -148,6 +149,12 @@ func (r *HTTPReplica) ClassifyFrame(frame []byte) (*serve.Decision, error) {
 	}
 	req.Header.Set("Content-Type", serve.ContentTypeBinary)
 	req.Header.Set("Accept", serve.ContentTypeBinary)
+	// A frame the router wrapped in an ITX1 trace context also announces
+	// the trace ID in the header, so the replica joins the trace even on a
+	// deployment that strips unknown frame extensions at a proxy.
+	if id, _, ok, _ := serve.PeelTraceContext(frame); ok {
+		req.Header.Set(obs.TraceHeader, obs.FormatID(id))
+	}
 	resp, err := r.client.Do(req)
 	if err != nil {
 		return nil, &DownError{Replica: r.name, Err: err}

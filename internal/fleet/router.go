@@ -10,6 +10,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"inputtune/internal/feature"
+	"inputtune/internal/obs"
 	"inputtune/internal/serve"
 )
 
@@ -36,6 +38,10 @@ type Options struct {
 	// Logf receives routing events (ejections, readmissions, rollouts);
 	// nil discards them.
 	Logf func(format string, args ...any)
+	// Tracer records route/attempt/eject spans for sampled requests and
+	// wraps forwarded frames in an ITX1 trace context so replicas join
+	// the router's trace; nil disables tracing at zero request cost.
+	Tracer *obs.Tracer
 }
 
 // RouterStats are the router's own counters (the replicas' serving
@@ -216,21 +222,62 @@ func (rt *Router) markSuccess(st *replicaState) {
 // rests here: as long as one replica stays up, every well-formed request
 // gets an answer.
 func (rt *Router) Route(frame []byte) (*serve.Decision, error) {
+	return rt.RouteTraced(frame, nil)
+}
+
+// RouteTraced is Route recording routing spans on t. The caller owns t
+// (the fleet handler starts it and finishes it after the response);
+// when t is nil but the frame itself opens with an ITX1 trace context,
+// the router joins that trace and finishes its own record here. A
+// traced request's frame is re-wrapped with the router's trace ID
+// before every replica attempt, so replica-side spans — in-process or
+// across the HTTP hop — land under the same trace.
+func (rt *Router) RouteTraced(frame []byte, t *obs.Trace) (*serve.Decision, error) {
 	rt.inflight.Add(1)
 	defer rt.inflight.Add(-1)
 	if rt.draining.Load() {
 		return nil, serve.ErrDraining
 	}
 	rt.requests.Add(1)
-	_, fp, err := serve.InspectBinaryFrame(frame, rt.opts.QuantizeBits)
+	// Peel any client-carried trace context: the inner ITW1 frame is
+	// what shards and (re-wrapped) what replicas receive. A malformed
+	// extension is the client's fault, like a malformed frame.
+	inner := frame
+	if cid, rest, ok, perr := serve.PeelTraceContext(frame); perr != nil {
+		rt.errors.Add(1)
+		return nil, perr
+	} else if ok {
+		inner = rest
+		if t == nil {
+			if joined := rt.opts.Tracer.Join("router", cid); joined != nil {
+				t = joined
+				defer func() { rt.opts.Tracer.Finish(joined) }()
+			}
+		}
+	}
+	routeStart := t.Now()
+	_, fp, err := serve.InspectBinaryFrame(inner, rt.opts.QuantizeBits)
 	if err != nil {
 		rt.errors.Add(1)
+		t.SetError(err)
 		return nil, err
 	}
 	order := rt.attemptOrder(fp)
 	if len(order) == 0 {
 		rt.errors.Add(1)
-		return nil, errors.New("fleet: no replicas")
+		err := errors.New("fleet: no replicas")
+		t.SetError(err)
+		return nil, err
+	}
+	send := inner
+	if t != nil {
+		// Wrap once per request, through the shared byte pool: every
+		// attempt forwards the same trace context.
+		wrapped := feature.GetBytes(serve.TraceContextLen + len(inner))
+		wrapped = serve.AppendTraceContext(wrapped, t.ID())
+		wrapped = append(wrapped, inner...)
+		send = wrapped
+		defer feature.PutBytes(wrapped)
 	}
 	attempts := rt.opts.MaxAttempts
 	if attempts <= 0 || attempts > len(order) {
@@ -242,10 +289,15 @@ func (rt *Router) Route(frame []byte) (*serve.Decision, error) {
 		if i > 0 {
 			rt.retries.Add(1)
 		}
-		d, err := st.r.ClassifyFrame(frame)
+		at := t.Now()
+		d, err := st.r.ClassifyFrame(send)
+		if t != nil { // guard: the label concat must not cost untraced requests
+			t.Span("attempt "+st.r.Name(), at)
+		}
 		switch {
 		case err == nil:
 			rt.markSuccess(st)
+			t.Span("route", routeStart)
 			return d, nil
 		case errors.Is(err, serve.ErrDraining):
 			// Healthy but leaving: reroute without holding it against the
@@ -253,12 +305,16 @@ func (rt *Router) Route(frame []byte) (*serve.Decision, error) {
 			lastErr = err
 		case IsDown(err):
 			rt.markFailure(st, err)
+			if t != nil {
+				t.Event("eject " + st.r.Name())
+			}
 			lastErr = err
 		default:
 			var reqErr *serve.RequestError
 			if errors.As(err, &reqErr) {
 				// The frame itself is bad; no other replica would accept it.
 				rt.errors.Add(1)
+				t.SetError(err)
 				return nil, err
 			}
 			// A serving-side error (e.g. model not loaded on this replica
@@ -267,7 +323,10 @@ func (rt *Router) Route(frame []byte) (*serve.Decision, error) {
 		}
 	}
 	rt.errors.Add(1)
-	return nil, fmt.Errorf("fleet: all %d attempts failed: %w", attempts, lastErr)
+	err = fmt.Errorf("fleet: all %d attempts failed: %w", attempts, lastErr)
+	t.SetError(err)
+	t.Span("route", routeStart)
+	return nil, err
 }
 
 // CheckHealth performs one health pass over every replica: failures

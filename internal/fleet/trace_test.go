@@ -1,0 +1,108 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"inputtune/internal/benchmarks/sortbench"
+	"inputtune/internal/obs"
+	"inputtune/internal/serve"
+)
+
+// TestTracePropagatesAcrossFleetHop proves one trace ID spans the router
+// and the replica across a real HTTP hop: the front handler starts the
+// trace, RouteTraced wraps the forwarded frame in an ITX1 context (and
+// HTTPReplica mirrors the ID into X-Inputtune-Trace), and the replica —
+// an httptest server running the plain serve handler — joins it. Both
+// participants write into one shared tracer, exactly like one inputtuned
+// process in -fleet mode, so the merged snapshot must show router-side
+// and replica-side spans under a single ID. Run under -race this also
+// exercises the tracer's concurrent ring writes from both sites.
+func TestTracePropagatesAcrossFleetHop(t *testing.T) {
+	loadFixtures(t)
+	tr := obs.New(obs.Options{SampleEvery: 1})
+
+	reg := serve.NewRegistry()
+	if err := reg.Register(sortbench.New()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Load(fixtures.artifactA); err != nil {
+		t.Fatal(err)
+	}
+	svc := serve.NewService(reg, serve.Options{
+		Cache:     serve.CacheOptions{Capacity: 4096},
+		Tracer:    tr,
+		TraceSite: "replica-0",
+	})
+	backend := httptest.NewServer(serve.NewHandler(svc))
+	defer backend.Close()
+
+	rt := NewRouter(
+		[]Replica{NewHTTPReplica("replica-0", backend.URL, backend.Client())},
+		Options{QuantizeBits: 8, Tracer: tr},
+	)
+	defer rt.Close(context.Background())
+	front := httptest.NewServer(NewHandler(rt))
+	defer front.Close()
+
+	// Concurrent requests give -race a real interleaving to check: both
+	// sites append to the shared ring while the front edge keeps
+	// starting and finishing traces.
+	const workers = 4
+	var wg sync.WaitGroup
+	errs := make(chan error, workers*len(fixtures.frames))
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for _, frame := range fixtures.frames {
+				resp, err := front.Client().Post(
+					front.URL+"/v1/classify", serve.ContentTypeBinary, bytes.NewReader(frame))
+				if err != nil {
+					errs <- err
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("classify status %d", resp.StatusCode)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("classify through fleet front: %v", err)
+	}
+
+	// Every sampled trace must have merged: router-side and replica-side
+	// spans under the same trace ID.
+	views := tr.Snapshot(1000)
+	if len(views) == 0 {
+		t.Fatal("no traces sampled")
+	}
+	crossHop := 0
+	for _, v := range views {
+		sites := map[string]bool{}
+		for _, sp := range v.Spans {
+			sites[sp.Site] = true
+		}
+		if sites["router"] && sites["replica-0"] {
+			crossHop++
+			if len(v.Sites) < 2 {
+				t.Fatalf("merged trace %s lists sites %v", v.ID, v.Sites)
+			}
+		}
+	}
+	if crossHop == 0 {
+		t.Fatalf("no trace carries both router and replica spans; got %d traces", len(views))
+	}
+}

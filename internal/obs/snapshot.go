@@ -1,0 +1,234 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"strconv"
+	"time"
+)
+
+// FormatID renders a trace ID as the 16-hex-digit wire form used by the
+// X-Inputtune-Trace header and /debug/traces.
+func FormatID(id uint64) string {
+	const hexdig = "0123456789abcdef"
+	var b [16]byte
+	for i := 15; i >= 0; i-- {
+		b[i] = hexdig[id&0xf]
+		id >>= 4
+	}
+	return string(b[:])
+}
+
+// ParseID parses FormatID output (any-length hex accepted, zero
+// rejected).
+func ParseID(s string) (uint64, bool) {
+	if s == "" || len(s) > 16 {
+		return 0, false
+	}
+	id, err := strconv.ParseUint(s, 16, 64)
+	if err != nil || id == 0 {
+		return 0, false
+	}
+	return id, true
+}
+
+// SpanView is one span of a merged trace, annotated with the site of
+// the record that produced it. Offsets are relative to the merged
+// trace's start so a reader sees one timeline across hops.
+type SpanView struct {
+	Site       string  `json:"site"`
+	Name       string  `json:"name"`
+	StartUs    float64 `json:"start_us"`
+	DurationUs float64 `json:"duration_us"`
+}
+
+// TraceView is a merged trace: every finished record sharing one trace
+// ID, folded into a single span timeline.
+type TraceView struct {
+	ID         string     `json:"id"`
+	Benchmark  string     `json:"benchmark,omitempty"`
+	Error      string     `json:"error,omitempty"`
+	Start      time.Time  `json:"start"`
+	DurationUs float64    `json:"duration_us"`
+	Sites      []string   `json:"sites"`
+	Spans      []SpanView `json:"spans"`
+}
+
+// records drains the ring and the pinned slowest list into a deduped
+// set of finished records.
+func (tr *Tracer) records() []*Trace {
+	if tr == nil {
+		return nil
+	}
+	seen := make(map[*Trace]bool, len(tr.ring))
+	var out []*Trace
+	for i := range tr.ring {
+		if t := tr.ring[i].Load(); t != nil && !seen[t] {
+			seen[t] = true
+			out = append(out, t)
+		}
+	}
+	tr.slowMu.Lock()
+	for _, t := range tr.slow {
+		if !seen[t] {
+			seen[t] = true
+			out = append(out, t)
+		}
+	}
+	tr.slowMu.Unlock()
+	return out
+}
+
+// merge folds per-participant records into TraceViews keyed by trace ID.
+func merge(records []*Trace) []TraceView {
+	byID := make(map[uint64][]*Trace)
+	for _, t := range records {
+		byID[t.id] = append(byID[t.id], t)
+	}
+	views := make([]TraceView, 0, len(byID))
+	for id, group := range byID {
+		v := TraceView{ID: FormatID(id)}
+		start, end := group[0].start, group[0].end
+		for _, t := range group {
+			if t.start.Before(start) {
+				start = t.start
+			}
+			if t.end.After(end) {
+				end = t.end
+			}
+			if v.Benchmark == "" {
+				v.Benchmark = t.benchmark
+			}
+			if v.Error == "" {
+				v.Error = t.errMsg
+			}
+			v.Sites = append(v.Sites, t.site)
+		}
+		sort.Strings(v.Sites)
+		v.Sites = dedupSorted(v.Sites)
+		v.Start = start
+		v.DurationUs = micros(end.Sub(start))
+		for _, t := range group {
+			for _, s := range t.spans {
+				v.Spans = append(v.Spans, SpanView{
+					Site:       t.site,
+					Name:       s.Name,
+					StartUs:    micros(s.Start.Sub(start)),
+					DurationUs: micros(s.End.Sub(s.Start)),
+				})
+			}
+		}
+		sort.SliceStable(v.Spans, func(i, j int) bool { return v.Spans[i].StartUs < v.Spans[j].StartUs })
+		views = append(views, v)
+	}
+	return views
+}
+
+func dedupSorted(s []string) []string {
+	out := s[:0]
+	for i, v := range s {
+		if i == 0 || v != s[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func micros(d time.Duration) float64 {
+	return float64(d.Nanoseconds()) / 1e3
+}
+
+// Snapshot returns up to limit merged traces, most recently finished
+// first (limit <= 0 means all). Safe to call concurrently with Finish.
+func (tr *Tracer) Snapshot(limit int) []TraceView {
+	views := merge(tr.records())
+	sort.Slice(views, func(i, j int) bool {
+		si, sj := views[i], views[j]
+		ti := si.Start.Add(time.Duration(si.DurationUs * 1e3))
+		tj := sj.Start.Add(time.Duration(sj.DurationUs * 1e3))
+		return ti.After(tj)
+	})
+	if limit > 0 && len(views) > limit {
+		views = views[:limit]
+	}
+	return views
+}
+
+// Slowest returns the pinned slowest-N merged traces, slowest first.
+func (tr *Tracer) Slowest() []TraceView {
+	if tr == nil {
+		return nil
+	}
+	tr.slowMu.Lock()
+	pinned := append([]*Trace(nil), tr.slow...)
+	tr.slowMu.Unlock()
+	ids := make(map[uint64]bool, len(pinned))
+	for _, t := range pinned {
+		ids[t.id] = true
+	}
+	// Merge with ring records sharing the pinned IDs so a slow exemplar
+	// still shows its cross-hop spans.
+	var group []*Trace
+	for _, t := range tr.records() {
+		if ids[t.id] {
+			group = append(group, t)
+		}
+	}
+	views := merge(group)
+	sort.Slice(views, func(i, j int) bool { return views[i].DurationUs > views[j].DurationUs })
+	return views
+}
+
+// Exemplar links a slow trace from the metrics surface to /debug/traces.
+type Exemplar struct {
+	TraceID    string  `json:"trace_id"`
+	Benchmark  string  `json:"benchmark,omitempty"`
+	DurationUs float64 `json:"duration_us"`
+}
+
+// Exemplars returns the slowest-N links for embedding next to latency
+// histograms.
+func (tr *Tracer) Exemplars() []Exemplar {
+	views := tr.Slowest()
+	out := make([]Exemplar, 0, len(views))
+	for _, v := range views {
+		out = append(out, Exemplar{TraceID: v.ID, Benchmark: v.Benchmark, DurationUs: v.DurationUs})
+	}
+	return out
+}
+
+// tracesPage is the /debug/traces response body.
+type tracesPage struct {
+	Stats   Stats       `json:"stats"`
+	Recent  []TraceView `json:"recent"`
+	Slowest []TraceView `json:"slowest"`
+}
+
+// defaultRecentLimit bounds the recent list unless ?n= asks otherwise.
+const defaultRecentLimit = 50
+
+// Handler serves the ring as JSON: GET /debug/traces?n=50.
+func Handler(tr *Tracer) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		limit := defaultRecentLimit
+		if s := r.URL.Query().Get("n"); s != "" {
+			if n, err := strconv.Atoi(s); err == nil && n > 0 {
+				limit = n
+			}
+		}
+		page := tracesPage{
+			Stats:   tr.Stats(),
+			Recent:  tr.Snapshot(limit),
+			Slowest: tr.Slowest(),
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(page)
+	})
+}

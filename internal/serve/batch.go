@@ -5,9 +5,11 @@ import (
 	"io"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"inputtune/internal/core"
 	"inputtune/internal/engine"
+	"inputtune/internal/obs"
 )
 
 // DefaultMaxBatch bounds how many queued requests one shard drains into a
@@ -26,7 +28,11 @@ type task struct {
 	// done for the task's whole lifetime, which is what keeps the reader
 	// (typically an http.Request body) valid while the worker reads it.
 	frame io.Reader
-	done  chan taskResult
+	// tr is the caller's trace record (nil = untraced); enqueued lets the
+	// shard worker back-date the batch_wait span to the enqueue time.
+	tr       *obs.Trace
+	enqueued time.Time
+	done     chan taskResult
 }
 
 type taskResult struct {
@@ -35,7 +41,10 @@ type taskResult struct {
 	// frame tasks only learn it during decode (empty when the frame's
 	// header never decoded).
 	benchmark string
-	err       error
+	// tr is the task's trace record after execution: the caller's, or a
+	// record freshly joined from a frame's ITX1 trace context.
+	tr  *obs.Trace
+	err error
 }
 
 // Batcher is the sharded worker/batching layer. Incoming requests are
@@ -83,11 +92,13 @@ func NewBatcher(svc *Service, shards, maxBatch int, pool *engine.Pool) *Batcher 
 }
 
 // Classify enqueues the request on a shard and waits for its result.
-func (b *Batcher) Classify(benchmark string, in core.Input) (d *Decision, err error) {
+// enqueued is the caller's request-start timestamp, reused for the
+// batch_wait span when the request is traced.
+func (b *Batcher) Classify(benchmark string, in core.Input, tr *obs.Trace, enqueued time.Time) (d *Decision, err error) {
 	if b.closed.Load() {
 		return nil, fmt.Errorf("serve: batcher is shut down")
 	}
-	t := &task{benchmark: benchmark, in: in, done: make(chan taskResult, 1)}
+	t := &task{benchmark: benchmark, in: in, tr: tr, enqueued: enqueued, done: make(chan taskResult, 1)}
 	shard := b.shards[b.next.Add(1)%uint64(len(b.shards))]
 	defer func() {
 		// A send on a channel closed by a concurrent Close panics; convert
@@ -105,32 +116,42 @@ func (b *Batcher) Classify(benchmark string, in core.Input) (d *Decision, err er
 // for its result; the shard worker performs the decode. The returned
 // benchmark name is the one the frame resolved to ("" when the frame
 // never decoded), so the caller can attribute metrics.
-func (b *Batcher) ClassifyFrame(r io.Reader) (d *Decision, benchmark string, err error) {
+func (b *Batcher) ClassifyFrame(r io.Reader, tr *obs.Trace, enqueued time.Time) (d *Decision, benchmark string, joined *obs.Trace, err error) {
 	if b.closed.Load() {
-		return nil, "", fmt.Errorf("serve: batcher is shut down")
+		return nil, "", tr, fmt.Errorf("serve: batcher is shut down")
 	}
-	t := &task{frame: r, done: make(chan taskResult, 1)}
+	t := &task{frame: r, tr: tr, enqueued: enqueued, done: make(chan taskResult, 1)}
 	shard := b.shards[b.next.Add(1)%uint64(len(b.shards))]
 	defer func() {
 		if recover() != nil {
-			d, benchmark, err = nil, "", fmt.Errorf("serve: batcher is shut down")
+			d, benchmark, joined, err = nil, "", tr, fmt.Errorf("serve: batcher is shut down")
 		}
 	}()
 	shard <- t
 	res := <-t.done
-	return res.d, res.benchmark, res.err
+	return res.d, res.benchmark, res.tr, res.err
 }
 
 // exec performs one task on whatever goroutine the shard scheduled it
 // on: frame tasks decode-then-classify in one pass, decoded tasks go
 // straight to classification.
 func (b *Batcher) exec(t *task) taskResult {
-	if t.frame != nil {
-		d, benchmark, err := b.svc.classifyFrame(t.frame)
-		return taskResult{d: d, benchmark: benchmark, err: err}
+	var execStart time.Time
+	if t.tr != nil || b.svc.tracer != nil {
+		execStart = time.Now()
 	}
-	d, err := b.svc.classifyNow(t.benchmark, t.in)
-	return taskResult{d: d, benchmark: t.benchmark, err: err}
+	if t.frame != nil {
+		d, benchmark, joined, err := b.svc.classifyFrame(t.frame, t.tr)
+		// joined may postdate the enqueue (frame-carried contexts only
+		// surface during decode); the span's own timestamps stay honest.
+		if joined != nil {
+			joined.SpanAt("batch_wait", t.enqueued, execStart)
+		}
+		return taskResult{d: d, benchmark: benchmark, tr: joined, err: err}
+	}
+	t.tr.SpanAt("batch_wait", t.enqueued, execStart)
+	d, err := b.svc.classifyNow(t.benchmark, t.in, t.tr)
+	return taskResult{d: d, benchmark: t.benchmark, tr: t.tr, err: err}
 }
 
 // run is one shard worker: block for the first task, opportunistically

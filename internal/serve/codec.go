@@ -192,21 +192,49 @@ func (c *Codec) Release(in core.Input) {
 
 // DecodeBinaryRequest reads one full binary classify request — the frame
 // names its benchmark, so no envelope is needed — and returns the codec it
-// resolved along with the decoded input.
+// resolved along with the decoded input. A leading ITX1 trace-context
+// extension is accepted and discarded; use DecodeBinaryRequestContext to
+// keep the trace ID.
 func DecodeBinaryRequest(r io.Reader) (*Codec, core.Input, error) {
-	name, err := readBinaryHeader(r)
+	c, in, _, err := DecodeBinaryRequestContext(r)
+	return c, in, err
+}
+
+// DecodeBinaryRequestContext is DecodeBinaryRequest plus the trace ID of
+// an optional leading ITX1 trace-context extension (0 when absent). The
+// extension is validated strictly: an ITX1 magic followed by a truncated
+// body, zero ID, or unknown flags is an error, never silently skipped.
+func DecodeBinaryRequestContext(r io.Reader) (*Codec, core.Input, uint64, error) {
+	magic, err := readMagic(r)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, 0, err
+	}
+	var traceID uint64
+	if magic == traceMagic {
+		traceID, err = readTraceContextBody(r)
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		if magic, err = readMagic(r); err != nil {
+			return nil, nil, 0, err
+		}
+	}
+	if magic != wireMagic {
+		return nil, nil, 0, fmt.Errorf("serve: bad binary magic %q", magic[:])
+	}
+	name, err := readBinaryName(r)
+	if err != nil {
+		return nil, nil, 0, err
 	}
 	c, err := LookupCodec(name)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, 0, err
 	}
 	in, err := c.decodeBinaryBody(r)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, 0, err
 	}
-	return c, in, nil
+	return c, in, traceID, nil
 }
 
 // EncodeBinaryRequest renders one full binary classify request for the

@@ -3,6 +3,7 @@ package serve
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"math"
 	"reflect"
 	"testing"
@@ -263,6 +264,94 @@ func FuzzSortListBothWires(f *testing.F) {
 				}
 			}
 			codec.Release(back)
+		}
+	})
+}
+
+// FuzzTraceContext feeds arbitrary bytes to the ITX1 trace-context peel.
+// The strict half of the contract: a buffer opening with the ITX1 magic
+// either yields a validated nonzero ID or a *RequestError — never a
+// silent fallthrough to ITW1. The round-trip half: peeled contexts reach
+// an encode fixed point, and the streaming decoder
+// (DecodeBinaryRequestContext) accepts exactly the frames that peel +
+// DecodeBinaryRequest accept, resolving the same trace ID and benchmark.
+func FuzzTraceContext(f *testing.F) {
+	for _, s := range fuzzSeedFrames(f) {
+		f.Add(s)
+		f.Add(append(AppendTraceContext(nil, 0x1234abcd), s...))
+	}
+	f.Add(AppendTraceContext(nil, 1))
+	f.Add(AppendTraceContext(nil, ^uint64(0)))
+	f.Add(traceMagic[:])                                      // truncated extension
+	f.Add(append(traceMagic[:], make([]byte, 9)...))          // zero trace ID
+	f.Add([]byte("ITX1\x01\x00\x00\x00\x00\x00\x00\x00\xff")) // unknown flag bits
+	f.Fuzz(func(t *testing.T, data []byte) {
+		id, rest, ok, err := PeelTraceContext(data)
+		if err != nil {
+			var reqErr *RequestError
+			if !errors.As(err, &reqErr) {
+				t.Fatalf("peel error is not a RequestError: %v", err)
+			}
+			if ok {
+				t.Fatal("peel returned ok alongside an error")
+			}
+			return
+		}
+		if !ok {
+			if !bytes.Equal(rest, data) {
+				t.Fatal("non-extension buffer was modified by the peel")
+			}
+			return
+		}
+		if id == 0 {
+			t.Fatal("peel accepted a zero trace ID")
+		}
+		if len(data)-len(rest) != TraceContextLen {
+			t.Fatalf("peel consumed %d bytes, want %d", len(data)-len(rest), TraceContextLen)
+		}
+		// Fixed point: the only form we emit (sampled flag set) re-encodes
+		// to the identical extension bytes.
+		if data[12] == traceFlagSampled {
+			if !bytes.Equal(AppendTraceContext(nil, id), data[:TraceContextLen]) {
+				t.Fatal("sampled trace context did not reach an encode fixed point")
+			}
+		}
+		reenc := append(AppendTraceContext(nil, id), rest...)
+		id2, rest2, ok2, err2 := PeelTraceContext(reenc)
+		if err2 != nil || !ok2 || id2 != id || !bytes.Equal(rest2, rest) {
+			t.Fatalf("re-encoded context failed to peel: id %x vs %x, ok %v, err %v", id2, id, ok2, err2)
+		}
+
+		// Streaming vs buffered agreement, trailing bytes included: the
+		// streaming decoder consumes the extension itself and must accept
+		// exactly what the peeled inner frame decodes to.
+		c, in, tid, derr := DecodeBinaryRequestContext(bytes.NewReader(data))
+		ci, ini, ierr := DecodeBinaryRequest(bytes.NewReader(rest))
+		if (derr == nil) != (ierr == nil) {
+			t.Fatalf("streaming decoder and peel+decode disagree: %v vs %v", derr, ierr)
+		}
+		if derr == nil {
+			if tid != id {
+				t.Fatalf("streaming decoder resolved trace ID %x, peel %x", tid, id)
+			}
+			if c.Name != ci.Name {
+				t.Fatalf("decoders attribute the frame to %q vs %q", c.Name, ci.Name)
+			}
+			c.Release(in)
+		}
+		if ierr == nil {
+			ci.Release(ini)
+		}
+
+		// Sharding must be trace-invariant: the inspector fingerprints the
+		// inner frame whether or not the extension is present.
+		nameExt, fpExt, errExt := InspectBinaryFrame(data, 8)
+		nameIn, fpIn, errIn := InspectBinaryFrame(rest, 8)
+		if (errExt == nil) != (errIn == nil) {
+			t.Fatalf("inspector disagrees with and without extension: %v vs %v", errExt, errIn)
+		}
+		if errExt == nil && (nameExt != nameIn || fpExt != fpIn) {
+			t.Fatal("trace extension changed the shard fingerprint")
 		}
 	})
 }

@@ -9,6 +9,8 @@ import (
 	"net/http"
 	"strings"
 	"sync"
+
+	"inputtune/internal/obs"
 )
 
 // MaxRequestBytes bounds request bodies (inputs and artifacts alike) so a
@@ -104,6 +106,13 @@ func mediaType(ct string) string {
 func NewHandler(svc *Service) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/classify", func(w http.ResponseWriter, r *http.Request) {
+		// The trace starts (or, when the request carries an
+		// X-Inputtune-Trace header, joins) at the handler edge so the
+		// record covers decode through encode; nil when untraced.
+		t := startTrace(svc, r)
+		if t != nil {
+			defer svc.tracer.Finish(t)
+		}
 		switch ct := mediaType(r.Header.Get("Content-Type")); ct {
 		case ContentTypeBinary:
 			if !svc.AcceptsWire(WireBinary) {
@@ -115,26 +124,29 @@ func NewHandler(svc *Service) http.Handler {
 			// deployments all the way into the shard worker, which decodes
 			// and classifies in one pass — vectors land in pooled buffers
 			// exactly once, with no decode-then-channel hop.
-			d, err := svc.ClassifyBinary(io.LimitReader(r.Body, MaxRequestBytes))
+			d, err := svc.ClassifyBinaryTraced(io.LimitReader(r.Body, MaxRequestBytes), t)
 			if err != nil {
 				status := http.StatusServiceUnavailable
 				var reqErr *RequestError
 				if errors.As(err, &reqErr) {
 					status = http.StatusBadRequest
 				}
+				t.SetError(err)
 				writeError(w, status, err)
 				return
 			}
-			writeDecision(w, r, svc, d)
+			writeDecision(w, r, svc, d, t)
 		default:
 			if !svc.AcceptsWire(WireJSON) {
 				writeError(w, http.StatusUnsupportedMediaType,
 					fmt.Errorf("this deployment does not accept %s", ContentTypeJSON))
 				return
 			}
+			dt := t.Now()
 			body := getBuf()
 			if _, err := body.ReadFrom(io.LimitReader(r.Body, MaxRequestBytes)); err != nil {
 				putBuf(body)
+				t.SetError(err)
 				writeError(w, http.StatusBadRequest, fmt.Errorf("reading body: %w", err))
 				return
 			}
@@ -142,6 +154,7 @@ func NewHandler(svc *Service) http.Handler {
 			err := json.Unmarshal(body.Bytes(), &req)
 			putBuf(body) // req.Input is a copy; the raw body is done
 			if err != nil {
+				t.SetError(err)
 				writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
 				return
 			}
@@ -151,23 +164,27 @@ func NewHandler(svc *Service) http.Handler {
 			}
 			c, err := LookupCodec(req.Benchmark)
 			if err != nil {
+				t.SetError(err)
 				writeError(w, http.StatusNotFound, err)
 				return
 			}
 			decoded, err := c.DecodeJSON(req.Input)
 			if err != nil {
+				t.SetError(err)
 				writeError(w, http.StatusBadRequest, fmt.Errorf("decoding %s input: %w", req.Benchmark, err))
 				return
 			}
-			d, err := svc.Classify(req.Benchmark, decoded)
+			t.Span("decode", dt)
+			d, err := svc.ClassifyTraced(req.Benchmark, decoded, t)
 			// The decision carries no reference to the input, so its
 			// buffers can rejoin the pool before the response is written.
 			c.Release(decoded)
 			if err != nil {
+				t.SetError(err)
 				writeError(w, http.StatusServiceUnavailable, err)
 				return
 			}
-			writeDecision(w, r, svc, d)
+			writeDecision(w, r, svc, d, t)
 		}
 	})
 	mux.HandleFunc("POST /v1/reload", func(w http.ResponseWriter, r *http.Request) {
@@ -211,6 +228,9 @@ func NewHandler(svc *Service) http.Handler {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		io.WriteString(w, snap.RenderPrometheus())
 	})
+	if tr := svc.Tracer(); tr != nil {
+		mux.Handle("GET /debug/traces", obs.Handler(tr))
+	}
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		h := svc.Health()
 		status := http.StatusOK
@@ -253,7 +273,8 @@ func NewHandler(svc *Service) http.Handler {
 // the binary wire) yields the ITD1 binary frame, anything else the JSON
 // Decision object. Request and response formats negotiate independently,
 // so a JSON request may ask for a binary answer and vice versa.
-func writeDecision(w http.ResponseWriter, r *http.Request, svc *Service, d *Decision) {
+func writeDecision(w http.ResponseWriter, r *http.Request, svc *Service, d *Decision, t *obs.Trace) {
+	et := t.Now()
 	if mediaType(r.Header.Get("Accept")) == ContentTypeBinary && svc.AcceptsWire(WireBinary) {
 		buf := getBuf()
 		buf.Write(AppendBinaryDecision(buf.AvailableBuffer(), d))
@@ -261,9 +282,28 @@ func writeDecision(w http.ResponseWriter, r *http.Request, svc *Service, d *Deci
 		w.WriteHeader(http.StatusOK)
 		_, _ = w.Write(buf.Bytes())
 		putBuf(buf)
+		t.Span("encode", et)
 		return
 	}
 	writeJSON(w, http.StatusOK, d)
+	t.Span("encode", et)
+}
+
+// startTrace makes the edge sampling decision for one HTTP request: a
+// request carrying a valid X-Inputtune-Trace header joins that trace
+// (the upstream hop already sampled it), anything else head-samples.
+// Returns nil — at zero allocation — when tracing is off or unsampled.
+func startTrace(svc *Service, r *http.Request) *obs.Trace {
+	tr := svc.tracer
+	if tr == nil {
+		return nil
+	}
+	if h := r.Header.Get(obs.TraceHeader); h != "" {
+		if id, ok := obs.ParseID(h); ok {
+			return tr.Join(svc.traceSite, id)
+		}
+	}
+	return tr.Start(svc.traceSite)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

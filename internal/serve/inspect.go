@@ -22,8 +22,18 @@ import (
 // frame bytes, so routing is stable across hot reloads that change the
 // production classifier's feature subset.
 //
+// A leading ITX1 trace-context extension is peeled (with strict
+// validation) before the walk, and the fingerprint covers only the inner
+// ITW1 frame — enabling tracing never changes which replica a request
+// shards to.
+//
 // buf must hold exactly one frame; the walk never allocates.
 func InspectBinaryFrame(buf []byte, bits int) (benchmark string, fingerprint uint64, err error) {
+	if _, rest, ok, perr := PeelTraceContext(buf); perr != nil {
+		return "", 0, perr
+	} else if ok {
+		buf = rest
+	}
 	if len(buf) < 5 {
 		return "", 0, &RequestError{Err: fmt.Errorf("serve: binary header: frame of %d bytes too short", len(buf))}
 	}

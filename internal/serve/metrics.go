@@ -7,6 +7,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"inputtune/internal/obs"
 )
 
 // latencyBucketBounds are the upper bounds (microseconds, inclusive) of
@@ -152,6 +154,18 @@ type MetricsSnapshot struct {
 	// Drift carries the per-benchmark drift-loop status, present only
 	// when a drift provider is registered on the service.
 	Drift []DriftStatus `json:"drift,omitempty"`
+	// Trace links the latency histogram above to concrete exemplars:
+	// tracer counters plus the slowest-N trace IDs, resolvable at
+	// /debug/traces?n=. Present only when the service has a tracer.
+	Trace *TraceSnapshot `json:"trace,omitempty"`
+}
+
+// TraceSnapshot is the tracing summary embedded in a MetricsSnapshot.
+type TraceSnapshot struct {
+	SampleEvery int            `json:"sample_every"`
+	Sampled     uint64         `json:"sampled"`
+	Finished    uint64         `json:"finished"`
+	Slowest     []obs.Exemplar `json:"slowest,omitempty"`
 }
 
 // Snapshot assembles the current metrics, folding in the decision-cache
@@ -243,6 +257,16 @@ func (s MetricsSnapshot) RenderPrometheus() string {
 	w("# TYPE inputtuned_benchmark_requests_total counter\n")
 	for _, bs := range s.Benchmarks {
 		w("inputtuned_benchmark_requests_total{benchmark=%q} %d\n", bs.Benchmark, bs.Requests)
+	}
+	if s.Trace != nil {
+		w("# HELP inputtuned_traces_sampled_total Requests head-sampled into the trace ring.\n")
+		w("# TYPE inputtuned_traces_sampled_total counter\n")
+		w("inputtuned_traces_sampled_total %d\n", s.Trace.Sampled)
+		w("# HELP inputtuned_trace_slowest_us Slowest traced requests; look the trace_id up at /debug/traces.\n")
+		w("# TYPE inputtuned_trace_slowest_us gauge\n")
+		for _, ex := range s.Trace.Slowest {
+			w("inputtuned_trace_slowest_us{trace_id=%q,benchmark=%q} %.1f\n", ex.TraceID, ex.Benchmark, ex.DurationUs)
+		}
 	}
 	if len(s.Drift) > 0 {
 		b01 := func(v bool) int {

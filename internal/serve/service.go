@@ -13,6 +13,7 @@ import (
 	"inputtune/internal/cost"
 	"inputtune/internal/engine"
 	"inputtune/internal/feature"
+	"inputtune/internal/obs"
 )
 
 // ErrDraining rejects new requests once a graceful drain has begun.
@@ -75,6 +76,13 @@ type Options struct {
 	// extracted there, so sampling is free). See SetObserver for the
 	// lifetime contract.
 	Observer SampleObserver
+	// Tracer, when non-nil, records per-stage spans for sampled requests
+	// (see internal/obs). A nil tracer — or a tracer with head sampling
+	// disabled — adds zero allocations to the request path.
+	Tracer *obs.Tracer
+	// TraceSite names this service in trace records (default "serve");
+	// fleet replicas get their replica name so cross-hop merges read.
+	TraceSite string
 }
 
 // Service is the classification runtime: registry resolution, per-request
@@ -87,6 +95,8 @@ type Service struct {
 	metrics      *Metrics
 	batcher      *Batcher
 	wires        [2]bool
+	tracer       *obs.Tracer
+	traceSite    string
 
 	draining atomic.Bool
 	inflight atomic.Int64
@@ -100,7 +110,10 @@ type Service struct {
 
 // NewService assembles a service over a registry.
 func NewService(reg *Registry, opts Options) *Service {
-	s := &Service{reg: reg, metrics: NewMetrics()}
+	s := &Service{reg: reg, metrics: NewMetrics(), tracer: opts.Tracer, traceSite: opts.TraceSite}
+	if s.traceSite == "" {
+		s.traceSite = "serve"
+	}
 	if !opts.Cache.Disable {
 		s.cache = NewDecisionCache(opts.Cache.Capacity)
 		s.quantizeBits = clampQuantizeBits(opts.Cache.QuantizeBits)
@@ -132,6 +145,12 @@ func (s *Service) AcceptsWire(w Wire) bool {
 // Registry returns the service's registry (for reload endpoints).
 func (s *Service) Registry() *Registry { return s.reg }
 
+// Tracer returns the service's tracer (nil when tracing is off).
+func (s *Service) Tracer() *obs.Tracer { return s.tracer }
+
+// TraceSite returns the service's site label in trace records.
+func (s *Service) TraceSite() string { return s.traceSite }
+
 // Metrics returns the service's metrics surface.
 func (s *Service) Metrics() *Metrics { return s.metrics }
 
@@ -140,6 +159,15 @@ func (s *Service) Metrics() *Metrics { return s.metrics }
 func (s *Service) MetricsSnapshot() MetricsSnapshot {
 	snap := s.metrics.Snapshot(s.cache, s.reg)
 	snap.Drift = driftRows(s.DriftStatuses())
+	if s.tracer != nil {
+		st := s.tracer.Stats()
+		snap.Trace = &TraceSnapshot{
+			SampleEvery: st.SampleEvery,
+			Sampled:     st.Sampled,
+			Finished:    st.Finished,
+			Slowest:     s.tracer.Exemplars(),
+		}
+	}
 	return snap
 }
 
@@ -200,17 +228,24 @@ func (s *Service) exit() { s.inflight.Add(-1) }
 // Classify answers one request, routing through the batching layer when
 // configured. It records request metrics including latency.
 func (s *Service) Classify(benchmark string, in core.Input) (*Decision, error) {
+	return s.ClassifyTraced(benchmark, in, nil)
+}
+
+// ClassifyTraced is Classify recording stage spans on t (nil = untraced;
+// the caller owns t and finishes it after the response is written).
+func (s *Service) ClassifyTraced(benchmark string, in core.Input, t *obs.Trace) (*Decision, error) {
 	if err := s.enter(); err != nil {
 		return nil, err
 	}
 	defer s.exit()
 	start := time.Now()
+	t.SetBenchmark(benchmark)
 	var d *Decision
 	var err error
 	if s.batcher != nil {
-		d, err = s.batcher.Classify(benchmark, in)
+		d, err = s.batcher.Classify(benchmark, in, t, start)
 	} else {
-		d, err = s.classifyNow(benchmark, in)
+		d, err = s.classifyNow(benchmark, in, t)
 	}
 	hit := d != nil && d.CacheHit
 	s.metrics.ObserveRequest(benchmark, time.Since(start), hit, err)
@@ -228,6 +263,16 @@ func (s *Service) Classify(benchmark string, in core.Input) (*Decision, error) {
 // *RequestError; metrics are attributed to the decoded benchmark name
 // and skipped when the frame never identified one.
 func (s *Service) ClassifyBinary(r io.Reader) (*Decision, error) {
+	return s.ClassifyBinaryTraced(r, nil)
+}
+
+// ClassifyBinaryTraced is ClassifyBinary recording stage spans on t. When
+// t is nil but the decoded frame carries an ITX1 trace context, a record
+// joining that trace is created (and finished) here — that is how a
+// router-wrapped frame's spans land under the router's trace ID even
+// through a plain ClassifyBinary entry point. A caller-provided t stays
+// caller-owned: the caller finishes it after writing the response.
+func (s *Service) ClassifyBinaryTraced(r io.Reader, t *obs.Trace) (*Decision, error) {
 	if err := s.enter(); err != nil {
 		return nil, err
 	}
@@ -236,10 +281,15 @@ func (s *Service) ClassifyBinary(r io.Reader) (*Decision, error) {
 	var d *Decision
 	var benchmark string
 	var err error
+	var joined *obs.Trace
 	if s.batcher != nil {
-		d, benchmark, err = s.batcher.ClassifyFrame(r)
+		d, benchmark, joined, err = s.batcher.ClassifyFrame(r, t, start)
 	} else {
-		d, benchmark, err = s.classifyFrame(r)
+		d, benchmark, joined, err = s.classifyFrame(r, t)
+	}
+	if joined != nil && joined != t {
+		joined.SetError(err)
+		s.tracer.Finish(joined)
 	}
 	if benchmark != "" {
 		hit := d != nil && d.CacheHit
@@ -251,15 +301,29 @@ func (s *Service) ClassifyBinary(r io.Reader) (*Decision, error) {
 // classifyFrame decodes one binary frame and classifies it in the same
 // pass (the batcher's shard workers call it too). The benchmark name is
 // returned even when classification fails — it is known once the header
-// decodes — so callers can attribute metrics.
-func (s *Service) classifyFrame(r io.Reader) (*Decision, string, error) {
-	c, in, err := DecodeBinaryRequest(r)
-	if err != nil {
-		return nil, "", &RequestError{Err: fmt.Errorf("decoding binary request: %w", err)}
+// decodes — so callers can attribute metrics. The returned trace is t,
+// or a fresh record joining the frame's ITX1 trace context when t was
+// nil and the service has a tracer; such a record belongs to the caller
+// chain that detects joined != t.
+func (s *Service) classifyFrame(r io.Reader, t *obs.Trace) (*Decision, string, *obs.Trace, error) {
+	var t0 time.Time
+	if t != nil || s.tracer != nil {
+		t0 = time.Now()
 	}
-	d, cerr := s.classifyNow(c.Name, in)
+	c, in, traceID, err := DecodeBinaryRequestContext(r)
+	if err != nil {
+		return nil, "", t, &RequestError{Err: fmt.Errorf("decoding binary request: %w", err)}
+	}
+	if t == nil && traceID != 0 {
+		t = s.tracer.Join(s.traceSite, traceID)
+	}
+	if t != nil {
+		t.SetBenchmark(c.Name)
+		t.Span("decode", t0)
+	}
+	d, cerr := s.classifyNow(c.Name, in, t)
 	c.Release(in)
-	return d, c.Name, cerr
+	return d, c.Name, t, cerr
 }
 
 // classifyNow is the inline classification path (the batcher's workers
@@ -268,7 +332,11 @@ func (s *Service) classifyFrame(r io.Reader) (*Decision, string, error) {
 // ends) — is private to the call; the model snapshot is resolved once and
 // used throughout, so a concurrent hot-reload never splits a request
 // across two models.
-func (s *Service) classifyNow(benchmark string, in core.Input) (*Decision, error) {
+func (s *Service) classifyNow(benchmark string, in core.Input, t *obs.Trace) (*Decision, error) {
+	var ct time.Time
+	if t != nil {
+		ct = time.Now()
+	}
 	snap, ok := s.reg.Get(benchmark)
 	if !ok {
 		return nil, fmt.Errorf("serve: no model loaded for benchmark %q", benchmark)
@@ -302,9 +370,11 @@ func (s *Service) classifyNow(benchmark string, in core.Input) (*Decision, error
 			key := engine.Fingerprint([]uint64{snap.Generation}, vals)
 			if cached, hit := s.cache.Get(key); hit {
 				label, cacheHit = cached, true
+				t.Event("cache_hit")
 			} else {
 				label, _ = prod.PredictRow(row)
 				s.cache.Put(key, label)
+				t.Event("cache_miss")
 			}
 		} else {
 			label, _ = prod.PredictRow(row)
@@ -331,6 +401,7 @@ func (s *Service) classifyNow(benchmark string, in core.Input) (*Decision, error
 		// it exists to avoid.)
 		label = prod.ClassifyInput(set, in, meter)
 	}
+	t.Span("classify", ct)
 	return &Decision{
 		Benchmark:         benchmark,
 		Generation:        snap.Generation,

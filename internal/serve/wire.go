@@ -244,16 +244,24 @@ func (sch *schema) appendBinary(dst []byte, name string, p *payload) ([]byte, er
 	return dst, nil
 }
 
-// readBinaryHeader consumes the magic and benchmark name.
-func readBinaryHeader(r io.Reader) (string, error) {
-	var hdr [5]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+// readMagic consumes a 4-byte magic word (ITW1 or the ITX1 trace
+// extension) without judging it; callers dispatch on the value.
+func readMagic(r io.Reader) ([4]byte, error) {
+	var m [4]byte
+	if _, err := io.ReadFull(r, m[:]); err != nil {
+		return m, fmt.Errorf("serve: binary header: %w", err)
+	}
+	return m, nil
+}
+
+// readBinaryName consumes the name-length byte and benchmark name that
+// follow a validated ITW1 magic.
+func readBinaryName(r io.Reader) (string, error) {
+	var lb [1]byte
+	if _, err := io.ReadFull(r, lb[:]); err != nil {
 		return "", fmt.Errorf("serve: binary header: %w", err)
 	}
-	if [4]byte(hdr[:4]) != wireMagic {
-		return "", fmt.Errorf("serve: bad binary magic %q", hdr[:4])
-	}
-	n := int(hdr[4])
+	n := int(lb[0])
 	if n == 0 || n > maxWireName {
 		return "", fmt.Errorf("serve: binary name length %d out of range", n)
 	}
@@ -262,6 +270,18 @@ func readBinaryHeader(r io.Reader) (string, error) {
 		return "", fmt.Errorf("serve: binary name: %w", err)
 	}
 	return string(name), nil
+}
+
+// readBinaryHeader consumes the magic and benchmark name.
+func readBinaryHeader(r io.Reader) (string, error) {
+	m, err := readMagic(r)
+	if err != nil {
+		return "", err
+	}
+	if m != wireMagic {
+		return "", fmt.Errorf("serve: bad binary magic %q", m[:])
+	}
+	return readBinaryName(r)
 }
 
 // decodeBinaryPayload streams the schema's fields from r. Vector contents
