@@ -81,6 +81,7 @@ func main() {
 	verbose := fs.Bool("v", false, "log training progress")
 	benchJSON := fs.String("json", "", "bench: output path for the JSON report (default BENCH_1.json, or BENCH_1.nocache.json with -nocache)")
 	noCache := fs.Bool("nocache", false, "disable the measurement cache (A/B escape hatch; any subcommand)")
+	flatTuner := fs.Bool("flat-tuner", false, "revert to the flat single-run GA (dependency-aware A/B baseline; any training subcommand)")
 	clients := fs.Int("clients", 8, "serve-bench: concurrent load-generator clients")
 	requests := fs.Int("requests", 2000, "serve-bench: total requests per case and wire")
 	reloads := fs.Int("reloads", 2, "serve-bench: hot reloads fired mid-run")
@@ -93,6 +94,7 @@ func main() {
 	shiftReq := fs.Int("shift", 0, "drift-bench: shifted-traffic request budget (0 = default 2048)")
 	postReq := fs.Int("post", 0, "drift-bench: post-retrain requests (0 = default 512)")
 	driftWindow := fs.Int("drift-window", 0, "drift-bench: detector window (0 = calibrated default)")
+	retrainBudget := fs.Int("retrain-budget", 0, "drift-bench: tuner-evaluation cap per landmark for the drift retrain (0 = self-tuned default)")
 	addr := fs.String("addr", "localhost:8077", "classify: inputtuned address")
 	benchmark := fs.String("benchmark", "sort", "classify: benchmark name (sort or binpacking)")
 	data := fs.String("data", "", "classify: comma-separated float input vector")
@@ -106,6 +108,7 @@ func main() {
 		sc.Seed = *seed
 	}
 	sc.DisableCache = *noCache
+	sc.FlatTuner = *flatTuner
 	logf := func(string, ...any) {}
 	if *verbose {
 		logf = func(format string, args ...any) {
@@ -245,6 +248,7 @@ func main() {
 			ShiftRequests: *shiftReq,
 			PostRequests:  *postReq,
 			Window:        *driftWindow,
+			RetrainBudget: *retrainBudget,
 			Scale:         sc,
 			Logf:          logf,
 		})

@@ -80,6 +80,7 @@ func main() {
 	driftWindow := flag.Int("drift-window", 0, "drift: detector window in requests (0 = calibrated default)")
 	driftCapacity := flag.Int("drift-capacity", 0, "drift: retention reservoir capacity (0 = default)")
 	driftMinRetain := flag.Int("drift-min-retain", 0, "drift: minimum retained inputs before a retrain may start (0 = default)")
+	retrainBudget := flag.Int("retrain-budget", 0, "drift: tuner-evaluation cap per landmark for drift retrains (0 = the self-tuning meta-loop's own default)")
 	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof profiles and /debug/traces on this extra listener (empty = disabled)")
 	traceSample := flag.Int("trace-sample", 0, "trace 1 in N requests (0 = auto: 1 when -debug-addr is set, otherwise off; <0 forces off)")
 	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
@@ -216,12 +217,13 @@ func main() {
 				K1: sc.K1, Seed: sc.Seed, TunerPopulation: sc.TunerPop,
 				TunerGenerations: sc.TunerGens, Parallel: true,
 			},
-			Detector:  drift.DetectorOptions{Window: *driftWindow},
-			Capacity:  *driftCapacity,
-			MinRetain: *driftMinRetain,
-			Publish:   publish,
-			Logger:    logger.With("component", "drift"),
-			Tracer:    tracer,
+			Detector:      drift.DetectorOptions{Window: *driftWindow},
+			Capacity:      *driftCapacity,
+			MinRetain:     *driftMinRetain,
+			RetrainBudget: *retrainBudget,
+			Publish:       publish,
+			Logger:        logger.With("component", "drift"),
+			Tracer:        tracer,
 		})
 	}
 

@@ -18,8 +18,10 @@ type Result struct {
 
 // EvalFunc evaluates a configuration. It must be deterministic: the tuner
 // may evaluate candidates concurrently, and it memoizes results by
-// configuration fingerprint (choice.Config.Key), so a structurally
-// identical genome is never evaluated twice within one run.
+// configuration fingerprint (choice.Config.Key — or the canonical LiveKey
+// when the space declares selector→tunable dependencies), so a genome is
+// never evaluated twice within one run, nor is any dead-gene variant of an
+// already-evaluated behaviour.
 type EvalFunc func(cfg *choice.Config) Result
 
 // NoImmigrants disables the per-generation injection of random
@@ -50,6 +52,33 @@ type Options struct {
 	// pool, which keeps nested parallel loops (the caller's per-landmark
 	// loop outside, generations inside) from oversubscribing GOMAXPROCS.
 	Parallel bool
+
+	// CrossoverRate is the probability an offspring is bred from two
+	// parents rather than mutated from one. 0 selects the default (0.4).
+	CrossoverRate float64
+	// Weights overrides the mutation-operator mix; zero value = defaults.
+	Weights choice.MutationWeights
+	// Stall, when positive, stops the search after Stall consecutive
+	// generations without improvement of the incumbent.
+	Stall int
+	// MaxEvaluations, when positive, caps actual EvalFunc invocations:
+	// once the cap is reached no further un-memoized genomes are
+	// evaluated (they are dropped from the offspring pool) and the
+	// generation loop stops. With a shared memo (MetaTune) the cap spans
+	// all trials.
+	MaxEvaluations int
+	// Flat disables dependency-aware search: operators may touch dead
+	// genes and dedup uses the full-genome fingerprint. This is the
+	// pre-dependency-graph behaviour, kept for A/B comparison.
+	Flat bool
+
+	// memo, when set, shares evaluation results (and the evaluation
+	// budget) across several tune runs — MetaTune's trials.
+	memo *runMemo
+	// seedPop prepends known-good configurations to the initial
+	// population (after the default config), used by MetaTune to carry
+	// survivors across trials.
+	seedPop []*choice.Config
 }
 
 func (o *Options) setDefaults() {
@@ -77,18 +106,29 @@ func (o *Options) setDefaults() {
 	if o.Immigrants > o.Population-o.Elites {
 		o.Immigrants = o.Population - o.Elites
 	}
+	if o.CrossoverRate <= 0 {
+		o.CrossoverRate = 0.4
+	}
+	if o.Weights == (choice.MutationWeights{}) {
+		o.Weights = choice.DefaultMutationWeights()
+	}
 }
 
 // Stats summarises a tuning run.
 type Stats struct {
-	// Evaluations counts actual EvalFunc invocations (unique genomes).
+	// Evaluations counts actual EvalFunc invocations (unique behaviours).
 	Evaluations int
 	// CacheHits counts genome evaluations answered by the in-run memo
 	// instead of EvalFunc; Evaluations+CacheHits is the requested total.
 	CacheHits   int
 	Generations int
-	BestTime    float64
-	BestAcc     float64
+	// DeadGeneCollapses counts genomes that were structurally new (their
+	// full fingerprint had never been seen) yet collapsed onto an
+	// already-evaluated canonical representative — evaluations the
+	// dependency graph saved before they were paid.
+	DeadGeneCollapses int
+	BestTime          float64
+	BestAcc           float64
 	// Feasible reports whether the returned best met the accuracy target
 	// (always true when RequireAccuracy is false).
 	Feasible bool
@@ -97,6 +137,21 @@ type Stats struct {
 type individual struct {
 	cfg *choice.Config
 	res Result
+}
+
+// runMemo is the evaluation memo of one tuning run, shareable across
+// MetaTune trials. res is keyed by the dedup key (LiveKey or full Key);
+// full records every full fingerprint ever requested, distinguishing true
+// repeats from dead-gene collapses; evals counts EvalFunc invocations
+// recorded through this memo, the quantity MaxEvaluations caps.
+type runMemo struct {
+	res   map[string]Result
+	full  map[string]struct{}
+	evals int
+}
+
+func newRunMemo() *runMemo {
+	return &runMemo{res: make(map[string]Result), full: make(map[string]struct{})}
 }
 
 // better reports whether a beats b under the lexicographic dual objective.
@@ -118,8 +173,22 @@ func better(a, b individual, requireAcc bool, target float64) bool {
 }
 
 // Tune runs the evolutionary search and returns the best configuration
-// found plus run statistics.
+// found plus run statistics. When the space declares dependencies the
+// returned landmark is canonical (dead genes at defaults), so downstream
+// caches keyed by Config.Key see the same fingerprint the tuner deduped
+// on.
 func Tune(opts Options) (*choice.Config, Stats) {
+	pop, st := tune(opts)
+	cfg := pop[0].cfg
+	if !opts.Flat && opts.Space.HasDependencies() {
+		cfg = opts.Space.Canonicalize(cfg)
+	}
+	return cfg, st
+}
+
+// tune is the GA core; it returns the final population (best first) so
+// MetaTune can carry survivors across trials.
+func tune(opts Options) ([]individual, Stats) {
 	opts.setDefaults()
 	if opts.Space == nil || opts.Eval == nil {
 		panic("autotuner: Space and Eval are required")
@@ -128,24 +197,60 @@ func Tune(opts Options) (*choice.Config, Stats) {
 	var st Stats
 	pool := engine.Default()
 
-	// memo holds every result of this run keyed by genome fingerprint, so
-	// duplicate genomes (no-op mutations, re-bred crossovers, converged
-	// populations) cost a map lookup instead of a program run. EvalFunc is
-	// deterministic, so memoized results are bit-identical to re-runs.
-	memo := make(map[string]Result)
-	evalAll := func(cfgs []*choice.Config) []individual {
+	liveAware := !opts.Flat && opts.Space.HasDependencies()
+	mo := choice.MutateOptions{Weights: opts.Weights, Flat: opts.Flat}
+	xo := choice.CrossoverOptions{Flat: opts.Flat}
+	randomCfg := func() *choice.Config {
+		if opts.Flat {
+			return opts.Space.RandomConfigFlat(r)
+		}
+		return opts.Space.RandomConfig(r)
+	}
+
+	// memo holds every result of this run keyed by behaviour fingerprint,
+	// so duplicate genomes (no-op mutations, re-bred crossovers, converged
+	// populations) and — under a dependency graph — dead-gene variants of
+	// an evaluated behaviour cost a map lookup instead of a program run.
+	// EvalFunc is deterministic, so memoized results are bit-identical to
+	// re-runs.
+	memo := opts.memo
+	if memo == nil {
+		memo = newRunMemo()
+	}
+	// evalAll evaluates cfgs, deduping through the memo. minKeep forces at
+	// least that many un-memoized genomes to run even over budget, so the
+	// initial population can never come back empty.
+	evalAll := func(cfgs []*choice.Config, minKeep int) []individual {
 		keys := make([]string, len(cfgs))
-		var pending []int // first occurrence of each un-memoized genome
+		drop := make([]bool, len(cfgs))
+		var pending []int // first occurrence of each un-memoized behaviour
 		for i, c := range cfgs {
-			keys[i] = c.Key()
-			if _, ok := memo[keys[i]]; !ok {
-				memo[keys[i]] = Result{} // reserve so duplicates dedupe
-				pending = append(pending, i)
-			} else {
-				st.CacheHits++
+			fk := c.Key()
+			lk := fk
+			if liveAware {
+				lk = opts.Space.LiveKey(c)
 			}
+			keys[i] = lk
+			if _, ok := memo.res[lk]; ok {
+				st.CacheHits++
+				if liveAware {
+					if _, seen := memo.full[fk]; !seen {
+						st.DeadGeneCollapses++
+					}
+				}
+			} else if opts.MaxEvaluations > 0 &&
+				memo.evals+len(pending) >= opts.MaxEvaluations &&
+				len(pending) >= minKeep {
+				drop[i] = true // budget exhausted: never evaluated
+				continue
+			} else {
+				memo.res[lk] = Result{} // reserve so duplicates dedupe
+				pending = append(pending, i)
+			}
+			memo.full[fk] = struct{}{}
 		}
 		st.Evaluations += len(pending)
+		memo.evals += len(pending)
 		results := make([]Result, len(pending))
 		run := func(j int) { results[j] = opts.Eval(cfgs[pending[j]]) }
 		if opts.Parallel {
@@ -156,58 +261,87 @@ func Tune(opts Options) (*choice.Config, Stats) {
 			}
 		}
 		for j, i := range pending {
-			memo[keys[i]] = results[j]
+			memo.res[keys[i]] = results[j]
 		}
-		out := make([]individual, len(cfgs))
+		out := make([]individual, 0, len(cfgs))
 		for i, c := range cfgs {
-			out[i] = individual{cfg: c, res: memo[keys[i]]}
+			if drop[i] {
+				continue
+			}
+			out = append(out, individual{cfg: c, res: memo.res[keys[i]]})
 		}
 		return out
 	}
 
-	// Initial population: the default config plus random draws, so the
-	// search always starts from a sane polyalgorithm-free baseline.
-	seedCfgs := make([]*choice.Config, opts.Population)
-	seedCfgs[0] = opts.Space.DefaultConfig()
-	for i := 1; i < opts.Population; i++ {
-		seedCfgs[i] = opts.Space.RandomConfig(r)
+	// Initial population: the default config, any carried survivors, then
+	// random draws, so the search always starts from a sane
+	// polyalgorithm-free baseline.
+	seedCfgs := make([]*choice.Config, 0, opts.Population)
+	seedCfgs = append(seedCfgs, opts.Space.DefaultConfig())
+	for _, c := range opts.seedPop {
+		if len(seedCfgs) < opts.Population {
+			seedCfgs = append(seedCfgs, c)
+		}
 	}
-	pop := evalAll(seedCfgs)
+	for len(seedCfgs) < opts.Population {
+		seedCfgs = append(seedCfgs, randomCfg())
+	}
+	pop := evalAll(seedCfgs, 1)
 	sortPop(pop, opts)
 
+	bestSoFar := pop[0]
+	stall := 0
 	for gen := 0; gen < opts.Generations; gen++ {
+		if opts.MaxEvaluations > 0 && memo.evals >= opts.MaxEvaluations {
+			break
+		}
 		st.Generations++
 		// Build the offspring pool.
 		nOff := opts.Population - opts.Elites
 		offspring := make([]*choice.Config, 0, nOff)
 		for i := 0; i < opts.Immigrants; i++ {
-			offspring = append(offspring, opts.Space.RandomConfig(r))
+			offspring = append(offspring, randomCfg())
 		}
 		for len(offspring) < nOff {
 			a := tournament(pop, opts, r)
-			if r.Coin(0.4) {
+			if r.Coin(opts.CrossoverRate) {
 				b := tournament(pop, opts, r)
-				child := opts.Space.Crossover(pop[a].cfg, pop[b].cfg, r)
-				offspring = append(offspring, opts.Space.Mutate(child, r))
+				child := opts.Space.CrossoverWith(pop[a].cfg, pop[b].cfg, r, xo)
+				offspring = append(offspring, opts.Space.MutateWith(child, r, mo))
 			} else {
-				offspring = append(offspring, opts.Space.Mutate(pop[a].cfg, r))
+				offspring = append(offspring, opts.Space.MutateWith(pop[a].cfg, r, mo))
 			}
 		}
-		evaluated := evalAll(offspring)
+		evaluated := evalAll(offspring, 0)
 		// Elitism: keep the best Elites from the previous generation.
+		elite := opts.Elites
+		if elite > len(pop) {
+			elite = len(pop)
+		}
 		next := make([]individual, 0, opts.Population)
-		next = append(next, pop[:opts.Elites]...)
+		next = append(next, pop[:elite]...)
 		next = append(next, evaluated...)
 		pop = next
 		sortPop(pop, opts)
-		pop = pop[:opts.Population]
+		if len(pop) > opts.Population {
+			pop = pop[:opts.Population]
+		}
+		if better(pop[0], bestSoFar, opts.RequireAccuracy, opts.AccuracyTarget) {
+			bestSoFar = pop[0]
+			stall = 0
+		} else {
+			stall++
+			if opts.Stall > 0 && stall >= opts.Stall {
+				break
+			}
+		}
 	}
 
 	best := pop[0]
 	st.BestTime = best.res.Time
 	st.BestAcc = best.res.Accuracy
 	st.Feasible = !opts.RequireAccuracy || best.res.Accuracy >= opts.AccuracyTarget
-	return best.cfg, st
+	return pop, st
 }
 
 // sortPop orders the population best-first under the lexicographic

@@ -129,6 +129,15 @@ func newProgram(fastDirect bool) *Program {
 	p.preIdx = p.space.AddInt("mgPre", 0, 3, 2)
 	p.postIdx = p.space.AddInt("mgPost", 0, 3, 2)
 	p.gammaIdx = p.space.AddInt("gamma", 1, 2, 1)
+	// Selector→tunable dependency graph, mirroring poisson2d: sweep count
+	// for the stationary solvers, omega for SOR, cycle shape for
+	// multigrid; the direct solvers read no tunables.
+	p.space.DependsOn(p.itersIdx, 0, SolverJacobi, SolverGaussSeidel, SolverSOR)
+	p.space.DependsOn(p.omegaIdx, 0, SolverSOR)
+	p.space.DependsOn(p.cycIdx, 0, SolverMultigrid)
+	p.space.DependsOn(p.preIdx, 0, SolverMultigrid)
+	p.space.DependsOn(p.postIdx, 0, SolverMultigrid)
+	p.space.DependsOn(p.gammaIdx, 0, SolverMultigrid)
 	p.set = feature.MustNewSet(
 		feature.Extractor{Name: "residual", Levels: []feature.LevelFunc{
 			residualLevel(64), residualLevel(512), residualLevel(0),

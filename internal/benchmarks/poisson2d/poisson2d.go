@@ -115,6 +115,17 @@ func newProgram(fastDirect bool) *Program {
 	p.preIdx = p.space.AddInt("mgPre", 0, 3, 2)
 	p.postIdx = p.space.AddInt("mgPost", 0, 3, 2)
 	p.gammaIdx = p.space.AddInt("gamma", 1, 2, 1)
+	// Selector→tunable dependency graph: the sweep count is read only by
+	// the stationary iterative solvers, the over-relaxation factor only by
+	// SOR, and the cycle-shape knobs only by multigrid. Direct solvers
+	// read no tunables at all, so their genes are dead and the tuner
+	// collapses such variants before evaluating them.
+	p.space.DependsOn(p.itersIdx, 0, SolverJacobi, SolverGaussSeidel, SolverSOR)
+	p.space.DependsOn(p.omegaIdx, 0, SolverSOR)
+	p.space.DependsOn(p.cycIdx, 0, SolverMultigrid)
+	p.space.DependsOn(p.preIdx, 0, SolverMultigrid)
+	p.space.DependsOn(p.postIdx, 0, SolverMultigrid)
+	p.space.DependsOn(p.gammaIdx, 0, SolverMultigrid)
 	p.set = newFeatureSet2D()
 	return p
 }

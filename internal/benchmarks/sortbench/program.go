@@ -34,6 +34,9 @@ func New() *Program {
 	p.space = choice.NewSpace()
 	p.space.AddSite("sort", AltNames...)
 	p.waysIdx = p.space.AddInt("mergeWays", 2, 8, 2)
+	// mergeWays is read only inside MergeSort; under selectors that never
+	// dispatch to it the gene is dead and the tuner skips it.
+	p.space.DependsOn(p.waysIdx, 0, AltMerge)
 	p.set = feature.MustNewSet(
 		feature.Extractor{Name: "sortedness", Levels: []feature.LevelFunc{
 			sortednessLevel(32), sortednessLevel(256), sortednessLevel(0),

@@ -48,6 +48,9 @@ type Space struct {
 	MaxSelectorLevels int
 	// MaxCutoff bounds selector thresholds (default 1<<20).
 	MaxCutoff int
+	// guards holds the selector→tunable dependency graph (see deps.go);
+	// nil entries mean the tunable is always live.
+	guards []*guard
 }
 
 // NewSpace returns an empty space with default limits.
@@ -244,8 +247,20 @@ func (s *Space) DefaultConfig() *Config {
 	return c
 }
 
-// RandomConfig draws a uniformly random valid configuration.
+// RandomConfig draws a uniformly random valid configuration. When the
+// space carries a dependency graph, only live tunables are drawn; dead
+// genes keep their defaults so the draw samples the live subspace.
 func (s *Space) RandomConfig(r *rng.RNG) *Config {
+	return s.randomConfig(r, false)
+}
+
+// RandomConfigFlat draws ignoring the dependency graph (every tunable is
+// sampled) — the legacy flat-space behaviour, kept for A/B comparison.
+func (s *Space) RandomConfigFlat(r *rng.RNG) *Config {
+	return s.randomConfig(r, true)
+}
+
+func (s *Space) randomConfig(r *rng.RNG, flat bool) *Config {
 	c := s.DefaultConfig()
 	for i := range c.Selectors {
 		nAlts := len(s.Sites[i].Alternatives)
@@ -259,7 +274,14 @@ func (s *Space) RandomConfig(r *rng.RNG) *Config {
 		c.Selectors[i].Else = r.Intn(nAlts)
 		c.Selectors[i].normalize(s.MaxSelectorLevels, s.MaxCutoff, nAlts)
 	}
+	var live []bool
+	if !flat && s.HasDependencies() {
+		live = s.LiveGenes(c)
+	}
 	for i, t := range s.Tunables {
+		if live != nil && !live[i] {
+			continue // dead gene: keep the quantized default, burn no draw
+		}
 		c.Values[i] = t.quantize(r.Range(t.Min, t.Max))
 	}
 	return c

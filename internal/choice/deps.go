@@ -1,0 +1,155 @@
+package choice
+
+// Dependency graph between selectors and tunables.
+//
+// Most choice spaces are not flat: a tunable is usually consulted only when
+// its guarding selector actually dispatches to the alternative that reads it
+// (SOR's over-relaxation factor is meaningless under a direct solver). A
+// program declares these edges with DependsOn; the autotuner then restricts
+// mutation, crossover, and random draws to the live subspace, and collapses
+// dead-gene variants onto one canonical representative *before* paying an
+// evaluation (LiveKey). Spaces without declarations behave exactly as
+// before: every gene is always live.
+
+// guard records that a tunable is read only when its site's selector can
+// dispatch to one of the flagged alternatives.
+type guard struct {
+	site int
+	alts []bool // indexed by alternative; true = tunable live under it
+}
+
+// DependsOn declares that tunable t is read only when site's selector can
+// choose one of alts. Repeated calls for the same tunable OR-merge the
+// alternatives (a tunable shared by several branches of one site). A
+// tunable with no declaration is live under every configuration.
+func (s *Space) DependsOn(t, site int, alts ...int) {
+	if t < 0 || t >= len(s.Tunables) {
+		panic("choice: DependsOn tunable index out of range")
+	}
+	if site < 0 || site >= len(s.Sites) {
+		panic("choice: DependsOn site index out of range")
+	}
+	if len(alts) == 0 {
+		panic("choice: DependsOn needs at least one alternative")
+	}
+	for len(s.guards) < len(s.Tunables) {
+		s.guards = append(s.guards, nil)
+	}
+	g := s.guards[t]
+	if g == nil {
+		g = &guard{site: site, alts: make([]bool, len(s.Sites[site].Alternatives))}
+		s.guards[t] = g
+	} else if g.site != site {
+		panic("choice: tunable guarded by two different sites")
+	}
+	for _, a := range alts {
+		if a < 0 || a >= len(g.alts) {
+			panic("choice: DependsOn alternative index out of range")
+		}
+		g.alts[a] = true
+	}
+}
+
+// HasDependencies reports whether any tunable carries a guard.
+func (s *Space) HasDependencies() bool {
+	for _, g := range s.guards {
+		if g != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// canonSelector returns sel with redundant levels removed: a level whose
+// choice equals the decision immediately after it never changes Decide(n)
+// for any n, so it is dropped. Walks last-to-first so chains of equal
+// choices collapse fully. The returned selector decides identically to sel
+// for every n.
+func canonSelector(sel Selector) Selector {
+	out := Selector{Levels: append([]Level(nil), sel.Levels...), Else: sel.Else}
+	for j := len(out.Levels) - 1; j >= 0; j-- {
+		next := out.Else
+		if j+1 < len(out.Levels) {
+			next = out.Levels[j+1].Choice
+		}
+		if out.Levels[j].Choice == next {
+			out.Levels = append(out.Levels[:j], out.Levels[j+1:]...)
+		}
+	}
+	return out
+}
+
+// mentioned returns, per alternative, whether the selector can ever decide
+// it (some level chooses it, or it is the else branch).
+func mentioned(sel Selector, nAlts int) []bool {
+	m := make([]bool, nAlts)
+	for _, l := range sel.Levels {
+		if l.Choice >= 0 && l.Choice < nAlts {
+			m[l.Choice] = true
+		}
+	}
+	if sel.Else >= 0 && sel.Else < nAlts {
+		m[sel.Else] = true
+	}
+	return m
+}
+
+// LiveGenes reports, per tunable, whether the gene is live under c: either
+// unguarded, or guarded by a site whose selector can reach one of the
+// enabling alternatives. Reachability is judged on the canonicalized
+// selector so configs that decide identically get identical liveness.
+func (s *Space) LiveGenes(c *Config) []bool {
+	live := make([]bool, len(s.Tunables))
+	var ment map[int][]bool // site -> mentioned alternatives, lazily built
+	for i := range s.Tunables {
+		if i >= len(s.guards) || s.guards[i] == nil {
+			live[i] = true
+			continue
+		}
+		g := s.guards[i]
+		if ment == nil {
+			ment = make(map[int][]bool)
+		}
+		m, ok := ment[g.site]
+		if !ok {
+			m = mentioned(canonSelector(c.Selectors[g.site]), len(s.Sites[g.site].Alternatives))
+			ment[g.site] = m
+		}
+		for a, on := range g.alts {
+			if on && a < len(m) && m[a] {
+				live[i] = true
+				break
+			}
+		}
+	}
+	return live
+}
+
+// Canonicalize maps c onto the canonical representative of its behavioural
+// equivalence class: redundant selector levels are dropped (Decide is
+// unchanged for every n) and dead tunables are reset to their quantized
+// defaults (they are never read). Two configs that behave identically on
+// every input canonicalize to the same representative; the result is a new
+// Config and Canonicalize is idempotent.
+func (s *Space) Canonicalize(c *Config) *Config {
+	out := c.Clone()
+	for i := range out.Selectors {
+		out.Selectors[i] = canonSelector(out.Selectors[i])
+	}
+	live := s.LiveGenes(out)
+	for i, t := range s.Tunables {
+		if !live[i] {
+			out.Values[i] = t.quantize(t.Default)
+		}
+	}
+	return out
+}
+
+// LiveKey returns the fingerprint of c's canonical representative: equal
+// across all dead-gene variants of one behaviour, injective on the live
+// subspace (it is a Key of a valid Config, and Key is injective). The
+// plain Key() encoding is untouched — wire frames, serve caches, and
+// stored artifacts keep their byte layout.
+func (s *Space) LiveKey(c *Config) string {
+	return s.Canonicalize(c).Key()
+}

@@ -6,8 +6,43 @@ import (
 	"inputtune/internal/rng"
 )
 
-// Mutate returns a mutated copy of c. One of several mutation operators is
-// applied, mirroring the PetaBricks autotuner's structural mutations:
+// MutationWeights assigns relative frequencies to the six mutation
+// operators. The zero value means "use defaults".
+type MutationWeights struct {
+	PerturbTunable float64
+	ResetTunable   float64
+	MutateCutoff   float64
+	MutateChoice   float64
+	InsertLevel    float64
+	DeleteLevel    float64
+}
+
+// DefaultMutationWeights favours cheap local moves, matching the
+// PetaBricks-style tuner's historical mix.
+func DefaultMutationWeights() MutationWeights {
+	return MutationWeights{
+		PerturbTunable: 3, ResetTunable: 1,
+		MutateCutoff: 2, MutateChoice: 3,
+		InsertLevel: 1, DeleteLevel: 1,
+	}
+}
+
+func (w MutationWeights) isZero() bool {
+	return w == MutationWeights{}
+}
+
+// MutateOptions parameterise MutateWith.
+type MutateOptions struct {
+	// Weights overrides the operator mix; zero value = defaults.
+	Weights MutationWeights
+	// Flat ignores the dependency graph: tunable operators may touch dead
+	// genes, the legacy flat-space behaviour.
+	Flat bool
+}
+
+// Mutate returns a mutated copy of c with default options. One of several
+// mutation operators is applied, mirroring the PetaBricks autotuner's
+// structural mutations:
 //
 //   - perturb a tunable (log-normal scaling for ints, Gaussian for floats)
 //   - reset a tunable uniformly at random
@@ -16,27 +51,51 @@ import (
 //   - insert a new selector level
 //   - delete a selector level
 //
-// The result is always valid with respect to the space.
+// When the space carries a dependency graph, the two tunable operators
+// only ever touch genes live under c's selectors. The result is always
+// valid with respect to the space.
 func (s *Space) Mutate(c *Config, r *rng.RNG) *Config {
+	return s.MutateWith(c, r, MutateOptions{})
+}
+
+// MutateWith is Mutate with an explicit operator mix and flatness flag.
+func (s *Space) MutateWith(c *Config, r *rng.RNG, mo MutateOptions) *Config {
+	w := mo.Weights
+	if w.isZero() {
+		w = DefaultMutationWeights()
+	}
 	out := c.Clone()
+	// Restrict tunable operators to the live subspace unless flat.
+	tunables := make([]int, 0, len(s.Tunables))
+	if !mo.Flat && s.HasDependencies() {
+		for i, l := range s.LiveGenes(out) {
+			if l {
+				tunables = append(tunables, i)
+			}
+		}
+	} else {
+		for i := range s.Tunables {
+			tunables = append(tunables, i)
+		}
+	}
 	// Collect applicable operator ids; weights favour cheap local moves.
 	type op struct {
 		weight float64
 		apply  func()
 	}
 	var ops []op
-	if len(s.Tunables) > 0 {
+	if len(tunables) > 0 {
 		ops = append(ops,
-			op{3, func() { s.perturbTunable(out, r) }},
-			op{1, func() { s.resetTunable(out, r) }},
+			op{w.PerturbTunable, func() { s.perturbTunable(out, r, tunables) }},
+			op{w.ResetTunable, func() { s.resetTunable(out, r, tunables) }},
 		)
 	}
 	if len(s.Sites) > 0 {
 		ops = append(ops,
-			op{2, func() { s.mutateCutoff(out, r) }},
-			op{3, func() { s.mutateChoice(out, r) }},
-			op{1, func() { s.insertLevel(out, r) }},
-			op{1, func() { s.deleteLevel(out, r) }},
+			op{w.MutateCutoff, func() { s.mutateCutoff(out, r) }},
+			op{w.MutateChoice, func() { s.mutateChoice(out, r) }},
+			op{w.InsertLevel, func() { s.insertLevel(out, r) }},
+			op{w.DeleteLevel, func() { s.deleteLevel(out, r) }},
 		)
 	}
 	if len(ops) == 0 {
@@ -50,8 +109,8 @@ func (s *Space) Mutate(c *Config, r *rng.RNG) *Config {
 	return out
 }
 
-func (s *Space) perturbTunable(c *Config, r *rng.RNG) {
-	i := r.Intn(len(s.Tunables))
+func (s *Space) perturbTunable(c *Config, r *rng.RNG, idxs []int) {
+	i := idxs[r.Intn(len(idxs))]
 	t := s.Tunables[i]
 	v := c.Values[i]
 	if t.Kind == IntKind {
@@ -69,8 +128,8 @@ func (s *Space) perturbTunable(c *Config, r *rng.RNG) {
 	}
 }
 
-func (s *Space) resetTunable(c *Config, r *rng.RNG) {
-	i := r.Intn(len(s.Tunables))
+func (s *Space) resetTunable(c *Config, r *rng.RNG, idxs []int) {
+	i := idxs[r.Intn(len(idxs))]
 	t := s.Tunables[i]
 	c.Values[i] = t.quantize(r.Range(t.Min, t.Max))
 }
@@ -142,9 +201,23 @@ func (s *Space) deleteLevel(c *Config, r *rng.RNG) {
 	sel.Levels = append(sel.Levels[:l], sel.Levels[l+1:]...)
 }
 
+// CrossoverOptions parameterise CrossoverWith.
+type CrossoverOptions struct {
+	// Flat ignores the dependency graph (legacy behaviour): tunable
+	// recombination draws happen for dead genes too.
+	Flat bool
+}
+
 // Crossover returns a child combining a and b: uniform crossover over
 // selectors (whole-selector granularity) and tunables (blend or pick).
+// With a dependency graph, only genes live under the child's recombined
+// selectors are recombined; dead genes inherit a's values untouched.
 func (s *Space) Crossover(a, b *Config, r *rng.RNG) *Config {
+	return s.CrossoverWith(a, b, r, CrossoverOptions{})
+}
+
+// CrossoverWith is Crossover with an explicit flatness flag.
+func (s *Space) CrossoverWith(a, b *Config, r *rng.RNG, co CrossoverOptions) *Config {
 	child := a.Clone()
 	for i := range child.Selectors {
 		if r.Bool() {
@@ -154,7 +227,14 @@ func (s *Space) Crossover(a, b *Config, r *rng.RNG) *Config {
 			}
 		}
 	}
+	var live []bool
+	if !co.Flat && s.HasDependencies() {
+		live = s.LiveGenes(child)
+	}
 	for i := range child.Values {
+		if live != nil && !live[i] {
+			continue // dead under the child's selectors: no draw, keep a's gene
+		}
 		t := s.Tunables[i]
 		switch r.Intn(3) {
 		case 0: // keep a

@@ -36,9 +36,23 @@ type Options struct {
 	// evolutionary search budget (defaults 20 and 16).
 	TunerPopulation  int
 	TunerGenerations int
+	// TunerBudget caps actual tuner evaluations per landmark; 0 selects
+	// the meta-tuner's self-tuned default (3/5 of the flat GA's request).
+	// The drift controller lowers this for cheap continuous retraining.
+	// Ignored under FlatTuner.
+	TunerBudget int
+	// TunerMetaTrials sets the self-tuning meta-loop's portfolio size
+	// (0 = default 3). Ignored under FlatTuner.
+	TunerMetaTrials int
+	// FlatTuner reverts to the single-run flat GA: no dependency-aware
+	// dedup, no self-tuning meta-loop, no evaluation budget. Kept as the
+	// A/B baseline the bench-smoke CI job compares against.
+	FlatTuner bool
 	// TuneSamples is the number of cluster members each landmark is tuned
-	// against (default 3): the tuner minimises the geometric-mean time and
-	// must meet the accuracy threshold on EVERY sample. This mirrors
+	// against (default 5; 3 under FlatTuner — the legacy baseline keeps
+	// its historical sampling so it byte-reproduces the BENCH_9
+	// trajectory): the tuner minimises the geometric-mean time and must
+	// meet the accuracy threshold on EVERY sample. This mirrors
 	// PetaBricks' statistical accuracy guarantee ("meet the accuracy
 	// target with a given level of confidence") and keeps landmarks from
 	// sitting exactly on the accuracy boundary of a single input.
@@ -67,6 +81,12 @@ type Options struct {
 	Logf func(format string, args ...any)
 }
 
+// fringeWeight is the relative weight of non-medoid cluster samples in a
+// landmark tuner's time objective (the medoid weighs 1). Low enough that
+// landmarks specialise to their cluster core, high enough that a
+// configuration pathological on the fringe still loses.
+const fringeWeight = 0.25
+
 func (o *Options) setDefaults() {
 	if o.K1 <= 0 {
 		o.K1 = 16
@@ -87,7 +107,10 @@ func (o *Options) setDefaults() {
 		o.MaxTreeDepth = 6
 	}
 	if o.TuneSamples <= 0 {
-		o.TuneSamples = 3
+		o.TuneSamples = 5
+		if o.FlatTuner {
+			o.TuneSamples = 3
+		}
 	}
 	if o.ValidationFraction <= 0 || o.ValidationFraction >= 1 {
 		o.ValidationFraction = 0.3
@@ -148,6 +171,14 @@ type Report struct {
 	// TunerCacheHits counts genome evaluations the tuners answered from
 	// their in-run memo instead of running the program.
 	TunerCacheHits int
+	// DeadGeneCollapses counts structurally new genomes the tuners
+	// collapsed onto an already-evaluated canonical representative via the
+	// choice space's dependency graph — evaluations saved before they were
+	// paid. Zero under FlatTuner or for spaces without dependencies.
+	DeadGeneCollapses int
+	// MetaTunerTrials sums the hyperparameter trials the self-tuning
+	// meta-loop ran across landmarks (zero under FlatTuner).
+	MetaTunerTrials int
 	// Engine snapshots the shared measurement cache at the end of
 	// training. Excluded from model serialisation so that SaveModel output
 	// is byte-identical with the cache on or off.
@@ -244,11 +275,27 @@ func TrainModel(prog Program, inputs []Input, opts Options) *Model {
 			return measureInput(prog, cfg, inputs[si])
 		})
 	}
+	// Measurement-cache keys are canonical under the space's dependency
+	// graph, so dead-gene variants of one behaviour share entries across
+	// landmark tuners and the measurement pass. The full→canonical mapping
+	// is memoized (engine.KeyMemo) to avoid re-canonicalizing per lookup.
+	keyMemo := engine.NewKeyMemo()
+	canonKey := func(cfg *choice.Config) string {
+		full := cfg.Key()
+		if opts.FlatTuner || !space.HasDependencies() {
+			return full
+		}
+		return keyMemo.Canonical(full, func() string { return space.LiveKey(cfg) })
+	}
 	landmarks := make([]*choice.Config, nLandmarks)
 	tunerEvals := 0
 	tunerHits := 0
+	tunerCollapses := 0
+	metaTrials := 0
 	evalsCh := make([]int, nLandmarks)
 	hitsCh := make([]int, nLandmarks)
+	collapsesCh := make([]int, nLandmarks)
+	trialsCh := make([]int, nLandmarks)
 	pickRand := rng.New(opts.Seed + 99)
 	randPicks := make([][]int, k1)
 	for c := range randPicks {
@@ -283,25 +330,44 @@ func TrainModel(prog Program, inputs []Input, opts Options) *Model {
 		if len(samples) == 0 {
 			samples = []int{int(opts.Seed+uint64(c)) % len(inputs)}
 		}
-		cfg, st := autotuner.Tune(autotuner.Options{
+		// Per-sample weights for the time objective. Cluster landmarks
+		// under the dependency-aware tuner down-weight the fringe samples
+		// relative to the medoid (sample 0 — clusterSamples sorts
+		// medoid-first): the landmark should be the specialist for its
+		// cluster core, not a generalist across the fringe, or the landmark
+		// set collapses toward one configuration and input adaptation has
+		// nothing to choose between. The safety landmark (c == k1) and the
+		// flat A/B arm keep equal weights; the accuracy guard stays the
+		// minimum over ALL samples either way.
+		wts := make([]float64, len(samples))
+		wsum := 0.0
+		for i := range wts {
+			wts[i] = 1
+			if i > 0 && c != k1 && !opts.FlatTuner {
+				wts[i] = fringeWeight
+			}
+			wsum += wts[i]
+		}
+		topts := autotuner.Options{
 			Space: space,
-			// Tuning objective over the cluster sample set: geometric-mean
-			// time (scale-free across sample sizes) under the WORST sample
-			// accuracy, so feasible landmarks carry an accuracy margin
-			// across their cluster, not just at its centroid.
+			// Tuning objective over the cluster sample set: weighted
+			// geometric-mean time (scale-free across sample sizes) under
+			// the WORST sample accuracy, so feasible landmarks carry an
+			// accuracy margin across their cluster, not just at its
+			// centroid.
 			Eval: func(cfg *choice.Config) autotuner.Result {
-				key := cfg.Key()
+				key := canonKey(cfg)
 				sumLog := 0.0
 				minAcc := math.Inf(1)
-				for _, si := range samples {
+				for i, si := range samples {
 					res := measure(key, cfg, si)
-					sumLog += math.Log(res.Time + 1)
+					sumLog += wts[i] * math.Log(res.Time+1)
 					if res.Accuracy < minAcc {
 						minAcc = res.Accuracy
 					}
 				}
 				return autotuner.Result{
-					Time:     math.Exp(sumLog / float64(len(samples))),
+					Time:     math.Exp(sumLog / wsum),
 					Accuracy: minAcc,
 				}
 			},
@@ -311,14 +377,31 @@ func TrainModel(prog Program, inputs []Input, opts Options) *Model {
 			Generations:     opts.TunerGenerations,
 			Seed:            opts.Seed*1000003 + uint64(c),
 			Parallel:        opts.Parallel,
-		})
-		landmarks[c] = cfg
-		evalsCh[c] = st.Evaluations
-		hitsCh[c] = st.CacheHits
+			Flat:            opts.FlatTuner,
+		}
+		if opts.FlatTuner {
+			cfg, st := autotuner.Tune(topts)
+			landmarks[c] = cfg
+			evalsCh[c] = st.Evaluations
+			hitsCh[c] = st.CacheHits
+		} else {
+			cfg, mst := autotuner.MetaTune(autotuner.MetaOptions{
+				Options: topts,
+				Trials:  opts.TunerMetaTrials,
+				Budget:  opts.TunerBudget,
+			})
+			landmarks[c] = cfg
+			evalsCh[c] = mst.Evaluations
+			hitsCh[c] = mst.CacheHits
+			collapsesCh[c] = mst.DeadGeneCollapses
+			trialsCh[c] = mst.Trials
+		}
 	})
 	for c := range evalsCh {
 		tunerEvals += evalsCh[c]
 		tunerHits += hitsCh[c]
+		tunerCollapses += collapsesCh[c]
+		metaTrials += trialsCh[c]
 	}
 	clock.Mark("tune")
 
@@ -467,21 +550,23 @@ func TrainModel(prog Program, inputs []Input, opts Options) *Model {
 		Train:      d,
 		Summary:    SummarizeTraining(km.Centroids, Fn, summaryDims),
 		Report: Report{
-			Benchmark:        prog.Name(),
-			NumInputs:        len(inputs),
-			K1:               k1,
-			SpaceSize:        space.SizeDescription(),
-			TunerEvaluations: tunerEvals,
-			TunerCacheHits:   tunerHits,
-			Engine:           cache.Stats(),
-			Phases:           clock.phases,
-			ZooTrees:         zooTrees,
-			ZooDedupHits:     zooDedup,
-			RelabelFraction:  relabelFrac,
-			Production:       prod.Name,
-			SelectedFeatures: selected,
-			Scores:           scores,
-			NumCandidates:    len(cands),
+			Benchmark:         prog.Name(),
+			NumInputs:         len(inputs),
+			K1:                k1,
+			SpaceSize:         space.SizeDescription(),
+			TunerEvaluations:  tunerEvals,
+			TunerCacheHits:    tunerHits,
+			DeadGeneCollapses: tunerCollapses,
+			MetaTunerTrials:   metaTrials,
+			Engine:            cache.Stats(),
+			Phases:            clock.phases,
+			ZooTrees:          zooTrees,
+			ZooDedupHits:      zooDedup,
+			RelabelFraction:   relabelFrac,
+			Production:        prod.Name,
+			SelectedFeatures:  selected,
+			Scores:            scores,
+			NumCandidates:     len(cands),
 		},
 	}
 }

@@ -22,6 +22,13 @@ type Options struct {
 	// with (seed and all — retrains are as deterministic as offline
 	// training; the byte-parity differential test depends on it).
 	Train core.Options
+	// RetrainBudget caps tuner evaluations per landmark during
+	// drift-triggered retrains (core.Options.TunerBudget). 0 keeps
+	// Train.TunerBudget as given (usually the meta-tuner's self-tuned
+	// default). Continuous retraining competes with serving for the same
+	// cores, so operators lower this to trade retrain quality for a
+	// shorter publish latency.
+	RetrainBudget int
 	// Detector tunes the drift test.
 	Detector DetectorOptions
 	// Capacity bounds the per-benchmark retention reservoir (default 256).
@@ -100,6 +107,9 @@ func NewController(opts Options) *Controller {
 	}
 	if opts.MinRetain < 2 {
 		opts.MinRetain = 2
+	}
+	if opts.RetrainBudget > 0 {
+		opts.Train.TunerBudget = opts.RetrainBudget
 	}
 	if opts.Logger == nil {
 		opts.Logger = slog.New(slog.DiscardHandler)

@@ -1,0 +1,50 @@
+package engine
+
+import "sync"
+
+// KeyMemo memoizes the canonical (live-subspace) key derived from a full
+// configuration fingerprint. TrainModel keys its per-(config, input)
+// measurement cache canonically so dead-gene variants of one behaviour
+// share cache entries across landmarks and training phases; deriving the
+// canonical key means cloning and re-encoding the configuration, so the
+// mapping full→canonical is memoized here. Safe for concurrent use — the
+// tuner evaluates candidates on the shared pool.
+type KeyMemo struct {
+	mu     sync.RWMutex
+	m      map[string]string
+	hits   int
+	misses int
+}
+
+// NewKeyMemo returns an empty memo.
+func NewKeyMemo() *KeyMemo {
+	return &KeyMemo{m: make(map[string]string)}
+}
+
+// Canonical returns the canonical key for full, calling derive only on the
+// first sighting of full. derive must be pure: concurrent first sightings
+// may both call it, and either result is stored (they are equal).
+func (k *KeyMemo) Canonical(full string, derive func() string) string {
+	k.mu.RLock()
+	c, ok := k.m[full]
+	k.mu.RUnlock()
+	if ok {
+		k.mu.Lock()
+		k.hits++
+		k.mu.Unlock()
+		return c
+	}
+	c = derive()
+	k.mu.Lock()
+	k.m[full] = c
+	k.misses++
+	k.mu.Unlock()
+	return c
+}
+
+// Stats returns (hits, misses) so far.
+func (k *KeyMemo) Stats() (hits, misses int) {
+	k.mu.RLock()
+	defer k.mu.RUnlock()
+	return k.hits, k.misses
+}

@@ -1,0 +1,63 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestKeyMemoDerivesOnce(t *testing.T) {
+	m := NewKeyMemo()
+	derivations := 0
+	derive := func() string { derivations++; return "canon" }
+	for i := 0; i < 5; i++ {
+		if got := m.Canonical("full", derive); got != "canon" {
+			t.Fatalf("Canonical = %q", got)
+		}
+	}
+	if derivations != 1 {
+		t.Fatalf("derive ran %d times", derivations)
+	}
+	hits, misses := m.Stats()
+	if hits != 4 || misses != 1 {
+		t.Fatalf("stats = %d hits, %d misses", hits, misses)
+	}
+}
+
+func TestKeyMemoDistinctKeys(t *testing.T) {
+	m := NewKeyMemo()
+	for i := 0; i < 10; i++ {
+		full := fmt.Sprintf("full-%d", i)
+		want := fmt.Sprintf("canon-%d", i%3) // canonical keys collide across fulls
+		if got := m.Canonical(full, func() string { return want }); got != want {
+			t.Fatalf("Canonical(%q) = %q, want %q", full, got, want)
+		}
+	}
+	if _, misses := m.Stats(); misses != 10 {
+		t.Fatalf("misses = %d", misses)
+	}
+}
+
+func TestKeyMemoConcurrent(t *testing.T) {
+	m := NewKeyMemo()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				full := fmt.Sprintf("full-%d", i%17)
+				want := fmt.Sprintf("canon-%d", i%17)
+				if got := m.Canonical(full, func() string { return want }); got != want {
+					t.Errorf("Canonical(%q) = %q", full, got)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	hits, misses := m.Stats()
+	if hits+misses != 8*200 {
+		t.Fatalf("hits+misses = %d, want %d", hits+misses, 8*200)
+	}
+}

@@ -36,6 +36,13 @@ type BenchResult struct {
 	// paid for; TunerCacheHits the genome evaluations answered by memo.
 	TunerEvaluations int `json:"tuner_evaluations"`
 	TunerCacheHits   int `json:"tuner_cache_hits"`
+	// DeadGeneCollapses counts structurally new genomes the dependency-aware
+	// tuner collapsed onto an already-evaluated canonical representative —
+	// evaluations saved before they were paid. MetaTunerTrials sums the
+	// self-tuning portfolio trials across landmarks. Both are 0 under
+	// -flat-tuner, making the A/B arms distinguishable in the JSON.
+	DeadGeneCollapses int `json:"dead_gene_collapses"`
+	MetaTunerTrials   int `json:"meta_tuner_trials"`
 
 	// Measurement-cache effectiveness over the training session.
 	CacheHits      uint64  `json:"cache_hits"`
@@ -82,8 +89,11 @@ type BenchReport struct {
 	Workers  int    `json:"gomaxprocs"`
 	// CacheDisabled marks A/B runs through the escape hatch, so a
 	// -nocache report can never be mistaken for the real trajectory.
-	CacheDisabled bool          `json:"cache_disabled"`
-	Results       []BenchResult `json:"results"`
+	CacheDisabled bool `json:"cache_disabled"`
+	// FlatTuner marks -flat-tuner A/B runs (the legacy single-run GA) the
+	// same way, for the same reason.
+	FlatTuner bool          `json:"flat_tuner"`
+	Results   []BenchResult `json:"results"`
 	// DirectSolver is the dense-vs-FFT direct solver microbenchmark and
 	// FastDirect the PDE retraining arm with the opt-in fast-direct
 	// alternative (see fastdirect.go). Both are populated whenever a PDE
@@ -114,6 +124,7 @@ func RunBench(names []string, scaleName string, sc Scale, logf func(string, ...a
 		Parallel:      sc.Parallel,
 		Workers:       runtime.GOMAXPROCS(0),
 		CacheDisabled: sc.DisableCache,
+		FlatTuner:     sc.FlatTuner,
 	}
 	for _, name := range names {
 		c := BuildCase(name, sc)
@@ -132,23 +143,25 @@ func RunBench(names []string, scaleName string, sc Scale, logf func(string, ...a
 			phases = append(phases, TrainPhase{Phase: ph.Name, Seconds: ph.Seconds})
 		}
 		rep.Results = append(rep.Results, BenchResult{
-			Benchmark:        name,
-			WallSeconds:      row.TrainSeconds + row.EvalSeconds,
-			TrainSeconds:     row.TrainSeconds,
-			EvalSeconds:      row.EvalSeconds,
-			TrainPhases:      phases,
-			ZooTrees:         row.Report.ZooTrees,
-			ZooDedupHits:     row.Report.ZooDedupHits,
-			TunerEvaluations: row.Report.TunerEvaluations,
-			TunerCacheHits:   row.Report.TunerCacheHits,
-			CacheHits:        cs.Hits,
-			CacheMisses:      cs.Misses,
-			CacheHitRate:     cs.HitRate(),
-			CacheEvictions:   cs.Evictions,
-			SolverMemoHits:   ms.Hits,
-			SolverMemoMisses: ms.Misses,
-			TwoLevelSpeedup:  row.TwoLevelFX,
-			Satisfaction:     row.TwoLevelAccuracy,
+			Benchmark:         name,
+			WallSeconds:       row.TrainSeconds + row.EvalSeconds,
+			TrainSeconds:      row.TrainSeconds,
+			EvalSeconds:       row.EvalSeconds,
+			TrainPhases:       phases,
+			ZooTrees:          row.Report.ZooTrees,
+			ZooDedupHits:      row.Report.ZooDedupHits,
+			TunerEvaluations:  row.Report.TunerEvaluations,
+			TunerCacheHits:    row.Report.TunerCacheHits,
+			DeadGeneCollapses: row.Report.DeadGeneCollapses,
+			MetaTunerTrials:   row.Report.MetaTunerTrials,
+			CacheHits:         cs.Hits,
+			CacheMisses:       cs.Misses,
+			CacheHitRate:      cs.HitRate(),
+			CacheEvictions:    cs.Evictions,
+			SolverMemoHits:    ms.Hits,
+			SolverMemoMisses:  ms.Misses,
+			TwoLevelSpeedup:   row.TwoLevelFX,
+			Satisfaction:      row.TwoLevelAccuracy,
 		})
 	}
 	hasPDE := false
@@ -172,17 +185,18 @@ func (r BenchReport) BenchJSON() ([]byte, error) {
 // RenderBench formats the report as a human-readable table.
 func RenderBench(r BenchReport) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-12s %9s %9s %8s %10s %10s %9s %9s %9s\n",
-		"Benchmark", "wall(s)", "train(s)", "clf(s)", "tunerEval", "memoHits", "solvMemo", "cacheHit%", "speedup")
-	fmt.Fprintln(&b, strings.Repeat("-", 93))
+	fmt.Fprintf(&b, "%-12s %9s %9s %10s %10s %9s %7s %9s %9s %9s\n",
+		"Benchmark", "wall(s)", "train(s)", "tunerEval", "memoHits", "collapse", "trials", "solvMemo", "cacheHit%", "speedup")
+	fmt.Fprintln(&b, strings.Repeat("-", 102))
 	for _, res := range r.Results {
 		solv := "-"
 		if res.SolverMemoHits+res.SolverMemoMisses > 0 {
 			solv = fmt.Sprintf("%d", res.SolverMemoHits)
 		}
-		fmt.Fprintf(&b, "%-12s %9.3f %9.3f %8.3f %10d %10d %9s %8.1f%% %8.2fx\n",
-			res.Benchmark, res.WallSeconds, res.TrainSeconds, res.PhaseSeconds("classifiers"),
-			res.TunerEvaluations, res.TunerCacheHits, solv, 100*res.CacheHitRate, res.TwoLevelSpeedup)
+		fmt.Fprintf(&b, "%-12s %9.3f %9.3f %10d %10d %9d %7d %9s %8.1f%% %8.2fx\n",
+			res.Benchmark, res.WallSeconds, res.TrainSeconds,
+			res.TunerEvaluations, res.TunerCacheHits, res.DeadGeneCollapses, res.MetaTunerTrials,
+			solv, 100*res.CacheHitRate, res.TwoLevelSpeedup)
 	}
 	if len(r.DirectSolver) > 0 {
 		b.WriteString("\ndirect-solver microbench (dense vs FFT sine transform):\n")

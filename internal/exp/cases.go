@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"inputtune/internal/autotuner"
 	"inputtune/internal/benchmarks/binpack"
 	"inputtune/internal/benchmarks/clustering"
 	"inputtune/internal/benchmarks/helmholtz3d"
@@ -26,6 +27,14 @@ type Scale struct {
 	// DisableCache turns off the engine's memoized measurement cache (the
 	// A/B escape hatch; results are identical either way).
 	DisableCache bool
+	// TunerBudget caps tuner evaluations per landmark (0 = the
+	// meta-tuner's self-tuned default).
+	TunerBudget int
+	// TunerMetaTrials sets the self-tuning portfolio length (0 = default).
+	TunerMetaTrials int
+	// FlatTuner reverts to the single-run flat GA — the A/B baseline the
+	// bench-smoke CI job compares dependency-aware search against.
+	FlatTuner bool
 }
 
 // measurementCache returns a fresh test-set measurement cache, or nil when
@@ -63,6 +72,59 @@ type Case struct {
 var CaseNames = []string{
 	"sort1", "sort2", "clustering1", "clustering2",
 	"binpacking", "svd", "poisson2d", "helmholtz3d",
+}
+
+// TunerProfile is a benchmark's evaluation-budget profile for the
+// dependency-aware self-tuning search: how much of the flat GA's
+// evaluation cost each landmark may spend, and how long the meta-loop's
+// hyperparameter portfolio is. Profiles are per benchmark because the
+// choice-space landscapes differ: smooth spaces (sorting cutoffs, solver
+// selectors with dead iteration genes) converge in a fraction of the flat
+// budget, while satisfaction-constrained spaces (clustering2) need a
+// longer portfolio to keep specialist landmarks feasible.
+type TunerProfile struct {
+	// BudgetFrac multiplies autotuner.FlatCost(pop, gens) to give the
+	// per-landmark evaluation cap. Always < 1: the dependency-aware
+	// search must beat the flat GA on strictly fewer evaluations.
+	BudgetFrac float64
+	// MetaTrials is the portfolio length passed to autotuner.MetaTune.
+	MetaTrials int
+}
+
+// tunerProfiles maps case name → profile. The fractions were chosen on
+// the quick scale (see BENCH trajectory in README.md) and scale with the
+// flat cost at other scales.
+var tunerProfiles = map[string]TunerProfile{
+	"sort1":       {BudgetFrac: 0.17, MetaTrials: 1},
+	"sort2":       {BudgetFrac: 0.17, MetaTrials: 1},
+	"clustering1": {BudgetFrac: 0.17, MetaTrials: 1},
+	"clustering2": {BudgetFrac: 0.51, MetaTrials: 3},
+	"binpacking":  {BudgetFrac: 0.345, MetaTrials: 1},
+	"svd":         {BudgetFrac: 0.345, MetaTrials: 1},
+	"poisson2d":   {BudgetFrac: 0.17, MetaTrials: 1},
+	"helmholtz3d": {BudgetFrac: 0.17, MetaTrials: 1},
+}
+
+// Profile returns the named case's tuner profile (the zero value selects
+// the meta-tuner's self-tuned defaults).
+func Profile(name string) TunerProfile { return tunerProfiles[name] }
+
+// resolveTuner returns the (budget, trials) pair for a case at a scale:
+// explicit Scale overrides win, then the per-benchmark profile, then the
+// meta-tuner defaults (0, 0). The flat tuner ignores both.
+func resolveTuner(name string, sc Scale) (budget, trials int) {
+	budget, trials = sc.TunerBudget, sc.TunerMetaTrials
+	if sc.FlatTuner {
+		return budget, trials
+	}
+	p := tunerProfiles[name]
+	if budget == 0 && p.BudgetFrac > 0 {
+		budget = int(p.BudgetFrac*float64(autotuner.FlatCost(sc.TunerPop, sc.TunerGens)) + 0.5)
+	}
+	if trials == 0 {
+		trials = p.MetaTrials
+	}
+	return budget, trials
 }
 
 // BuildCase constructs one named case at the given scale.

@@ -47,6 +47,12 @@ type DriftBenchOptions struct {
 	// MinRetain is the smallest retained set a retrain may start from
 	// (default 24).
 	MinRetain int
+	// RetrainBudget caps tuner evaluations per landmark during the
+	// drift-triggered retrain (0 = the meta-tuner's self-tuned default).
+	// The initial offline model always trains at the full budget; only
+	// the background retrain is capped, mirroring production where
+	// retraining shares cores with serving.
+	RetrainBudget int
 	// Scale sets the training budget, for the initial model and for the
 	// drift-triggered retrain alike.
 	Scale Scale
@@ -119,6 +125,9 @@ type DriftBenchReport struct {
 	Window            int `json:"window"`
 	ReservoirCapacity int `json:"reservoir_capacity"`
 	MinRetain         int `json:"min_retain"`
+	// RetrainBudget is the per-landmark tuner-evaluation cap the
+	// drift-triggered retrain ran under (0 = self-tuned default).
+	RetrainBudget int `json:"retrain_budget"`
 	// DetectorFired must be true: the injected shift is far outside the
 	// detector's calibrated noise band.
 	DetectorFired bool `json:"detector_fired"`
@@ -216,13 +225,14 @@ func RunDriftBench(opts DriftBenchOptions) (DriftBenchReport, error) {
 	artifacts := map[uint64][]byte{1: artifact.Bytes()}
 	var firstPublish atomic.Int64 // unix nanos of the first successful publish
 	ctrl := drift.NewController(drift.Options{
-		Registry:  reg,
-		Train:     trainOpts,
-		Detector:  drift.DetectorOptions{Window: opts.Window},
-		Capacity:  opts.Capacity,
-		MinRetain: opts.MinRetain,
-		Seed:      sc.Seed,
-		Logger:    slogFromLogf(logf),
+		Registry:      reg,
+		Train:         trainOpts,
+		Detector:      drift.DetectorOptions{Window: opts.Window},
+		Capacity:      opts.Capacity,
+		MinRetain:     opts.MinRetain,
+		RetrainBudget: opts.RetrainBudget,
+		Seed:          sc.Seed,
+		Logger:        slogFromLogf(logf),
 		Publish: func(_ string, art []byte) error {
 			snap, err := svc.Load(art)
 			if err != nil {
@@ -253,6 +263,7 @@ func RunDriftBench(opts DriftBenchOptions) (DriftBenchReport, error) {
 		Window:            windowUsed,
 		ReservoirCapacity: opts.Capacity,
 		MinRetain:         opts.MinRetain,
+		RetrainBudget:     opts.RetrainBudget,
 	}
 	rep.SingleCore, rep.Note = singleCoreCaveat(
 		"GOMAXPROCS=1: the background retrain shares the core with serving, so shifted-phase latency includes retrain CPU contention")

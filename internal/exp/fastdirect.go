@@ -5,6 +5,7 @@ import (
 	"strings"
 	"time"
 
+	"inputtune/internal/autotuner"
 	"inputtune/internal/benchmarks/helmholtz3d"
 	"inputtune/internal/benchmarks/poisson2d"
 	"inputtune/internal/pde"
@@ -120,7 +121,12 @@ func maxRelErr(got, want []float64) float64 {
 // — the input-sensitivity story: it should win at the large sizes whose
 // virtual cost favours O(N log N) and lose at the small ones.
 type FastDirectCase struct {
-	Benchmark       string  `json:"benchmark"`
+	Benchmark string `json:"benchmark"`
+	// Sizes is the input-size battery this arm trained over. The
+	// helmholtz3d-large arm reaches n=63, past the fast-DST virtual-cost
+	// crossover (3-D n≳63), so the tuner can actually deploy the fast
+	// solver; the base arms keep their historical sizes.
+	Sizes           []int   `json:"sizes,omitempty"`
 	TwoLevelSpeedup float64 `json:"two_level_speedup_x"`
 	Satisfaction    float64 `json:"two_level_satisfaction"`
 	Production      string  `json:"production_classifier"`
@@ -135,36 +141,89 @@ type FastDirectCase struct {
 	EvalSeconds  float64 `json:"eval_seconds"`
 }
 
+// fastDirectSpec is one retraining arm of the fast-direct experiment.
+type fastDirectSpec struct {
+	c       Case
+	fastAlt int
+	sizes   []int
+	// budgetFrac/trials override the arm's tuner budget (as a fraction of
+	// autotuner.FlatCost, like exp.TunerProfile) — the fast-direct arms
+	// search a six-alternative space, so the base benchmark's profile is
+	// not automatically right for them. Zero keeps the named profile.
+	budgetFrac float64
+	trials     int
+}
+
+// helmholtzLargeSizes is the helmholtz3d-large battery. The top size sits
+// exactly at the fast-DST virtual-cost crossover (fast 60.2M vs dense
+// 95.3M flops at n=63; dense still wins at n=31), so a tuner that sees
+// these inputs can profitably deploy the fast solver where the base
+// {7, 15} battery never could.
+var helmholtzLargeSizes = []int{15, 31, 63}
+
 // RunFastDirectArm retrains every PDE case in names with the fast-direct
-// alternative enabled and reports where the tuned model routed it.
+// alternative enabled and reports where the tuned model routed it. When
+// helmholtz3d is among the names it additionally runs the
+// helmholtz3d-large arm — the same program over the large-size battery —
+// because the crossover where fast-direct wins is unreachable below n=63.
 func RunFastDirectArm(names []string, sc Scale, logf func(string, ...any)) []FastDirectCase {
-	var out []FastDirectCase
+	var specs []fastDirectSpec
 	for _, name := range names {
-		var c Case
-		var fastAlt int
 		switch name {
 		case "poisson2d":
 			n := sc.TrainInputs * 2 / 3 // mirror BuildCase's PDE sizing
-			c = Case{
-				Name: name, Prog: poisson2d.NewWithFastDirect(),
-				Train: poissonInputs(poisson2d.MixOptions{Count: n, Seed: sc.Seed}),
-				Test:  poissonInputs(poisson2d.MixOptions{Count: n, Seed: sc.Seed + 10007}),
-			}
-			fastAlt = poisson2d.SolverFastDirect
+			specs = append(specs, fastDirectSpec{
+				c: Case{
+					Name: name, Prog: poisson2d.NewWithFastDirect(),
+					Train: poissonInputs(poisson2d.MixOptions{Count: n, Seed: sc.Seed}),
+					Test:  poissonInputs(poisson2d.MixOptions{Count: n, Seed: sc.Seed + 10007}),
+				},
+				fastAlt: poisson2d.SolverFastDirect,
+			})
 		case "helmholtz3d":
 			n := sc.TrainInputs / 2
-			c = Case{
-				Name: name, Prog: helmholtz3d.NewWithFastDirect(),
-				Train: helmholtzInputs(helmholtz3d.MixOptions{Count: n, Seed: sc.Seed}),
-				Test:  helmholtzInputs(helmholtz3d.MixOptions{Count: n, Seed: sc.Seed + 10007}),
-			}
-			fastAlt = helmholtz3d.SolverFastDirect
-		default:
-			continue
+			specs = append(specs, fastDirectSpec{
+				c: Case{
+					Name: name, Prog: helmholtz3d.NewWithFastDirect(),
+					Train: helmholtzInputs(helmholtz3d.MixOptions{Count: n, Seed: sc.Seed}),
+					Test:  helmholtzInputs(helmholtz3d.MixOptions{Count: n, Seed: sc.Seed + 10007}),
+				},
+				fastAlt: helmholtz3d.SolverFastDirect,
+				// With six alternatives the helmholtz space needs a longer
+				// portfolio than the base benchmark's cheap profile: at
+				// 0.43x flat cost the search cleanly rejects fast-direct
+				// below the crossover (0/45 routed) at 27x speedup, where
+				// the 0.17x profile half-deploys it for a worse result.
+				budgetFrac: 0.43, trials: 3,
+			})
+			// The large arm trains fewer inputs: one n=63 instance holds
+			// 74x the cells of an n=15 one, and the point is reachability
+			// of the crossover, not battery breadth.
+			nl := sc.TrainInputs / 3
+			specs = append(specs, fastDirectSpec{
+				c: Case{
+					Name: "helmholtz3d-large", Prog: helmholtz3d.NewWithFastDirect(),
+					Train: helmholtzInputs(helmholtz3d.MixOptions{Count: nl, Seed: sc.Seed, Sizes: helmholtzLargeSizes}),
+					Test:  helmholtzInputs(helmholtz3d.MixOptions{Count: nl, Seed: sc.Seed + 10007, Sizes: helmholtzLargeSizes}),
+				},
+				fastAlt:    helmholtz3d.SolverFastDirect,
+				sizes:      helmholtzLargeSizes,
+				budgetFrac: 0.43, trials: 3,
+			})
 		}
-		row := RunCase(c, sc, logf)
+	}
+	var out []FastDirectCase
+	for _, spec := range specs {
+		c, fastAlt := spec.c, spec.fastAlt
+		armSc := sc
+		if spec.budgetFrac > 0 && !sc.FlatTuner && sc.TunerBudget == 0 {
+			armSc.TunerBudget = int(spec.budgetFrac*float64(autotuner.FlatCost(sc.TunerPop, sc.TunerGens)) + 0.5)
+			armSc.TunerMetaTrials = spec.trials
+		}
+		row := RunCase(c, armSc, logf)
 		res := FastDirectCase{
-			Benchmark:       name,
+			Benchmark:       c.Name,
+			Sizes:           spec.sizes,
 			TwoLevelSpeedup: row.TwoLevelFX,
 			Satisfaction:    row.TwoLevelAccuracy,
 			Production:      row.Report.Production,
@@ -207,12 +266,16 @@ func RenderDirectSolver(rows []DirectSolverRow) string {
 // RenderFastDirect formats the retraining-arm results as a table.
 func RenderFastDirect(cases []FastDirectCase) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-12s %9s %9s %12s %10s %12s\n",
-		"Benchmark", "speedup", "satisf", "production", "fd-lmarks", "fd-inputs")
-	fmt.Fprintln(&b, strings.Repeat("-", 70))
+	fmt.Fprintf(&b, "%-18s %9s %9s %9s %12s %10s %12s\n",
+		"Benchmark", "maxN", "speedup", "satisf", "production", "fd-lmarks", "fd-inputs")
+	fmt.Fprintln(&b, strings.Repeat("-", 86))
 	for _, r := range cases {
-		fmt.Fprintf(&b, "%-12s %8.2fx %8.1f%% %12s %10d %8d/%d\n",
-			r.Benchmark, r.TwoLevelSpeedup, 100*r.Satisfaction, r.Production,
+		maxN := "-"
+		if len(r.Sizes) > 0 {
+			maxN = fmt.Sprintf("%d", r.Sizes[len(r.Sizes)-1])
+		}
+		fmt.Fprintf(&b, "%-18s %9s %8.2fx %8.1f%% %12s %10d %8d/%d\n",
+			r.Benchmark, maxN, r.TwoLevelSpeedup, 100*r.Satisfaction, r.Production,
 			r.LandmarksFastDirect, r.TestInputsFastDirect, r.TestInputs)
 	}
 	return b.String()

@@ -61,11 +61,15 @@ func RunCase(c Case, sc Scale, logf func(string, ...any)) *Table1Row {
 		logf = func(string, ...any) {}
 	}
 	trainStart := time.Now()
+	budget, trials := resolveTuner(c.Name, sc)
 	model := core.TrainModel(c.Prog, c.Train, core.Options{
 		K1:               sc.K1,
 		Seed:             sc.Seed,
 		TunerPopulation:  sc.TunerPop,
 		TunerGenerations: sc.TunerGens,
+		TunerBudget:      budget,
+		TunerMetaTrials:  trials,
+		FlatTuner:        sc.FlatTuner,
 		H2:               h2,
 		Parallel:         sc.Parallel,
 		DisableCache:     sc.DisableCache,
